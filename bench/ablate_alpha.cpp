@@ -1,0 +1,47 @@
+// Ablation: the over-estimation factor alpha (paper Eq. 1, §VI).
+//
+// alpha trades pinned-memory over-allocation and batch count against the
+// risk of result-buffer overflow when the 1%-sample estimate is off.
+// The paper picks alpha = 0.05 (doubled for small/noisy estimates).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "index/grid_index.hpp"
+
+int main() {
+  using namespace hdbscan;
+  bench::banner("Ablation — over-estimation factor alpha (Eq. 1)",
+                "paper §VI (alpha = 0.05, x2 for small result sets)");
+
+  const auto points = bench::load("SW1");
+  const float eps = 0.7f;
+  const GridIndex index = build_grid_index(points, eps);
+
+  std::printf("\n  %7s %6s %14s %9s %10s %10s %10s\n", "alpha", "n_b",
+              "buffer (MiB)", "batches", "splits", "wall (s)", "pinned(s)");
+
+  for (const double alpha : {0.0, 0.01, 0.05, 0.10, 0.25, 0.50}) {
+    cudasim::Device device = bench::make_device();
+    BatchPolicy policy;
+    policy.alpha = alpha;
+    policy.sample_fraction = 0.01;  // the paper's noisy 1% estimate
+    NeighborTableBuilder builder(device, policy);
+    BuildReport report;
+    WallTimer t;
+    (void)builder.build(index, eps, &report);
+    std::printf("  %7.2f %6u %14.2f %9u %10u %10.3f %10.3f\n", alpha,
+                report.plan.num_batches,
+                static_cast<double>(report.plan.buffer_pairs) *
+                    sizeof(NeighborPair) / double(1 << 20),
+                report.batches_run, report.overflow_splits, t.seconds(),
+                device.metrics().pinned_alloc_seconds);
+  }
+  std::printf(
+      "\nExpected shape: tiny alpha risks overflow splits (extra kernel"
+      " launches);\nlarge alpha buys safety with bigger pinned buffers and"
+      " allocation time.\nalpha ~ 0.05-0.10 is the sweet spot the paper"
+      " chose.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: strided vs contiguous batch-to-point assignment (paper §VI,
+// Figure 2).
+//
+// The batching scheme assigns point i = gid * n_b + l to batch l, striding
+// through the spatially sorted database so every batch samples the space
+// uniformly and |R_l| stays balanced. The obvious alternative — contiguous
+// chunks of the sorted database — concentrates whole hotspots into single
+// batches and blows the per-batch buffer.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "cudasim/kernel.hpp"
+#include "gpu/device_index.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/result_sink.hpp"
+#include "index/grid_index.hpp"
+
+namespace {
+
+using namespace hdbscan;
+
+/// Contiguous-chunk variant of the batched GPUCalcGlobal.
+struct ContiguousBatchKernel {
+  GridView view;
+  float eps2;
+  std::uint32_t begin, end;  // point-id range of this batch
+  gpu::ResultSinkView sink;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t i = begin + ctx.global_id();
+    if (i >= end) return;
+    const Point2 point = view.points[i];
+    std::array<std::uint32_t, 9> cells{};
+    const unsigned n =
+        get_neighbor_cells(view.params, view.params.linear_cell(point), cells);
+    for (unsigned c = 0; c < n; ++c) {
+      const CellRange range = view.cells[cells[c]];
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        const PointId candidate = view.lookup[a];
+        if (dist2(point, view.points[candidate]) <= eps2) {
+          sink.push({static_cast<PointId>(i), candidate}, ctx);
+        }
+      }
+    }
+  }
+};
+
+void print_stats(const char* label, const std::vector<std::uint64_t>& sizes) {
+  RunningStats stats;
+  for (const std::uint64_t s : sizes) stats.add(static_cast<double>(s));
+  std::printf("  %-12s min %12s   max %12s   max/min %6.2f   cv %.3f\n",
+              label, format_count(static_cast<std::uint64_t>(stats.min())).c_str(),
+              format_count(static_cast<std::uint64_t>(stats.max())).c_str(),
+              stats.max() / std::max(1.0, stats.min()),
+              stats.stddev() / std::max(1e-9, stats.mean()));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — strided vs contiguous batch assignment",
+                "paper §VI / Figure 2 (strided keeps |R_l| balanced)");
+
+  const auto points = bench::load("SW1");
+  const float eps = 0.7f;
+  const GridIndex index = build_grid_index(points, eps);
+  cudasim::Device device = bench::make_device();
+  cudasim::Stream stream(device);
+  gpu::GridDeviceIndex dev_index(device, stream, index);
+  stream.synchronize();
+  const GridView view = dev_index.view();
+
+  for (const std::uint32_t nb : {4u, 8u, 16u}) {
+    std::printf("\n  n_b = %u\n", nb);
+    // Strided (the paper's scheme).
+    std::vector<std::uint64_t> strided_sizes;
+    for (std::uint32_t l = 0; l < nb; ++l) {
+      gpu::ResultSetDevice sink(device, 1);  // counting only
+      gpu::run_calc_global(device, view, eps, {l, nb}, sink.view());
+      strided_sizes.push_back(sink.count());
+    }
+    print_stats("strided", strided_sizes);
+
+    // Contiguous chunks of the spatially sorted database.
+    std::vector<std::uint64_t> contiguous_sizes;
+    const std::uint32_t chunk = (view.num_points + nb - 1) / nb;
+    for (std::uint32_t l = 0; l < nb; ++l) {
+      const std::uint32_t begin = l * chunk;
+      const std::uint32_t end = std::min(view.num_points, begin + chunk);
+      if (begin >= end) {
+        contiguous_sizes.push_back(0);
+        continue;
+      }
+      gpu::ResultSetDevice sink(device, 1);
+      cudasim::run_flat_kernel(
+          device, (end - begin + 255) / 256, 256,
+          ContiguousBatchKernel{view, eps * eps, begin, end, sink.view()});
+      contiguous_sizes.push_back(sink.count());
+    }
+    print_stats("contiguous", contiguous_sizes);
+  }
+  std::printf(
+      "\nExpected shape: strided batches stay within a few percent of each"
+      " other\n(max/min ~ 1), so Eq. 1's small alpha suffices; contiguous"
+      " batches swing by\nlarge factors on skewed data, which would force"
+      " much larger buffers.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: number of CUDA-style streams used by the batching scheme.
+//
+// Paper §VI: "assigning each batch to one of 3 CUDA streams (as we found
+// that more streams achieved no performance gain)". Streams overlap the
+// result-set transfers and host-side table construction with kernel
+// execution; once transfers are hidden, extra streams only add buffers.
+// We run the sweep twice: with the default PCIe model and with a deliberately
+// slow link that makes transfers dominant (where overlap matters most).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "index/grid_index.hpp"
+
+int main() {
+  using namespace hdbscan;
+  bench::banner("Ablation — stream count in the batching scheme",
+                "paper §VI (3 streams; more gained nothing)");
+
+  const auto points = bench::load("SW4");
+  const float eps = 0.3f;
+  const GridIndex index = build_grid_index(points, eps);
+
+  for (const double pinned_gbps : {6.0, 0.75}) {
+    std::printf("\n  PCIe model: %.2f GB/s pinned (%s)\n", pinned_gbps,
+                pinned_gbps > 1.0 ? "K20c-like default"
+                                  : "transfer-dominant stress case");
+    std::printf("  %8s %12s %14s %14s %16s\n", "streams", "wall (s)",
+                "modeled (s)", "batches", "transfer (s)");
+    for (const unsigned streams : {1u, 2u, 3u, 4u, 6u}) {
+      cudasim::DeviceConfig cfg;
+      cfg.pcie_pinned_gbps = pinned_gbps;
+      cfg.pcie_pageable_gbps = pinned_gbps / 2.0;
+      cudasim::Device device(cfg, cudasim::SimulationOptions{});
+      BatchPolicy policy;
+      policy.num_streams = streams;
+      // Keep buffer sizing fixed across stream counts so only overlap
+      // changes: force the static path with a constant buffer.
+      policy.static_threshold_pairs = 1;
+      policy.static_buffer_pairs = 2'000'000;
+      NeighborTableBuilder builder(device, policy);
+      BuildReport report;
+      WallTimer t;
+      (void)builder.build(index, eps, &report);
+      std::printf("  %8u %12.3f %14.3f %14u %16.3f\n", streams, t.seconds(),
+                  report.modeled_table_seconds, report.batches_run,
+                  device.metrics().transfer_seconds);
+    }
+  }
+  std::printf(
+      "\nExpected shape: modeled build time drops from 1 stream to ~3 and"
+      " flattens\n(the paper found no gain past 3); the drop is steeper on"
+      " the slow link where\ntransfers dominate the per-stream timeline."
+      " Wall time on this 1-core host is\nkernel-CPU-bound and flat.\n");
+  return 0;
+}

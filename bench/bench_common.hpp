@@ -1,0 +1,51 @@
+// Shared bench utilities: device factory, banner, timing helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "cudasim/device.hpp"
+#include "data/datasets.hpp"
+
+namespace hdbscan::bench {
+
+/// Device in realistic mode: transfer and pinned-allocation throttling on,
+/// so wall times include the modeled PCIe behaviour the paper's batching
+/// scheme is designed around.
+inline cudasim::Device make_device() {
+  return cudasim::Device(cudasim::DeviceConfig{}, cudasim::SimulationOptions{});
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("HDBSCAN_SCALE=%.2f  trials=%d\n", env_scale(), env_trials());
+  std::printf("==============================================================\n");
+}
+
+/// Loads a named dataset at its scaled default size and prints one line.
+inline std::vector<Point2> load(const std::string& name) {
+  std::vector<Point2> points = data::make_dataset(name);
+  std::printf("  dataset %-6s |D| = %zu (paper: %zu)\n", name.c_str(),
+              points.size(), data::dataset_info(name).paper_size);
+  return points;
+}
+
+/// Runs fn env_trials() times and returns the mean seconds.
+template <typename F>
+double timed_mean(F&& fn) {
+  const int trials = env_trials();
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    WallTimer timer;
+    fn();
+    total += timer.seconds();
+  }
+  return total / trials;
+}
+
+}  // namespace hdbscan::bench

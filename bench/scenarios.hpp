@@ -1,0 +1,74 @@
+// Experimental scenarios from the paper (Tables III and V).
+//
+// S1 (Table II): single kernel invocations, eps 0.2 on the ~2M-point
+//   datasets (SW1, SDSS1) and 0.07 on the ~5M-point ones (SW4, SDSS2).
+// S2 (Table III): per-dataset eps sweeps at minpts = 4 — one HYBRID-DBSCAN
+//   execution per variant; also the workload of Figures 3 and 4.
+// S3 (Table V): fixed eps per row, 16 minpts values, reusing one neighbor
+//   table — the workload of Figures 5 and 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdbscan::bench {
+
+struct SweepScenario {
+  std::string dataset;
+  std::vector<float> eps_values;
+  int minpts = 4;
+};
+
+/// Scenario S2 (Table III): eps sweeps, minpts = 4.
+inline std::vector<SweepScenario> scenario_s2() {
+  auto range = [](float lo, float hi, float step) {
+    std::vector<float> v;
+    for (float e = lo; e <= hi + 1e-6f; e += step) v.push_back(e);
+    return v;
+  };
+  return {
+      {"SW1", range(0.1f, 1.5f, 0.1f), 4},
+      {"SW4", range(0.1f, 0.5f, 0.05f), 4},
+      {"SDSS1", range(0.1f, 1.5f, 0.1f), 4},
+      {"SDSS2", range(0.1f, 0.5f, 0.05f), 4},
+      {"SDSS3", range(0.06f, 0.13f, 0.01f), 4},
+  };
+}
+
+struct ReuseScenario {
+  std::string dataset;
+  float eps;
+  std::vector<int> minpts_values;
+};
+
+/// Scenario S3 (Table V): fixed eps, 16 minpts values per row.
+inline std::vector<ReuseScenario> scenario_s3() {
+  const std::vector<int> sw{10,  20,  30,  40,  50,   60,   70,   80,
+                            90,  100, 200, 400, 800,  1000, 2000, 3000};
+  const std::vector<int> sdss1{5,  10, 15, 20, 25, 30, 35, 40,
+                               45, 50, 55, 60, 65, 70, 75, 80};
+  const std::vector<int> sdss2{5,  10, 20, 30, 40,  50,  60,  70,
+                               80, 90, 100, 110, 120, 130, 140, 150};
+  return {
+      {"SW1", 0.3f, sw},    {"SW1", 0.5f, sw},    {"SW1", 0.7f, sw},
+      {"SW4", 0.1f, sw},    {"SW4", 0.2f, sw},    {"SW4", 0.3f, sw},
+      {"SDSS1", 0.3f, sdss1}, {"SDSS1", 0.5f, sdss1}, {"SDSS1", 0.7f, sdss1},
+      {"SDSS2", 0.2f, sdss2}, {"SDSS2", 0.3f, sdss2}, {"SDSS2", 0.4f, sdss2},
+      {"SDSS3", 0.07f, sdss1}, {"SDSS3", 0.11f, sdss1}, {"SDSS3", 0.15f, sdss1},
+  };
+}
+
+/// Scenario S1 / Table II rows: dataset and the eps used for the kernel
+/// efficiency comparison.
+inline std::vector<std::pair<std::string, float>> scenario_s1() {
+  return {{"SW1", 0.2f}, {"SW4", 0.07f}, {"SDSS1", 0.2f}, {"SDSS2", 0.07f}};
+}
+
+/// Table I rows: (dataset, eps) pairs for the R-tree fraction measurement.
+inline std::vector<std::pair<std::string, float>> table1_rows() {
+  return {{"SW1", 0.2f},   {"SW1", 1.4f},   {"SW4", 0.15f}, {"SW4", 0.45f},
+          {"SDSS1", 0.2f}, {"SDSS1", 1.4f}, {"SDSS2", 0.15f},
+          {"SDSS2", 0.45f}, {"SDSS3", 0.07f}, {"SDSS3", 0.12f}};
+}
+
+}  // namespace hdbscan::bench

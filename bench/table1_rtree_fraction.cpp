@@ -1,0 +1,43 @@
+// Table I: fraction of total sequential-DBSCAN response time spent
+// searching the R-tree (minpts = 4). The paper measures 0.48-0.72 across
+// these rows — the observation motivating the GPU offload of the
+// neighborhood searches.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "dbscan/dbscan.hpp"
+#include "index/rtree.hpp"
+#include "scenarios.hpp"
+
+int main() {
+  using namespace hdbscan;
+  bench::banner("Table I — fraction of DBSCAN time in R-tree search",
+                "Table I (paper: 0.480 .. 0.722, minpts = 4)");
+
+  std::printf("\n%-8s %8s %12s %12s %10s\n", "Dataset", "eps", "total (s)",
+              "search (s)", "fraction");
+
+  std::string cached_name;
+  std::vector<Point2> points;
+  for (const auto& [name, eps] : bench::table1_rows()) {
+    if (name != cached_name) {
+      points = bench::load(name);
+      cached_name = name;
+    }
+    const RTree rtree(points);
+    TimeAccumulator search_time;
+    WallTimer total_timer;
+    const ClusterResult result =
+        dbscan_rtree(points, eps, 4, rtree, &search_time);
+    const double total_s = total_timer.seconds();
+    const double frac = search_time.total_seconds() / total_s;
+    std::printf("%-8s %8.2f %12.3f %12.3f %10.3f   (%d clusters)\n",
+                name.c_str(), eps, total_s, search_time.total_seconds(), frac,
+                result.num_clusters);
+  }
+  std::printf(
+      "\nExpected shape: index search dominates (paper: 48%%-72%% of total"
+      " response time).\n");
+  return 0;
+}

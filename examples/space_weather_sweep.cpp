@@ -1,0 +1,51 @@
+// Computer-aided discovery on a space-weather-like dataset: sweep eps
+// across a wide range with the multi-clustering pipeline and report how
+// the cluster structure evolves — the paper's motivating scenario of
+// "examining datasets at different densities and scales" (§III).
+//
+//   $ ./build/examples/space_weather_sweep
+#include <cstdio>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/pipeline.hpp"
+#include "cudasim/device.hpp"
+#include "data/datasets.hpp"
+
+int main() {
+  using namespace hdbscan;
+
+  cudasim::Device device;
+  const std::vector<Point2> points = data::make_dataset("SW1");
+  std::printf("SW1-like ionospheric TEC dataset: %zu points\n\n",
+              points.size());
+
+  // The S2-style sweep: one DBSCAN variant per eps, minpts fixed at 4.
+  std::vector<Variant> variants;
+  for (float eps = 0.1f; eps <= 1.5f + 1e-6f; eps += 0.1f) {
+    variants.push_back({eps, 4});
+  }
+
+  PipelineOptions options;
+  options.pipelined = true;  // T of v_{i+1} builds while v_i clusters
+  const PipelineReport report =
+      run_multi_clustering(device, points, variants, options);
+
+  std::printf("%6s %10s %12s %12s %12s\n", "eps", "clusters", "noise",
+              "T time (s)", "DBSCAN (s)");
+  for (const VariantTiming& t : report.variants) {
+    std::printf("%6.2f %10d %12zu %12.3f %12.3f\n", t.variant.eps,
+                t.num_clusters, t.noise_count, t.table_seconds,
+                t.dbscan_seconds);
+  }
+  std::printf(
+      "\npipeline processed %zu variants in %.3f s wall"
+      " (%.1f variants/minute)\n",
+      variants.size(), report.total_seconds,
+      60.0 * static_cast<double>(variants.size()) / report.total_seconds);
+  std::printf(
+      "Reading the sweep: small eps fragments the ionospheric hotspots into"
+      "\nmany dense cores; growing eps merges them until the receivers'"
+      "\nregional structure chains into a handful of super-clusters.\n");
+  return 0;
+}

@@ -1,0 +1,229 @@
+#include "analysis/cluster_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace hdbscan::analysis {
+
+std::vector<ClusterStats> compute_cluster_stats(
+    std::span<const Point2> points, const ClusterResult& clusters) {
+  if (points.size() != clusters.labels.size()) {
+    throw std::invalid_argument("cluster_stats: size mismatch");
+  }
+  std::vector<ClusterStats> stats(
+      static_cast<std::size_t>(clusters.num_clusters));
+  for (std::size_t c = 0; c < stats.size(); ++c) {
+    stats[c].cluster = static_cast<std::int32_t>(c);
+  }
+  // Accumulate sums.
+  std::vector<double> sum_x(stats.size(), 0.0), sum_y(stats.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::int32_t l = clusters.labels[i];
+    if (l < 0) continue;
+    auto& s = stats[static_cast<std::size_t>(l)];
+    ++s.size;
+    sum_x[static_cast<std::size_t>(l)] += points[i].x;
+    sum_y[static_cast<std::size_t>(l)] += points[i].y;
+    s.bounds.expand(points[i]);
+  }
+  for (std::size_t c = 0; c < stats.size(); ++c) {
+    if (stats[c].size == 0) continue;
+    stats[c].centroid = {
+        static_cast<float>(sum_x[c] / static_cast<double>(stats[c].size)),
+        static_cast<float>(sum_y[c] / static_cast<double>(stats[c].size))};
+  }
+  // Second pass: RMS radius.
+  std::vector<double> sq(stats.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::int32_t l = clusters.labels[i];
+    if (l < 0) continue;
+    sq[static_cast<std::size_t>(l)] +=
+        dist2(points[i], stats[static_cast<std::size_t>(l)].centroid);
+  }
+  for (std::size_t c = 0; c < stats.size(); ++c) {
+    if (stats[c].size == 0) continue;
+    stats[c].rms_radius = static_cast<float>(
+        std::sqrt(sq[c] / static_cast<double>(stats[c].size)));
+    const float area = stats[c].bounds.area();
+    stats[c].density = area > 0.0f
+                           ? static_cast<float>(stats[c].size) / area
+                           : std::numeric_limits<float>::infinity();
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const ClusterStats& a, const ClusterStats& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.cluster < b.cluster;
+            });
+  return stats;
+}
+
+namespace {
+
+struct MapExtent {
+  Rect2 bounds;
+  float cell_w = 0.0f;
+  float cell_h = 0.0f;
+
+  MapExtent(std::span<const Point2> points, unsigned width, unsigned height) {
+    if (points.empty() || width == 0 || height == 0) {
+      throw std::invalid_argument("ascii map: empty input or zero size");
+    }
+    for (const Point2& p : points) bounds.expand(p);
+    cell_w = std::max(1e-9f, (bounds.max_x - bounds.min_x)) /
+             static_cast<float>(width);
+    cell_h = std::max(1e-9f, (bounds.max_y - bounds.min_y)) /
+             static_cast<float>(height);
+  }
+
+  [[nodiscard]] std::size_t cell(const Point2& p, unsigned width,
+                                 unsigned height) const {
+    auto cx = static_cast<std::size_t>((p.x - bounds.min_x) / cell_w);
+    auto cy = static_cast<std::size_t>((p.y - bounds.min_y) / cell_h);
+    cx = std::min<std::size_t>(cx, width - 1);
+    cy = std::min<std::size_t>(cy, height - 1);
+    return cy * width + cx;
+  }
+};
+
+}  // namespace
+
+std::string ascii_density_map(std::span<const Point2> points, unsigned width,
+                              unsigned height) {
+  const MapExtent extent(points, width, height);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(width) * height, 0);
+  for (const Point2& p : points) ++counts[extent.cell(p, width, height)];
+
+  std::size_t max_count = 0;
+  for (const std::size_t c : counts) max_count = std::max(max_count, c);
+
+  static constexpr char kRamp[] = {' ', '.', ':', '+', '#'};
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (unsigned row = 0; row < height; ++row) {
+    // Rows top-down: larger y first, like a plot.
+    const unsigned y = height - 1 - row;
+    for (unsigned x = 0; x < width; ++x) {
+      const std::size_t c = counts[static_cast<std::size_t>(y) * width + x];
+      unsigned level = 0;
+      if (c > 0 && max_count > 0) {
+        const double frac = static_cast<double>(c) / static_cast<double>(max_count);
+        level = frac > 0.5 ? 4 : frac > 0.15 ? 3 : frac > 0.04 ? 2 : 1;
+      }
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ascii_cluster_map(std::span<const Point2> points,
+                              const ClusterResult& clusters, unsigned width,
+                              unsigned height) {
+  if (points.size() != clusters.labels.size()) {
+    throw std::invalid_argument("ascii_cluster_map: size mismatch");
+  }
+  const MapExtent extent(points, width, height);
+
+  // Rank clusters by size: the biggest 26 get letters.
+  std::vector<std::size_t> sizes(
+      static_cast<std::size_t>(clusters.num_clusters), 0);
+  for (const std::int32_t l : clusters.labels) {
+    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+  }
+  std::vector<std::int32_t> rank(sizes.size());
+  for (std::size_t c = 0; c < rank.size(); ++c) {
+    rank[c] = static_cast<std::int32_t>(c);
+  }
+  std::sort(rank.begin(), rank.end(), [&](std::int32_t a, std::int32_t b) {
+    return sizes[static_cast<std::size_t>(a)] >
+           sizes[static_cast<std::size_t>(b)];
+  });
+  std::vector<char> glyph(sizes.size(), '*');
+  for (std::size_t r = 0; r < rank.size() && r < 26; ++r) {
+    glyph[static_cast<std::size_t>(rank[r])] = static_cast<char>('a' + r);
+  }
+
+  // Dominant label per cell.
+  const std::size_t num_cells = static_cast<std::size_t>(width) * height;
+  std::vector<std::map<std::int32_t, std::size_t>> cell_votes(num_cells);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ++cell_votes[extent.cell(points[i], width, height)]
+                [clusters.labels[i]];
+  }
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (unsigned row = 0; row < height; ++row) {
+    const unsigned y = height - 1 - row;
+    for (unsigned x = 0; x < width; ++x) {
+      const auto& votes = cell_votes[static_cast<std::size_t>(y) * width + x];
+      if (votes.empty()) {
+        out.push_back(' ');
+        continue;
+      }
+      std::int32_t best_label = kNoise;
+      std::size_t best_votes = 0;
+      for (const auto& [label, count] : votes) {
+        if (count > best_votes) {
+          best_votes = count;
+          best_label = label;
+        }
+      }
+      out.push_back(best_label < 0
+                        ? '.'
+                        : glyph[static_cast<std::size_t>(best_label)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<ClusterMatch> track_clusters(const ClusterResult& from,
+                                         const ClusterResult& to) {
+  if (from.labels.size() != to.labels.size()) {
+    throw std::invalid_argument("track_clusters: size mismatch");
+  }
+  // Overlap counts: (from cluster -> to cluster -> shared points).
+  std::vector<std::map<std::int32_t, std::size_t>> overlap(
+      static_cast<std::size_t>(from.num_clusters));
+  std::vector<std::size_t> from_sizes(
+      static_cast<std::size_t>(from.num_clusters), 0);
+  std::vector<std::size_t> to_sizes(
+      static_cast<std::size_t>(to.num_clusters), 0);
+  for (std::size_t i = 0; i < from.labels.size(); ++i) {
+    const std::int32_t f = from.labels[i];
+    const std::int32_t t = to.labels[i];
+    if (f >= 0) {
+      ++from_sizes[static_cast<std::size_t>(f)];
+      if (t >= 0) ++overlap[static_cast<std::size_t>(f)][t];
+    }
+    if (t >= 0) ++to_sizes[static_cast<std::size_t>(t)];
+  }
+
+  std::vector<ClusterMatch> matches;
+  matches.reserve(overlap.size());
+  for (std::size_t f = 0; f < overlap.size(); ++f) {
+    ClusterMatch m;
+    m.from_cluster = static_cast<std::int32_t>(f);
+    for (const auto& [t, shared] : overlap[f]) {
+      if (shared > m.shared) {
+        m.shared = shared;
+        m.to_cluster = t;
+      }
+    }
+    if (m.to_cluster >= 0) {
+      const std::size_t uni = from_sizes[f] +
+                              to_sizes[static_cast<std::size_t>(m.to_cluster)] -
+                              m.shared;
+      m.jaccard = uni > 0 ? static_cast<double>(m.shared) /
+                                static_cast<double>(uni)
+                          : 0.0;
+    }
+    matches.push_back(m);
+  }
+  return matches;
+}
+
+}  // namespace hdbscan::analysis

@@ -1,0 +1,60 @@
+// Post-clustering analysis for the paper's motivating workflow: "large
+// datasets in astronomy and geoscience often require clustering and
+// visualizations of phenomena at different densities and scales in order
+// to generate scientific insight" (§I).
+//
+//  * cluster statistics   — per-cluster centroid, extent, density;
+//  * ASCII maps           — terminal-renderable density / cluster views;
+//  * cluster tracking     — match clusters between two clusterings of the
+//    same points (e.g. adjacent eps values of an S2 sweep) by overlap, to
+//    follow how structures split and merge across scales.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan::analysis {
+
+struct ClusterStats {
+  std::int32_t cluster = 0;
+  std::size_t size = 0;
+  Point2 centroid{};
+  Rect2 bounds{};
+  float rms_radius = 0.0f;  ///< RMS distance from the centroid
+  float density = 0.0f;     ///< size / bounding-box area (inf-safe)
+};
+
+/// Per-cluster statistics, ordered by descending size.
+std::vector<ClusterStats> compute_cluster_stats(
+    std::span<const Point2> points, const ClusterResult& clusters);
+
+/// Renders a width x height character map of point density (space, '.',
+/// ':', '+', '#' by quantile).
+std::string ascii_density_map(std::span<const Point2> points, unsigned width,
+                              unsigned height);
+
+/// Renders the clustering: the 26 largest clusters get 'a'..'z', smaller
+/// ones '*', noise '.', empty cells ' '. Cells show the dominant label.
+std::string ascii_cluster_map(std::span<const Point2> points,
+                              const ClusterResult& clusters, unsigned width,
+                              unsigned height);
+
+/// How cluster `from_cluster` of `from` maps onto clusters of `to`.
+struct ClusterMatch {
+  std::int32_t from_cluster = 0;
+  std::int32_t to_cluster = kNoise;  ///< best-overlap target (-1: dissolved)
+  std::size_t shared = 0;            ///< points in both
+  double jaccard = 0.0;
+};
+
+/// Greedy overlap matching between two clusterings of the same points —
+/// tracks structures across scales (e.g. consecutive eps of a sweep).
+std::vector<ClusterMatch> track_clusters(const ClusterResult& from,
+                                         const ClusterResult& to);
+
+}  // namespace hdbscan::analysis

@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace hdbscan {
+
+double env_scale() {
+  if (const char* s = std::getenv("HDBSCAN_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+int env_trials() {
+  if (const char* s = std::getenv("HDBSCAN_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+std::size_t scaled_size(std::size_t base) {
+  const double scaled = static_cast<double>(base) * env_scale();
+  return std::max<std::size_t>(1000, static_cast<std::size_t>(scaled));
+}
+
+}  // namespace hdbscan

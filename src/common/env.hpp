@@ -1,0 +1,17 @@
+// Environment-variable knobs shared by benches and examples.
+#pragma once
+
+#include <cstddef>
+
+namespace hdbscan {
+
+/// HDBSCAN_SCALE: multiplier applied to default dataset sizes (default 1.0).
+[[nodiscard]] double env_scale();
+
+/// HDBSCAN_TRIALS: trials averaged per measurement (default 1; paper used 3).
+[[nodiscard]] int env_trials();
+
+/// Scale a default dataset size by env_scale(), with a floor of 1000 points.
+[[nodiscard]] std::size_t scaled_size(std::size_t base);
+
+}  // namespace hdbscan

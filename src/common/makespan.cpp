@@ -1,0 +1,51 @@
+#include "common/makespan.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hdbscan {
+
+double makespan_seconds(std::span<const double> durations,
+                        std::size_t num_workers) {
+  if (num_workers == 0) throw std::invalid_argument("makespan: 0 workers");
+  // Min-heap of worker free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (std::size_t i = 0; i < num_workers; ++i) free_at.push(0.0);
+  double makespan = 0.0;
+  for (double d : durations) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double finish = start + d;
+    free_at.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+double pipeline_makespan_seconds(std::span<const double> produce,
+                                 std::span<const double> consume,
+                                 std::size_t num_consumers) {
+  if (produce.size() != consume.size()) {
+    throw std::invalid_argument("pipeline_makespan: length mismatch");
+  }
+  if (num_consumers == 0) {
+    throw std::invalid_argument("pipeline_makespan: 0 consumers");
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (std::size_t i = 0; i < num_consumers; ++i) free_at.push(0.0);
+  double produced_at = 0.0;
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < produce.size(); ++i) {
+    produced_at += produce[i];  // single producer, sequential
+    const double start = std::max(produced_at, free_at.top());
+    free_at.pop();
+    const double finish = start + consume[i];
+    free_at.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  return std::max(makespan, produced_at);
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,31 @@
+// Modeled parallel makespan.
+//
+// The paper's Figure 5 measures response time vs. number of host threads on
+// a 16-core machine. This container has one physical core, so real wall
+// times cannot show multicore scaling. We therefore (a) still execute the
+// multithreaded code paths for correctness, and (b) report the makespan a
+// k-worker machine would achieve, computed by scheduling each task's
+// measured sequential duration with the same policy the real scheduler uses
+// (greedy list scheduling in submission order — equivalent to a thread pool
+// pulling tasks from a FIFO queue).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hdbscan {
+
+/// Greedy list-scheduling makespan: tasks are assigned, in order, to the
+/// worker that becomes free first. `durations` are per-task seconds.
+[[nodiscard]] double makespan_seconds(std::span<const double> durations,
+                                      std::size_t num_workers);
+
+/// Makespan of the paper's producer/consumer pipeline: one producer builds
+/// neighbor tables (durations `produce`) while `num_consumers` workers run
+/// DBSCAN on them (durations `consume`, same length). Consumer i may start
+/// only after producer finished item i.
+[[nodiscard]] double pipeline_makespan_seconds(
+    std::span<const double> produce, std::span<const double> consume,
+    std::size_t num_consumers);
+
+}  // namespace hdbscan

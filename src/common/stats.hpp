@@ -1,0 +1,41 @@
+// Descriptive statistics and small formatting helpers for benches/tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hdbscan {
+
+/// Streaming mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1]. Sorts a copy.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Human-readable quantities for bench output ("1.24 s", "83.1 ms",
+/// "3.2 GB", "1,864,620").
+[[nodiscard]] std::string format_seconds(double seconds);
+[[nodiscard]] std::string format_bytes(std::size_t bytes);
+[[nodiscard]] std::string format_count(std::uint64_t n);
+
+}  // namespace hdbscan

@@ -1,0 +1,118 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace hdbscan {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (size() * 8));
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> done_chunks{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [&] {
+    for (;;) {
+      const std::size_t chunk_begin =
+          next.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) break;
+      const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  };
+
+  // The caller participates: with a single hardware core this degrades
+  // gracefully to sequential execution instead of deadlocking on itself.
+  const std::size_t helpers = std::min(size(), num_chunks - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    futures.push_back(submit(run_chunk));
+  }
+  run_chunk();
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] {
+      return done_chunks.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+  for (auto& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace hdbscan

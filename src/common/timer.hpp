@@ -1,0 +1,103 @@
+// Wall-clock timing utilities.
+//
+// All reported experiment numbers are wall times from steady_clock;
+// modeled (simulated-GPU) times come from cudasim's cost model instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace hdbscan {
+
+/// Simple steady-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Unlike wall
+/// time, this is immune to descheduling — on an oversubscribed host it
+/// measures the work itself, not the contention. Used where a measured
+/// host cost feeds the performance model.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept { reset(); }
+
+  void reset() noexcept { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    timespec now{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           1e-9 * static_cast<double>(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_{};
+};
+
+/// Thread-safe accumulator of elapsed seconds, used e.g. to measure the
+/// fraction of DBSCAN time spent inside index searches (paper Table I).
+class TimeAccumulator {
+ public:
+  void add(double seconds) noexcept {
+    double cur = total_.load(std::memory_order_relaxed);
+    while (!total_.compare_exchange_weak(cur, cur + seconds,
+                                         std::memory_order_relaxed)) {
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    total_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> total_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII guard that adds its lifetime to a TimeAccumulator. A null
+/// accumulator disables measurement (zero-cost opt-out at call sites).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) noexcept : acc_(acc) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (acc_ != nullptr) acc_->add(timer_.seconds());
+  }
+
+ private:
+  TimeAccumulator* acc_;
+  WallTimer timer_;
+};
+
+}  // namespace hdbscan

@@ -1,0 +1,120 @@
+// Core value types shared by every subsystem.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace hdbscan {
+
+/// A 2-D point. The paper clusters spatial (x, y) data; float matches the
+/// precision used on the GPU in the original implementation.
+struct Point2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Squared Euclidean distance; kernels compare against eps^2 to avoid sqrt.
+[[nodiscard]] inline float dist2(const Point2& a, const Point2& b) noexcept {
+  const float dx = a.x - b.x;
+  const float dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline float dist(const Point2& a, const Point2& b) noexcept {
+  return std::sqrt(dist2(a, b));
+}
+
+/// Returns true when q lies inside the closed eps-ball around p.
+[[nodiscard]] inline bool within_eps(const Point2& p, const Point2& q,
+                                     float eps) noexcept {
+  return dist2(p, q) <= eps * eps;
+}
+
+/// A 3-D point (the paper's method generalizes beyond 2-D: the grid gains
+/// a third axis and neighborhoods span 27 cells instead of 9).
+struct Point3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+};
+
+[[nodiscard]] inline float dist2(const Point3& a, const Point3& b) noexcept {
+  const float dx = a.x - b.x;
+  const float dy = a.y - b.y;
+  const float dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+[[nodiscard]] inline float dist(const Point3& a, const Point3& b) noexcept {
+  return std::sqrt(dist2(a, b));
+}
+
+/// Axis-aligned bounding rectangle (used by the R-tree and generators).
+struct Rect2 {
+  float min_x = std::numeric_limits<float>::max();
+  float min_y = std::numeric_limits<float>::max();
+  float max_x = std::numeric_limits<float>::lowest();
+  float max_y = std::numeric_limits<float>::lowest();
+
+  void expand(const Point2& p) noexcept {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void expand(const Rect2& r) noexcept {
+    min_x = std::min(min_x, r.min_x);
+    max_x = std::max(max_x, r.max_x);
+    min_y = std::min(min_y, r.min_y);
+    max_y = std::max(max_y, r.max_y);
+  }
+
+  [[nodiscard]] bool contains(const Point2& p) const noexcept {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  [[nodiscard]] bool intersects(const Rect2& o) const noexcept {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  /// Minimum squared distance from p to this rectangle (0 when inside).
+  [[nodiscard]] float min_dist2(const Point2& p) const noexcept {
+    const float dx = p.x < min_x ? min_x - p.x : (p.x > max_x ? p.x - max_x : 0.0f);
+    const float dy = p.y < min_y ? min_y - p.y : (p.y > max_y ? p.y - max_y : 0.0f);
+    return dx * dx + dy * dy;
+  }
+
+  [[nodiscard]] float area() const noexcept {
+    if (max_x < min_x || max_y < min_y) return 0.0f;
+    return (max_x - min_x) * (max_y - min_y);
+  }
+
+  /// Rectangle enclosing the eps-ball around p (circle query pre-filter).
+  [[nodiscard]] static Rect2 around(const Point2& p, float eps) noexcept {
+    return Rect2{p.x - eps, p.y - eps, p.x + eps, p.y + eps};
+  }
+};
+
+/// Point index into the database D. 32-bit matches the paper's GPU layout
+/// (lookup array A and result-set keys/values are point ids).
+using PointId = std::uint32_t;
+
+/// A (key, value) neighbor pair produced by the GPU kernels: `value` lies
+/// within eps of `key`. Matches the paper's result-set element r_j = (k, v).
+struct NeighborPair {
+  PointId key = 0;
+  PointId value = 0;
+
+  friend auto operator<=>(const NeighborPair&, const NeighborPair&) = default;
+};
+
+}  // namespace hdbscan

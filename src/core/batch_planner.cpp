@@ -1,0 +1,45 @@
+#include "core/batch_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdbscan {
+
+BatchPlan plan_batches(std::uint64_t estimated_total_pairs,
+                       const BatchPolicy& policy,
+                       std::uint64_t max_buffer_pairs) {
+  if (policy.num_streams == 0) {
+    throw std::invalid_argument("plan_batches: need at least one stream");
+  }
+  BatchPlan plan;
+  plan.estimated_total_pairs = std::max<std::uint64_t>(1, estimated_total_pairs);
+
+  if (plan.estimated_total_pairs >= policy.static_threshold_pairs) {
+    plan.static_buffer = true;
+    plan.alpha_used = policy.alpha;
+    plan.buffer_pairs = policy.static_buffer_pairs;
+  } else {
+    // Variable buffer: alpha doubled because the estimate is noisier and
+    // pinned allocation for an oversized static buffer would dominate.
+    plan.static_buffer = false;
+    plan.alpha_used = 2.0 * policy.alpha;
+    plan.buffer_pairs = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(plan.estimated_total_pairs) *
+                  (1.0 + plan.alpha_used) /
+                  static_cast<double>(policy.num_streams)));
+  }
+  plan.buffer_pairs = std::max<std::uint64_t>(1, plan.buffer_pairs);
+  if (max_buffer_pairs != 0) {
+    plan.buffer_pairs = std::min(plan.buffer_pairs, max_buffer_pairs);
+  }
+
+  const double nb = std::ceil(
+      (1.0 + plan.alpha_used) * static_cast<double>(plan.estimated_total_pairs) /
+      static_cast<double>(plan.buffer_pairs));
+  plan.num_batches = static_cast<std::uint32_t>(
+      std::max(1.0, std::min(nb, 4.0e9)));
+  return plan;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,54 @@
+// The efficient batching scheme's planning logic (paper §VI).
+//
+// Given the sampled result-size estimate, the planner chooses the number
+// of batches n_b and the per-stream GPU buffer size b_b:
+//
+//   n_b = ceil( (1 + alpha) * a_b / b_b )        (Eq. 1)
+//
+// where a_b = e_b / f is the estimated total result size and alpha is the
+// over-estimation factor guarding against batch-size variance. Two buffer
+// policies (paper values):
+//   * static  — when a_b >= 3e8 pairs:  b_b = 1e8, alpha = 0.05;
+//   * variable — otherwise: b_b = a_b * (1 + 2*alpha) / 3 with alpha
+//     doubled, because small estimates are noisier and pinned-memory
+//     allocation cost would dominate if the static buffer were used. With
+//     three streams this yields exactly n_b = 3 (one batch per stream).
+//
+// The planner additionally respects a device-memory cap: if three stream
+// buffers (plus the sort's scratch duplicate) would not fit alongside the
+// index, b_b shrinks and n_b grows accordingly.
+#pragma once
+
+#include <cstdint>
+
+namespace hdbscan {
+
+struct BatchPolicy {
+  double sample_fraction = 0.01;  ///< f, fraction of points sampled
+  double alpha = 0.05;            ///< base over-estimation factor
+  std::uint64_t static_threshold_pairs = 300'000'000;  ///< a_b >= this -> static
+  std::uint64_t static_buffer_pairs = 100'000'000;     ///< b_b in static mode
+  unsigned num_streams = 3;
+  unsigned block_size = 256;
+  bool use_shared_kernel = false;  ///< build T with GPUCalcShared instead
+  /// When non-zero, skips the estimation kernel and uses this as a_b
+  /// directly (callers that already know the result size, e.g. repeated
+  /// runs; also how tests exercise the overflow-recovery path).
+  std::uint64_t estimated_total_override = 0;
+};
+
+struct BatchPlan {
+  std::uint64_t estimated_total_pairs = 0;  ///< a_b
+  std::uint64_t buffer_pairs = 0;           ///< b_b
+  std::uint32_t num_batches = 0;            ///< n_b
+  double alpha_used = 0.0;
+  bool static_buffer = false;
+};
+
+/// Plans the batched execution. `estimated_total_pairs` is a_b = e_b / f;
+/// `max_buffer_pairs` caps b_b (0 = uncapped) from device-memory headroom.
+[[nodiscard]] BatchPlan plan_batches(std::uint64_t estimated_total_pairs,
+                                     const BatchPolicy& policy,
+                                     std::uint64_t max_buffer_pairs = 0);
+
+}  // namespace hdbscan

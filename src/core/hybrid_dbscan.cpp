@@ -1,0 +1,47 @@
+#include "core/hybrid_dbscan.hpp"
+
+#include "common/timer.hpp"
+
+namespace hdbscan {
+
+ClusterResult unmap_labels(const ClusterResult& indexed,
+                           std::span<const PointId> original_ids) {
+  ClusterResult out;
+  out.num_clusters = indexed.num_clusters;
+  out.labels.resize(indexed.labels.size());
+  for (std::size_t i = 0; i < indexed.labels.size(); ++i) {
+    out.labels[original_ids[i]] = indexed.labels[i];
+  }
+  return out;
+}
+
+ClusterResult hybrid_dbscan(cudasim::Device& device,
+                            std::span<const Point2> points, float eps,
+                            int minpts, HybridTimings* timings,
+                            const BatchPolicy& policy) {
+  HybridTimings local;
+  WallTimer total_timer;
+
+  WallTimer phase_timer;
+  const GridIndex index = build_grid_index(points, eps);
+  local.index_seconds = phase_timer.seconds();
+
+  phase_timer.reset();
+  NeighborTableBuilder builder(device, policy);
+  const NeighborTable table = builder.build(index, eps, &local.build_report);
+  local.gpu_table_seconds = phase_timer.seconds();
+
+  phase_timer.reset();
+  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+  local.dbscan_seconds = phase_timer.seconds();
+
+  local.total_seconds = total_timer.seconds();
+  local.modeled_gpu_table_seconds = local.build_report.modeled_table_seconds;
+  local.modeled_total_seconds = local.index_seconds +
+                                local.modeled_gpu_table_seconds +
+                                local.dbscan_seconds;
+  if (timings != nullptr) *timings = local;
+  return unmap_labels(indexed, index.original_ids);
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,45 @@
+// HYBRID-DBSCAN (paper Algorithm 4): grid index construction, GPU neighbor
+// table construction with batching, and host-side DBSCAN over T.
+#pragma once
+
+#include <span>
+
+#include "core/batch_planner.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "cudasim/device.hpp"
+#include "dbscan/cluster_result.hpp"
+#include "dbscan/dbscan.hpp"
+
+namespace hdbscan {
+
+/// Per-phase wall times of one HYBRID-DBSCAN run. `gpu_table_seconds` is
+/// the "GPU time" of the paper's Figure 3: constructing T, part of which
+/// (the append into B) occurs on the host.
+struct HybridTimings {
+  double index_seconds = 0.0;
+  double gpu_table_seconds = 0.0;  ///< simulator wall time of the T build
+  double dbscan_seconds = 0.0;
+  double total_seconds = 0.0;      ///< simulator wall total
+  /// Modeled T-construction time on the reference hardware (K20c) — the
+  /// simulator executes kernels on the host CPU, so gpu_table_seconds is
+  /// CPU time, not GPU time. See BuildReport::modeled_table_seconds.
+  double modeled_gpu_table_seconds = 0.0;
+  /// index build + modeled T construction + host DBSCAN: the response
+  /// time a machine with the paper's GPU would see.
+  double modeled_total_seconds = 0.0;
+  BuildReport build_report;
+};
+
+/// Runs HYBRID-DBSCAN for a single (eps, minpts). The returned labels are
+/// in the order of `points` (the grid index's internal reordering is
+/// unmapped before returning).
+ClusterResult hybrid_dbscan(cudasim::Device& device,
+                            std::span<const Point2> points, float eps,
+                            int minpts, HybridTimings* timings = nullptr,
+                            const BatchPolicy& policy = {});
+
+/// Remaps labels from the grid index's point order back to input order.
+ClusterResult unmap_labels(const ClusterResult& indexed,
+                           std::span<const PointId> original_ids);
+
+}  // namespace hdbscan

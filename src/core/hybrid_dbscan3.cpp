@@ -1,0 +1,102 @@
+#include "core/hybrid_dbscan3.hpp"
+
+#include "common/timer.hpp"
+#include "cudasim/buffer.hpp"
+#include "cudasim/sort.hpp"
+#include "cudasim/stream.hpp"
+#include "dbscan/dbscan.hpp"
+#include "gpu/kernels3.hpp"
+#include "gpu/result_sink.hpp"
+
+namespace hdbscan {
+
+NeighborTable build_neighbor_table_host3(const GridIndex3& index, float eps) {
+  NeighborTable table(index.size());
+  std::vector<PointId> neighbors;
+  std::vector<NeighborPair> pairs;
+  for (PointId i = 0; i < index.size(); ++i) {
+    grid_query3(index, index.points[i], eps, neighbors);
+    pairs.clear();
+    for (const PointId v : neighbors) pairs.push_back({i, v});
+    table.append_sorted_batch(pairs);
+  }
+  return table;
+}
+
+NeighborTable build_neighbor_table_device3(cudasim::Device& device,
+                                           const GridIndex3& index, float eps,
+                                           Build3Report* report) {
+  WallTimer total_timer;
+  Build3Report local;
+
+  // Upload D, G, A.
+  cudasim::Stream stream(device);
+  cudasim::DeviceBuffer<Point3> d_points(device, index.points.size());
+  cudasim::DeviceBuffer<CellRange> d_cells(device, index.cells.size());
+  cudasim::DeviceBuffer<PointId> d_lookup(device, index.lookup.size());
+  stream.memcpy_to_device(d_points, index.points.data(), index.points.size());
+  stream.memcpy_to_device(d_cells, index.cells.data(), index.cells.size());
+  stream.memcpy_to_device(d_lookup, index.lookup.data(), index.lookup.size());
+  stream.synchronize();
+  const GridView3 view{index.params, d_points.device_data(),
+                       static_cast<std::uint32_t>(index.points.size()),
+                       d_cells.device_data(), d_lookup.device_data()};
+
+  const std::uint64_t upload_bytes = d_points.bytes() + d_cells.bytes() +
+                                     d_lookup.bytes();
+  local.modeled_table_seconds +=
+      cudasim::modeled_transfer_seconds(device.config(), upload_bytes, false);
+
+  // Exact sizing pass, then fill.
+  cudasim::KernelStats stats;
+  const std::uint64_t total =
+      gpu::run_count_kernel3(device, view, eps, 1, &stats);
+  local.modeled_table_seconds += stats.modeled_seconds;
+
+  gpu::ResultSetDevice sink(device, total + 1);
+  stats = gpu::run_calc_global3(device, view, eps, {}, sink.view());
+  local.modeled_table_seconds += stats.modeled_seconds;
+  const std::uint64_t pairs = sink.count();
+
+  cudasim::sort_by_key(device, sink.pairs(), pairs,
+                       [](const NeighborPair& p) { return p.key; });
+  cudasim::PinnedBuffer<NeighborPair> staging(device, pairs);
+  device.blocking_transfer(staging.data(), sink.pairs().device_data(),
+                           pairs * sizeof(NeighborPair), false, true);
+  local.modeled_table_seconds +=
+      cudasim::modeled_sort_seconds(device.config(),
+                                    pairs * sizeof(NeighborPair)) +
+      cudasim::modeled_transfer_seconds(device.config(),
+                                        pairs * sizeof(NeighborPair), true) +
+      cudasim::modeled_pinned_alloc_seconds(device.config(),
+                                            pairs * sizeof(NeighborPair));
+
+  NeighborTable table(index.size());
+  table.reserve_values(pairs);
+  ThreadCpuTimer append_timer;
+  table.append_sorted_batch({staging.data(), pairs});
+  local.modeled_table_seconds += append_timer.seconds();
+
+  local.total_pairs = pairs;
+  local.table_seconds = total_timer.seconds();
+  if (report != nullptr) *report = local;
+  return table;
+}
+
+ClusterResult hybrid_dbscan3(cudasim::Device& device,
+                             std::span<const Point3> points, float eps,
+                             int minpts, Build3Report* report) {
+  const GridIndex3 index = build_grid_index3(points, eps);
+  const NeighborTable table =
+      build_neighbor_table_device3(device, index, eps, report);
+  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+  ClusterResult out;
+  out.num_clusters = indexed.num_clusters;
+  out.labels.resize(indexed.labels.size());
+  for (std::size_t i = 0; i < indexed.labels.size(); ++i) {
+    out.labels[index.original_ids[i]] = indexed.labels[i];
+  }
+  return out;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,35 @@
+// HYBRID-DBSCAN in three dimensions: 3-D grid index and kernels feed the
+// same neighbor table, so the host-side clustering, reuse and comparison
+// machinery is shared with the 2-D pipeline unchanged.
+#pragma once
+
+#include <span>
+
+#include "cudasim/device.hpp"
+#include "dbscan/cluster_result.hpp"
+#include "dbscan/neighbor_table.hpp"
+#include "index/grid_index3.hpp"
+
+namespace hdbscan {
+
+struct Build3Report {
+  std::uint64_t total_pairs = 0;
+  double table_seconds = 0.0;
+  double modeled_table_seconds = 0.0;
+};
+
+/// Builds the eps-neighbor table for a 3-D dataset on the device:
+/// count pass (exact sizing) -> fill kernel -> on-device sort -> D2H.
+NeighborTable build_neighbor_table_device3(cudasim::Device& device,
+                                           const GridIndex3& index, float eps,
+                                           Build3Report* report = nullptr);
+
+/// End-to-end 3-D HYBRID-DBSCAN; labels are returned in input order.
+ClusterResult hybrid_dbscan3(cudasim::Device& device,
+                             std::span<const Point3> points, float eps,
+                             int minpts, Build3Report* report = nullptr);
+
+/// Host oracle (tests): T built by direct 3-D grid queries.
+NeighborTable build_neighbor_table_host3(const GridIndex3& index, float eps);
+
+}  // namespace hdbscan

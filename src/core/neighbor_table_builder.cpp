@@ -1,0 +1,298 @@
+#include "core/neighbor_table_builder.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "cudasim/buffer.hpp"
+#include "cudasim/sort.hpp"
+#include "cudasim/stream.hpp"
+#include "gpu/device_index.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/result_sink.hpp"
+
+namespace hdbscan {
+
+namespace {
+
+constexpr unsigned kMaxSplitDepth = 10;
+
+/// Everything one (device, stream) pair needs to process its batches.
+struct StreamContext {
+  StreamContext(cudasim::Device& device_in, const GridView& view_in,
+                std::uint64_t buffer_pairs, unsigned timeline_id_in)
+      : device(device_in),
+        view(view_in),
+        timeline_id(timeline_id_in),
+        stream(device_in),
+        sink(device_in, buffer_pairs),
+        staging(device_in, buffer_pairs) {}
+
+  cudasim::Device& device;
+  GridView view;
+  unsigned timeline_id;  ///< index into the per-context model timelines
+  cudasim::Stream stream;
+  gpu::ResultSetDevice sink;
+  cudasim::PinnedBuffer<NeighborPair> staging;
+};
+
+struct SharedBuildState {
+  std::mutex mutex;  ///< guards table, report counters, first_error
+  NeighborTable table;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t max_batch_pairs = 0;
+  std::uint32_t batches_run = 0;
+  std::uint32_t overflow_splits = 0;
+  double kernel_modeled_seconds = 0.0;
+  /// Modeled device-side time per context (kernel + sort + D2H per batch).
+  std::vector<double> stream_device_model;
+  /// Measured host-side CPU time appending into B, per context. The mutex
+  /// serializes the real appends, but on the paper's 16-core host each
+  /// batching thread builds its fraction of T concurrently, so the model
+  /// charges appends to their context's timeline.
+  std::vector<double> stream_append_seconds;
+  std::exception_ptr first_error;
+};
+
+/// Runs one batch synchronously on the calling (stream) thread; splits
+/// recursively on overflow.
+void process_batch(StreamContext& sc, float eps, gpu::BatchSpec spec,
+                   unsigned block_size, SharedBuildState& state,
+                   unsigned depth) {
+  if (spec.points_in_batch(sc.view.num_points) == 0) return;
+
+  sc.sink.reset();
+  const cudasim::KernelStats stats = gpu::run_calc_global(
+      sc.device, sc.view, eps, spec, sc.sink.view(), block_size);
+  {
+    std::lock_guard lock(state.mutex);
+    ++state.batches_run;
+    state.kernel_modeled_seconds += stats.modeled_seconds;
+    state.stream_device_model[sc.timeline_id] += stats.modeled_seconds;
+  }
+
+  if (sc.sink.overflowed()) {
+    if (depth >= kMaxSplitDepth) {
+      throw std::runtime_error(
+          "neighbor table build: batch overflowed even after splitting; "
+          "result buffer too small for the data density");
+    }
+    {
+      std::lock_guard lock(state.mutex);
+      ++state.overflow_splits;
+    }
+    // (l, n_b) == (l, 2 n_b) u (l + n_b, 2 n_b): same points, half each.
+    process_batch(sc, eps, {spec.batch, spec.num_batches * 2}, block_size,
+                  state, depth + 1);
+    process_batch(sc, eps,
+                  {spec.batch + spec.num_batches, spec.num_batches * 2},
+                  block_size, state, depth + 1);
+    return;
+  }
+
+  const std::uint64_t pairs = sc.sink.count();
+  // Group identical keys before shipping R to the host (Alg. 4 line 7).
+  cudasim::sort_by_key(sc.device, sc.sink.pairs(), pairs,
+                       [](const NeighborPair& p) { return p.key; });
+  // D2H into this stream's pinned staging area.
+  sc.device.blocking_transfer(sc.staging.data(), sc.sink.pairs().device_data(),
+                              pairs * sizeof(NeighborPair),
+                              /*to_device=*/false, /*pinned_host=*/true);
+  // Host side: copy the values out of the staging buffer into B and record
+  // the [Tmin, Tmax) ranges — the staging buffer is then free for the
+  // stream's next batch.
+  std::lock_guard lock(state.mutex);
+  hdbscan::ThreadCpuTimer append_timer;  // CPU time: contention-immune
+  state.stream_device_model[sc.timeline_id] +=
+      cudasim::modeled_sort_seconds(sc.device.config(),
+                                    pairs * sizeof(NeighborPair)) +
+      cudasim::modeled_transfer_seconds(sc.device.config(),
+                                        pairs * sizeof(NeighborPair),
+                                        /*pinned=*/true);
+  state.table.append_sorted_batch({sc.staging.data(), pairs});
+  state.total_pairs += pairs;
+  state.max_batch_pairs = std::max(state.max_batch_pairs, pairs);
+  state.stream_append_seconds[sc.timeline_id] += append_timer.seconds();
+}
+
+}  // namespace
+
+NeighborTableBuilder::NeighborTableBuilder(
+    std::vector<cudasim::Device*> devices, BatchPolicy policy)
+    : devices_(std::move(devices)), policy_(policy) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("NeighborTableBuilder: no devices");
+  }
+  for (const cudasim::Device* d : devices_) {
+    if (d == nullptr) {
+      throw std::invalid_argument("NeighborTableBuilder: null device");
+    }
+  }
+}
+
+NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
+                                          BuildReport* report) {
+  WallTimer total_timer;
+  BuildReport local_report;
+  local_report.used_shared_kernel = policy_.use_shared_kernel;
+
+  // Upload the index once per device (pageable host memory, as in the
+  // paper: only the result set uses the pinned staging path). Multi-device
+  // mode replicates the index, exactly like a GPU-per-node deployment
+  // (the direction of Mr. Scan, the paper's citation [7]).
+  std::vector<std::unique_ptr<gpu::GridDeviceIndex>> device_indexes;
+  device_indexes.reserve(devices_.size());
+  for (cudasim::Device* device : devices_) {
+    cudasim::Stream upload_stream(*device);
+    device_indexes.push_back(
+        std::make_unique<gpu::GridDeviceIndex>(*device, upload_stream, index));
+    upload_stream.synchronize();
+  }
+  cudasim::Device& first_device = *devices_.front();
+  const GridView first_view = device_indexes.front()->view();
+
+  // Estimate the result-set size from a 1% sample (negligible cost), or
+  // take the caller's figure when provided.
+  if (policy_.estimated_total_override != 0) {
+    local_report.estimate.estimated_total = policy_.estimated_total_override;
+    local_report.estimate.sampled_pairs = policy_.estimated_total_override;
+    local_report.estimate.sample_stride = 1;
+  } else {
+    WallTimer est_timer;
+    local_report.estimate =
+        estimate_result_size(first_device, first_view, eps,
+                             policy_.sample_fraction, policy_.block_size);
+    local_report.estimate_seconds = est_timer.seconds();
+  }
+
+  // Plan n_b and b_b, capping the buffers so that num_streams sinks, their
+  // sort scratch, and the staging never exceed any device's free memory.
+  std::uint64_t min_free_bytes = first_device.free_global_bytes();
+  for (const cudasim::Device* d : devices_) {
+    min_free_bytes = std::min(min_free_bytes, d->free_global_bytes());
+  }
+  const std::uint64_t free_pairs = min_free_bytes / sizeof(NeighborPair);
+  const std::uint64_t max_buffer_pairs = std::max<std::uint64_t>(
+      1, free_pairs * 9 / (10ull * std::max(1u, policy_.num_streams) * 2));
+  // With several devices, plan one batch per (device, stream) context so
+  // every device contributes even on the variable-buffer path.
+  BatchPolicy planning_policy = policy_;
+  planning_policy.num_streams = std::max(1u, policy_.num_streams) *
+                                static_cast<unsigned>(devices_.size());
+  local_report.plan = plan_batches(local_report.estimate.estimated_total,
+                                   planning_policy, max_buffer_pairs);
+  const BatchPlan& plan = local_report.plan;
+
+  const auto num_contexts = static_cast<unsigned>(devices_.size()) *
+                            std::max(1u, policy_.num_streams);
+  SharedBuildState state;
+  state.table = NeighborTable(index.size());
+  state.table.reserve_values(plan.estimated_total_pairs);
+  state.stream_device_model.assign(num_contexts, 0.0);
+  state.stream_append_seconds.assign(num_contexts, 0.0);
+
+  // Modeled fixed costs on the reference hardware: index upload over the
+  // pageable link (parallel across devices -> counted once), the
+  // estimation kernel, and page-locking the staging buffers (spread across
+  // the devices' hosts in multi-device mode).
+  const auto& cfg = first_device.config();
+  const std::uint64_t upload_bytes =
+      index.points.size() * sizeof(Point2) +
+      index.cells.size() * sizeof(CellRange) +
+      index.lookup.size() * sizeof(PointId) +
+      index.nonempty_cells.size() * sizeof(std::uint32_t);
+  double modeled_fixed =
+      cudasim::modeled_transfer_seconds(cfg, upload_bytes, /*pinned=*/false) +
+      local_report.estimate.kernel_stats.modeled_seconds;
+
+  if (policy_.use_shared_kernel && plan.num_batches == 1) {
+    // GPUCalcShared path (single batch only: the block-per-cell mapping is
+    // incompatible with the strided batch assignment). First device only.
+    gpu::ResultSetDevice sink(first_device, plan.buffer_pairs);
+    const cudasim::KernelStats stats = gpu::run_calc_shared(
+        first_device, first_view, device_indexes.front()->schedule(),
+        device_indexes.front()->num_nonempty_cells(), eps, sink.view(),
+        policy_.block_size);
+    state.batches_run = 1;
+    state.kernel_modeled_seconds = stats.modeled_seconds;
+    if (sink.overflowed()) {
+      throw std::runtime_error(
+          "neighbor table build (shared kernel): result buffer overflow");
+    }
+    const std::uint64_t pairs = sink.count();
+    cudasim::sort_by_key(first_device, sink.pairs(), pairs,
+                         [](const NeighborPair& p) { return p.key; });
+    cudasim::PinnedBuffer<NeighborPair> staging(first_device, pairs);
+    first_device.blocking_transfer(staging.data(), sink.pairs().device_data(),
+                                   pairs * sizeof(NeighborPair), false, true);
+    hdbscan::ThreadCpuTimer append_timer;
+    state.table.append_sorted_batch({staging.data(), pairs});
+    state.total_pairs = pairs;
+    state.max_batch_pairs = pairs;
+    state.stream_append_seconds[0] = append_timer.seconds();
+    state.stream_device_model[0] +=
+        stats.modeled_seconds +
+        cudasim::modeled_sort_seconds(cfg, pairs * sizeof(NeighborPair)) +
+        cudasim::modeled_transfer_seconds(cfg, pairs * sizeof(NeighborPair),
+                                          true);
+    modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
+        cfg, pairs * sizeof(NeighborPair));
+  } else {
+    local_report.used_shared_kernel = false;
+    // One context (stream + device sink + pinned staging) per
+    // (device, stream) pair.
+    std::vector<std::unique_ptr<StreamContext>> contexts;
+    contexts.reserve(num_contexts);
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      for (unsigned s = 0; s < std::max(1u, policy_.num_streams); ++s) {
+        const auto id = static_cast<unsigned>(contexts.size());
+        contexts.push_back(std::make_unique<StreamContext>(
+            *devices_[d], device_indexes[d]->view(), plan.buffer_pairs, id));
+        modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
+                             cfg, plan.buffer_pairs * sizeof(NeighborPair)) /
+                         static_cast<double>(devices_.size());
+      }
+    }
+    // Round-robin the batches; each context serializes its own batches and
+    // overlaps with the others (kernel / sort / transfer / host append).
+    for (std::uint32_t l = 0; l < plan.num_batches; ++l) {
+      StreamContext& sc = *contexts[l % contexts.size()];
+      const gpu::BatchSpec spec{l, plan.num_batches};
+      sc.stream.host_fn([eps, spec, block = policy_.block_size, &sc, &state] {
+        try {
+          process_batch(sc, eps, spec, block, state, 0);
+        } catch (...) {
+          std::lock_guard lock(state.mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& sc : contexts) sc->stream.synchronize();
+    if (state.first_error) std::rethrow_exception(state.first_error);
+  }
+
+  // Compose the modeled build time: fixed costs plus the slowest context's
+  // timeline (device work + that context's host-side append, which runs on
+  // its own core on the reference host).
+  double slowest_stream = 0.0;
+  for (std::size_t s = 0; s < state.stream_device_model.size(); ++s) {
+    slowest_stream = std::max(slowest_stream,
+                              state.stream_device_model[s] +
+                                  state.stream_append_seconds[s]);
+  }
+  local_report.modeled_table_seconds = modeled_fixed + slowest_stream;
+
+  local_report.total_pairs = state.total_pairs;
+  local_report.max_batch_pairs = state.max_batch_pairs;
+  local_report.batches_run = state.batches_run;
+  local_report.overflow_splits = state.overflow_splits;
+  local_report.kernel_modeled_seconds = state.kernel_modeled_seconds;
+  local_report.table_seconds = total_timer.seconds();
+  if (report != nullptr) *report = local_report;
+  return std::move(state.table);
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,81 @@
+// Batched construction of the neighbor table T on the (simulated) GPU —
+// the heart of HYBRID-DBSCAN (paper §V and §VI).
+//
+// Per epsilon:
+//   1. upload the grid index (D, G, A, S) to the device;
+//   2. run the count kernel on a 1% sample to estimate the result size;
+//   3. plan n_b and b_b via the batching equation (Eq. 1);
+//   4. execute the batches round-robin across three CUDA-style streams;
+//      each batch: kernel -> on-device sort_by_key -> D2H into that
+//      stream's pinned staging buffer -> host appends its fraction of T.
+//      Streams overlap kernel execution, transfers and host-side table
+//      construction, exactly as described in §VI.
+//
+// Robustness: should a batch still overflow its buffer (adversarial skew
+// beyond what alpha covers), the batch is recursively split in two —
+// batch (l, n_b) becomes (l, 2 n_b) and (l + n_b, 2 n_b), which partitions
+// the same point set — instead of crashing or silently dropping pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_planner.hpp"
+#include "core/estimator.hpp"
+#include "cudasim/device.hpp"
+#include "dbscan/neighbor_table.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan {
+
+struct BuildReport {
+  BatchPlan plan;
+  ResultSizeEstimate estimate;
+  std::uint32_t batches_run = 0;       ///< kernel invocations incl. splits
+  std::uint32_t overflow_splits = 0;   ///< batches that had to be split
+  std::uint64_t total_pairs = 0;       ///< |R| over all batches
+  std::uint64_t max_batch_pairs = 0;
+  double estimate_seconds = 0.0;
+  double table_seconds = 0.0;          ///< total wall time of build()
+  double kernel_modeled_seconds = 0.0; ///< summed modeled GPU kernel time
+  bool used_shared_kernel = false;
+
+  /// Modeled wall time of the whole T construction on the reference
+  /// hardware (K20c + PCIe 2.0): index upload, estimation kernel, pinned
+  /// allocation, then per-stream (kernel + sort + D2H) timelines overlapped
+  /// across streams while the host-side appends into B serialize. This is
+  /// the "GPU time" the figures report — the simulator executes device
+  /// code on the host CPU, so its raw wall time is not GPU time (DESIGN.md).
+  double modeled_table_seconds = 0.0;
+};
+
+class NeighborTableBuilder {
+ public:
+  explicit NeighborTableBuilder(cudasim::Device& device,
+                                BatchPolicy policy = {})
+      : devices_{&device}, policy_(policy) {}
+
+  /// Multi-device construction (the direction of Mr. Scan, the paper's
+  /// citation [7]: one GPU per node over a replicated index): the index is
+  /// uploaded to every device and the batches are interleaved across
+  /// num_devices x num_streams contexts. Devices must outlive the builder.
+  NeighborTableBuilder(std::vector<cudasim::Device*> devices,
+                       BatchPolicy policy = {});
+
+  /// Builds T for `index` (which fixes the point ordering) and `eps`.
+  /// Thread-safe for concurrent calls with distinct indexes (each call
+  /// creates its own streams and buffers).
+  NeighborTable build(const GridIndex& index, float eps,
+                      BuildReport* report = nullptr);
+
+  [[nodiscard]] const BatchPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t num_devices() const noexcept {
+    return devices_.size();
+  }
+
+ private:
+  std::vector<cudasim::Device*> devices_;
+  BatchPolicy policy_;
+};
+
+}  // namespace hdbscan

@@ -1,0 +1,162 @@
+#include "core/pipeline.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "core/hybrid_dbscan.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "dbscan/dbscan.hpp"
+
+namespace hdbscan {
+
+namespace {
+
+/// Work item flowing from the table producer to the DBSCAN consumers.
+struct TableItem {
+  std::size_t variant_index = 0;
+  NeighborTable table;
+  std::vector<PointId> original_ids;
+};
+
+/// Minimal bounded MPMC queue (single producer here).
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(TableItem item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  /// Returns nullopt once closed and drained.
+  std::optional<TableItem> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    TableItem item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TableItem> queue_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+PipelineReport run_multi_clustering(cudasim::Device& device,
+                                    std::span<const Point2> points,
+                                    std::span<const Variant> variants,
+                                    const PipelineOptions& options) {
+  PipelineReport report;
+  report.variants.resize(variants.size());
+  if (options.keep_results) report.results.resize(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    report.variants[i].variant = variants[i];
+  }
+  WallTimer total_timer;
+
+  if (!options.pipelined) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      HybridTimings t;
+      ClusterResult r = hybrid_dbscan(device, points, variants[i].eps,
+                                      variants[i].minpts, &t, options.policy);
+      report.variants[i].table_seconds = t.index_seconds + t.gpu_table_seconds;
+      report.variants[i].modeled_table_seconds =
+          t.index_seconds + t.modeled_gpu_table_seconds;
+      report.variants[i].dbscan_seconds = t.dbscan_seconds;
+      report.variants[i].num_clusters = r.num_clusters;
+      report.variants[i].noise_count = r.noise_count();
+      if (options.keep_results) report.results[i] = std::move(r);
+    }
+    report.total_seconds = total_timer.seconds();
+    return report;
+  }
+
+  BoundedQueue queue(std::max(1u, options.queue_capacity));
+  std::mutex report_mutex;
+  std::exception_ptr first_error;
+
+  // Producer: builds the grid index and T for v_{i+1} while the consumers
+  // are still clustering v_i.
+  std::thread producer([&] {
+    try {
+      NeighborTableBuilder builder(device, options.policy);
+      for (std::size_t i = 0; i < variants.size(); ++i) {
+        WallTimer t;
+        WallTimer index_timer;
+        GridIndex index = build_grid_index(points, variants[i].eps);
+        const double index_s = index_timer.seconds();
+        BuildReport build_report;
+        NeighborTable table =
+            builder.build(index, variants[i].eps, &build_report);
+        {
+          std::lock_guard lock(report_mutex);
+          report.variants[i].table_seconds = t.seconds();
+          report.variants[i].modeled_table_seconds =
+              index_s + build_report.modeled_table_seconds;
+        }
+        queue.push(TableItem{i, std::move(table),
+                             std::move(index.original_ids)});
+      }
+    } catch (...) {
+      std::lock_guard lock(report_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    queue.close();
+  });
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(std::max(1u, options.num_consumers));
+  for (unsigned c = 0; c < std::max(1u, options.num_consumers); ++c) {
+    consumers.emplace_back([&] {
+      try {
+        while (auto item = queue.pop()) {
+          WallTimer t;
+          const std::size_t i = item->variant_index;
+          ClusterResult indexed =
+              dbscan_neighbor_table(item->table, variants[i].minpts);
+          const double dbscan_s = t.seconds();
+          ClusterResult result = options.keep_results
+                                     ? unmap_labels(indexed, item->original_ids)
+                                     : std::move(indexed);
+          std::lock_guard lock(report_mutex);
+          report.variants[i].dbscan_seconds = dbscan_s;
+          report.variants[i].num_clusters = result.num_clusters;
+          report.variants[i].noise_count = result.noise_count();
+          if (options.keep_results) report.results[i] = std::move(result);
+        }
+      } catch (...) {
+        std::lock_guard lock(report_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+
+  producer.join();
+  for (auto& c : consumers) c.join();
+  if (first_error) std::rethrow_exception(first_error);
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,58 @@
+// Multi-clustering pipeline (paper §VII-E).
+//
+// Clustering a dataset across a set of parameter variants V maximizes
+// throughput when the construction of T (GPU-bound) for variant v_{i+1}
+// overlaps with DBSCAN (host-bound) for v_i. One producer thread builds
+// neighbor tables; a small pool of consumer threads runs the modified
+// DBSCAN on them, connected by a bounded queue. The non-pipelined mode
+// runs the same variants back-to-back for comparison (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch_planner.hpp"
+#include "cudasim/device.hpp"
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan {
+
+/// One DBSCAN parameterization v_i = (eps_i, minpts_i) (paper §III).
+struct Variant {
+  float eps = 0.0f;
+  int minpts = 4;
+};
+
+struct VariantTiming {
+  Variant variant;
+  double table_seconds = 0.0;   ///< index + GPU neighbor-table wall time
+  double dbscan_seconds = 0.0;  ///< host clustering time
+  /// Index build + modeled T construction (reference-hardware GPU model).
+  double modeled_table_seconds = 0.0;
+  std::int32_t num_clusters = 0;
+  std::size_t noise_count = 0;
+};
+
+struct PipelineOptions {
+  bool pipelined = true;
+  unsigned num_consumers = 3;    ///< paper: "up to 3 threads consume T"
+  unsigned queue_capacity = 3;   ///< bounds memory held in flight
+  BatchPolicy policy;
+  bool keep_results = false;     ///< retain labels (costs memory)
+};
+
+struct PipelineReport {
+  double total_seconds = 0.0;
+  std::vector<VariantTiming> variants;   ///< in input order
+  std::vector<ClusterResult> results;    ///< only when keep_results
+};
+
+/// Clusters `points` for every variant. With options.pipelined the
+/// producer/consumer overlap is on; otherwise variants run sequentially.
+PipelineReport run_multi_clustering(cudasim::Device& device,
+                                    std::span<const Point2> points,
+                                    std::span<const Variant> variants,
+                                    const PipelineOptions& options = {});
+
+}  // namespace hdbscan

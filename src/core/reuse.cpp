@@ -1,0 +1,81 @@
+#include "core/reuse.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "core/hybrid_dbscan.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "dbscan/dbscan.hpp"
+
+namespace hdbscan {
+
+ReuseReport cluster_minpts_sweep(cudasim::Device& device,
+                                 std::span<const Point2> points, float eps,
+                                 std::span<const int> minpts_values,
+                                 unsigned num_threads,
+                                 const BatchPolicy& policy,
+                                 std::vector<ClusterResult>* results) {
+  ReuseReport report;
+  report.eps = eps;
+  report.variant_seconds.assign(minpts_values.size(), 0.0);
+  report.variant_clusters.assign(minpts_values.size(), 0);
+  if (results != nullptr) results->assign(minpts_values.size(), {});
+
+  WallTimer total_timer;
+
+  // Phase 1: one neighbor table for this eps.
+  WallTimer table_timer;
+  WallTimer index_timer;
+  const GridIndex index = build_grid_index(points, eps);
+  const double index_s = index_timer.seconds();
+  NeighborTableBuilder builder(device, policy);
+  BuildReport build_report;
+  const NeighborTable table = builder.build(index, eps, &build_report);
+  report.table_seconds = table_timer.seconds();
+  report.modeled_table_seconds =
+      index_s + build_report.modeled_table_seconds;
+
+  // Phase 2: concurrent minpts sweep over the shared (read-only) table.
+  WallTimer dbscan_timer;
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= minpts_values.size()) return;
+        WallTimer t;
+        ClusterResult indexed = dbscan_neighbor_table(table, minpts_values[i]);
+        report.variant_seconds[i] = t.seconds();
+        report.variant_clusters[i] = indexed.num_clusters;
+        if (results != nullptr) {
+          (*results)[i] = unmap_labels(indexed, index.original_ids);
+        }
+      }
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  report.dbscan_wall_seconds = dbscan_timer.seconds();
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,41 @@
+// Data-reuse scheme (paper §VII-F / scenario S3).
+//
+// The neighbor table depends only on eps, so for a fixed eps and a sweep
+// over minpts, T is computed once and consumed concurrently by up to 16
+// threads, one DBSCAN run per minpts value. (This is the opposite knob to
+// OPTICS, which fixes minpts and sweeps eps.)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/batch_planner.hpp"
+#include "cudasim/device.hpp"
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan {
+
+struct ReuseReport {
+  float eps = 0.0f;
+  double table_seconds = 0.0;   ///< index build + T construction (once)
+  /// Index build + modeled T construction (reference-hardware GPU model).
+  double modeled_table_seconds = 0.0;
+  double dbscan_wall_seconds = 0.0;  ///< concurrent clustering phase
+  double total_seconds = 0.0;
+  /// Measured per-variant sequential durations (indexed like the minpts
+  /// input); feed these to makespan_seconds() to model k-core scaling.
+  std::vector<double> variant_seconds;
+  std::vector<std::int32_t> variant_clusters;
+};
+
+/// Builds T once for `eps`, then clusters every minpts value using
+/// `num_threads` concurrent workers. Labels (input order) are written to
+/// `results` when non-null.
+ReuseReport cluster_minpts_sweep(cudasim::Device& device,
+                                 std::span<const Point2> points, float eps,
+                                 std::span<const int> minpts_values,
+                                 unsigned num_threads,
+                                 const BatchPolicy& policy = {},
+                                 std::vector<ClusterResult>* results = nullptr);
+
+}  // namespace hdbscan

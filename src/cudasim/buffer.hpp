@@ -1,0 +1,134 @@
+// RAII buffers for simulated device global memory and pinned host memory.
+//
+// Discipline: host code moves data in and out of DeviceBuffers only through
+// Stream::memcpy_* (which applies the PCIe model). DeviceBuffer::device_data
+// is the "device pointer" handed to kernels. Tests may use
+// unsafe_host_view() to assert on device contents directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "cudasim/device.hpp"
+
+namespace cudasim {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device), count_(count) {
+    data_ = static_cast<T*>(device_->allocate_global(bytes()));
+  }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : device_(std::exchange(o.device_, nullptr)),
+        data_(std::exchange(o.data_, nullptr)),
+        count_(std::exchange(o.count_, 0)) {}
+
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = std::exchange(o.device_, nullptr);
+      data_ = std::exchange(o.data_, nullptr);
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] T* device_data() noexcept { return data_; }
+  [[nodiscard]] const T* device_data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] Device* device() const noexcept { return device_; }
+
+  /// Direct host access to device memory — bypasses the transfer model.
+  /// For tests and in-kernel use only.
+  [[nodiscard]] std::span<T> unsafe_host_view() noexcept {
+    return {data_, count_};
+  }
+  [[nodiscard]] std::span<const T> unsafe_host_view() const noexcept {
+    return {data_, count_};
+  }
+
+ private:
+  void release() noexcept {
+    if (device_ != nullptr && data_ != nullptr) {
+      device_->free_global(data_, bytes());
+    }
+    device_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Page-locked host staging buffer. Allocation pays the modeled page-lock
+/// cost; transfers from/to it run at the pinned PCIe rate.
+template <typename T>
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+
+  PinnedBuffer(Device& device, std::size_t count)
+      : device_(&device), count_(count) {
+    data_ = static_cast<T*>(device_->allocate_pinned(bytes()));
+  }
+
+  PinnedBuffer(PinnedBuffer&& o) noexcept
+      : device_(std::exchange(o.device_, nullptr)),
+        data_(std::exchange(o.data_, nullptr)),
+        count_(std::exchange(o.count_, 0)) {}
+
+  PinnedBuffer& operator=(PinnedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = std::exchange(o.device_, nullptr);
+      data_ = std::exchange(o.data_, nullptr);
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+
+  ~PinnedBuffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, count_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, count_};
+  }
+
+ private:
+  void release() noexcept {
+    if (device_ != nullptr && data_ != nullptr) {
+      device_->free_pinned(data_, bytes());
+    }
+    device_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cudasim

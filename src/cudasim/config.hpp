@@ -1,0 +1,58 @@
+// Simulated device configuration.
+//
+// Defaults model the NVIDIA Tesla K20c used in the paper: 13 SMX units,
+// 2496 CUDA cores at 706 MHz (~3.5 TFLOP/s single precision), 5 GB GDDR5 at
+// 208 GB/s, attached over PCIe 2.0 x16 (~6 GB/s effective with pinned host
+// memory, roughly half that with pageable memory).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cudasim {
+
+struct DeviceConfig {
+  // --- capacity ---
+  std::size_t global_mem_bytes = 5ull << 30;        ///< 5 GB GDDR5
+  std::size_t shared_mem_per_block = 48ull << 10;   ///< 48 KiB
+  unsigned max_threads_per_block = 1024;
+
+  // --- performance model (kernel cost accounting) ---
+  int sm_count = 13;
+  int cores_per_sm = 192;
+  double clock_ghz = 0.706;
+  double flops_per_core_per_cycle = 2.0;  ///< FMA
+  double mem_bandwidth_gbps = 208.0;      ///< global memory, GB/s
+  double shared_bandwidth_gbps = 1300.0;  ///< aggregate shared memory, GB/s
+  double atomic_ns = 1.1;                 ///< serialized global atomic op
+  double block_launch_us = 0.45;          ///< per-block scheduling overhead
+  double barrier_us = 0.08;               ///< per-block barrier cost
+  double kernel_launch_us = 8.0;          ///< fixed per-launch overhead
+
+  // --- host link model (transfers are throttled to these rates) ---
+  double pcie_pinned_gbps = 6.0;
+  double pcie_pageable_gbps = 3.0;
+  double pcie_latency_us = 12.0;
+
+  // --- pinned host allocation model (paper: "expensive pinned memory
+  //     allocation" motivates the variable buffer-size policy) ---
+  double pinned_alloc_base_us = 80.0;
+  double pinned_alloc_gbps = 8.0;  ///< page-locking throughput
+
+  /// Peak single-precision FLOP/s implied by the model.
+  [[nodiscard]] double peak_flops() const noexcept {
+    return static_cast<double>(sm_count) * cores_per_sm * clock_ghz * 1e9 *
+           flops_per_core_per_cycle;
+  }
+};
+
+/// Knobs controlling how faithfully the simulator *executes* (as opposed to
+/// accounts). Throttling makes wall-clock overlap experiments meaningful;
+/// disabling it makes unit tests fast.
+struct SimulationOptions {
+  bool throttle_transfers = true;    ///< sleep to modeled PCIe time
+  bool throttle_pinned_alloc = true; ///< sleep to modeled page-lock time
+  std::size_t executor_threads = 0;  ///< 0 = hardware concurrency
+};
+
+}  // namespace cudasim

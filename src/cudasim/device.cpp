@@ -1,0 +1,127 @@
+#include "cudasim/device.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace cudasim {
+
+Device::Device(DeviceConfig config, SimulationOptions options)
+    : config_(config), options_(options) {
+  executor_ = std::make_unique<hdbscan::ThreadPool>(options_.executor_threads);
+}
+
+Device::~Device() = default;
+
+void* Device::allocate_global(std::size_t bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    if (used_bytes_ + bytes > config_.global_mem_bytes) {
+      throw DeviceOutOfMemory(bytes, used_bytes_, config_.global_mem_bytes);
+    }
+    used_bytes_ += bytes;
+    metrics_.current_mem_bytes = used_bytes_;
+    if (used_bytes_ > metrics_.peak_mem_bytes) {
+      metrics_.peak_mem_bytes = used_bytes_;
+    }
+  }
+  // 64-byte alignment mirrors cudaMalloc's strong alignment guarantees.
+  void* p = ::operator new(bytes == 0 ? 1 : bytes, std::align_val_t{64});
+  return p;
+}
+
+void Device::free_global(void* p, std::size_t bytes) noexcept {
+  ::operator delete(p, std::align_val_t{64});
+  std::lock_guard lock(mutex_);
+  used_bytes_ -= bytes;
+  metrics_.current_mem_bytes = used_bytes_;
+}
+
+void* Device::allocate_pinned(std::size_t bytes) {
+  const double model_s = config_.pinned_alloc_base_us * 1e-6 +
+                         static_cast<double>(bytes) /
+                             (config_.pinned_alloc_gbps * 1e9);
+  hdbscan::WallTimer t;
+  void* p = ::operator new(bytes == 0 ? 1 : bytes, std::align_val_t{64});
+  throttle_sleep(model_s, t.seconds(), options_.throttle_pinned_alloc);
+  std::lock_guard lock(mutex_);
+  metrics_.pinned_alloc_seconds += model_s;
+  return p;
+}
+
+void Device::free_pinned(void* p, std::size_t /*bytes*/) noexcept {
+  ::operator delete(p, std::align_val_t{64});
+}
+
+std::size_t Device::used_global_bytes() const noexcept {
+  std::lock_guard lock(mutex_);
+  return used_bytes_;
+}
+
+std::size_t Device::free_global_bytes() const noexcept {
+  std::lock_guard lock(mutex_);
+  return config_.global_mem_bytes - used_bytes_;
+}
+
+DeviceMetrics Device::metrics() const {
+  std::lock_guard lock(mutex_);
+  return metrics_;
+}
+
+void Device::reset_metrics() {
+  std::lock_guard lock(mutex_);
+  const std::size_t current = metrics_.current_mem_bytes;
+  metrics_ = DeviceMetrics{};
+  metrics_.current_mem_bytes = current;
+  metrics_.peak_mem_bytes = current;
+}
+
+void Device::record_kernel(const KernelStats& stats) {
+  std::lock_guard lock(mutex_);
+  ++metrics_.kernel_launches;
+  metrics_.kernel_modeled_seconds += stats.modeled_seconds;
+  metrics_.kernel_wall_seconds += stats.wall_seconds;
+}
+
+void Device::record_transfer(std::size_t bytes, bool to_device,
+                             double seconds) {
+  std::lock_guard lock(mutex_);
+  if (to_device) {
+    metrics_.h2d_bytes += bytes;
+  } else {
+    metrics_.d2h_bytes += bytes;
+  }
+  metrics_.transfer_seconds += seconds;
+}
+
+void Device::record_sort(double modeled_seconds) {
+  std::lock_guard lock(mutex_);
+  metrics_.sort_seconds += modeled_seconds;
+}
+
+void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,
+                               bool to_device, bool pinned_host) {
+  const double bw_gbps =
+      pinned_host ? config_.pcie_pinned_gbps : config_.pcie_pageable_gbps;
+  const double model_s = config_.pcie_latency_us * 1e-6 +
+                         static_cast<double>(bytes) / (bw_gbps * 1e9);
+  hdbscan::WallTimer t;
+  std::memcpy(dst, src, bytes);
+  throttle_sleep(model_s, t.seconds(), options_.throttle_transfers);
+  record_transfer(bytes, to_device, model_s);
+}
+
+void Device::throttle_sleep(double seconds, double already_spent,
+                            bool enabled) const {
+  if (!enabled) return;
+  const double remaining = seconds - already_spent;
+  if (remaining > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+  }
+}
+
+}  // namespace cudasim

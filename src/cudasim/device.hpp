@@ -1,0 +1,74 @@
+// The simulated GPU device: memory accounting, executor pool, metrics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "cudasim/config.hpp"
+#include "cudasim/error.hpp"
+#include "cudasim/metrics.hpp"
+
+namespace cudasim {
+
+/// A simulated CUDA device. Thread-safe. Buffers, streams, and kernel
+/// launches all reference a Device; it must outlive them.
+class Device {
+ public:
+  explicit Device(DeviceConfig config = {}, SimulationOptions options = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SimulationOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Global-memory allocation with capacity accounting. Throws
+  /// DeviceOutOfMemory when the request would exceed capacity.
+  [[nodiscard]] void* allocate_global(std::size_t bytes);
+  void free_global(void* p, std::size_t bytes) noexcept;
+
+  /// Pinned (page-locked) host allocation; models the paper's observation
+  /// that pinning is expensive by sleeping the modeled page-lock time.
+  [[nodiscard]] void* allocate_pinned(std::size_t bytes);
+  void free_pinned(void* p, std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t used_global_bytes() const noexcept;
+  [[nodiscard]] std::size_t free_global_bytes() const noexcept;
+
+  /// Pool that executes kernel thread blocks ("the SMs").
+  [[nodiscard]] hdbscan::ThreadPool& executor() noexcept { return *executor_; }
+
+  [[nodiscard]] DeviceMetrics metrics() const;
+  void reset_metrics();
+
+  // --- internal accounting hooks (used by Stream / kernel engine / sort) ---
+  void record_kernel(const KernelStats& stats);
+  void record_transfer(std::size_t bytes, bool to_device, double seconds);
+  void record_sort(double modeled_seconds);
+
+  /// Sleep `seconds` minus `already_spent` when throttling is enabled.
+  void throttle_sleep(double seconds, double already_spent,
+                      bool enabled) const;
+
+  /// Synchronous host<->device copy applying the PCIe model on the calling
+  /// thread. Streams use this internally; host code running *inside* a
+  /// stream operation may call it directly to keep stream ordering.
+  void blocking_transfer(void* dst, const void* src, std::size_t bytes,
+                         bool to_device, bool pinned_host);
+
+ private:
+  DeviceConfig config_;
+  SimulationOptions options_;
+  std::unique_ptr<hdbscan::ThreadPool> executor_;
+
+  mutable std::mutex mutex_;
+  std::size_t used_bytes_ = 0;
+  DeviceMetrics metrics_;
+};
+
+}  // namespace cudasim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cudasim {
+
+/// Base class for all simulator errors.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a device allocation would exceed global memory capacity —
+/// the hazard the paper's batching scheme exists to avoid.
+class DeviceOutOfMemory : public SimError {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t used,
+                    std::size_t capacity)
+      : SimError("device out of memory: requested " +
+                 std::to_string(requested) + " B with " +
+                 std::to_string(used) + "/" + std::to_string(capacity) +
+                 " B in use"),
+        requested_bytes(requested),
+        used_bytes(used),
+        capacity_bytes(capacity) {}
+
+  std::size_t requested_bytes;
+  std::size_t used_bytes;
+  std::size_t capacity_bytes;
+};
+
+/// Thrown for invalid launch configurations (block too large, shared memory
+/// request over the per-block limit, ...).
+class LaunchError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+}  // namespace cudasim

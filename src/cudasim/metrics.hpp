@@ -1,0 +1,73 @@
+// Work counters and the kernel time model.
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/config.hpp"
+
+namespace cudasim {
+
+/// Work performed by one thread block; accumulated without atomics because
+/// a block always executes on a single executor thread.
+struct BlockCounters {
+  std::uint64_t flops = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t barriers = 0;
+
+  void merge(const BlockCounters& o) noexcept {
+    flops += o.flops;
+    global_bytes += o.global_bytes;
+    shared_bytes += o.shared_bytes;
+    atomic_ops += o.atomic_ops;
+    barriers += o.barriers;
+  }
+};
+
+/// Aggregated result of one kernel launch.
+struct KernelStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t threads = 0;  ///< gridDim.x * blockDim.x (paper's nGPU)
+  BlockCounters work;
+  double wall_seconds = 0.0;     ///< simulator execution time (host CPU)
+  double modeled_seconds = 0.0;  ///< cost-model GPU time
+
+  /// Applies the device cost model: memory and compute pipelines overlap
+  /// (take the max), atomics serialize at the memory controller, and each
+  /// block/barrier/launch adds fixed scheduling overhead.
+  void finalize(const DeviceConfig& cfg) noexcept {
+    const double mem_s =
+        static_cast<double>(work.global_bytes) / (cfg.mem_bandwidth_gbps * 1e9);
+    const double shared_s = static_cast<double>(work.shared_bytes) /
+                            (cfg.shared_bandwidth_gbps * 1e9);
+    const double compute_s = static_cast<double>(work.flops) / cfg.peak_flops();
+    const double atomic_s = static_cast<double>(work.atomic_ops) *
+                            cfg.atomic_ns * 1e-9;
+    const double overhead_s =
+        static_cast<double>(blocks) * cfg.block_launch_us * 1e-6 /
+            static_cast<double>(cfg.sm_count) +
+        static_cast<double>(work.barriers) * cfg.barrier_us * 1e-6 /
+            static_cast<double>(cfg.sm_count) +
+        cfg.kernel_launch_us * 1e-6;
+    const double pipelines = mem_s > compute_s ? mem_s : compute_s;
+    modeled_seconds = (pipelines > shared_s ? pipelines : shared_s) +
+                      atomic_s + overhead_s;
+  }
+};
+
+/// Device-lifetime totals, snapshot via Device::metrics().
+struct DeviceMetrics {
+  std::uint64_t kernel_launches = 0;
+  double kernel_modeled_seconds = 0.0;
+  double kernel_wall_seconds = 0.0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  double transfer_seconds = 0.0;  ///< modeled (and slept, when throttled)
+  double pinned_alloc_seconds = 0.0;
+  double sort_seconds = 0.0;  ///< modeled on-device sort time
+  std::size_t current_mem_bytes = 0;
+  std::size_t peak_mem_bytes = 0;
+};
+
+}  // namespace cudasim

@@ -1,0 +1,63 @@
+#include "cudasim/stream.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+
+namespace cudasim {
+
+Stream::Stream(Device& device) : device_(device) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  synchronize();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> op) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw SimError("Stream: enqueue after destruction began");
+    queue_.push_back(std::move(op));
+  }
+  cv_.notify_one();
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> op;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;
+      op = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    op();
+    {
+      std::lock_guard lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Stream::do_transfer(void* dst, const void* src, std::size_t bytes,
+                         bool to_device, HostMem host_kind) {
+  device_.blocking_transfer(dst, src, bytes, to_device,
+                            host_kind == HostMem::Pinned);
+}
+
+}  // namespace cudasim

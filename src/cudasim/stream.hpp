@@ -1,0 +1,172 @@
+// CUDA-style streams and events.
+//
+// A Stream is an in-order asynchronous work queue backed by a dedicated
+// host thread (operations from different streams overlap; operations within
+// one stream never do). Supported operations: async host<->device copies
+// (throttled by the PCIe model), kernel launches, on-device sorts, host
+// callbacks, and event record/wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "cudasim/buffer.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/kernel.hpp"
+
+namespace cudasim {
+
+/// Whether the host side of a transfer is page-locked; pinned transfers
+/// run at the faster PCIe rate (paper §VI).
+enum class HostMem { Pageable, Pinned };
+
+/// Cross-stream synchronization point, equivalent to cudaEvent_t. Records
+/// its completion timestamp, so pairs of events measure elapsed stream
+/// time the way cudaEventElapsedTime does.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  [[nodiscard]] bool query() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->done;
+  }
+
+  void wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  /// Seconds between two completed events (end - start); throws SimError
+  /// when either has not completed yet (cudaErrorNotReady).
+  [[nodiscard]] static double elapsed_seconds(const Event& start,
+                                              const Event& end) {
+    const auto t0 = start.timestamp();
+    const auto t1 = end.timestamp();
+    return std::chrono::duration<double>(t1 - t0).count();
+  }
+
+ private:
+  friend class Stream;
+  using Clock = std::chrono::steady_clock;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Clock::time_point when{};
+  };
+
+  [[nodiscard]] Clock::time_point timestamp() const {
+    std::lock_guard lock(state_->mutex);
+    if (!state_->done) throw SimError("Event: not ready (no timestamp yet)");
+    return state_->when;
+  }
+
+  void signal() const {
+    {
+      std::lock_guard lock(state_->mutex);
+      state_->done = true;
+      state_->when = Clock::now();
+    }
+    state_->cv.notify_all();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] Device& device() noexcept { return device_; }
+
+  /// Async host -> device copy of `count` elements.
+  template <typename T>
+  void memcpy_to_device(DeviceBuffer<T>& dst, const T* src, std::size_t count,
+                        HostMem host_kind = HostMem::Pageable) {
+    T* dst_p = dst.device_data();
+    enqueue([this, dst_p, src, count, host_kind] {
+      do_transfer(dst_p, src, count * sizeof(T), /*to_device=*/true,
+                  host_kind);
+    });
+  }
+
+  /// Async device -> host copy of `count` elements.
+  template <typename T>
+  void memcpy_to_host(T* dst, const DeviceBuffer<T>& src, std::size_t count,
+                      HostMem host_kind = HostMem::Pageable) {
+    const T* src_p = src.device_data();
+    enqueue([this, dst, src_p, count, host_kind] {
+      do_transfer(dst, src_p, count * sizeof(T), /*to_device=*/false,
+                  host_kind);
+    });
+  }
+
+  /// Async flat kernel launch; stats (if non-null) are valid after the
+  /// launch completes (synchronize() or a recorded event).
+  template <typename F>
+  void launch(unsigned grid_dim, unsigned block_dim, F body,
+              KernelStats* stats_out = nullptr) {
+    enqueue([this, grid_dim, block_dim, body = std::move(body), stats_out] {
+      KernelStats s = run_flat_kernel(device_, grid_dim, block_dim, body);
+      if (stats_out != nullptr) *stats_out = s;
+    });
+  }
+
+  /// Async cooperative kernel launch (threads may co_await ctx.sync()).
+  template <typename G>
+  void launch_coop(unsigned grid_dim, unsigned block_dim,
+                   std::size_t shared_bytes, G gen,
+                   KernelStats* stats_out = nullptr) {
+    enqueue([this, grid_dim, block_dim, shared_bytes, gen = std::move(gen),
+             stats_out] {
+      KernelStats s =
+          run_coop_kernel(device_, grid_dim, block_dim, shared_bytes, gen);
+      if (stats_out != nullptr) *stats_out = s;
+    });
+  }
+
+  /// Run an arbitrary host function in stream order (cudaLaunchHostFunc).
+  void host_fn(std::function<void()> fn) { enqueue(std::move(fn)); }
+
+  /// Record an event after all previously enqueued work.
+  void record(Event event) {
+    enqueue([event] { event.signal(); });
+  }
+
+  /// Make this stream wait for an event recorded on another stream.
+  void wait(Event event) {
+    enqueue([event] { event.wait(); });
+  }
+
+  /// Block the calling thread until every enqueued operation has run.
+  void synchronize();
+
+ private:
+  void enqueue(std::function<void()> op);
+  void worker_loop();
+  void do_transfer(void* dst, const void* src, std::size_t bytes,
+                   bool to_device, HostMem host_kind);
+
+  Device& device_;
+  std::thread worker_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  bool busy_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace cudasim

@@ -1,0 +1,45 @@
+#include "data/datasets.hpp"
+
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "data/generators.hpp"
+
+namespace hdbscan::data {
+
+const std::vector<DatasetInfo>& dataset_registry() {
+  static const std::vector<DatasetInfo> registry = {
+      {"SW1", 1'864'620, 29'135, true, 35.0f},
+      {"SW4", 5'159'737, 80'621, true, 55.0f},
+      {"SDSS1", 2'000'000, 31'250, false, 35.0f},
+      {"SDSS2", 5'000'000, 78'125, false, 35.0f},
+      {"SDSS3", 15'228'633, 237'947, false, 27.0f},
+  };
+  return registry;
+}
+
+const DatasetInfo& dataset_info(std::string_view name) {
+  for (const auto& info : dataset_registry()) {
+    if (info.name == name) return info;
+  }
+  throw std::invalid_argument("unknown dataset: " + std::string(name));
+}
+
+std::vector<Point2> make_dataset(std::string_view name, std::size_t size) {
+  const DatasetInfo& info = dataset_info(name);
+  if (size == 0) size = scaled_size(info.default_size);
+  // Seed derived from the name so each dataset is distinct but stable.
+  std::uint64_t seed = 0x243f6a8885a308d3ull;
+  for (const char c : info.name) seed = seed * 131 + static_cast<unsigned char>(c);
+
+  if (info.skewed) {
+    SpaceWeatherParams params;
+    params.width = params.height = info.domain;
+    return generate_space_weather(size, seed, params);
+  }
+  SkySurveyParams params;
+  params.width = params.height = info.domain;
+  return generate_sky_survey(size, seed, params);
+}
+
+}  // namespace hdbscan::data

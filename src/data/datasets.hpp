@@ -1,0 +1,37 @@
+// Named datasets mirroring the paper's evaluation data at reduced scale.
+//
+// Paper sizes:  SW1 1,864,620 / SW4 5,159,737 / SDSS1 2e6 / SDSS2 5e6 /
+// SDSS3 15,228,633 points. Defaults here keep the ratios at 1/32 scale so
+// the single-core benches finish; HDBSCAN_SCALE scales all of them.
+// Domains are sized per family so the paper's epsilon sweeps produce
+// neighborhood cardinalities in a comparable regime (see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan::data {
+
+struct DatasetInfo {
+  std::string name;
+  std::size_t paper_size = 0;    ///< |D| in the paper
+  std::size_t default_size = 0;  ///< |D| here before HDBSCAN_SCALE
+  bool skewed = false;           ///< SW- (true) vs SDSS- (false)
+  float domain = 0.0f;           ///< square domain side length
+};
+
+/// The five evaluation datasets (SW1, SW4, SDSS1, SDSS2, SDSS3).
+const std::vector<DatasetInfo>& dataset_registry();
+
+/// Info for one name; throws std::invalid_argument for unknown names.
+const DatasetInfo& dataset_info(std::string_view name);
+
+/// Generates the named dataset at `size` points (0 = scaled default,
+/// i.e. default_size * HDBSCAN_SCALE). Deterministic per name.
+std::vector<Point2> make_dataset(std::string_view name, std::size_t size = 0);
+
+}  // namespace hdbscan::data

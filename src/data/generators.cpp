@@ -1,0 +1,193 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hdbscan::data {
+
+namespace {
+
+float clamp_to(float v, float lo, float hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// Samples an index in [0, n) with Zipf-like weights i^-s via inverse CDF
+/// over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::size_t operator()(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<Point2> generate_space_weather(std::size_t n, std::uint64_t seed,
+                                           const SpaceWeatherParams& p) {
+  Xoshiro256 rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+
+  // Region centers (continents with GPS coverage), then receiver sites
+  // scattered around them.
+  std::vector<Point2> sites;
+  sites.reserve(static_cast<std::size_t>(p.num_regions) * p.sites_per_region);
+  for (unsigned r = 0; r < p.num_regions; ++r) {
+    const Point2 center{rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)};
+    for (unsigned s = 0; s < p.sites_per_region; ++s) {
+      sites.push_back(Point2{
+          clamp_to(static_cast<float>(rng.normal(center.x, p.region_sigma)),
+                   0.0f, p.width),
+          clamp_to(static_cast<float>(rng.normal(center.y, p.region_sigma)),
+                   0.0f, p.height)});
+    }
+  }
+  // Heavy-tailed site popularity: a few sites account for most data, which
+  // produces the strong over-dense regions the paper attributes to SW-.
+  const ZipfSampler pick_site(sites.size(), p.site_zipf_exponent);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < p.background_fraction) {
+      points.push_back(
+          Point2{rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)});
+      continue;
+    }
+    const Point2& site = sites[pick_site(rng)];
+    points.push_back(Point2{
+        clamp_to(static_cast<float>(rng.normal(site.x, p.site_sigma)), 0.0f,
+                 p.width),
+        clamp_to(static_cast<float>(rng.normal(site.y, p.site_sigma)), 0.0f,
+                 p.height)});
+  }
+  return points;
+}
+
+std::vector<Point2> generate_sky_survey(std::size_t n, std::uint64_t seed,
+                                        const SkySurveyParams& p) {
+  Xoshiro256 rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+
+  std::vector<Point2> blob_centers;
+  blob_centers.reserve(p.num_blobs);
+  for (unsigned b = 0; b < p.num_blobs; ++b) {
+    blob_centers.push_back(
+        Point2{rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)});
+  }
+
+  struct Filament {
+    Point2 a, b;
+  };
+  std::vector<Filament> filaments;
+  filaments.reserve(p.num_filaments);
+  for (unsigned f = 0; f < p.num_filaments; ++f) {
+    filaments.push_back(Filament{
+        {rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)},
+        {rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)}});
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    if (u < p.uniform_fraction || (p.num_blobs == 0 && p.num_filaments == 0)) {
+      points.push_back(
+          Point2{rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)});
+    } else if (u < p.uniform_fraction + p.blob_fraction && p.num_blobs > 0) {
+      const Point2& c = blob_centers[rng.below(blob_centers.size())];
+      points.push_back(Point2{
+          clamp_to(static_cast<float>(rng.normal(c.x, p.blob_sigma)), 0.0f,
+                   p.width),
+          clamp_to(static_cast<float>(rng.normal(c.y, p.blob_sigma)), 0.0f,
+                   p.height)});
+    } else if (p.num_filaments > 0) {
+      const Filament& f = filaments[rng.below(filaments.size())];
+      const auto t = static_cast<float>(rng.uniform());
+      const Point2 along{f.a.x + t * (f.b.x - f.a.x),
+                         f.a.y + t * (f.b.y - f.a.y)};
+      points.push_back(Point2{
+          clamp_to(static_cast<float>(rng.normal(along.x, p.filament_sigma)),
+                   0.0f, p.width),
+          clamp_to(static_cast<float>(rng.normal(along.y, p.filament_sigma)),
+                   0.0f, p.height)});
+    } else {
+      points.push_back(
+          Point2{rng.uniform(0.0f, p.width), rng.uniform(0.0f, p.height)});
+    }
+  }
+  return points;
+}
+
+std::vector<Point2> generate_uniform(std::size_t n, std::uint64_t seed,
+                                     float width, float height) {
+  Xoshiro256 rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(
+        Point2{rng.uniform(0.0f, width), rng.uniform(0.0f, height)});
+  }
+  return points;
+}
+
+std::vector<Point2> generate_gaussian_blobs(std::size_t n, std::uint64_t seed,
+                                            unsigned num_blobs, float sigma,
+                                            float width, float height,
+                                            double noise_fraction,
+                                            std::vector<int>* labels_out) {
+  Xoshiro256 rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+  if (labels_out != nullptr) {
+    labels_out->clear();
+    labels_out->reserve(n);
+  }
+  std::vector<Point2> centers;
+  centers.reserve(num_blobs);
+  // Place centers on a jittered grid so blobs stay separable.
+  const auto side = static_cast<unsigned>(
+      std::ceil(std::sqrt(static_cast<double>(num_blobs))));
+  const float cell_w = width / static_cast<float>(side);
+  const float cell_h = height / static_cast<float>(side);
+  for (unsigned b = 0; b < num_blobs; ++b) {
+    const unsigned gx = b % side;
+    const unsigned gy = b / side;
+    centers.push_back(Point2{
+        (static_cast<float>(gx) + 0.5f) * cell_w +
+            rng.uniform(-0.15f, 0.15f) * cell_w,
+        (static_cast<float>(gy) + 0.5f) * cell_h +
+            rng.uniform(-0.15f, 0.15f) * cell_h});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < noise_fraction || num_blobs == 0) {
+      points.push_back(
+          Point2{rng.uniform(0.0f, width), rng.uniform(0.0f, height)});
+      if (labels_out != nullptr) labels_out->push_back(-1);
+      continue;
+    }
+    const std::size_t b = rng.below(num_blobs);
+    points.push_back(Point2{
+        clamp_to(static_cast<float>(rng.normal(centers[b].x, sigma)), 0.0f,
+                 width),
+        clamp_to(static_cast<float>(rng.normal(centers[b].y, sigma)), 0.0f,
+                 height)});
+    if (labels_out != nullptr) labels_out->push_back(static_cast<int>(b));
+  }
+  return points;
+}
+
+}  // namespace hdbscan::data

@@ -1,0 +1,66 @@
+// Synthetic 2-D dataset generators standing in for the paper's real data
+// (the FTP-hosted space-weather TEC measurements and SDSS DR12 galaxies are
+// not available offline; see DESIGN.md §1 for the substitution rationale).
+//
+// Two families reproduce the spatial characteristics the paper's analysis
+// hinges on:
+//  * Space weather (SW-)  — "many overdense regions as a function of the
+//    relative locations of GPS receivers": receiver sites cluster into
+//    geographic regions; measurements pile up tightly around sites with a
+//    heavy-tailed site popularity, over a sparse background.
+//  * Sky survey (SDSS-)   — "more uniformly distributed": a dominant
+//    uniform field plus weak large-scale structure (low-contrast blobs and
+//    thin filaments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan::data {
+
+struct SpaceWeatherParams {
+  float width = 35.0f;
+  float height = 35.0f;
+  unsigned num_regions = 12;       ///< continental clumps of receivers
+  unsigned sites_per_region = 80;  ///< GPS receiver sites per region
+  float region_sigma = 3.0f;       ///< site scatter around a region center
+  float site_sigma = 0.35f;        ///< measurement scatter around a site
+  double background_fraction = 0.12;
+  double site_zipf_exponent = 0.7; ///< heavy-tailed site popularity
+};
+
+struct SkySurveyParams {
+  float width = 35.0f;
+  float height = 35.0f;
+  double uniform_fraction = 0.72;
+  unsigned num_blobs = 350;        ///< weak galaxy-cluster overdensities
+  float blob_sigma = 0.45f;
+  double blob_fraction = 0.2;
+  unsigned num_filaments = 25;     ///< thin large-scale-structure strands
+  float filament_sigma = 0.15f;    ///< transverse scatter along a filament
+};
+
+/// Skewed, hotspot-heavy distribution (SW- family).
+std::vector<Point2> generate_space_weather(std::size_t n, std::uint64_t seed,
+                                           const SpaceWeatherParams& params = {});
+
+/// Near-uniform distribution with mild structure (SDSS- family).
+std::vector<Point2> generate_sky_survey(std::size_t n, std::uint64_t seed,
+                                        const SkySurveyParams& params = {});
+
+/// Plain uniform points (tests and ablations).
+std::vector<Point2> generate_uniform(std::size_t n, std::uint64_t seed,
+                                     float width, float height);
+
+/// Gaussian blobs with known membership (tests: DBSCAN should recover the
+/// blobs). `labels_out`, if non-null, receives the generating blob id of
+/// each point (noise points get -1).
+std::vector<Point2> generate_gaussian_blobs(std::size_t n, std::uint64_t seed,
+                                            unsigned num_blobs, float sigma,
+                                            float width, float height,
+                                            double noise_fraction = 0.0,
+                                            std::vector<int>* labels_out = nullptr);
+
+}  // namespace hdbscan::data

@@ -1,0 +1,75 @@
+#include "data/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdbscan::data {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'H', 'D', 'B', '2'};
+}
+
+void save_binary(const std::string& path, const std::vector<Point2>& points) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_binary: cannot open " + path);
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t count = points.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(points.data()),
+            static_cast<std::streamsize>(points.size() * sizeof(Point2)));
+  if (!out) throw std::runtime_error("save_binary: write failed for " + path);
+}
+
+std::vector<Point2> load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_binary: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_binary: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("load_binary: truncated header in " + path);
+  std::vector<Point2> points(count);
+  in.read(reinterpret_cast<char*>(points.data()),
+          static_cast<std::streamsize>(count * sizeof(Point2)));
+  if (!in) throw std::runtime_error("load_binary: truncated data in " + path);
+  return points;
+}
+
+void save_csv(const std::string& path, const std::vector<Point2>& points) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  for (const Point2& p : points) {
+    out << p.x << ',' << p.y << '\n';
+  }
+  if (!out) throw std::runtime_error("save_csv: write failed for " + path);
+}
+
+std::vector<Point2> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+  std::vector<Point2> points;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    Point2 p;
+    char comma = 0;
+    if (!(ss >> p.x >> comma >> p.y) || comma != ',') {
+      throw std::runtime_error("load_csv: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace hdbscan::data

@@ -1,0 +1,26 @@
+// Dataset persistence: a simple binary format (magic + count + xy floats)
+// and CSV import/export compatible with the paper's dbscandat layout
+// (one "x,y" record per line).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan::data {
+
+/// Writes points as little-endian binary: "HDB2" magic, u64 count, then
+/// count * 2 floats. Throws std::runtime_error on I/O failure.
+void save_binary(const std::string& path, const std::vector<Point2>& points);
+
+/// Reads the binary format written by save_binary.
+std::vector<Point2> load_binary(const std::string& path);
+
+/// Writes "x,y\n" per point.
+void save_csv(const std::string& path, const std::vector<Point2>& points);
+
+/// Reads "x,y" per line; skips blank lines and lines starting with '#'.
+std::vector<Point2> load_csv(const std::string& path);
+
+}  // namespace hdbscan::data

@@ -1,0 +1,140 @@
+#include "dbscan/cluster_compare.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "dbscan/union_find.hpp"
+
+namespace hdbscan {
+
+namespace {
+
+std::vector<bool> core_mask(const NeighborTable& table, int minpts) {
+  std::vector<bool> core(table.num_points());
+  for (PointId i = 0; i < table.num_points(); ++i) {
+    core[i] = table.neighbor_count(i) >= static_cast<std::uint32_t>(minpts);
+  }
+  return core;
+}
+
+CompareOutcome fail(std::string msg) { return {false, std::move(msg)}; }
+
+}  // namespace
+
+CompareOutcome validate_dbscan_result(const ClusterResult& result,
+                                      const NeighborTable& table,
+                                      int minpts) {
+  const std::size_t n = table.num_points();
+  if (result.labels.size() != n) {
+    return fail("label vector size mismatch");
+  }
+  const std::vector<bool> core = core_mask(table, minpts);
+
+  // Ground-truth core partition: union cores that are within eps.
+  UnionFind uf(n);
+  for (PointId i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    for (const PointId j : table.neighbors(i)) {
+      if (core[j]) uf.unite(i, static_cast<std::uint32_t>(j));
+    }
+  }
+
+  std::unordered_map<std::uint32_t, std::int32_t> component_label;
+  std::unordered_map<std::int32_t, std::uint32_t> label_component;
+  for (PointId i = 0; i < n; ++i) {
+    const std::int32_t label = result.labels[i];
+    if (core[i]) {
+      if (label < 0) {
+        return fail("core point " + std::to_string(i) + " not clustered");
+      }
+      const std::uint32_t comp = uf.find(static_cast<std::uint32_t>(i));
+      // Each connected core component maps to exactly one cluster label,
+      // and each label to exactly one component (bijection).
+      if (auto [it, inserted] = component_label.try_emplace(comp, label);
+          !inserted && it->second != label) {
+        return fail("core component split across clusters at point " +
+                    std::to_string(i));
+      }
+      if (auto [it, inserted] = label_component.try_emplace(label, comp);
+          !inserted && it->second != comp) {
+        return fail("distinct core components merged into one cluster at "
+                    "point " +
+                    std::to_string(i));
+      }
+    }
+  }
+
+  for (PointId i = 0; i < n; ++i) {
+    if (core[i]) continue;
+    const std::int32_t label = result.labels[i];
+    bool has_core_neighbor = false;
+    bool has_core_neighbor_in_cluster = false;
+    for (const PointId j : table.neighbors(i)) {
+      if (j == i || !core[j]) continue;
+      has_core_neighbor = true;
+      if (result.labels[j] == label) has_core_neighbor_in_cluster = true;
+    }
+    if (label == kNoise) {
+      if (has_core_neighbor) {
+        return fail("point " + std::to_string(i) +
+                    " marked noise but is density-reachable from a core");
+      }
+    } else if (label >= 0) {
+      if (!has_core_neighbor_in_cluster) {
+        return fail("border point " + std::to_string(i) +
+                    " assigned to a cluster with no adjacent core");
+      }
+    } else {
+      return fail("point " + std::to_string(i) + " left unvisited");
+    }
+  }
+  return {};
+}
+
+CompareOutcome compare_clusterings(const ClusterResult& a,
+                                   const ClusterResult& b,
+                                   const NeighborTable& table, int minpts) {
+  if (a.labels.size() != b.labels.size()) {
+    return fail("label vector sizes differ");
+  }
+  if (auto v = validate_dbscan_result(a, table, minpts); !v.equivalent) {
+    return fail("first clustering invalid: " + v.diagnostic);
+  }
+  if (auto v = validate_dbscan_result(b, table, minpts); !v.equivalent) {
+    return fail("second clustering invalid: " + v.diagnostic);
+  }
+
+  const std::vector<bool> core = core_mask(table, minpts);
+  // Both are valid DBSCAN results, so their core partitions both equal the
+  // ground-truth partition; verify the label bijection on cores directly
+  // (cheap and yields a precise diagnostic on failure).
+  std::unordered_map<std::int32_t, std::int32_t> a_to_b;
+  std::unordered_map<std::int32_t, std::int32_t> b_to_a;
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    if (!core[i]) {
+      // Noise must agree everywhere (it is deterministic); border points
+      // were already validated per-result.
+      const bool a_noise = a.labels[i] == kNoise;
+      const bool b_noise = b.labels[i] == kNoise;
+      if (a_noise != b_noise) {
+        return fail("noise/border disagreement at point " + std::to_string(i));
+      }
+      continue;
+    }
+    const std::int32_t la = a.labels[i];
+    const std::int32_t lb = b.labels[i];
+    if (auto [it, inserted] = a_to_b.try_emplace(la, lb);
+        !inserted && it->second != lb) {
+      return fail("core cluster mapping not functional at point " +
+                  std::to_string(i));
+    }
+    if (auto [it, inserted] = b_to_a.try_emplace(lb, la);
+        !inserted && it->second != la) {
+      return fail("core cluster mapping not injective at point " +
+                  std::to_string(i));
+    }
+  }
+  return {};
+}
+
+}  // namespace hdbscan

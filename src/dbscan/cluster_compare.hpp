@@ -1,0 +1,42 @@
+// DBSCAN-aware clustering equivalence.
+//
+// Two valid DBSCAN runs over the same (D, eps, minpts) must agree exactly
+// on (a) which points are core, (b) the partition of core points into
+// clusters, and (c) which points are noise. What they may legitimately
+// disagree on is *which* adjacent cluster a border point joins — border
+// assignment is visit-order dependent by the algorithm's definition. The
+// checker enforces (a)-(c) and, for border points, that the assigned
+// cluster contains a core point within eps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dbscan/cluster_result.hpp"
+#include "dbscan/neighbor_table.hpp"
+
+namespace hdbscan {
+
+struct CompareOutcome {
+  bool equivalent = true;
+  std::string diagnostic;  ///< empty when equivalent
+};
+
+/// Compares two clusterings of the same point ordering. `table` must be
+/// the eps-neighbor table for that ordering (it defines core points).
+CompareOutcome compare_clusterings(const ClusterResult& a,
+                                   const ClusterResult& b,
+                                   const NeighborTable& table, int minpts);
+
+/// Validates a single clustering against DBSCAN's definition:
+///  * every core point is clustered, and all cores within eps of each
+///    other share a cluster;
+///  * cores in the same cluster are connected through core-to-core eps
+///    links (no accidental merges);
+///  * border points belong to a cluster owning a core within eps;
+///  * noise points have no core within eps.
+CompareOutcome validate_dbscan_result(const ClusterResult& result,
+                                      const NeighborTable& table, int minpts);
+
+}  // namespace hdbscan

@@ -1,0 +1,25 @@
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan {
+
+ClusterResult canonicalize(const ClusterResult& result) {
+  ClusterResult out;
+  out.labels.resize(result.labels.size(), kNoise);
+  std::vector<std::int32_t> remap(
+      static_cast<std::size_t>(result.num_clusters), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    const std::int32_t l = result.labels[i];
+    if (l < 0) {
+      out.labels[i] = l;
+      continue;
+    }
+    auto& m = remap[static_cast<std::size_t>(l)];
+    if (m < 0) m = next++;
+    out.labels[i] = m;
+  }
+  out.num_clusters = next;
+  return out;
+}
+
+}  // namespace hdbscan

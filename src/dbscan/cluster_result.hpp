@@ -1,0 +1,43 @@
+// Clustering output representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan {
+
+/// Per-point labels: cluster ids are >= 0; special values below.
+inline constexpr std::int32_t kNoise = -1;
+inline constexpr std::int32_t kUnvisited = -2;
+
+struct ClusterResult {
+  std::vector<std::int32_t> labels;  ///< one entry per input point
+  std::int32_t num_clusters = 0;
+
+  [[nodiscard]] std::size_t noise_count() const noexcept {
+    std::size_t n = 0;
+    for (const std::int32_t l : labels) n += (l == kNoise);
+    return n;
+  }
+
+  [[nodiscard]] std::size_t clustered_count() const noexcept {
+    return labels.size() - noise_count();
+  }
+
+  /// Sizes of each cluster, indexed by cluster id.
+  [[nodiscard]] std::vector<std::size_t> cluster_sizes() const {
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(num_clusters), 0);
+    for (const std::int32_t l : labels) {
+      if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+    }
+    return sizes;
+  }
+};
+
+/// Renumbers cluster ids by order of first appearance so structurally
+/// identical clusterings compare equal regardless of discovery order.
+ClusterResult canonicalize(const ClusterResult& result);
+
+}  // namespace hdbscan

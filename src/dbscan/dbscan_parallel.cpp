@@ -1,0 +1,102 @@
+#include "dbscan/dbscan_parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dbscan/atomic_union_find.hpp"
+
+namespace hdbscan {
+
+namespace {
+
+/// Static range split of [0, n) across `workers` threads.
+template <typename F>
+void run_partitioned(std::size_t n, unsigned workers, F&& body) {
+  if (workers <= 1 || n < 2048) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+ClusterResult dbscan_parallel(const NeighborTable& table, int minpts,
+                              unsigned num_threads) {
+  if (minpts < 1) {
+    throw std::invalid_argument("dbscan_parallel: minpts must be >= 1");
+  }
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t n = table.num_points();
+  const auto required = static_cast<std::uint32_t>(minpts);
+
+  // Phase 1: core mask.
+  std::vector<std::uint8_t> core(n, 0);
+  run_partitioned(n, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      core[i] = table.neighbor_count(static_cast<PointId>(i)) >= required;
+    }
+  });
+
+  // Phase 2: union core-core edges. Each edge appears twice (T is
+  // symmetric); processing j > i halves the work without missing any.
+  AtomicUnionFind uf(n);
+  run_partitioned(n, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!core[i]) continue;
+      for (const PointId j : table.neighbors(static_cast<PointId>(i))) {
+        if (j > i && core[j]) {
+          uf.unite(static_cast<std::uint32_t>(i), j);
+        }
+      }
+    }
+  });
+
+  // Phase 3a: dense-renumber the core component roots (sequential scan in
+  // id order -> stable cluster numbering).
+  ClusterResult result;
+  result.labels.assign(n, kNoise);
+  std::vector<std::int32_t> root_label(n, -1);
+  std::int32_t next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
+    if (root_label[root] < 0) root_label[root] = next_cluster++;
+    result.labels[i] = root_label[root];
+  }
+  result.num_clusters = next_cluster;
+
+  // Phase 3b: borders — deterministic smallest-root rule.
+  run_partitioned(n, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (core[i]) continue;
+      std::uint32_t best_root = std::numeric_limits<std::uint32_t>::max();
+      for (const PointId j : table.neighbors(static_cast<PointId>(i))) {
+        if (core[j]) {
+          best_root = std::min(best_root, uf.find(j));
+        }
+      }
+      if (best_root != std::numeric_limits<std::uint32_t>::max()) {
+        result.labels[i] = root_label[best_root];
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace hdbscan

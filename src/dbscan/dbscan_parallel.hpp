@@ -1,0 +1,30 @@
+// Parallel disjoint-set DBSCAN over a precomputed neighbor table, in the
+// spirit of PDSDBSCAN (Patwary et al. 2012, the paper's citation [9]).
+//
+// With T in hand the clustering reduces to a graph problem:
+//   1. (parallel) mark core points: |N_eps(p)| >= minpts;
+//   2. (parallel) union every core with its core neighbors via a
+//      lock-free disjoint-set forest;
+//   3. (parallel) label borders: a non-core with core neighbors joins the
+//      cluster of the core neighbor with the smallest component root —
+//      a deterministic rule, so the output is identical for any thread
+//      count; remaining points are noise.
+//
+// This is an alternative consumer for the hybrid pipeline's T that removes
+// the sequential expansion loop entirely (useful when a single variant,
+// not a variant sweep, must finish fastest).
+#pragma once
+
+#include "dbscan/cluster_result.hpp"
+#include "dbscan/neighbor_table.hpp"
+
+namespace hdbscan {
+
+/// Clusters using `num_threads` workers (0 = hardware concurrency).
+/// Produces a DBSCAN-valid clustering: identical to the sequential
+/// algorithm on cores and noise; border assignment follows the
+/// deterministic smallest-root rule.
+ClusterResult dbscan_parallel(const NeighborTable& table, int minpts,
+                              unsigned num_threads = 0);
+
+}  // namespace hdbscan

@@ -1,0 +1,89 @@
+#include "dbscan/neighbor_table.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hdbscan {
+
+void NeighborTable::append_sorted_batch(std::span<const NeighborPair> pairs) {
+  const std::size_t base = values_.size();
+  values_.resize(base + pairs.size());
+  // Single pass: copy values and record each key's [Tmin, Tmax) range at
+  // the run boundaries. This is the host-side work that overlaps the GPU
+  // in the paper's scheme, so it must stream at memcpy-like rates.
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const PointId key = pairs[i].key;
+    if (key >= begin_.size()) {
+      values_.resize(base);
+      throw std::out_of_range("NeighborTable: key out of range");
+    }
+    if (end_[key] != begin_[key]) {
+      values_.resize(base);
+      throw std::logic_error("NeighborTable: key appears in two batches");
+    }
+    const std::size_t run_begin = i;
+    PointId* out = values_.data() + base + i;
+    while (i < pairs.size() && pairs[i].key == key) {
+      *out++ = pairs[i].value;
+      ++i;
+    }
+    begin_[key] = static_cast<std::uint32_t>(base + run_begin);
+    end_[key] = static_cast<std::uint32_t>(base + i);
+  }
+}
+
+NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
+                                                 float eps,
+                                                 unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t n = index.size();
+  NeighborTable table(n);
+
+  // Each worker searches a contiguous id range and stages its pairs;
+  // appends are serialized (ranges have disjoint keys, so order between
+  // batches is irrelevant).
+  std::mutex table_mutex;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, (n + num_threads - 1) / num_threads);
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < num_threads; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&, begin, end] {
+      std::vector<PointId> neighbors;
+      std::vector<NeighborPair> pairs;
+      for (std::size_t i = begin; i < end; ++i) {
+        grid_query(index, index.points[i], eps, neighbors);
+        for (const PointId v : neighbors) {
+          pairs.push_back({static_cast<PointId>(i), v});
+        }
+      }
+      std::lock_guard lock(table_mutex);
+      table.append_sorted_batch(pairs);
+    });
+  }
+  for (auto& t : workers) t.join();
+  return table;
+}
+
+NeighborTable build_neighbor_table_host(const GridIndex& index, float eps) {
+  NeighborTable table(index.size());
+  std::vector<PointId> neighbors;
+  std::vector<NeighborPair> pairs;
+  for (PointId i = 0; i < index.size(); ++i) {
+    grid_query(index, index.points[i], eps, neighbors);
+    pairs.clear();
+    pairs.reserve(neighbors.size());
+    for (const PointId v : neighbors) pairs.push_back({i, v});
+    table.append_sorted_batch(pairs);
+  }
+  return table;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,84 @@
+// The neighbor table T (paper §III and §V).
+//
+// T maps every point p_i in D to its eps-neighborhood N_eps(p_i): per point
+// a range [Tmin_i, Tmax_i) into the value array B. The GPU pipeline fills T
+// incrementally, one batch at a time — each batch arrives as a key-sorted
+// run of (key, value) pairs whose values are appended to B and whose key
+// ranges are recorded. Batches cover disjoint key sets (the strided
+// assignment of §VI), so appends never interleave a single key's values.
+//
+// Self-pairs are included (dist(p, p) = 0 <= eps), matching the DBSCAN
+// definition where |N_eps(p)| counts p itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan {
+
+class NeighborTable {
+ public:
+  NeighborTable() = default;
+
+  /// Creates an empty table for `num_points` points with all ranges empty.
+  explicit NeighborTable(std::size_t num_points)
+      : begin_(num_points, 0), end_(num_points, 0) {}
+
+  [[nodiscard]] std::size_t num_points() const noexcept {
+    return begin_.size();
+  }
+
+  /// The eps-neighborhood of point i (ids into the same point ordering the
+  /// table was built from), including i itself.
+  [[nodiscard]] std::span<const PointId> neighbors(PointId i) const noexcept {
+    return {values_.data() + begin_[i], values_.data() + end_[i]};
+  }
+
+  [[nodiscard]] std::uint32_t neighbor_count(PointId i) const noexcept {
+    return end_[i] - begin_[i];
+  }
+
+  /// Total number of (key, value) pairs stored (|B|).
+  [[nodiscard]] std::size_t total_pairs() const noexcept {
+    return values_.size();
+  }
+
+  /// Appends one batch of key-sorted pairs: values are copied into B and
+  /// each distinct key's [Tmin, Tmax) range is recorded. Keys must not have
+  /// appeared in a previous batch. Not thread-safe; the batched builder
+  /// serializes appends.
+  void append_sorted_batch(std::span<const NeighborPair> pairs);
+
+  /// Reserve capacity for the expected total pair count.
+  void reserve_values(std::size_t expected_pairs) {
+    values_.reserve(expected_pairs);
+  }
+
+  /// Direct access for tests.
+  [[nodiscard]] std::span<const PointId> values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<std::uint32_t> begin_;  ///< Tmin per point (index into B)
+  std::vector<std::uint32_t> end_;    ///< Tmax per point (one past last)
+  std::vector<PointId> values_;       ///< B
+};
+
+/// CPU-only construction of T straight from a grid index — the host
+/// fallback the paper mentions ("a CPU-only implementation could also
+/// compute and reuse T") and the oracle for kernel tests.
+NeighborTable build_neighbor_table_host(const GridIndex& index, float eps);
+
+/// Multithreaded host construction of T: point ranges are searched in
+/// parallel and appended as per-range batches. Produces exactly the same
+/// table as the sequential builder. `num_threads` 0 = hardware concurrency.
+NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
+                                                 float eps,
+                                                 unsigned num_threads = 0);
+
+}  // namespace hdbscan

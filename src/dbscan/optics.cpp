@@ -1,0 +1,118 @@
+#include "dbscan/optics.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace hdbscan {
+
+namespace {
+
+/// Lazy-deletion entry for the seed priority queue (min-heap by
+/// reachability; ties broken by id for determinism).
+struct Seed {
+  float reachability;
+  PointId id;
+
+  friend bool operator>(const Seed& a, const Seed& b) noexcept {
+    if (a.reachability != b.reachability) {
+      return a.reachability > b.reachability;
+    }
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+OpticsResult optics(std::span<const Point2> points, const NeighborTable& table,
+                    float eps, int minpts) {
+  if (points.size() != table.num_points()) {
+    throw std::invalid_argument("optics: points/table size mismatch");
+  }
+  if (minpts < 1) throw std::invalid_argument("optics: minpts must be >= 1");
+
+  const std::size_t n = points.size();
+  OpticsResult result;
+  result.eps = eps;
+  result.minpts = minpts;
+  result.order.reserve(n);
+  result.reachability.assign(n, kUndefinedDistance);
+  result.core_distance.assign(n, kUndefinedDistance);
+
+  // Core distances: the minpts-th smallest distance within the
+  // eps-neighborhood (which T already materializes, self included).
+  std::vector<float> dists;
+  for (PointId i = 0; i < n; ++i) {
+    const auto neighbors = table.neighbors(i);
+    if (neighbors.size() < static_cast<std::size_t>(minpts)) continue;
+    dists.clear();
+    dists.reserve(neighbors.size());
+    for (const PointId j : neighbors) {
+      dists.push_back(dist(points[i], points[j]));
+    }
+    auto kth = dists.begin() + (minpts - 1);
+    std::nth_element(dists.begin(), kth, dists.end());
+    result.core_distance[i] = *kth;
+  }
+
+  std::vector<bool> processed(n, false);
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+
+  auto update_neighbors = [&](PointId p) {
+    const float core_d = result.core_distance[p];
+    if (core_d == kUndefinedDistance) return;  // not core: no expansion
+    for (const PointId q : table.neighbors(p)) {
+      if (processed[q]) continue;
+      const float reach = std::max(core_d, dist(points[p], points[q]));
+      if (reach < result.reachability[q]) {
+        result.reachability[q] = reach;
+        seeds.push(Seed{reach, q});  // lazy decrease-key
+      }
+    }
+  };
+
+  for (PointId start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    result.order.push_back(start);
+    update_neighbors(start);
+    while (!seeds.empty()) {
+      const Seed seed = seeds.top();
+      seeds.pop();
+      if (processed[seed.id]) continue;  // stale entry
+      processed[seed.id] = true;
+      result.order.push_back(seed.id);
+      update_neighbors(seed.id);
+    }
+  }
+  return result;
+}
+
+ClusterResult extract_dbscan_clustering(const OpticsResult& result,
+                                        float eps_prime) {
+  if (eps_prime > result.eps) {
+    throw std::invalid_argument(
+        "extract_dbscan_clustering: eps_prime exceeds the OPTICS radius");
+  }
+  ClusterResult out;
+  out.labels.assign(result.size(), kNoise);
+  std::int32_t cluster = -1;
+  for (const PointId p : result.order) {
+    if (result.reachability[p] > eps_prime) {
+      // Not density-reachable at eps' from anything before it: either it
+      // starts a new cluster (core at eps') or it is noise.
+      if (result.core_distance[p] <= eps_prime) {
+        ++cluster;
+        out.labels[p] = cluster;
+      } else {
+        out.labels[p] = kNoise;
+      }
+    } else {
+      out.labels[p] = cluster;
+    }
+  }
+  out.num_clusters = cluster + 1;
+  return out;
+}
+
+}  // namespace hdbscan

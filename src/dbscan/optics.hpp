@@ -1,0 +1,55 @@
+// OPTICS (Ankerst et al. 1999), the converse knob to the paper's
+// data-reuse scheme: HYBRID-DBSCAN fixes eps and reuses T across minpts
+// (paper §VII-F), OPTICS fixes minpts and orders points so that a
+// DBSCAN-equivalent clustering for *any* eps' <= eps can be extracted.
+//
+// This implementation runs over the same precomputed neighbor table T the
+// hybrid pipeline produces, so one GPU pass serves an entire (eps',
+// cluster-structure) exploration — the "Computer-Aided Discovery" workflow
+// of the paper's §III, extended along the second parameter axis.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dbscan/cluster_result.hpp"
+#include "dbscan/neighbor_table.hpp"
+
+namespace hdbscan {
+
+/// No reachability / not a core point.
+inline constexpr float kUndefinedDistance =
+    std::numeric_limits<float>::infinity();
+
+struct OpticsResult {
+  /// Points in cluster order (a permutation of the table's point ids).
+  std::vector<PointId> order;
+  /// reachability[i] is the reachability distance of point i (by point id,
+  /// not by order position); kUndefinedDistance for component starters.
+  std::vector<float> reachability;
+  /// core_distance[i]: distance to the minpts-th nearest neighbor within
+  /// eps, or kUndefinedDistance when |N_eps(i)| < minpts.
+  std::vector<float> core_distance;
+  float eps = 0.0f;
+  int minpts = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return order.size(); }
+};
+
+/// Runs OPTICS. `points` must be in the same order the table was built
+/// from (the grid index's internal ordering); `eps` must match the
+/// table's construction radius.
+OpticsResult optics(std::span<const Point2> points, const NeighborTable& table,
+                    float eps, int minpts);
+
+/// Extracts the DBSCAN-like clustering at eps_prime <= optics eps from the
+/// ordering (ExtractDBSCAN-Clustering of the OPTICS paper). Agrees with
+/// DBSCAN(eps_prime, minpts) exactly on core points; a handful of border
+/// points may be classified noise instead (an inherent property of the
+/// extraction, noted in the OPTICS paper).
+ClusterResult extract_dbscan_clustering(const OpticsResult& result,
+                                        float eps_prime);
+
+}  // namespace hdbscan

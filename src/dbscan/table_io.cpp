@@ -1,0 +1,83 @@
+#include "dbscan/table_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hdbscan {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'H', 'D', 'B', 'T'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+}  // namespace
+
+void save_neighbor_table(const std::string& path, const NeighborTable& table,
+                         float eps) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_neighbor_table: cannot open " + path);
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, eps);
+  write_pod(out, static_cast<std::uint64_t>(table.num_points()));
+  write_pod(out, static_cast<std::uint64_t>(table.total_pairs()));
+  for (PointId i = 0; i < table.num_points(); ++i) {
+    const auto neighbors = table.neighbors(i);
+    write_pod(out, static_cast<std::uint32_t>(neighbors.size()));
+    out.write(reinterpret_cast<const char*>(neighbors.data()),
+              static_cast<std::streamsize>(neighbors.size_bytes()));
+  }
+  if (!out) throw std::runtime_error("save_neighbor_table: write failed");
+}
+
+NeighborTable load_neighbor_table(const std::string& path,
+                                  TableHeader* header_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_neighbor_table: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_neighbor_table: bad magic in " + path);
+  }
+  TableHeader header;
+  read_pod(in, header.eps);
+  read_pod(in, header.num_points);
+  read_pod(in, header.total_pairs);
+  if (!in) throw std::runtime_error("load_neighbor_table: truncated header");
+
+  NeighborTable table(header.num_points);
+  table.reserve_values(header.total_pairs);
+  std::vector<NeighborPair> batch;
+  std::vector<PointId> values;
+  std::uint64_t seen_pairs = 0;
+  for (PointId i = 0; i < header.num_points; ++i) {
+    std::uint32_t count = 0;
+    read_pod(in, count);
+    values.resize(count);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(PointId)));
+    if (!in) {
+      throw std::runtime_error("load_neighbor_table: truncated data at point " +
+                               std::to_string(i));
+    }
+    batch.resize(count);
+    for (std::uint32_t v = 0; v < count; ++v) batch[v] = {i, values[v]};
+    table.append_sorted_batch(batch);
+    seen_pairs += count;
+  }
+  if (seen_pairs != header.total_pairs) {
+    throw std::runtime_error("load_neighbor_table: pair count mismatch");
+  }
+  if (header_out != nullptr) *header_out = header;
+  return table;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,30 @@
+// Neighbor-table persistence: because T depends only on (D, eps), a saved
+// table lets later sessions sweep minpts (scenario S3) or re-extract
+// clusterings without touching the GPU at all — data reuse across
+// processes, not just across threads.
+#pragma once
+
+#include <string>
+
+#include "dbscan/neighbor_table.hpp"
+
+namespace hdbscan {
+
+/// Stored alongside the table so consumers can validate compatibility.
+struct TableHeader {
+  float eps = 0.0f;
+  std::uint64_t num_points = 0;
+  std::uint64_t total_pairs = 0;
+};
+
+/// Writes the table (binary, little-endian). Throws std::runtime_error on
+/// I/O failure.
+void save_neighbor_table(const std::string& path, const NeighborTable& table,
+                         float eps);
+
+/// Reads a table written by save_neighbor_table. `header_out` (optional)
+/// receives the stored metadata.
+NeighborTable load_neighbor_table(const std::string& path,
+                                  TableHeader* header_out = nullptr);
+
+}  // namespace hdbscan

@@ -1,0 +1,52 @@
+// Disjoint-set forest with path halving + union by size. Used by the
+// clustering-equivalence checker (and available for subcluster-merge style
+// DBSCAN variants).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace hdbscan {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the two elements were in different sets.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::uint32_t set_size(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace hdbscan

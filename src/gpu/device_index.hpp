@@ -1,0 +1,70 @@
+// Device-resident copy of the grid index (D, G, A and the schedule S are
+// stored in global memory on the GPU — paper §IV).
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/buffer.hpp"
+#include "cudasim/stream.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan::gpu {
+
+class GridDeviceIndex {
+ public:
+  /// Allocates device buffers and enqueues the H2D uploads on `stream`
+  /// (pageable host memory — the index is uploaded once per epsilon).
+  GridDeviceIndex(cudasim::Device& device, cudasim::Stream& stream,
+                  const GridIndex& host_index)
+      : params_(host_index.params),
+        num_points_(static_cast<std::uint32_t>(host_index.points.size())),
+        num_nonempty_(
+            static_cast<std::uint32_t>(host_index.nonempty_cells.size())),
+        max_cell_occupancy_(host_index.max_cell_occupancy),
+        points_(device, host_index.points.size()),
+        cells_(device, host_index.cells.size()),
+        lookup_(device, host_index.lookup.size()),
+        schedule_(device, host_index.nonempty_cells.size()) {
+    stream.memcpy_to_device(points_, host_index.points.data(),
+                            host_index.points.size());
+    stream.memcpy_to_device(cells_, host_index.cells.data(),
+                            host_index.cells.size());
+    stream.memcpy_to_device(lookup_, host_index.lookup.data(),
+                            host_index.lookup.size());
+    stream.memcpy_to_device(schedule_, host_index.nonempty_cells.data(),
+                            host_index.nonempty_cells.size());
+  }
+
+  [[nodiscard]] GridView view() const noexcept {
+    return GridView{params_, points_.device_data(), num_points_,
+                    cells_.device_data(), lookup_.device_data()};
+  }
+
+  [[nodiscard]] const std::uint32_t* schedule() const noexcept {
+    return schedule_.device_data();
+  }
+
+  [[nodiscard]] std::uint32_t num_nonempty_cells() const noexcept {
+    return num_nonempty_;
+  }
+
+  [[nodiscard]] std::uint32_t max_cell_occupancy() const noexcept {
+    return max_cell_occupancy_;
+  }
+
+  [[nodiscard]] std::uint32_t num_points() const noexcept {
+    return num_points_;
+  }
+
+ private:
+  GridParams params_;
+  std::uint32_t num_points_;
+  std::uint32_t num_nonempty_;
+  std::uint32_t max_cell_occupancy_;
+  cudasim::DeviceBuffer<Point2> points_;
+  cudasim::DeviceBuffer<CellRange> cells_;
+  cudasim::DeviceBuffer<PointId> lookup_;
+  cudasim::DeviceBuffer<std::uint32_t> schedule_;
+};
+
+}  // namespace hdbscan::gpu

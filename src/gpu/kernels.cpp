@@ -1,0 +1,271 @@
+#include "gpu/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+namespace hdbscan::gpu {
+
+namespace {
+
+/// Per-thread body of GPUCalcGlobal (paper Alg. 2, with the batching
+/// transformation of §VI: the processed point is gid * n_b + l).
+struct GlobalKernelBody {
+  GridView view;
+  float eps2;
+  BatchSpec batch;
+  ResultSinkView sink;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i =
+        gid * batch.num_batches + batch.batch;  // strided assignment
+    if (i >= view.num_points) return;
+
+    const auto pid = static_cast<PointId>(i);
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2));
+
+    std::array<std::uint32_t, 9> cell_ids{};
+    const unsigned ncells =
+        get_neighbor_cells(view.params, view.params.linear_cell(point),
+                           cell_ids);
+    for (unsigned c = 0; c < ncells; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange));
+      const std::uint32_t candidates = range.count();
+      // Per candidate: lookup id (4 B) + point (8 B) from global memory,
+      // and the 6-op squared-distance test.
+      ctx.count_global_bytes(
+          static_cast<std::uint64_t>(candidates) *
+          (sizeof(PointId) + sizeof(Point2)));
+      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        const PointId candidate = view.lookup[a];
+        if (dist2(point, view.points[candidate]) <= eps2) {
+          sink.push(NeighborPair{pid, candidate}, ctx);
+        }
+      }
+    }
+  }
+};
+
+struct SharedKernelParams {
+  GridView view;
+  const std::uint32_t* schedule;
+  float eps2;
+  ResultSinkView sink;
+};
+
+// Shared-memory arena layout for GPUCalcShared (block size B):
+//   [0, 36)                      neighbor cell ids (<= 9 x u32)
+//   [36, 40)                     neighbor cell count
+//   [40, 40 + 8B)                origin tile points
+//   [40 + 8B, 40 + 12B)          origin tile ids
+//   [40 + 12B, 40 + 20B)         comparison tile points
+//   [40 + 20B, 40 + 24B)         comparison tile ids
+constexpr std::size_t kSmemHeader = 40;
+
+/// One logical thread of GPUCalcShared (paper Alg. 3) as a coroutine;
+/// co_await ctx.sync() is the simulator's __syncthreads().
+cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
+                                         SharedKernelParams p) {
+  const unsigned tid = ctx.thread_idx;
+  const unsigned bdim = ctx.block_dim;
+
+  auto cell_ids = ctx.shared_array<std::uint32_t>(0, 9);
+  auto cell_count = ctx.shared_array<std::uint32_t>(36, 1);
+  auto origin_pts = ctx.shared_array<Point2>(kSmemHeader, bdim);
+  auto origin_ids =
+      ctx.shared_array<PointId>(kSmemHeader + bdim * sizeof(Point2), bdim);
+  auto comp_pts = ctx.shared_array<Point2>(
+      kSmemHeader + bdim * (sizeof(Point2) + sizeof(PointId)), bdim);
+  auto comp_ids = ctx.shared_array<PointId>(
+      kSmemHeader + bdim * (2 * sizeof(Point2) + sizeof(PointId)), bdim);
+
+  // The block's cell (schedule S maps blocks to non-empty cells).
+  const std::uint32_t cell_to_proc = p.schedule[ctx.block_idx];
+  ctx.count_global_bytes(sizeof(std::uint32_t));
+
+  // Thread 0 publishes the adjacent cell ids (Alg. 3 lines 8-10).
+  if (tid == 0) {
+    std::array<std::uint32_t, 9> tmp{};
+    const unsigned n = get_neighbor_cells(p.view.params, cell_to_proc, tmp);
+    for (unsigned c = 0; c < n; ++c) cell_ids[c] = tmp[c];
+    cell_count[0] = n;
+    ctx.count_shared_bytes(4ull * n + 4);
+  }
+  co_await ctx.sync();
+
+  const CellRange origin_range = p.view.cells[cell_to_proc];
+  ctx.count_global_bytes(sizeof(CellRange));
+
+  // Outer tiling loop: needed when the origin cell holds more points than
+  // the block size (the "additional loop" of §IV-B).
+  for (std::uint32_t obase = origin_range.begin; obase < origin_range.end;
+       obase += bdim) {
+    const std::uint32_t oidx = obase + tid;
+    const bool has_origin = oidx < origin_range.end;
+    if (has_origin) {
+      const PointId id = p.view.lookup[oidx];
+      origin_ids[tid] = id;
+      origin_pts[tid] = p.view.points[id];
+      ctx.count_global_bytes(sizeof(PointId) + sizeof(Point2));
+      ctx.count_shared_bytes(sizeof(PointId) + sizeof(Point2));
+    }
+    co_await ctx.sync();
+
+    const unsigned ncells = cell_count[0];
+    for (unsigned c = 0; c < ncells; ++c) {
+      const CellRange comp_range = p.view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange));
+      for (std::uint32_t cbase = comp_range.begin; cbase < comp_range.end;
+           cbase += bdim) {
+        // Page one comparison tile into shared memory (lines 15-17).
+        const std::uint32_t cidx = cbase + tid;
+        if (cidx < comp_range.end) {
+          const PointId id = p.view.lookup[cidx];
+          comp_ids[tid] = id;
+          comp_pts[tid] = p.view.points[id];
+          ctx.count_global_bytes(sizeof(PointId) + sizeof(Point2));
+          ctx.count_shared_bytes(sizeof(PointId) + sizeof(Point2));
+        }
+        co_await ctx.sync();
+
+        // Compare this thread's origin point against the whole tile
+        // (lines 19-22), everything served from shared memory.
+        if (has_origin) {
+          const std::uint32_t tile =
+              std::min<std::uint32_t>(bdim, comp_range.end - cbase);
+          const Point2 mine = origin_pts[tid];
+          const PointId my_id = origin_ids[tid];
+          ctx.count_shared_bytes(sizeof(Point2) + sizeof(PointId) +
+                                 static_cast<std::uint64_t>(tile) *
+                                     (sizeof(Point2) + sizeof(PointId)));
+          ctx.count_flops(static_cast<std::uint64_t>(tile) * 6);
+          for (std::uint32_t j = 0; j < tile; ++j) {
+            if (dist2(mine, comp_pts[j]) <= p.eps2) {
+              p.sink.push(NeighborPair{my_id, comp_ids[j]}, ctx);
+            }
+          }
+        }
+        // Keep the tile stable until every thread is done comparing.
+        co_await ctx.sync();
+      }
+    }
+    // Keep the origin tile stable until every thread finished this round.
+    co_await ctx.sync();
+  }
+}
+
+/// Per-thread body of the estimation kernel: thread t counts the neighbors
+/// of sample point t * stride and contributes one atomic add.
+struct CountKernelBody {
+  GridView view;
+  float eps2;
+  std::uint32_t stride;
+  std::atomic<std::uint64_t>* total;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t i =
+        static_cast<std::uint64_t>(ctx.global_id()) * stride;
+    if (i >= view.num_points) return;
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2));
+    std::uint64_t neighbors = 0;
+    std::array<std::uint32_t, 9> cell_ids{};
+    const unsigned ncells = get_neighbor_cells(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < ncells; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange));
+      const std::uint32_t candidates = range.count();
+      ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
+                             (sizeof(PointId) + sizeof(Point2)));
+      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        if (dist2(point, view.points[view.lookup[a]]) <= eps2) ++neighbors;
+      }
+    }
+    total->fetch_add(neighbors, std::memory_order_relaxed);
+    ctx.count_atomic();
+  }
+};
+
+[[nodiscard]] unsigned grid_dim_for(std::uint64_t threads_needed,
+                                    unsigned block_size) {
+  return static_cast<unsigned>((threads_needed + block_size - 1) / block_size);
+}
+
+}  // namespace
+
+cudasim::KernelStats run_calc_global(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, ResultSinkView sink,
+                                     unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = grid_dim_for(points, block_size);
+  GlobalKernelBody body{view, eps * eps, batch, sink};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
+                         float eps, BatchSpec batch, ResultSinkView sink,
+                         cudasim::KernelStats* stats_out,
+                         unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = grid_dim_for(points, block_size);
+  GlobalKernelBody body{view, eps * eps, batch, sink};
+  stream.launch(grid, block_size, body, stats_out);
+}
+
+std::size_t shared_kernel_smem_bytes(unsigned block_size) {
+  return kSmemHeader +
+         static_cast<std::size_t>(block_size) *
+             (2 * sizeof(Point2) + 2 * sizeof(PointId));
+}
+
+cudasim::KernelStats run_calc_shared(cudasim::Device& device,
+                                     const GridView& view,
+                                     const std::uint32_t* schedule,
+                                     std::uint32_t num_cells, float eps,
+                                     ResultSinkView sink,
+                                     unsigned block_size) {
+  SharedKernelParams params{view, schedule, eps * eps, sink};
+  auto gen = [params](cudasim::CoopCtx& ctx) {
+    return shared_kernel_thread(ctx, params);
+  };
+  return cudasim::run_coop_kernel(device, num_cells, block_size,
+                                  shared_kernel_smem_bytes(block_size), gen);
+}
+
+void enqueue_calc_shared(cudasim::Stream& stream, const GridView& view,
+                         const std::uint32_t* schedule, std::uint32_t num_cells,
+                         float eps, ResultSinkView sink,
+                         cudasim::KernelStats* stats_out,
+                         unsigned block_size) {
+  SharedKernelParams params{view, schedule, eps * eps, sink};
+  auto gen = [params](cudasim::CoopCtx& ctx) {
+    return shared_kernel_thread(ctx, params);
+  };
+  stream.launch_coop(num_cells, block_size,
+                     shared_kernel_smem_bytes(block_size), gen, stats_out);
+}
+
+std::uint64_t run_count_kernel(cudasim::Device& device, const GridView& view,
+                               float eps, std::uint32_t sample_stride,
+                               cudasim::KernelStats* stats_out,
+                               unsigned block_size) {
+  if (sample_stride == 0) sample_stride = 1;
+  std::atomic<std::uint64_t> total{0};
+  const std::uint64_t samples =
+      (view.num_points + sample_stride - 1) / sample_stride;
+  const unsigned grid = grid_dim_for(samples, block_size);
+  CountKernelBody body{view, eps * eps, sample_stride, &total};
+  const cudasim::KernelStats stats =
+      cudasim::run_flat_kernel(device, grid, block_size, body);
+  if (stats_out != nullptr) *stats_out = stats;
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace hdbscan::gpu

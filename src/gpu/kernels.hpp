@@ -1,0 +1,86 @@
+// The paper's two epsilon-neighborhood GPU kernels plus the result-size
+// estimation kernel for the batching scheme.
+//
+//  * GPUCalcGlobal (Alg. 2): one thread per point; reads candidates from
+//    up to 9 adjacent grid cells straight out of global memory.
+//  * GPUCalcShared (Alg. 3): one thread block per non-empty grid cell;
+//    pages origin- and comparison-cell points into shared memory in
+//    block-sized tiles with barriers between phases. When a cell holds
+//    more points than the block size the extra tiling loop the paper
+//    mentions kicks in.
+//  * Count kernel (§VI): counts neighbors of a uniform sample of points to
+//    produce the result-size estimate e_b without materializing results.
+//
+// Batched execution (§VI, Fig. 2): batch l of n_b processes points
+// i = gid * n_b + l, so every batch samples the (spatially sorted) database
+// uniformly and batch result sizes stay nearly equal.
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/device.hpp"
+#include "cudasim/kernel.hpp"
+#include "cudasim/stream.hpp"
+#include "gpu/result_sink.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan::gpu {
+
+/// Block size used throughout the paper's evaluation.
+inline constexpr unsigned kDefaultBlockSize = 256;
+
+/// Which slice of the strided point assignment a kernel invocation covers.
+struct BatchSpec {
+  std::uint32_t batch = 0;
+  std::uint32_t num_batches = 1;
+
+  /// Number of points batch `batch` processes out of `n` total.
+  [[nodiscard]] std::uint32_t points_in_batch(std::uint32_t n) const noexcept {
+    const std::uint32_t base = n / num_batches;
+    const std::uint32_t rem = n % num_batches;
+    return base + (batch < rem ? 1u : 0u);
+  }
+};
+
+/// GPUCalcGlobal, synchronous (runs on the calling thread + executor pool).
+cudasim::KernelStats run_calc_global(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, ResultSinkView sink,
+                                     unsigned block_size = kDefaultBlockSize);
+
+/// GPUCalcGlobal, enqueued on a stream. `stats_out` (optional) is written
+/// when the launch completes.
+void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
+                         float eps, BatchSpec batch, ResultSinkView sink,
+                         cudasim::KernelStats* stats_out = nullptr,
+                         unsigned block_size = kDefaultBlockSize);
+
+/// GPUCalcShared, synchronous. `schedule` maps each block to a (non-empty)
+/// cell id; `num_cells` is the grid dimension.
+cudasim::KernelStats run_calc_shared(cudasim::Device& device,
+                                     const GridView& view,
+                                     const std::uint32_t* schedule,
+                                     std::uint32_t num_cells, float eps,
+                                     ResultSinkView sink,
+                                     unsigned block_size = kDefaultBlockSize);
+
+/// GPUCalcShared, enqueued on a stream.
+void enqueue_calc_shared(cudasim::Stream& stream, const GridView& view,
+                         const std::uint32_t* schedule, std::uint32_t num_cells,
+                         float eps, ResultSinkView sink,
+                         cudasim::KernelStats* stats_out = nullptr,
+                         unsigned block_size = kDefaultBlockSize);
+
+/// Shared-memory bytes GPUCalcShared needs for a given block size (origin
+/// and comparison tiles plus the neighbor-cell-id scratch).
+[[nodiscard]] std::size_t shared_kernel_smem_bytes(unsigned block_size);
+
+/// Result-size estimation kernel: counts |N_eps(p_i)| for points
+/// i = 0, stride, 2*stride, ... and returns the raw sampled count e_b.
+/// Runs synchronously; negligible cost by design (no result set).
+std::uint64_t run_count_kernel(cudasim::Device& device, const GridView& view,
+                               float eps, std::uint32_t sample_stride,
+                               cudasim::KernelStats* stats_out = nullptr,
+                               unsigned block_size = kDefaultBlockSize);
+
+}  // namespace hdbscan::gpu

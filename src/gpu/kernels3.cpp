@@ -1,0 +1,101 @@
+#include "gpu/kernels3.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace hdbscan::gpu {
+
+namespace {
+
+struct GlobalKernel3Body {
+  GridView3 view;
+  float eps2;
+  BatchSpec batch;
+  ResultSinkView sink;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const Point3 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point3));
+    std::array<std::uint32_t, 27> cell_ids{};
+    const unsigned n = get_neighbor_cells3(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < n; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange) +
+                             std::uint64_t(range.count()) *
+                                 (sizeof(PointId) + sizeof(Point3)));
+      ctx.count_flops(std::uint64_t(range.count()) * 9);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        const PointId candidate = view.lookup[a];
+        if (dist2(point, view.points[candidate]) <= eps2) {
+          sink.push({static_cast<PointId>(i), candidate}, ctx);
+        }
+      }
+    }
+  }
+};
+
+struct CountKernel3Body {
+  GridView3 view;
+  float eps2;
+  std::uint32_t stride;
+  std::atomic<std::uint64_t>* total;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t i =
+        static_cast<std::uint64_t>(ctx.global_id()) * stride;
+    if (i >= view.num_points) return;
+    const Point3 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point3));
+    std::uint64_t matches = 0;
+    std::array<std::uint32_t, 27> cell_ids{};
+    const unsigned n = get_neighbor_cells3(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < n; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange) +
+                             std::uint64_t(range.count()) *
+                                 (sizeof(PointId) + sizeof(Point3)));
+      ctx.count_flops(std::uint64_t(range.count()) * 9);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        matches += dist2(point, view.points[view.lookup[a]]) <= eps2;
+      }
+    }
+    total->fetch_add(matches, std::memory_order_relaxed);
+    ctx.count_atomic();
+  }
+};
+
+}  // namespace
+
+cudasim::KernelStats run_calc_global3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, ResultSinkView sink,
+                                      unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = (points + block_size - 1) / block_size;
+  return cudasim::run_flat_kernel(
+      device, grid, block_size, GlobalKernel3Body{view, eps * eps, batch, sink});
+}
+
+std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,
+                                float eps, std::uint32_t sample_stride,
+                                cudasim::KernelStats* stats_out,
+                                unsigned block_size) {
+  if (sample_stride == 0) sample_stride = 1;
+  std::atomic<std::uint64_t> total{0};
+  const std::uint64_t samples =
+      (view.num_points + sample_stride - 1) / sample_stride;
+  const unsigned grid =
+      static_cast<unsigned>((samples + block_size - 1) / block_size);
+  const auto stats = cudasim::run_flat_kernel(
+      device, grid, block_size,
+      CountKernel3Body{view, eps * eps, sample_stride, &total});
+  if (stats_out != nullptr) *stats_out = stats;
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace hdbscan::gpu

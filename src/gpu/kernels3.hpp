@@ -1,0 +1,27 @@
+// 3-D epsilon-neighborhood kernels: GPUCalcGlobal generalized to the
+// 27-cell neighborhood, plus the count kernel for result sizing.
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/device.hpp"
+#include "cudasim/kernel.hpp"
+#include "gpu/kernels.hpp"  // BatchSpec
+#include "gpu/result_sink.hpp"
+#include "index/grid_index3.hpp"
+
+namespace hdbscan::gpu {
+
+/// 3-D GPUCalcGlobal, synchronous; same strided batching as the 2-D kernel.
+cudasim::KernelStats run_calc_global3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, ResultSinkView sink,
+                                      unsigned block_size = kDefaultBlockSize);
+
+/// 3-D neighbor-count kernel (estimator / exact census with stride 1).
+std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,
+                                float eps, std::uint32_t sample_stride,
+                                cudasim::KernelStats* stats_out = nullptr,
+                                unsigned block_size = kDefaultBlockSize);
+
+}  // namespace hdbscan::gpu

@@ -1,0 +1,84 @@
+// Device-resident result set with atomic append (paper Alg. 2/3 line
+// "atomic: gpuResultSet <- gpuResultSet U result").
+//
+// The kernels write (key, value) neighbor pairs through an atomically
+// incremented cursor. If a batch produces more pairs than the buffer can
+// hold, the overflow flag is raised instead of writing out of bounds — the
+// failure mode the batching scheme's alpha over-estimation (paper Eq. 1)
+// exists to prevent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "cudasim/buffer.hpp"
+#include "cudasim/kernel.hpp"
+
+namespace hdbscan::gpu {
+
+/// Non-owning view handed to kernels.
+struct ResultSinkView {
+  NeighborPair* slots = nullptr;
+  std::uint64_t capacity = 0;
+  std::atomic<std::uint64_t>* count = nullptr;
+  std::atomic<bool>* overflow = nullptr;
+
+  /// Atomic append; returns false (and raises the overflow flag) when the
+  /// buffer is full. `ctx` is charged one atomic op and the pair write.
+  bool push(const NeighborPair& pair, cudasim::ThreadCtx& ctx) const noexcept {
+    ctx.count_atomic();
+    const std::uint64_t idx =
+        count->fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity) {
+      overflow->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    slots[idx] = pair;
+    ctx.count_global_bytes(sizeof(NeighborPair));
+    return true;
+  }
+};
+
+/// Owning device-side result buffer for one batch / stream.
+class ResultSetDevice {
+ public:
+  ResultSetDevice(cudasim::Device& device, std::uint64_t capacity)
+      : pairs_(device, capacity) {}
+
+  [[nodiscard]] ResultSinkView view() noexcept {
+    return ResultSinkView{pairs_.device_data(), pairs_.size(), &count_,
+                          &overflow_};
+  }
+
+  /// Number of pairs produced by the kernel (may exceed capacity when the
+  /// buffer overflowed; callers must check overflowed() first).
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool overflowed() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return pairs_.size();
+  }
+
+  [[nodiscard]] cudasim::DeviceBuffer<NeighborPair>& pairs() noexcept {
+    return pairs_;
+  }
+
+  /// Reset before reusing the buffer for the next batch.
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    overflow_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  cudasim::DeviceBuffer<NeighborPair> pairs_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<bool> overflow_{false};
+};
+
+}  // namespace hdbscan::gpu

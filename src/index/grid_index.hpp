@@ -1,0 +1,114 @@
+// Grid index for epsilon-neighborhood searches (paper §IV, Figure 1).
+//
+// The index consists of:
+//   * D  — the database, re-ordered by unit-width spatial bins so points in
+//          similar locations are nearby in memory (locality optimization);
+//   * G  — an array of eps x eps cells, each holding a range [Amin, Amax]
+//          into the lookup array;
+//   * A  — the lookup array of point ids, |A| == |D| (a point lives in
+//          exactly one cell, so no per-cell over-allocation is needed);
+//   * S  — the schedule of non-empty cells (GPUCalcShared assigns one
+//          thread block per entry of S).
+//
+// Because cells are eps wide, all neighbors within eps of a point are
+// guaranteed to lie in the point's cell or the 8 adjacent cells.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan {
+
+/// Half-open range [begin, end) into the lookup array A.
+struct CellRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+  [[nodiscard]] std::uint32_t count() const noexcept { return end - begin; }
+};
+
+/// Geometry of the grid; a POD so it can be passed to kernels by value.
+struct GridParams {
+  float min_x = 0.0f;
+  float min_y = 0.0f;
+  float eps = 0.0f;
+  std::uint32_t cells_x = 0;
+  std::uint32_t cells_y = 0;
+
+  [[nodiscard]] std::uint64_t num_cells() const noexcept {
+    return static_cast<std::uint64_t>(cells_x) * cells_y;
+  }
+
+  [[nodiscard]] std::uint32_t cell_x_of(float x) const noexcept {
+    auto c = static_cast<std::int64_t>((x - min_x) / eps);
+    if (c < 0) c = 0;
+    if (c >= static_cast<std::int64_t>(cells_x)) c = cells_x - 1;
+    return static_cast<std::uint32_t>(c);
+  }
+
+  [[nodiscard]] std::uint32_t cell_y_of(float y) const noexcept {
+    auto c = static_cast<std::int64_t>((y - min_y) / eps);
+    if (c < 0) c = 0;
+    if (c >= static_cast<std::int64_t>(cells_y)) c = cells_y - 1;
+    return static_cast<std::uint32_t>(c);
+  }
+
+  /// Linearized cell id h of a point (paper: h computed from x/y coords).
+  [[nodiscard]] std::uint32_t linear_cell(const Point2& p) const noexcept {
+    return cell_y_of(p.y) * cells_x + cell_x_of(p.x);
+  }
+};
+
+/// Fills `out` with the linear ids of the (at most 9) cells that can
+/// contain points within eps of anything in `cell`; returns how many.
+/// Cells outside the grid boundary are clipped.
+unsigned get_neighbor_cells(const GridParams& params, std::uint32_t cell,
+                            std::array<std::uint32_t, 9>& out) noexcept;
+
+/// Host-resident grid index.
+struct GridIndex {
+  GridParams params;
+  std::vector<Point2> points;          ///< D, bin-sorted
+  std::vector<PointId> original_ids;   ///< points[i] came from input[original_ids[i]]
+  std::vector<CellRange> cells;        ///< G
+  std::vector<PointId> lookup;         ///< A
+  std::vector<std::uint32_t> nonempty_cells;  ///< S
+  std::uint32_t max_cell_occupancy = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+};
+
+/// Non-owning view of the index data; what kernels receive. The pointers
+/// may reference host vectors (tests) or device buffers (the real pipeline).
+struct GridView {
+  GridParams params;
+  const Point2* points = nullptr;
+  std::uint32_t num_points = 0;
+  const CellRange* cells = nullptr;
+  const PointId* lookup = nullptr;
+
+  [[nodiscard]] static GridView of(const GridIndex& g) noexcept {
+    return GridView{g.params, g.points.data(),
+                    static_cast<std::uint32_t>(g.points.size()),
+                    g.cells.data(), g.lookup.data()};
+  }
+};
+
+/// Builds the grid index for database `input` and search radius `eps`.
+/// Throws std::invalid_argument for eps <= 0, an empty database, or a grid
+/// that would exceed `max_cells` (the same capacity concern a 5 GB GPU
+/// imposes on the cell array).
+GridIndex build_grid_index(std::span<const Point2> input, float eps,
+                           std::uint64_t max_cells = 1ull << 27);
+
+/// Reference search used by tests and the host fallback: all point ids
+/// (into the index's reordered D) within eps of q.
+void grid_query(const GridIndex& index, const Point2& q, float eps,
+                std::vector<PointId>& out);
+
+}  // namespace hdbscan

@@ -1,0 +1,142 @@
+#include "index/grid_index3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <tuple>
+#include <stdexcept>
+
+namespace hdbscan {
+
+unsigned get_neighbor_cells3(const GridParams3& params, std::uint32_t cell,
+                             std::array<std::uint32_t, 27>& out) noexcept {
+  const std::uint32_t plane = params.cells_x * params.cells_y;
+  const std::uint32_t cz = cell / plane;
+  const std::uint32_t rem = cell % plane;
+  const std::uint32_t cy = rem / params.cells_x;
+  const std::uint32_t cx = rem % params.cells_x;
+  unsigned n = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const std::int64_t nz = static_cast<std::int64_t>(cz) + dz;
+    if (nz < 0 || nz >= static_cast<std::int64_t>(params.cells_z)) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+      if (ny < 0 || ny >= static_cast<std::int64_t>(params.cells_y)) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        if (nx < 0 || nx >= static_cast<std::int64_t>(params.cells_x)) {
+          continue;
+        }
+        out[n++] = (static_cast<std::uint32_t>(nz) * params.cells_y +
+                    static_cast<std::uint32_t>(ny)) *
+                       params.cells_x +
+                   static_cast<std::uint32_t>(nx);
+      }
+    }
+  }
+  return n;
+}
+
+GridIndex3 build_grid_index3(std::span<const Point3> input, float eps,
+                             std::uint64_t max_cells) {
+  if (input.empty()) {
+    throw std::invalid_argument("grid index 3d: empty database");
+  }
+  if (!(eps > 0.0f) || !std::isfinite(eps)) {
+    throw std::invalid_argument("grid index 3d: eps must be positive");
+  }
+
+  GridIndex3 index;
+
+  float min_x = std::numeric_limits<float>::max(), max_x = -min_x;
+  float min_y = min_x, max_y = max_x;
+  float min_z = min_x, max_z = max_x;
+  for (const Point3& p : input) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+    min_z = std::min(min_z, p.z);
+    max_z = std::max(max_z, p.z);
+  }
+
+  GridParams3& params = index.params;
+  params.min_x = min_x;
+  params.min_y = min_y;
+  params.min_z = min_z;
+  params.eps = eps;
+  params.cells_x =
+      static_cast<std::uint32_t>(std::floor((max_x - min_x) / eps)) + 1;
+  params.cells_y =
+      static_cast<std::uint32_t>(std::floor((max_y - min_y) / eps)) + 1;
+  params.cells_z =
+      static_cast<std::uint32_t>(std::floor((max_z - min_z) / eps)) + 1;
+  if (params.num_cells() > max_cells) {
+    throw std::invalid_argument(
+        "grid index 3d: cell array would exceed the configured capacity");
+  }
+
+  // Locality sort by unit-width bins (z, y, x), as in the 2-D builder.
+  std::vector<PointId> order(input.size());
+  std::iota(order.begin(), order.end(), PointId{0});
+  auto unit_bin = [&](PointId id) {
+    const Point3& p = input[id];
+    return std::tuple<std::int64_t, std::int64_t, std::int64_t>(
+        static_cast<std::int64_t>(std::floor(p.z - min_z)),
+        static_cast<std::int64_t>(std::floor(p.y - min_y)),
+        static_cast<std::int64_t>(std::floor(p.x - min_x)));
+  };
+  std::stable_sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return unit_bin(a) < unit_bin(b);
+  });
+  index.points.reserve(input.size());
+  index.original_ids = std::move(order);
+  for (PointId id : index.original_ids) index.points.push_back(input[id]);
+
+  // Counting sort into cells.
+  const auto num_cells = static_cast<std::size_t>(params.num_cells());
+  std::vector<std::uint32_t> counts(num_cells, 0);
+  std::vector<std::uint32_t> cell_of(index.points.size());
+  for (std::size_t i = 0; i < index.points.size(); ++i) {
+    const std::uint32_t h = params.linear_cell(index.points[i]);
+    cell_of[i] = h;
+    ++counts[h];
+  }
+  index.cells.resize(num_cells);
+  std::uint32_t running = 0;
+  for (std::size_t h = 0; h < num_cells; ++h) {
+    index.cells[h].begin = running;
+    running += counts[h];
+    index.cells[h].end = running;
+    if (counts[h] > 0) {
+      index.nonempty_cells.push_back(static_cast<std::uint32_t>(h));
+      index.max_cell_occupancy = std::max(index.max_cell_occupancy, counts[h]);
+    }
+  }
+  index.lookup.resize(index.points.size());
+  std::vector<std::uint32_t> cursor(num_cells);
+  for (std::size_t h = 0; h < num_cells; ++h) cursor[h] = index.cells[h].begin;
+  for (std::size_t i = 0; i < index.points.size(); ++i) {
+    index.lookup[cursor[cell_of[i]]++] = static_cast<PointId>(i);
+  }
+  return index;
+}
+
+void grid_query3(const GridIndex3& index, const Point3& q, float eps,
+                 std::vector<PointId>& out) {
+  out.clear();
+  const float eps2 = eps * eps;
+  std::array<std::uint32_t, 27> neighbors{};
+  const unsigned n =
+      get_neighbor_cells3(index.params, index.params.linear_cell(q), neighbors);
+  for (unsigned c = 0; c < n; ++c) {
+    const CellRange range = index.cells[neighbors[c]];
+    for (std::uint32_t a = range.begin; a < range.end; ++a) {
+      const PointId id = index.lookup[a];
+      if (dist2(q, index.points[id]) <= eps2) out.push_back(id);
+    }
+  }
+}
+
+}  // namespace hdbscan

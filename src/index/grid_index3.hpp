@@ -1,0 +1,84 @@
+// 3-D grid index: the straightforward extension of the paper's 2-D scheme
+// (§IV) to spatial volumes — eps-cube cells, a lookup array A with
+// |A| = |D|, and neighborhoods guaranteed to lie within the 27-cell block
+// around a point's cell.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/grid_index.hpp"  // CellRange
+
+namespace hdbscan {
+
+struct GridParams3 {
+  float min_x = 0.0f;
+  float min_y = 0.0f;
+  float min_z = 0.0f;
+  float eps = 0.0f;
+  std::uint32_t cells_x = 0;
+  std::uint32_t cells_y = 0;
+  std::uint32_t cells_z = 0;
+
+  [[nodiscard]] std::uint64_t num_cells() const noexcept {
+    return static_cast<std::uint64_t>(cells_x) * cells_y * cells_z;
+  }
+
+  [[nodiscard]] std::uint32_t axis_cell(float v, float lo,
+                                        std::uint32_t n) const noexcept {
+    auto c = static_cast<std::int64_t>((v - lo) / eps);
+    if (c < 0) c = 0;
+    if (c >= static_cast<std::int64_t>(n)) c = n - 1;
+    return static_cast<std::uint32_t>(c);
+  }
+
+  [[nodiscard]] std::uint32_t linear_cell(const Point3& p) const noexcept {
+    const std::uint32_t cx = axis_cell(p.x, min_x, cells_x);
+    const std::uint32_t cy = axis_cell(p.y, min_y, cells_y);
+    const std::uint32_t cz = axis_cell(p.z, min_z, cells_z);
+    return (cz * cells_y + cy) * cells_x + cx;
+  }
+};
+
+/// Fills `out` with the (at most 27) linear cell ids adjacent to `cell`
+/// (inclusive); returns how many. Boundary cells are clipped.
+unsigned get_neighbor_cells3(const GridParams3& params, std::uint32_t cell,
+                             std::array<std::uint32_t, 27>& out) noexcept;
+
+struct GridIndex3 {
+  GridParams3 params;
+  std::vector<Point3> points;
+  std::vector<PointId> original_ids;
+  std::vector<CellRange> cells;
+  std::vector<PointId> lookup;
+  std::vector<std::uint32_t> nonempty_cells;
+  std::uint32_t max_cell_occupancy = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+};
+
+/// Non-owning kernel view (host vectors or device buffers).
+struct GridView3 {
+  GridParams3 params;
+  const Point3* points = nullptr;
+  std::uint32_t num_points = 0;
+  const CellRange* cells = nullptr;
+  const PointId* lookup = nullptr;
+
+  [[nodiscard]] static GridView3 of(const GridIndex3& g) noexcept {
+    return GridView3{g.params, g.points.data(),
+                     static_cast<std::uint32_t>(g.points.size()),
+                     g.cells.data(), g.lookup.data()};
+  }
+};
+
+GridIndex3 build_grid_index3(std::span<const Point3> input, float eps,
+                             std::uint64_t max_cells = 1ull << 27);
+
+void grid_query3(const GridIndex3& index, const Point3& q, float eps,
+                 std::vector<PointId>& out);
+
+}  // namespace hdbscan

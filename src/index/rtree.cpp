@@ -1,0 +1,129 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdbscan {
+
+RTree::RTree(std::span<const Point2> points, unsigned node_capacity)
+    : capacity_(node_capacity) {
+  if (node_capacity < 2) {
+    throw std::invalid_argument("RTree: node capacity must be >= 2");
+  }
+  if (points.empty()) throw std::invalid_argument("RTree: empty database");
+
+  const std::size_t n = points.size();
+
+  // --- STR leaf packing ---
+  // Sort ids by x, cut into ceil(sqrt(nleaves)) vertical slices, sort each
+  // slice by y, then pack runs of `capacity_` points into leaves.
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return points[a].x < points[b].x;
+  });
+
+  const std::size_t num_leaves = (n + capacity_ - 1) / capacity_;
+  const auto num_slices = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slice_size =
+      ((num_leaves + num_slices - 1) / num_slices) * capacity_;
+
+  for (std::size_t s = 0; s * slice_size < n; ++s) {
+    const std::size_t begin = s * slice_size;
+    const std::size_t end = std::min(n, begin + slice_size);
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+              order.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](PointId a, PointId b) { return points[a].y < points[b].y; });
+  }
+
+  points_.reserve(n);
+  entries_.reserve(n);
+  for (PointId id : order) {
+    points_.push_back(points[id]);
+    entries_.push_back(id);
+  }
+
+  // Pack leaves.
+  std::vector<std::uint32_t> level;  // node indices of the level being built
+  for (std::size_t begin = 0; begin < n; begin += capacity_) {
+    const std::size_t end = std::min(n, begin + capacity_);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<std::uint32_t>(begin);
+    leaf.count = static_cast<std::uint32_t>(end - begin);
+    for (std::size_t i = begin; i < end; ++i) leaf.mbr.expand(points_[i]);
+    level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // --- build upper levels by packing `capacity_` children per node ---
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> parent_level;
+    for (std::size_t begin = 0; begin < level.size(); begin += capacity_) {
+      const std::size_t end = std::min(level.size(), begin + capacity_);
+      Node parent;
+      parent.leaf = false;
+      parent.first = level[begin];  // children are contiguous by construction
+      parent.count = static_cast<std::uint32_t>(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        parent.mbr.expand(nodes_[level[i]].mbr);
+      }
+      parent_level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(parent_level);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+void RTree::query_circle(const Point2& q, float eps, std::vector<PointId>& out,
+                         TimeAccumulator* acc) const {
+  ScopedTimer timing(acc);
+  query_impl(q, eps, out);
+}
+
+void RTree::query_impl(const Point2& q, float eps,
+                       std::vector<PointId>& out) const {
+  const float eps2 = eps * eps;
+  std::uint32_t stack[256];
+  unsigned depth = 0;
+  stack[depth++] = root_;
+  while (depth > 0) {
+    const Node& node = nodes_[stack[--depth]];
+    if (node.leaf) {
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (dist2(q, points_[i]) <= eps2) out.push_back(entries_[i]);
+      }
+    } else {
+      for (std::uint32_t c = node.first; c < node.first + node.count; ++c) {
+        if (nodes_[c].mbr.min_dist2(q) <= eps2) stack[depth++] = c;
+      }
+    }
+  }
+}
+
+void RTree::query_rect(const Rect2& rect, std::vector<PointId>& out) const {
+  std::uint32_t stack[256];
+  unsigned depth = 0;
+  stack[depth++] = root_;
+  while (depth > 0) {
+    const Node& node = nodes_[stack[--depth]];
+    if (!node.mbr.intersects(rect)) continue;
+    if (node.leaf) {
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (rect.contains(points_[i])) out.push_back(entries_[i]);
+      }
+    } else {
+      for (std::uint32_t c = node.first; c < node.first + node.count; ++c) {
+        stack[depth++] = c;
+      }
+    }
+  }
+}
+
+}  // namespace hdbscan

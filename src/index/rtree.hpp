@@ -1,0 +1,57 @@
+// R-tree index (Guttman 1984) used by the reference sequential DBSCAN
+// implementation the paper compares against (their citation [4]).
+//
+// Built with Sort-Tile-Recursive (STR) bulk loading and queried with an
+// explicit stack. query_circle optionally charges its elapsed time to a
+// TimeAccumulator — that instrumentation produces Table I (fraction of the
+// total DBSCAN response time spent searching the R-tree).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace hdbscan {
+
+class RTree {
+ public:
+  /// Bulk-loads the tree over `points`. `node_capacity` is the fan-out of
+  /// both leaves and internal nodes.
+  explicit RTree(std::span<const Point2> points, unsigned node_capacity = 16);
+
+  /// Appends to `out` the ids of all points within the closed eps-ball
+  /// around q. When `acc` is non-null the call's wall time is added to it.
+  void query_circle(const Point2& q, float eps, std::vector<PointId>& out,
+                    TimeAccumulator* acc = nullptr) const;
+
+  /// Appends ids of all points whose location intersects `rect`.
+  void query_rect(const Rect2& rect, std::vector<PointId>& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+
+ private:
+  struct Node {
+    Rect2 mbr;
+    std::uint32_t first = 0;  ///< index of first child node, or first entry
+    std::uint32_t count = 0;
+    bool leaf = false;
+  };
+
+  void query_impl(const Point2& q, float eps, std::vector<PointId>& out) const;
+
+  std::vector<Point2> points_;   ///< copy of the data, in leaf-packed order
+  std::vector<PointId> entries_; ///< original point ids, leaf-packed
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+  unsigned capacity_;
+  unsigned height_ = 0;
+};
+
+}  // namespace hdbscan

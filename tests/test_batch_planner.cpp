@@ -1,0 +1,93 @@
+#include "core/batch_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdbscan {
+namespace {
+
+TEST(BatchPlanner, VariablePathYieldsOneBatchPerStream) {
+  // Small estimate (paper: a_b < 3e8): b_b = a_b (1 + 2a) / 3, which makes
+  // Eq. 1 come out to exactly num_streams batches.
+  const BatchPlan plan = plan_batches(1'000'000, BatchPolicy{});
+  EXPECT_FALSE(plan.static_buffer);
+  EXPECT_DOUBLE_EQ(plan.alpha_used, 0.10);
+  EXPECT_EQ(plan.num_batches, 3u);
+  EXPECT_GE(plan.buffer_pairs * 3, plan.estimated_total_pairs);
+}
+
+TEST(BatchPlanner, StaticPathUsesFixedBuffer) {
+  const std::uint64_t ab = 600'000'000;  // >= 3e8
+  const BatchPlan plan = plan_batches(ab, BatchPolicy{});
+  EXPECT_TRUE(plan.static_buffer);
+  EXPECT_DOUBLE_EQ(plan.alpha_used, 0.05);
+  EXPECT_EQ(plan.buffer_pairs, 100'000'000u);
+  // Eq. 1: ceil(1.05 * 6e8 / 1e8) = 7.
+  EXPECT_EQ(plan.num_batches, 7u);
+}
+
+TEST(BatchPlanner, ThresholdBoundary) {
+  BatchPolicy policy;
+  const BatchPlan below = plan_batches(299'999'999, policy);
+  const BatchPlan at = plan_batches(300'000'000, policy);
+  EXPECT_FALSE(below.static_buffer);
+  EXPECT_TRUE(at.static_buffer);
+}
+
+TEST(BatchPlanner, BufferCapIncreasesBatchCount) {
+  BatchPolicy policy;
+  const BatchPlan uncapped = plan_batches(1'000'000, policy);
+  const BatchPlan capped = plan_batches(1'000'000, policy, 100'000);
+  EXPECT_EQ(capped.buffer_pairs, 100'000u);
+  EXPECT_GT(capped.num_batches, uncapped.num_batches);
+  // Capacity still covers the (over-estimated) total.
+  EXPECT_GE(capped.buffer_pairs * capped.num_batches,
+            uncapped.estimated_total_pairs);
+}
+
+TEST(BatchPlanner, ZeroEstimateStillPlansOneBatch) {
+  const BatchPlan plan = plan_batches(0, BatchPolicy{});
+  EXPECT_GE(plan.num_batches, 1u);
+  EXPECT_GE(plan.buffer_pairs, 1u);
+}
+
+TEST(BatchPlanner, CustomAlphaPropagates) {
+  BatchPolicy policy;
+  policy.alpha = 0.25;
+  const BatchPlan variable = plan_batches(1'000, policy);
+  EXPECT_DOUBLE_EQ(variable.alpha_used, 0.5);
+  policy.static_threshold_pairs = 1;  // force static
+  const BatchPlan fixed = plan_batches(1'000, policy);
+  EXPECT_DOUBLE_EQ(fixed.alpha_used, 0.25);
+}
+
+TEST(BatchPlanner, CustomStreamCount) {
+  BatchPolicy policy;
+  policy.num_streams = 5;
+  const BatchPlan plan = plan_batches(1'000'000, policy);
+  EXPECT_EQ(plan.num_batches, 5u);
+}
+
+TEST(BatchPlanner, RejectsZeroStreams) {
+  BatchPolicy policy;
+  policy.num_streams = 0;
+  EXPECT_THROW((void)plan_batches(100, policy), std::invalid_argument);
+}
+
+TEST(BatchPlanner, Equation1Holds) {
+  // Spot-check n_b = ceil((1 + alpha) a_b / b_b) across a sweep.
+  BatchPolicy policy;
+  policy.static_threshold_pairs = 1;  // always static for determinism
+  policy.static_buffer_pairs = 1'000;
+  for (const std::uint64_t ab : {1ull, 999ull, 1000ull, 1001ull, 123456ull}) {
+    const BatchPlan plan = plan_batches(ab, policy);
+    const auto expected = static_cast<std::uint32_t>(
+        std::ceil(1.05 * static_cast<double>(ab) / 1000.0));
+    EXPECT_EQ(plan.num_batches, expected) << "ab=" << ab;
+  }
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -1,0 +1,159 @@
+#include "analysis/cluster_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "dbscan/dbscan.hpp"
+
+namespace hdbscan {
+namespace {
+
+using analysis::ClusterMatch;
+using analysis::ClusterStats;
+
+TEST(ClusterStats, TwoKnownClusters) {
+  std::vector<Point2> points;
+  // Cluster 0: square corners around (1, 1); cluster 1: around (5, 5).
+  for (const auto& d : {Point2{0.9f, 0.9f}, Point2{1.1f, 0.9f},
+                        Point2{0.9f, 1.1f}, Point2{1.1f, 1.1f}}) {
+    points.push_back(d);
+  }
+  points.push_back({5.0f, 5.0f});
+  points.push_back({5.2f, 5.0f});
+  points.push_back({90.0f, 90.0f});  // noise
+  ClusterResult clusters;
+  clusters.labels = {0, 0, 0, 0, 1, 1, -1};
+  clusters.num_clusters = 2;
+
+  const auto stats = analysis::compute_cluster_stats(points, clusters);
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by size: cluster 0 (4 points) first.
+  EXPECT_EQ(stats[0].cluster, 0);
+  EXPECT_EQ(stats[0].size, 4u);
+  EXPECT_FLOAT_EQ(stats[0].centroid.x, 1.0f);
+  EXPECT_FLOAT_EQ(stats[0].centroid.y, 1.0f);
+  EXPECT_NEAR(stats[0].rms_radius, std::sqrt(0.02f), 1e-5f);
+  EXPECT_FLOAT_EQ(stats[0].bounds.min_x, 0.9f);
+  EXPECT_FLOAT_EQ(stats[0].bounds.max_y, 1.1f);
+  EXPECT_EQ(stats[1].cluster, 1);
+  EXPECT_EQ(stats[1].size, 2u);
+  EXPECT_FLOAT_EQ(stats[1].centroid.x, 5.1f);
+}
+
+TEST(ClusterStats, DegenerateClusterHasInfiniteDensity) {
+  std::vector<Point2> points{{2.0f, 2.0f}, {2.0f, 2.0f}};
+  ClusterResult clusters;
+  clusters.labels = {0, 0};
+  clusters.num_clusters = 1;
+  const auto stats = analysis::compute_cluster_stats(points, clusters);
+  EXPECT_TRUE(std::isinf(stats[0].density));
+}
+
+TEST(ClusterStats, SizeMismatchThrows) {
+  std::vector<Point2> points{{0, 0}};
+  ClusterResult clusters;
+  clusters.labels = {0, 0};
+  clusters.num_clusters = 1;
+  EXPECT_THROW(analysis::compute_cluster_stats(points, clusters),
+               std::invalid_argument);
+}
+
+TEST(AsciiDensityMap, DimensionsAndDensestCell) {
+  std::vector<Point2> points;
+  Xoshiro256 rng(1);
+  // Dense blob bottom-left, sparse elsewhere.
+  for (int i = 0; i < 900; ++i) {
+    points.push_back({rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.uniform(0.0f, 10.0f), rng.uniform(0.0f, 10.0f)});
+  }
+  const std::string map = analysis::ascii_density_map(points, 20, 10);
+  // 10 rows of 20 chars + newline each.
+  EXPECT_EQ(map.size(), 10u * 21u);
+  // Bottom-left corner (last row, first column) is the densest: '#'.
+  EXPECT_EQ(map[9 * 21], '#');
+  // Some cell must be empty.
+  EXPECT_NE(map.find(' '), std::string::npos);
+}
+
+TEST(AsciiClusterMap, LargestClustersGetLetters) {
+  const auto points = data::generate_gaussian_blobs(
+      1500, 2, 3, 0.2f, 12.0f, 12.0f, 0.1);
+  const auto clusters = dbscan_rtree(points, 0.5f, 4);
+  ASSERT_GE(clusters.num_clusters, 3);
+  const std::string map =
+      analysis::ascii_cluster_map(points, clusters, 40, 20);
+  EXPECT_EQ(map.size(), 20u * 41u);
+  EXPECT_NE(map.find('a'), std::string::npos);
+  EXPECT_NE(map.find('b'), std::string::npos);
+  EXPECT_NE(map.find('c'), std::string::npos);
+}
+
+TEST(AsciiMaps, RejectEmptyInput) {
+  EXPECT_THROW(analysis::ascii_density_map({}, 10, 10), std::invalid_argument);
+  std::vector<Point2> one{{0, 0}};
+  EXPECT_THROW(analysis::ascii_density_map(one, 0, 10),
+               std::invalid_argument);
+}
+
+TEST(TrackClusters, IdentityTracksPerfectly) {
+  ClusterResult a;
+  a.labels = {0, 0, 1, 1, 1, -1};
+  a.num_clusters = 2;
+  const auto matches = analysis::track_clusters(a, a);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].to_cluster, 0);
+  EXPECT_DOUBLE_EQ(matches[0].jaccard, 1.0);
+  EXPECT_EQ(matches[1].to_cluster, 1);
+  EXPECT_DOUBLE_EQ(matches[1].jaccard, 1.0);
+}
+
+TEST(TrackClusters, MergeDetected) {
+  // Two clusters in `from` merge into one in `to`.
+  ClusterResult from;
+  from.labels = {0, 0, 0, 1, 1, 1};
+  from.num_clusters = 2;
+  ClusterResult to;
+  to.labels = {0, 0, 0, 0, 0, 0};
+  to.num_clusters = 1;
+  const auto matches = analysis::track_clusters(from, to);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].to_cluster, 0);
+  EXPECT_EQ(matches[1].to_cluster, 0);
+  EXPECT_DOUBLE_EQ(matches[0].jaccard, 0.5);  // 3 shared / 6 union
+}
+
+TEST(TrackClusters, DissolvedClusterHasNoTarget) {
+  ClusterResult from;
+  from.labels = {0, 0, 0};
+  from.num_clusters = 1;
+  ClusterResult to;
+  to.labels = {-1, -1, -1};
+  to.num_clusters = 0;
+  const auto matches = analysis::track_clusters(from, to);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].to_cluster, kNoise);
+  EXPECT_EQ(matches[0].shared, 0u);
+}
+
+TEST(TrackClusters, RealSweepAdjacentEpsOverlapStrongly) {
+  const auto points = data::generate_gaussian_blobs(
+      2000, 3, 6, 0.2f, 15.0f, 15.0f, 0.05);
+  const auto a = dbscan_rtree(points, 0.45f, 4);
+  const auto b = dbscan_rtree(points, 0.55f, 4);
+  const auto matches = analysis::track_clusters(a, b);
+  // Every sizable cluster at eps=0.45 should map onto some cluster at
+  // eps=0.55 with strong overlap (clusters only grow with eps).
+  std::size_t strong = 0;
+  for (const ClusterMatch& m : matches) {
+    if (m.shared >= 50 && m.jaccard > 0.5) ++strong;
+  }
+  EXPECT_GE(strong, 5u);
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -1,0 +1,164 @@
+// Barrier semantics of the cooperative (coroutine) kernel engine — the
+// simulator's __syncthreads() must provide real phase separation, which
+// GPUCalcShared's tiling depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cudasim/device.hpp"
+#include "cudasim/kernel.hpp"
+
+namespace {
+
+using cudasim::CoopCtx;
+using cudasim::Device;
+using cudasim::KernelStats;
+using cudasim::KernelTask;
+using cudasim::LaunchError;
+using cudasim::SimulationOptions;
+
+SimulationOptions fast_options() {
+  SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 2;
+  return opt;
+}
+
+// Each thread writes its id into shared memory, barriers, then reads its
+// neighbor's slot. Without a correct barrier the read races the write.
+KernelTask neighbor_exchange(CoopCtx& ctx, std::uint32_t* out) {
+  auto slots = ctx.shared_array<std::uint32_t>(0, ctx.block_dim);
+  slots[ctx.thread_idx] = ctx.thread_idx * 10;
+  co_await ctx.sync();
+  const unsigned neighbor = (ctx.thread_idx + 1) % ctx.block_dim;
+  out[ctx.global_id()] = slots[neighbor];
+}
+
+TEST(CoopKernel, BarrierMakesSharedWritesVisible) {
+  Device dev({}, fast_options());
+  const unsigned grid = 8, block = 32;
+  std::vector<std::uint32_t> out(grid * block, 0xffffffffu);
+  cudasim::run_coop_kernel(
+      dev, grid, block, block * sizeof(std::uint32_t),
+      [&](CoopCtx& ctx) { return neighbor_exchange(ctx, out.data()); });
+  for (unsigned b = 0; b < grid; ++b) {
+    for (unsigned t = 0; t < block; ++t) {
+      EXPECT_EQ(out[b * block + t], ((t + 1) % block) * 10);
+    }
+  }
+}
+
+// Multi-phase reduction: tree sum in shared memory with a barrier per
+// level, the classic CUDA pattern.
+KernelTask tree_reduce(CoopCtx& ctx, const std::uint32_t* in,
+                       std::uint32_t* out) {
+  auto scratch = ctx.shared_array<std::uint32_t>(0, ctx.block_dim);
+  scratch[ctx.thread_idx] = in[ctx.global_id()];
+  co_await ctx.sync();
+  for (unsigned stride = ctx.block_dim / 2; stride > 0; stride /= 2) {
+    if (ctx.thread_idx < stride) {
+      scratch[ctx.thread_idx] += scratch[ctx.thread_idx + stride];
+    }
+    co_await ctx.sync();
+  }
+  if (ctx.thread_idx == 0) out[ctx.block_idx] = scratch[0];
+}
+
+TEST(CoopKernel, TreeReductionAcrossManyBarriers) {
+  Device dev({}, fast_options());
+  const unsigned grid = 16, block = 64;
+  std::vector<std::uint32_t> in(grid * block);
+  std::iota(in.begin(), in.end(), 0u);
+  std::vector<std::uint32_t> out(grid, 0);
+  cudasim::run_coop_kernel(dev, grid, block, block * sizeof(std::uint32_t),
+                           [&](CoopCtx& ctx) {
+                             return tree_reduce(ctx, in.data(), out.data());
+                           });
+  for (unsigned b = 0; b < grid; ++b) {
+    std::uint32_t expect = 0;
+    for (unsigned t = 0; t < block; ++t) expect += b * block + t;
+    EXPECT_EQ(out[b], expect);
+  }
+}
+
+TEST(CoopKernel, BarrierCountIsPerBlock) {
+  Device dev({}, fast_options());
+  auto body = [&](CoopCtx& ctx) -> KernelTask {
+    co_await ctx.sync();
+    co_await ctx.sync();
+  };
+  const KernelStats stats = cudasim::run_coop_kernel(dev, 4, 16, 64, body);
+  EXPECT_EQ(stats.work.barriers, 8u);  // 2 barriers x 4 blocks
+}
+
+TEST(CoopKernel, SharedMemoryIsPerBlock) {
+  Device dev({}, fast_options());
+  std::vector<std::atomic<std::uint32_t>> block_sums(8);
+  auto body = [&](CoopCtx& ctx) -> KernelTask {
+    auto slot = ctx.shared_array<std::uint32_t>(0, 1);
+    if (ctx.thread_idx == 0) slot[0] = ctx.block_idx;
+    co_await ctx.sync();
+    // Every thread must see its own block's id, never another block's.
+    block_sums[ctx.block_idx].fetch_add(slot[0] == ctx.block_idx ? 1 : 1000);
+  };
+  cudasim::run_coop_kernel(dev, 8, 32, 64, body);
+  for (auto& s : block_sums) EXPECT_EQ(s.load(), 32u);
+}
+
+TEST(CoopKernel, SharedArrayOverflowThrows) {
+  Device dev({}, fast_options());
+  auto body = [&](CoopCtx& ctx) -> KernelTask {
+    auto too_big = ctx.shared_array<std::uint64_t>(0, 100);  // > 64 bytes
+    (void)too_big;
+    co_return;
+  };
+  EXPECT_THROW(cudasim::run_coop_kernel(dev, 1, 1, 64, body), LaunchError);
+}
+
+TEST(CoopKernel, SharedMemoryRequestOverLimitRejected) {
+  Device dev({}, fast_options());
+  auto body = [](CoopCtx&) -> KernelTask { co_return; };
+  EXPECT_THROW(cudasim::run_coop_kernel(
+                   dev, 1, 1, dev.config().shared_mem_per_block + 1, body),
+               LaunchError);
+}
+
+TEST(CoopKernel, ExceptionInThreadPropagates) {
+  Device dev({}, fast_options());
+  auto body = [](CoopCtx& ctx) -> KernelTask {
+    co_await ctx.sync();
+    if (ctx.thread_idx == 3) throw std::runtime_error("thread fault");
+  };
+  EXPECT_THROW(cudasim::run_coop_kernel(dev, 1, 8, 0, body),
+               std::runtime_error);
+}
+
+TEST(CoopKernel, ThreadsMayFinishAtDifferentBarrierDepths) {
+  // Threads exit the loop after differing iteration counts; the engine
+  // must not hang when some threads are done while others still barrier.
+  Device dev({}, fast_options());
+  std::atomic<std::uint32_t> total{0};
+  auto body = [&](CoopCtx& ctx) -> KernelTask {
+    for (unsigned i = 0; i < ctx.thread_idx % 4; ++i) {
+      co_await ctx.sync();
+    }
+    total.fetch_add(1);
+  };
+  cudasim::run_coop_kernel(dev, 2, 16, 0, body);
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(CoopKernel, CountsThreadsLikeThePaper) {
+  // nGPU = blocks x block size, the quantity reported in Table II.
+  Device dev({}, fast_options());
+  auto body = [](CoopCtx&) -> KernelTask { co_return; };
+  const KernelStats stats = cudasim::run_coop_kernel(dev, 146131, 256 / 256,
+                                                     0, body);
+  EXPECT_EQ(stats.threads, 146131u);
+}
+
+}  // namespace

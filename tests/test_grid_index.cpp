@@ -1,0 +1,193 @@
+#include "index/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.hpp"
+
+namespace hdbscan {
+namespace {
+
+std::vector<PointId> brute_force_neighbors(std::span<const Point2> points,
+                                           const Point2& q, float eps) {
+  std::vector<PointId> out;
+  for (PointId i = 0; i < points.size(); ++i) {
+    if (dist2(q, points[i]) <= eps * eps) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(GridIndex, RejectsBadInput) {
+  const std::vector<Point2> points{{0, 0}, {1, 1}};
+  EXPECT_THROW(build_grid_index({}, 1.0f), std::invalid_argument);
+  EXPECT_THROW(build_grid_index(points, 0.0f), std::invalid_argument);
+  EXPECT_THROW(build_grid_index(points, -1.0f), std::invalid_argument);
+  EXPECT_THROW(build_grid_index(points, 1e-9f, /*max_cells=*/100),
+               std::invalid_argument);
+}
+
+TEST(GridIndex, SinglePointGrid) {
+  const std::vector<Point2> points{{3.5f, -2.0f}};
+  const GridIndex g = build_grid_index(points, 0.5f);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.params.cells_x, 1u);
+  EXPECT_EQ(g.params.cells_y, 1u);
+  EXPECT_EQ(g.lookup.size(), 1u);
+  EXPECT_EQ(g.nonempty_cells.size(), 1u);
+  EXPECT_EQ(g.max_cell_occupancy, 1u);
+}
+
+TEST(GridIndex, LookupArrayIsPermutationOfPointIds) {
+  const auto points = data::generate_uniform(5000, 1, 10.0f, 10.0f);
+  const GridIndex g = build_grid_index(points, 0.3f);
+  ASSERT_EQ(g.lookup.size(), points.size());
+  std::vector<PointId> sorted(g.lookup.begin(), g.lookup.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (PointId i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(GridIndex, OriginalIdsArePermutation) {
+  const auto points = data::generate_uniform(3000, 2, 10.0f, 10.0f);
+  const GridIndex g = build_grid_index(points, 0.5f);
+  std::vector<PointId> sorted(g.original_ids.begin(), g.original_ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (PointId i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // Reordered points really are the originals.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.points[i], points[g.original_ids[i]]);
+  }
+}
+
+TEST(GridIndex, CellRangesPartitionLookup) {
+  const auto points = data::generate_sky_survey(4000, 3);
+  const GridIndex g = build_grid_index(points, 0.4f);
+  std::uint32_t covered = 0;
+  std::uint32_t prev_end = 0;
+  for (const CellRange& c : g.cells) {
+    EXPECT_EQ(c.begin, prev_end);  // contiguous, in cell order
+    EXPECT_LE(c.begin, c.end);
+    covered += c.count();
+    prev_end = c.end;
+  }
+  EXPECT_EQ(covered, points.size());
+}
+
+TEST(GridIndex, EveryPointInItsOwnCellRange) {
+  const auto points = data::generate_space_weather(3000, 4);
+  const GridIndex g = build_grid_index(points, 0.25f);
+  for (PointId i = 0; i < g.size(); ++i) {
+    const std::uint32_t h = g.params.linear_cell(g.points[i]);
+    const CellRange range = g.cells[h];
+    bool found = false;
+    for (std::uint32_t a = range.begin; a < range.end && !found; ++a) {
+      found = g.lookup[a] == i;
+    }
+    EXPECT_TRUE(found) << "point " << i << " missing from its cell";
+  }
+}
+
+TEST(GridIndex, NonemptyCellsMatchOccupancy) {
+  const auto points = data::generate_space_weather(2000, 5);
+  const GridIndex g = build_grid_index(points, 0.5f);
+  std::set<std::uint32_t> nonempty(g.nonempty_cells.begin(),
+                                   g.nonempty_cells.end());
+  std::uint32_t max_occ = 0;
+  for (std::uint32_t h = 0; h < g.cells.size(); ++h) {
+    if (g.cells[h].count() > 0) {
+      EXPECT_TRUE(nonempty.count(h)) << h;
+      max_occ = std::max(max_occ, g.cells[h].count());
+    } else {
+      EXPECT_FALSE(nonempty.count(h)) << h;
+    }
+  }
+  EXPECT_EQ(g.max_cell_occupancy, max_occ);
+}
+
+TEST(NeighborCells, InteriorCellHasNine) {
+  GridParams p{0, 0, 1.0f, 5, 5};
+  std::array<std::uint32_t, 9> out{};
+  EXPECT_EQ(get_neighbor_cells(p, 12, out), 9u);  // center of 5x5
+  std::set<std::uint32_t> cells(out.begin(), out.end());
+  for (const std::uint32_t c : {6u, 7u, 8u, 11u, 12u, 13u, 16u, 17u, 18u}) {
+    EXPECT_TRUE(cells.count(c));
+  }
+}
+
+TEST(NeighborCells, CornerCellHasFour) {
+  GridParams p{0, 0, 1.0f, 5, 5};
+  std::array<std::uint32_t, 9> out{};
+  EXPECT_EQ(get_neighbor_cells(p, 0, out), 4u);
+  EXPECT_EQ(get_neighbor_cells(p, 24, out), 4u);
+}
+
+TEST(NeighborCells, EdgeCellHasSix) {
+  GridParams p{0, 0, 1.0f, 5, 5};
+  std::array<std::uint32_t, 9> out{};
+  EXPECT_EQ(get_neighbor_cells(p, 2, out), 6u);   // top edge
+  EXPECT_EQ(get_neighbor_cells(p, 10, out), 6u);  // left edge
+}
+
+TEST(NeighborCells, SingleCellGrid) {
+  GridParams p{0, 0, 1.0f, 1, 1};
+  std::array<std::uint32_t, 9> out{};
+  EXPECT_EQ(get_neighbor_cells(p, 0, out), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+// Property sweep: grid_query must agree with brute force over datasets of
+// both characters and a range of eps values.
+class GridQueryProperty
+    : public ::testing::TestWithParam<std::tuple<int, float>> {};
+
+TEST_P(GridQueryProperty, MatchesBruteForce) {
+  const auto [family, eps] = GetParam();
+  const std::size_t n = 1500;
+  const std::vector<Point2> points =
+      family == 0   ? data::generate_uniform(n, 77, 8.0f, 8.0f)
+      : family == 1 ? data::generate_space_weather(
+                          n, 78, {.width = 8.0f, .height = 8.0f})
+                    : data::generate_sky_survey(
+                          n, 79, {.width = 8.0f, .height = 8.0f});
+  const GridIndex g = build_grid_index(points, eps);
+
+  std::vector<PointId> got;
+  for (PointId q = 0; q < g.size(); q += 37) {  // sample queries
+    grid_query(g, g.points[q], eps, got);
+    auto expected = brute_force_neighbors(g.points, g.points[q], eps);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "query " << q << " eps " << eps;
+    // Self-inclusion: the point itself is always within eps.
+    EXPECT_TRUE(std::binary_search(got.begin(), got.end(), q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndEps, GridQueryProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.05f, 0.2f, 0.5f, 1.0f, 2.5f)));
+
+TEST(GridIndex, DuplicatePointsAllIndexed) {
+  std::vector<Point2> points(100, Point2{1.0f, 1.0f});
+  const GridIndex g = build_grid_index(points, 0.5f);
+  EXPECT_EQ(g.max_cell_occupancy, 100u);
+  std::vector<PointId> out;
+  grid_query(g, {1.0f, 1.0f}, 0.5f, out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(GridIndex, EpsLargerThanExtent) {
+  const auto points = data::generate_uniform(200, 11, 2.0f, 2.0f);
+  const GridIndex g = build_grid_index(points, 10.0f);
+  EXPECT_EQ(g.params.num_cells(), 1u);
+  std::vector<PointId> out;
+  grid_query(g, points[0], 10.0f, out);
+  EXPECT_EQ(out.size(), 200u);
+}
+
+}  // namespace
+}  // namespace hdbscan

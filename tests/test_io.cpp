@@ -1,0 +1,90 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.hpp"
+
+namespace hdbscan {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "hdbscan_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const auto points = data::generate_space_weather(5000, 11);
+  data::save_binary(path("pts.bin"), points);
+  EXPECT_EQ(data::load_binary(path("pts.bin")), points);
+}
+
+TEST_F(IoTest, BinaryEmptyRoundTrip) {
+  data::save_binary(path("empty.bin"), {});
+  EXPECT_TRUE(data::load_binary(path("empty.bin")).empty());
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "NOPE and some bytes";
+  out.close();
+  EXPECT_THROW(data::load_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const auto points = data::generate_uniform(100, 12, 1.0f, 1.0f);
+  data::save_binary(path("trunc.bin"), points);
+  std::filesystem::resize_file(path("trunc.bin"), 100);
+  EXPECT_THROW(data::load_binary(path("trunc.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(data::load_binary(path("missing.bin")), std::runtime_error);
+  EXPECT_THROW(data::load_csv(path("missing.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const auto points = data::generate_sky_survey(500, 13);
+  data::save_csv(path("pts.csv"), points);
+  const auto loaded = data::load_csv(path("pts.csv"));
+  ASSERT_EQ(loaded.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_NEAR(loaded[i].x, points[i].x, 1e-4f);
+    EXPECT_NEAR(loaded[i].y, points[i].y, 1e-4f);
+  }
+}
+
+TEST_F(IoTest, CsvSkipsCommentsAndBlanks) {
+  std::ofstream out(path("mixed.csv"));
+  out << "# header comment\n"
+      << "1.5,2.5\n"
+      << "\n"
+      << "3.0,4.0\n";
+  out.close();
+  const auto loaded = data::load_csv(path("mixed.csv"));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_FLOAT_EQ(loaded[0].x, 1.5f);
+  EXPECT_FLOAT_EQ(loaded[1].y, 4.0f);
+}
+
+TEST_F(IoTest, CsvRejectsMalformedLine) {
+  std::ofstream out(path("bad.csv"));
+  out << "1.0,2.0\n"
+      << "not a point\n";
+  out.close();
+  EXPECT_THROW(data::load_csv(path("bad.csv")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -1,0 +1,121 @@
+// Multi-device neighbor-table construction: the index is replicated and
+// batches are interleaved across devices (Mr. Scan's GPU-per-node
+// direction, the paper's citation [7]).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/neighbor_table_builder.hpp"
+#include "data/generators.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan {
+namespace {
+
+cudasim::SimulationOptions fast_options() {
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 2;
+  return opt;
+}
+
+void expect_tables_equal(const NeighborTable& got, const NeighborTable& want) {
+  ASSERT_EQ(got.num_points(), want.num_points());
+  ASSERT_EQ(got.total_pairs(), want.total_pairs());
+  for (PointId i = 0; i < got.num_points(); ++i) {
+    std::vector<PointId> a(got.neighbors(i).begin(), got.neighbors(i).end());
+    std::vector<PointId> b(want.neighbors(i).begin(), want.neighbors(i).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "point " << i;
+  }
+}
+
+class MultiDevice : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiDevice, MatchesHostOracle) {
+  const int num_devices = GetParam();
+  const auto points = data::generate_space_weather(
+      3000, 101, {.width = 10.0f, .height = 10.0f});
+  const float eps = 0.35f;
+  const GridIndex index = build_grid_index(points, eps);
+  const NeighborTable oracle = build_neighbor_table_host(index, eps);
+
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  std::vector<cudasim::Device*> device_ptrs;
+  for (int d = 0; d < num_devices; ++d) {
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{},
+                                          fast_options()));
+    device_ptrs.push_back(devices.back().get());
+  }
+  NeighborTableBuilder builder(device_ptrs);
+  BuildReport report;
+  expect_tables_equal(builder.build(index, eps, &report), oracle);
+  // Every device's contexts get at least one batch.
+  EXPECT_GE(report.plan.num_batches, static_cast<std::uint32_t>(num_devices));
+  // Work actually lands on every device.
+  for (const auto& dev : devices) {
+    EXPECT_GT(dev->metrics().kernel_launches, 0u);
+    EXPECT_GT(dev->metrics().d2h_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, MultiDevice,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MultiDeviceBuilder, RejectsEmptyAndNullDeviceLists) {
+  EXPECT_THROW(NeighborTableBuilder(std::vector<cudasim::Device*>{}),
+               std::invalid_argument);
+  EXPECT_THROW(NeighborTableBuilder(std::vector<cudasim::Device*>{nullptr}),
+               std::invalid_argument);
+}
+
+TEST(MultiDeviceBuilder, ModeledTimeImprovesWithDevices) {
+  const auto points = data::generate_sky_survey(
+      20000, 102, {.width = 12.0f, .height = 12.0f});
+  const float eps = 0.4f;
+  const GridIndex index = build_grid_index(points, eps);
+
+  auto modeled_with = [&](int num_devices) {
+    std::vector<std::unique_ptr<cudasim::Device>> devices;
+    std::vector<cudasim::Device*> ptrs;
+    for (int d = 0; d < num_devices; ++d) {
+      devices.push_back(std::make_unique<cudasim::Device>(
+          cudasim::DeviceConfig{}, fast_options()));
+      ptrs.push_back(devices.back().get());
+    }
+    NeighborTableBuilder builder(ptrs);
+    BuildReport report;
+    (void)builder.build(index, eps, &report);
+    return report.modeled_table_seconds;
+  };
+
+  const double one = modeled_with(1);
+  const double four = modeled_with(4);
+  EXPECT_LT(four, one);
+}
+
+TEST(MultiDeviceBuilder, DeviceMemoryReleasedOnAll) {
+  const auto points = data::generate_uniform(2000, 103, 8.0f, 8.0f);
+  const GridIndex index = build_grid_index(points, 0.3f);
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  std::vector<cudasim::Device*> ptrs;
+  for (int d = 0; d < 3; ++d) {
+    devices.push_back(std::make_unique<cudasim::Device>(
+        cudasim::DeviceConfig{}, fast_options()));
+    ptrs.push_back(devices.back().get());
+  }
+  {
+    NeighborTableBuilder builder(ptrs);
+    builder.build(index, 0.3f);
+  }
+  for (const auto& dev : devices) {
+    EXPECT_EQ(dev->used_global_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cudasim/buffer.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/sort.hpp"
+
+namespace {
+
+using cudasim::Device;
+using cudasim::DeviceBuffer;
+using cudasim::SimulationOptions;
+using hdbscan::NeighborPair;
+using hdbscan::Xoshiro256;
+
+SimulationOptions fast_options() {
+  SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 1;
+  return opt;
+}
+
+std::vector<NeighborPair> random_pairs(std::size_t n, std::uint64_t seed,
+                                       std::uint32_t key_range) {
+  Xoshiro256 rng(seed);
+  std::vector<NeighborPair> pairs(n);
+  for (auto& p : pairs) {
+    p.key = static_cast<std::uint32_t>(rng.below(key_range));
+    p.value = static_cast<std::uint32_t>(rng());
+  }
+  return pairs;
+}
+
+class SortByKeySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortByKeySizes, MatchesStableSort) {
+  const std::size_t n = GetParam();
+  Device dev({}, fast_options());
+  auto pairs = random_pairs(n, 42 + n, 1000);
+  auto expected = pairs;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const NeighborPair& a, const NeighborPair& b) {
+                     return a.key < b.key;
+                   });
+
+  DeviceBuffer<NeighborPair> buf(dev, n);
+  std::copy(pairs.begin(), pairs.end(), buf.unsafe_host_view().begin());
+  cudasim::sort_by_key(dev, buf, n,
+                       [](const NeighborPair& p) { return p.key; });
+  const auto sorted = buf.unsafe_host_view();
+  ASSERT_EQ(sorted.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sorted[i].key, expected[i].key) << "at " << i;
+    EXPECT_EQ(sorted[i].value, expected[i].value) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortByKeySizes,
+                         ::testing::Values(0, 1, 2, 3, 255, 256, 257, 10000,
+                                           100001));
+
+TEST(SortByKey, StabilityPreservesValueOrderPerKey) {
+  Device dev({}, fast_options());
+  // All same key: the value sequence must be untouched (radix is stable).
+  const std::size_t n = 5000;
+  DeviceBuffer<NeighborPair> buf(dev, n);
+  auto view = buf.unsafe_host_view();
+  for (std::size_t i = 0; i < n; ++i) {
+    view[i] = {7u, static_cast<std::uint32_t>(i)};
+  }
+  cudasim::sort_by_key(dev, buf, n,
+                       [](const NeighborPair& p) { return p.key; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(view[i].value, i);
+  }
+}
+
+TEST(SortByKey, FullKeyRange) {
+  Device dev({}, fast_options());
+  const std::size_t n = 20000;
+  auto pairs = random_pairs(n, 9, 1);
+  Xoshiro256 rng(17);
+  for (auto& p : pairs) p.key = static_cast<std::uint32_t>(rng());
+  DeviceBuffer<NeighborPair> buf(dev, n);
+  std::copy(pairs.begin(), pairs.end(), buf.unsafe_host_view().begin());
+  cudasim::sort_by_key(dev, buf, n,
+                       [](const NeighborPair& p) { return p.key; });
+  const auto view = buf.unsafe_host_view();
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(view[i - 1].key, view[i].key);
+  }
+}
+
+TEST(SortByKey, SortsOnlyPrefix) {
+  Device dev({}, fast_options());
+  DeviceBuffer<NeighborPair> buf(dev, 10);
+  auto view = buf.unsafe_host_view();
+  for (std::size_t i = 0; i < 10; ++i) {
+    view[i] = {static_cast<std::uint32_t>(9 - i), 0u};
+  }
+  cudasim::sort_by_key(dev, buf, 5,
+                       [](const NeighborPair& p) { return p.key; });
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_LE(view[i - 1].key, view[i].key);
+  // Tail untouched.
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_EQ(view[i].key, 9 - i);
+}
+
+TEST(SortByKey, CountBeyondBufferThrows) {
+  Device dev({}, fast_options());
+  DeviceBuffer<NeighborPair> buf(dev, 10);
+  EXPECT_THROW(cudasim::sort_by_key(
+                   dev, buf, 11, [](const NeighborPair& p) { return p.key; }),
+               cudasim::SimError);
+}
+
+TEST(SortByKey, RecordsModeledTime) {
+  Device dev({}, fast_options());
+  DeviceBuffer<NeighborPair> buf(dev, 1000);
+  cudasim::sort_by_key(dev, buf, 1000,
+                       [](const NeighborPair& p) { return p.key; });
+  EXPECT_GT(dev.metrics().sort_seconds, 0.0);
+}
+
+TEST(SortByKey, ScratchAllocationIsReleased) {
+  Device dev({}, fast_options());
+  DeviceBuffer<NeighborPair> buf(dev, 1000);
+  const std::size_t before = dev.used_global_bytes();
+  cudasim::sort_by_key(dev, buf, 1000,
+                       [](const NeighborPair& p) { return p.key; });
+  EXPECT_EQ(dev.used_global_bytes(), before);
+  // But the peak shows the Thrust-style temp buffer.
+  EXPECT_GE(dev.metrics().peak_mem_bytes, 2 * before);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "dbscan/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include <vector>
+
+namespace hdbscan {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(10);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsNewness) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_size(0), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_FALSE(uf.connected(0, 4));
+}
+
+TEST(UnionFind, ChainCollapsesToOneRoot) {
+  const std::uint32_t n = 1000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  const std::uint32_t root = uf.find(0);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(uf.find(i), root);
+  EXPECT_EQ(uf.set_size(0), n);
+}
+
+TEST(UnionFind, RandomUnionsMatchNaiveModel) {
+  Xoshiro256 rng(3);
+  const std::uint32_t n = 200;
+  UnionFind uf(n);
+  // Naive model: component id per element, relabel on union.
+  std::vector<std::uint32_t> model(n);
+  for (std::uint32_t i = 0; i < n; ++i) model[i] = i;
+  for (int step = 0; step < 300; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    uf.unite(a, b);
+    const std::uint32_t from = model[b], to = model[a];
+    for (auto& m : model) {
+      if (m == from) m = to;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(uf.connected(i, j), model[i] == model[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdbscan

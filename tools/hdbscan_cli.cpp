@@ -1,0 +1,256 @@
+// hdbscan_cli — command-line front end for the whole library.
+//
+//   hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out.{csv,bin}>
+//   hdbscan_cli cluster <in.{csv,bin}> <eps> <minpts> [labels_out] [--map]
+//   hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>
+//   hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]
+//   hdbscan_cli table <in> <eps> <table_out.bin>
+//   hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>
+//
+// Files ending in .bin use the library's binary point format; anything
+// else is parsed as "x,y" CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/cluster_analysis.hpp"
+#include "common/timer.hpp"
+#include "core/hybrid_dbscan.hpp"
+#include "core/pipeline.hpp"
+#include "core/reuse.hpp"
+#include "cudasim/device.hpp"
+#include "data/datasets.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "dbscan/optics.hpp"
+#include "dbscan/table_io.hpp"
+#include "index/grid_index.hpp"
+
+namespace {
+
+using namespace hdbscan;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::vector<Point2> load_points(const std::string& path) {
+  return ends_with(path, ".bin") ? data::load_binary(path)
+                                 : data::load_csv(path);
+}
+
+void save_points(const std::string& path, const std::vector<Point2>& points) {
+  if (ends_with(path, ".bin")) {
+    data::save_binary(path, points);
+  } else {
+    data::save_csv(path, points);
+  }
+}
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(std::atoi(csv.c_str() + pos));
+    const std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<float> parse_float_list(const std::string& csv) {
+  std::vector<float> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    out.push_back(std::strtof(csv.c_str() + pos, nullptr));
+    const std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out>\n"
+      "  hdbscan_cli cluster <in> <eps> <minpts> [labels_out] [--map]\n"
+      "  hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>\n"
+      "  hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]\n"
+      "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
+      "  hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+  std::vector<Point2> points;
+  if (kind == "uniform") {
+    points = data::generate_uniform(n, 1, 35.0f, 35.0f);
+  } else {
+    points = data::make_dataset(kind, n);
+  }
+  save_points(argv[4], points);
+  std::printf("wrote %zu points to %s\n", points.size(), argv[4]);
+  return 0;
+}
+
+int cmd_cluster(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto points = load_points(argv[2]);
+  const float eps = std::strtof(argv[3], nullptr);
+  const int minpts = std::atoi(argv[4]);
+  const bool want_map = argc > 5 && std::string(argv[argc - 1]) == "--map";
+
+  cudasim::Device device;
+  HybridTimings timings;
+  const ClusterResult result =
+      hybrid_dbscan(device, points, eps, minpts, &timings);
+  std::printf("%zu points, eps=%g minpts=%d -> %d clusters, %zu noise"
+              " (%.3f s, modeled %.3f s)\n",
+              points.size(), eps, minpts, result.num_clusters,
+              result.noise_count(), timings.total_seconds,
+              timings.modeled_total_seconds);
+
+  const auto stats = analysis::compute_cluster_stats(points, result);
+  for (std::size_t i = 0; i < stats.size() && i < 10; ++i) {
+    std::printf("  cluster %2d: %7zu pts  centroid (%.2f, %.2f)\n",
+                stats[i].cluster, stats[i].size, stats[i].centroid.x,
+                stats[i].centroid.y);
+  }
+  if (want_map) {
+    std::printf("%s", analysis::ascii_cluster_map(points, result, 72, 24).c_str());
+  }
+  if (argc > 5 && std::string(argv[5]) != "--map") {
+    std::FILE* out = std::fopen(argv[5], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[5]);
+      return 1;
+    }
+    for (const std::int32_t l : result.labels) std::fprintf(out, "%d\n", l);
+    std::fclose(out);
+    std::printf("labels written to %s\n", argv[5]);
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 7) return usage();
+  const auto points = load_points(argv[2]);
+  const float lo = std::strtof(argv[3], nullptr);
+  const float hi = std::strtof(argv[4], nullptr);
+  const float step = std::strtof(argv[5], nullptr);
+  const int minpts = std::atoi(argv[6]);
+  if (!(step > 0.0f) || hi < lo) {
+    std::fprintf(stderr, "bad sweep range\n");
+    return 2;
+  }
+  std::vector<Variant> variants;
+  for (float e = lo; e <= hi + 1e-6f; e += step) variants.push_back({e, minpts});
+
+  cudasim::Device device;
+  const PipelineReport report =
+      run_multi_clustering(device, points, variants, {});
+  std::printf("%6s %10s %10s %12s %12s\n", "eps", "clusters", "noise",
+              "T (s)", "DBSCAN (s)");
+  for (const VariantTiming& t : report.variants) {
+    std::printf("%6.3f %10d %10zu %12.3f %12.3f\n", t.variant.eps,
+                t.num_clusters, t.noise_count, t.table_seconds,
+                t.dbscan_seconds);
+  }
+  std::printf("pipelined total: %.3f s for %zu variants\n",
+              report.total_seconds, variants.size());
+  return 0;
+}
+
+int cmd_reuse(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto points = load_points(argv[2]);
+  const float eps = std::strtof(argv[3], nullptr);
+  const std::vector<int> minpts = parse_int_list(argv[4]);
+  const unsigned threads =
+      argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 4u;
+  if (minpts.empty()) return usage();
+
+  cudasim::Device device;
+  std::vector<ClusterResult> results;
+  const ReuseReport report =
+      cluster_minpts_sweep(device, points, eps, minpts, threads, {}, &results);
+  std::printf("T built once (%.3f s); %zu minpts variants on %u threads"
+              " (%.3f s):\n",
+              report.table_seconds, minpts.size(), threads,
+              report.dbscan_wall_seconds);
+  for (std::size_t i = 0; i < minpts.size(); ++i) {
+    std::printf("  minpts %5d -> %6d clusters, %8zu noise\n", minpts[i],
+                results[i].num_clusters, results[i].noise_count());
+  }
+  return 0;
+}
+
+int cmd_table(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto points = load_points(argv[2]);
+  const float eps = std::strtof(argv[3], nullptr);
+  cudasim::Device device;
+  const GridIndex index = build_grid_index(points, eps);
+  NeighborTableBuilder builder(device);
+  BuildReport report;
+  const NeighborTable table = builder.build(index, eps, &report);
+  save_neighbor_table(argv[4], table, eps);
+  std::printf("neighbor table: %llu pairs in %u batches (%.3f s) -> %s\n",
+              static_cast<unsigned long long>(report.total_pairs),
+              report.batches_run, report.table_seconds, argv[4]);
+  std::printf("note: the table indexes the grid ordering; pair it with the"
+              " same eps when loading.\n");
+  return 0;
+}
+
+int cmd_optics(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto points = load_points(argv[2]);
+  const float eps = std::strtof(argv[3], nullptr);
+  const int minpts = std::atoi(argv[4]);
+  const std::vector<float> eps_primes = parse_float_list(argv[5]);
+
+  cudasim::Device device;
+  const GridIndex index = build_grid_index(points, eps);
+  NeighborTableBuilder builder(device);
+  const NeighborTable table = builder.build(index, eps);
+  const OpticsResult ordering = optics(index.points, table, eps, minpts);
+  std::printf("%8s %10s %10s\n", "eps'", "clusters", "noise");
+  for (const float ep : eps_primes) {
+    if (ep > eps) {
+      std::printf("%8.3f   (skipped: exceeds table eps %g)\n", ep, eps);
+      continue;
+    }
+    const ClusterResult r = extract_dbscan_clustering(ordering, ep);
+    std::printf("%8.3f %10d %10zu\n", ep, r.num_clusters, r.noise_count());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "cluster") return cmd_cluster(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "reuse") return cmd_reuse(argc, argv);
+    if (cmd == "table") return cmd_table(argc, argv);
+    if (cmd == "optics") return cmd_optics(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
