@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_alpha"
+  "../bench/ablate_alpha.pdb"
+  "CMakeFiles/ablate_alpha.dir/ablate_alpha.cpp.o"
+  "CMakeFiles/ablate_alpha.dir/ablate_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_bandwidth"
+  "../bench/ablate_bandwidth.pdb"
+  "CMakeFiles/ablate_bandwidth.dir/ablate_bandwidth.cpp.o"
+  "CMakeFiles/ablate_bandwidth.dir/ablate_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_hybrid_kernel"
+  "../bench/ablate_hybrid_kernel.pdb"
+  "CMakeFiles/ablate_hybrid_kernel.dir/ablate_hybrid_kernel.cpp.o"
+  "CMakeFiles/ablate_hybrid_kernel.dir/ablate_hybrid_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hybrid_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_multi_gpu"
+  "../bench/ablate_multi_gpu.pdb"
+  "CMakeFiles/ablate_multi_gpu.dir/ablate_multi_gpu.cpp.o"
+  "CMakeFiles/ablate_multi_gpu.dir/ablate_multi_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

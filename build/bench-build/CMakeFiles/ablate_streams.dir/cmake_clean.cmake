@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_streams"
+  "../bench/ablate_streams.pdb"
+  "CMakeFiles/ablate_streams.dir/ablate_streams.cpp.o"
+  "CMakeFiles/ablate_streams.dir/ablate_streams.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

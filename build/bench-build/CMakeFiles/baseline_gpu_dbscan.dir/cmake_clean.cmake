@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_gpu_dbscan"
+  "../bench/baseline_gpu_dbscan.pdb"
+  "CMakeFiles/baseline_gpu_dbscan.dir/baseline_gpu_dbscan.cpp.o"
+  "CMakeFiles/baseline_gpu_dbscan.dir/baseline_gpu_dbscan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_gpu_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

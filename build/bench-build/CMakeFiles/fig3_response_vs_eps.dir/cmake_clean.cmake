@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_response_vs_eps"
+  "../bench/fig3_response_vs_eps.pdb"
+  "CMakeFiles/fig3_response_vs_eps.dir/fig3_response_vs_eps.cpp.o"
+  "CMakeFiles/fig3_response_vs_eps.dir/fig3_response_vs_eps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_response_vs_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pipeline_totals"
+  "../bench/fig4_pipeline_totals.pdb"
+  "CMakeFiles/fig4_pipeline_totals.dir/fig4_pipeline_totals.cpp.o"
+  "CMakeFiles/fig4_pipeline_totals.dir/fig4_pipeline_totals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pipeline_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

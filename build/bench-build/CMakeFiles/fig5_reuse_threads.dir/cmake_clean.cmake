@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_reuse_threads"
+  "../bench/fig5_reuse_threads.pdb"
+  "CMakeFiles/fig5_reuse_threads.dir/fig5_reuse_threads.cpp.o"
+  "CMakeFiles/fig5_reuse_threads.dir/fig5_reuse_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reuse_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_reuse_speedup"
+  "../bench/fig6_reuse_speedup.pdb"
+  "CMakeFiles/fig6_reuse_speedup.dir/fig6_reuse_speedup.cpp.o"
+  "CMakeFiles/fig6_reuse_speedup.dir/fig6_reuse_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reuse_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_kernel_efficiency"
+  "../bench/table2_kernel_efficiency.pdb"
+  "CMakeFiles/table2_kernel_efficiency.dir/table2_kernel_efficiency.cpp.o"
+  "CMakeFiles/table2_kernel_efficiency.dir/table2_kernel_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernel_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_explorer.dir/optics_explorer.cpp.o"
+  "CMakeFiles/optics_explorer.dir/optics_explorer.cpp.o.d"
+  "optics_explorer"
+  "optics_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_survey_reuse.dir/sky_survey_reuse.cpp.o"
+  "CMakeFiles/sky_survey_reuse.dir/sky_survey_reuse.cpp.o.d"
+  "sky_survey_reuse"
+  "sky_survey_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_survey_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

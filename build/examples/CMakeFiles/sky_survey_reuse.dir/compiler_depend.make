@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sky_survey_reuse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_weather_sweep.dir/space_weather_sweep.cpp.o"
+  "CMakeFiles/space_weather_sweep.dir/space_weather_sweep.cpp.o.d"
+  "space_weather_sweep"
+  "space_weather_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_weather_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cluster_analysis.cpp" "src/analysis/CMakeFiles/hdbscan_analysis.dir/cluster_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/hdbscan_analysis.dir/cluster_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdbscan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/hdbscan_dbscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdbscan_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

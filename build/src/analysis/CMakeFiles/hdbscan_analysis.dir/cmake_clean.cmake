@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_analysis.dir/cluster_analysis.cpp.o"
+  "CMakeFiles/hdbscan_analysis.dir/cluster_analysis.cpp.o.d"
+  "libhdbscan_analysis.a"
+  "libhdbscan_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

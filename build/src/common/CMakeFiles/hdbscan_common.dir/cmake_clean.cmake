@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_common.dir/env.cpp.o"
+  "CMakeFiles/hdbscan_common.dir/env.cpp.o.d"
+  "CMakeFiles/hdbscan_common.dir/makespan.cpp.o"
+  "CMakeFiles/hdbscan_common.dir/makespan.cpp.o.d"
+  "CMakeFiles/hdbscan_common.dir/stats.cpp.o"
+  "CMakeFiles/hdbscan_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hdbscan_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hdbscan_common.dir/thread_pool.cpp.o.d"
+  "libhdbscan_common.a"
+  "libhdbscan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

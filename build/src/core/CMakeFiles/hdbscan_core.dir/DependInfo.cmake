@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_planner.cpp" "src/core/CMakeFiles/hdbscan_core.dir/batch_planner.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/batch_planner.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/hdbscan_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/hybrid_dbscan.cpp" "src/core/CMakeFiles/hdbscan_core.dir/hybrid_dbscan.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/hybrid_dbscan.cpp.o.d"
+  "/root/repo/src/core/hybrid_dbscan3.cpp" "src/core/CMakeFiles/hdbscan_core.dir/hybrid_dbscan3.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/hybrid_dbscan3.cpp.o.d"
+  "/root/repo/src/core/neighbor_table_builder.cpp" "src/core/CMakeFiles/hdbscan_core.dir/neighbor_table_builder.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/neighbor_table_builder.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/hdbscan_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/reuse.cpp" "src/core/CMakeFiles/hdbscan_core.dir/reuse.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/reuse.cpp.o.d"
+  "/root/repo/src/core/similarity_join.cpp" "src/core/CMakeFiles/hdbscan_core.dir/similarity_join.cpp.o" "gcc" "src/core/CMakeFiles/hdbscan_core.dir/similarity_join.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdbscan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/hdbscan_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdbscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hdbscan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/hdbscan_dbscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_core.dir/batch_planner.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/batch_planner.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/estimator.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/hybrid_dbscan.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/hybrid_dbscan.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/hybrid_dbscan3.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/hybrid_dbscan3.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/neighbor_table_builder.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/neighbor_table_builder.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/reuse.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/reuse.cpp.o.d"
+  "CMakeFiles/hdbscan_core.dir/similarity_join.cpp.o"
+  "CMakeFiles/hdbscan_core.dir/similarity_join.cpp.o.d"
+  "libhdbscan_core.a"
+  "libhdbscan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

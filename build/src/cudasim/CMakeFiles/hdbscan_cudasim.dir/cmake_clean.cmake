@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_cudasim.dir/device.cpp.o"
+  "CMakeFiles/hdbscan_cudasim.dir/device.cpp.o.d"
+  "CMakeFiles/hdbscan_cudasim.dir/stream.cpp.o"
+  "CMakeFiles/hdbscan_cudasim.dir/stream.cpp.o.d"
+  "libhdbscan_cudasim.a"
+  "libhdbscan_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

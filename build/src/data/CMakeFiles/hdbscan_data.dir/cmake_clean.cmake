@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_data.dir/datasets.cpp.o"
+  "CMakeFiles/hdbscan_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/hdbscan_data.dir/generators.cpp.o"
+  "CMakeFiles/hdbscan_data.dir/generators.cpp.o.d"
+  "CMakeFiles/hdbscan_data.dir/io.cpp.o"
+  "CMakeFiles/hdbscan_data.dir/io.cpp.o.d"
+  "libhdbscan_data.a"
+  "libhdbscan_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

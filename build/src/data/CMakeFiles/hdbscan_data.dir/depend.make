@@ -1,0 +1,2 @@
+# Empty dependencies file for hdbscan_data.
+# This may be replaced when dependencies are built.

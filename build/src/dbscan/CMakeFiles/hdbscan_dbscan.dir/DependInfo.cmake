@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbscan/cluster_compare.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/cluster_compare.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/cluster_compare.cpp.o.d"
+  "/root/repo/src/dbscan/cluster_result.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/cluster_result.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/cluster_result.cpp.o.d"
+  "/root/repo/src/dbscan/dbscan.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/dbscan.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/dbscan.cpp.o.d"
+  "/root/repo/src/dbscan/dbscan_parallel.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/dbscan_parallel.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/dbscan_parallel.cpp.o.d"
+  "/root/repo/src/dbscan/neighbor_table.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/neighbor_table.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/dbscan/optics.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/optics.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/optics.cpp.o.d"
+  "/root/repo/src/dbscan/table_io.cpp" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/table_io.cpp.o" "gcc" "src/dbscan/CMakeFiles/hdbscan_dbscan.dir/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdbscan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdbscan_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_dbscan.dir/cluster_compare.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/cluster_compare.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/cluster_result.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/cluster_result.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/dbscan.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/dbscan.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/dbscan_parallel.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/dbscan_parallel.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/neighbor_table.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/optics.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/optics.cpp.o.d"
+  "CMakeFiles/hdbscan_dbscan.dir/table_io.cpp.o"
+  "CMakeFiles/hdbscan_dbscan.dir/table_io.cpp.o.d"
+  "libhdbscan_dbscan.a"
+  "libhdbscan_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_dbscan.cpp" "src/gpu/CMakeFiles/hdbscan_gpu.dir/gpu_dbscan.cpp.o" "gcc" "src/gpu/CMakeFiles/hdbscan_gpu.dir/gpu_dbscan.cpp.o.d"
+  "/root/repo/src/gpu/kernels.cpp" "src/gpu/CMakeFiles/hdbscan_gpu.dir/kernels.cpp.o" "gcc" "src/gpu/CMakeFiles/hdbscan_gpu.dir/kernels.cpp.o.d"
+  "/root/repo/src/gpu/kernels3.cpp" "src/gpu/CMakeFiles/hdbscan_gpu.dir/kernels3.cpp.o" "gcc" "src/gpu/CMakeFiles/hdbscan_gpu.dir/kernels3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/hdbscan_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdbscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbscan/CMakeFiles/hdbscan_dbscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdbscan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

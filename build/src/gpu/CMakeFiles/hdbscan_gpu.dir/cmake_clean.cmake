@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_gpu.dir/gpu_dbscan.cpp.o"
+  "CMakeFiles/hdbscan_gpu.dir/gpu_dbscan.cpp.o.d"
+  "CMakeFiles/hdbscan_gpu.dir/kernels.cpp.o"
+  "CMakeFiles/hdbscan_gpu.dir/kernels.cpp.o.d"
+  "CMakeFiles/hdbscan_gpu.dir/kernels3.cpp.o"
+  "CMakeFiles/hdbscan_gpu.dir/kernels3.cpp.o.d"
+  "libhdbscan_gpu.a"
+  "libhdbscan_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_index.dir/grid_index.cpp.o"
+  "CMakeFiles/hdbscan_index.dir/grid_index.cpp.o.d"
+  "CMakeFiles/hdbscan_index.dir/grid_index3.cpp.o"
+  "CMakeFiles/hdbscan_index.dir/grid_index3.cpp.o.d"
+  "CMakeFiles/hdbscan_index.dir/rtree.cpp.o"
+  "CMakeFiles/hdbscan_index.dir/rtree.cpp.o.d"
+  "libhdbscan_index.a"
+  "libhdbscan_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

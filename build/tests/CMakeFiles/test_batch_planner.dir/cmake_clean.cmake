@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_planner.dir/test_batch_planner.cpp.o"
+  "CMakeFiles/test_batch_planner.dir/test_batch_planner.cpp.o.d"
+  "test_batch_planner"
+  "test_batch_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_analysis.dir/test_cluster_analysis.cpp.o"
+  "CMakeFiles/test_cluster_analysis.dir/test_cluster_analysis.cpp.o.d"
+  "test_cluster_analysis"
+  "test_cluster_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_compare.dir/test_cluster_compare.cpp.o"
+  "CMakeFiles/test_cluster_compare.dir/test_cluster_compare.cpp.o.d"
+  "test_cluster_compare"
+  "test_cluster_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coop_kernel.dir/test_coop_kernel.cpp.o"
+  "CMakeFiles/test_coop_kernel.dir/test_coop_kernel.cpp.o.d"
+  "test_coop_kernel"
+  "test_coop_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coop_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbscan.dir/test_dbscan.cpp.o"
+  "CMakeFiles/test_dbscan.dir/test_dbscan.cpp.o.d"
+  "test_dbscan"
+  "test_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

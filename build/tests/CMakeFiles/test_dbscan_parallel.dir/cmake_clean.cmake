@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbscan_parallel.dir/test_dbscan_parallel.cpp.o"
+  "CMakeFiles/test_dbscan_parallel.dir/test_dbscan_parallel.cpp.o.d"
+  "test_dbscan_parallel"
+  "test_dbscan_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbscan_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_memory.dir/test_device_memory.cpp.o"
+  "CMakeFiles/test_device_memory.dir/test_device_memory.cpp.o.d"
+  "test_device_memory"
+  "test_device_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

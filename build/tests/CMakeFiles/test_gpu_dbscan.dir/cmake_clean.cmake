@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_dbscan.dir/test_gpu_dbscan.cpp.o"
+  "CMakeFiles/test_gpu_dbscan.dir/test_gpu_dbscan.cpp.o.d"
+  "test_gpu_dbscan"
+  "test_gpu_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid3.dir/test_grid3.cpp.o"
+  "CMakeFiles/test_grid3.dir/test_grid3.cpp.o.d"
+  "test_grid3"
+  "test_grid3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_index.dir/test_grid_index.cpp.o"
+  "CMakeFiles/test_grid_index.dir/test_grid_index.cpp.o.d"
+  "test_grid_index"
+  "test_grid_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_equivalence.dir/test_hybrid_equivalence.cpp.o"
+  "CMakeFiles/test_hybrid_equivalence.dir/test_hybrid_equivalence.cpp.o.d"
+  "test_hybrid_equivalence"
+  "test_hybrid_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_launch.dir/test_kernel_launch.cpp.o"
+  "CMakeFiles/test_kernel_launch.dir/test_kernel_launch.cpp.o.d"
+  "test_kernel_launch"
+  "test_kernel_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_device.dir/test_multi_device.cpp.o"
+  "CMakeFiles/test_multi_device.dir/test_multi_device.cpp.o.d"
+  "test_multi_device"
+  "test_multi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_similarity_join.dir/test_similarity_join.cpp.o"
+  "CMakeFiles/test_similarity_join.dir/test_similarity_join.cpp.o.d"
+  "test_similarity_join"
+  "test_similarity_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_similarity_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

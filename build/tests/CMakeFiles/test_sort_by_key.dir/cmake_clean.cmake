@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_by_key.dir/test_sort_by_key.cpp.o"
+  "CMakeFiles/test_sort_by_key.dir/test_sort_by_key.cpp.o.d"
+  "test_sort_by_key"
+  "test_sort_by_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_by_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

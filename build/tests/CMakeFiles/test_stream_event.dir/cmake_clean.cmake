@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_event.dir/test_stream_event.cpp.o"
+  "CMakeFiles/test_stream_event.dir/test_stream_event.cpp.o.d"
+  "test_stream_event"
+  "test_stream_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_builder.dir/test_table_builder.cpp.o"
+  "CMakeFiles/test_table_builder.dir/test_table_builder.cpp.o.d"
+  "test_table_builder"
+  "test_table_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

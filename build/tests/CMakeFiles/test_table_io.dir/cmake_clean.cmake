@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_io.dir/test_table_io.cpp.o"
+  "CMakeFiles/test_table_io.dir/test_table_io.cpp.o.d"
+  "test_table_io"
+  "test_table_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

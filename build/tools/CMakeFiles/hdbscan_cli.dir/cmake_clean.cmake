@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbscan_cli.dir/hdbscan_cli.cpp.o"
+  "CMakeFiles/hdbscan_cli.dir/hdbscan_cli.cpp.o.d"
+  "hdbscan_cli"
+  "hdbscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
