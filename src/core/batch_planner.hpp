@@ -23,6 +23,21 @@
 
 namespace hdbscan {
 
+/// How each batch's neighbor pairs are materialized and shipped to the
+/// host.
+enum class TableBuildMode {
+  /// Two-pass CSR (default): count kernel -> exclusive scan -> fill kernel
+  /// writing values into exact per-point slots. No device sort, no per-pair
+  /// keys on the wire (half the D2H bytes), overflow splits only when the
+  /// exact batch size exceeds the buffer (known before the fill pass runs).
+  kCsrTwoPass,
+  /// Legacy pair pipeline (paper Alg. 4): kernel appends (key, value)
+  /// pairs through the atomic cursor, device sort_by_key groups keys, the
+  /// full pairs go over PCIe. Kept for A/B benchmarking and as the
+  /// fallback the ablations compare against.
+  kPairSort,
+};
+
 struct BatchPolicy {
   double sample_fraction = 0.01;  ///< f, fraction of points sampled
   double alpha = 0.05;            ///< base over-estimation factor
@@ -35,6 +50,8 @@ struct BatchPolicy {
   /// directly (callers that already know the result size, e.g. repeated
   /// runs; also how tests exercise the overflow-recovery path).
   std::uint64_t estimated_total_override = 0;
+  /// Neighbor-table materialization strategy (see TableBuildMode).
+  TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
 };
 
 struct BatchPlan {

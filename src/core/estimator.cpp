@@ -25,6 +25,7 @@ ResultSizeEstimate estimate_result_size(cudasim::Device& device,
       device, view, eps, est.sample_stride, &est.kernel_stats, block_size);
   est.estimated_total =
       est.sampled_pairs * static_cast<std::uint64_t>(est.sample_stride);
+  est.exact = est.sample_stride == 1;
   return est;
 }
 

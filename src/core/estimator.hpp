@@ -17,6 +17,10 @@ struct ResultSizeEstimate {
   std::uint64_t sampled_pairs = 0;    ///< e_b, pairs found in the sample
   std::uint64_t estimated_total = 0;  ///< a_b = e_b / f
   std::uint32_t sample_stride = 1;
+  /// True when the sample was a full census (stride 1): a_b is exact, so
+  /// downstream consumers (e.g. the CSR builder's buffer sizing) know the
+  /// alpha over-provision is pure headroom rather than variance cover.
+  bool exact = false;
   cudasim::KernelStats kernel_stats;
 };
 

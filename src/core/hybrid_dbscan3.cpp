@@ -47,34 +47,45 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
   local.modeled_table_seconds +=
       cudasim::modeled_transfer_seconds(device.config(), upload_bytes, false);
 
-  // Exact sizing pass, then fill.
-  cudasim::KernelStats stats;
-  const std::uint64_t total =
-      gpu::run_count_kernel3(device, view, eps, 1, &stats);
+  // Two-pass CSR build, single batch: count per point, scan to exact
+  // offsets, fill straight into the slots. No device sort, no pair keys on
+  // the wire — only the offsets array and the bare neighbor ids go D2H.
+  const auto npts = static_cast<std::uint32_t>(index.points.size());
+  cudasim::DeviceBuffer<std::uint32_t> d_counts(device,
+                                                std::max<std::uint32_t>(1, npts));
+  cudasim::KernelStats stats =
+      gpu::run_count_batch3(device, view, eps, {}, d_counts.device_data());
   local.modeled_table_seconds += stats.modeled_seconds;
 
-  gpu::ResultSetDevice sink(device, total + 1);
-  stats = gpu::run_calc_global3(device, view, eps, {}, sink.view());
-  local.modeled_table_seconds += stats.modeled_seconds;
-  const std::uint64_t pairs = sink.count();
+  const std::uint64_t pairs = cudasim::exclusive_scan(device, d_counts, npts);
+  local.modeled_table_seconds += cudasim::modeled_scan_seconds(
+      device.config(), npts * sizeof(std::uint32_t));
 
-  cudasim::sort_by_key(device, sink.pairs(), pairs,
-                       [](const NeighborPair& p) { return p.key; });
-  cudasim::PinnedBuffer<NeighborPair> staging(device, pairs);
-  device.blocking_transfer(staging.data(), sink.pairs().device_data(),
-                           pairs * sizeof(NeighborPair), false, true);
+  cudasim::DeviceBuffer<PointId> d_values(device,
+                                          std::max<std::uint64_t>(1, pairs));
+  stats = gpu::run_fill_csr3(device, view, eps, {}, d_counts.device_data(),
+                             d_values.device_data());
+  local.modeled_table_seconds += stats.modeled_seconds;
+
+  const std::uint64_t offset_bytes = npts * sizeof(std::uint32_t);
+  const std::uint64_t value_bytes = pairs * sizeof(PointId);
+  cudasim::PinnedBuffer<std::uint32_t> offsets_staging(device, npts);
+  cudasim::PinnedBuffer<PointId> values_staging(device, pairs);
+  device.blocking_transfer(offsets_staging.data(), d_counts.device_data(),
+                           offset_bytes, false, true);
+  device.blocking_transfer(values_staging.data(), d_values.device_data(),
+                           value_bytes, false, true);
   local.modeled_table_seconds +=
-      cudasim::modeled_sort_seconds(device.config(),
-                                    pairs * sizeof(NeighborPair)) +
-      cudasim::modeled_transfer_seconds(device.config(),
-                                        pairs * sizeof(NeighborPair), true) +
+      cudasim::modeled_transfer_seconds(device.config(), offset_bytes, true) +
+      cudasim::modeled_transfer_seconds(device.config(), value_bytes, true) +
       cudasim::modeled_pinned_alloc_seconds(device.config(),
-                                            pairs * sizeof(NeighborPair));
+                                            offset_bytes + value_bytes);
 
   NeighborTable table(index.size());
   table.reserve_values(pairs);
   ThreadCpuTimer append_timer;
-  table.append_sorted_batch({staging.data(), pairs});
+  table.append_csr_batch(0, 1, {offsets_staging.data(), npts},
+                         {values_staging.data(), pairs});
   local.modeled_table_seconds += append_timer.seconds();
 
   local.total_pairs = pairs;

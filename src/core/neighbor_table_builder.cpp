@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -21,101 +22,209 @@ namespace {
 constexpr unsigned kMaxSplitDepth = 10;
 
 /// Everything one (device, stream) pair needs to process its batches.
+/// All tallies are context-private: the stream thread appends into its own
+/// shard of T lock-free, and the builder harvests the numbers after the
+/// streams synchronize — the shared mutex never sits on the batch path.
 struct StreamContext {
   StreamContext(cudasim::Device& device_in, const GridView& view_in,
-                std::uint64_t buffer_pairs, unsigned timeline_id_in)
+                TableBuildMode mode, std::uint64_t buffer_pairs,
+                std::uint32_t max_batch_points, unsigned timeline_id_in)
       : device(device_in),
         view(view_in),
         timeline_id(timeline_id_in),
         stream(device_in),
-        sink(device_in, buffer_pairs),
-        staging(device_in, buffer_pairs) {}
+        shard(view_in.num_points) {
+    if (mode == TableBuildMode::kPairSort) {
+      sink.emplace(device_in, buffer_pairs);
+      pair_staging.emplace(device_in, buffer_pairs);
+    } else {
+      counts.emplace(device_in, max_batch_points);
+      values.emplace(device_in, buffer_pairs);
+      offsets_staging.emplace(device_in, max_batch_points);
+      values_staging.emplace(device_in, buffer_pairs);
+    }
+  }
+
+  /// Pinned staging footprint (for the modeled page-lock cost).
+  [[nodiscard]] std::uint64_t pinned_bytes() const noexcept {
+    std::uint64_t b = 0;
+    if (pair_staging) b += pair_staging->bytes();
+    if (offsets_staging) b += offsets_staging->bytes();
+    if (values_staging) b += values_staging->bytes();
+    return b;
+  }
 
   cudasim::Device& device;
   GridView view;
   unsigned timeline_id;  ///< index into the per-context model timelines
   cudasim::Stream stream;
-  gpu::ResultSetDevice sink;
-  cudasim::PinnedBuffer<NeighborPair> staging;
+
+  /// Private fraction of T; merged into the final table exactly once.
+  NeighborTable shard;
+
+  // --- pair-sort (legacy) pipeline state ---
+  std::optional<gpu::ResultSetDevice> sink;
+  std::optional<cudasim::PinnedBuffer<NeighborPair>> pair_staging;
+
+  // --- two-pass CSR pipeline state ---
+  std::optional<cudasim::DeviceBuffer<std::uint32_t>> counts;
+  std::optional<cudasim::DeviceBuffer<PointId>> values;
+  std::optional<cudasim::PinnedBuffer<std::uint32_t>> offsets_staging;
+  std::optional<cudasim::PinnedBuffer<PointId>> values_staging;
+
+  // --- context-private tallies (harvested after synchronize) ---
+  double device_model = 0.0;    ///< modeled device seconds on this timeline
+  double append_seconds = 0.0;  ///< measured host CPU time appending into T
+  double kernel_modeled = 0.0;
+  double sort_modeled = 0.0;
+  double scan_modeled = 0.0;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t max_batch_pairs = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint32_t batches_run = 0;
+  std::uint32_t overflow_splits = 0;
 };
 
 struct SharedBuildState {
-  std::mutex mutex;  ///< guards table, report counters, first_error
-  NeighborTable table;
-  std::uint64_t total_pairs = 0;
-  std::uint64_t max_batch_pairs = 0;
-  std::uint32_t batches_run = 0;
-  std::uint32_t overflow_splits = 0;
-  double kernel_modeled_seconds = 0.0;
-  /// Modeled device-side time per context (kernel + sort + D2H per batch).
-  std::vector<double> stream_device_model;
-  /// Measured host-side CPU time appending into B, per context. The mutex
-  /// serializes the real appends, but on the paper's 16-core host each
-  /// batching thread builds its fraction of T concurrently, so the model
-  /// charges appends to their context's timeline.
-  std::vector<double> stream_append_seconds;
+  std::mutex mutex;  ///< guards first_error only (appends are shard-local)
   std::exception_ptr first_error;
 };
 
-/// Runs one batch synchronously on the calling (stream) thread; splits
-/// recursively on overflow.
-void process_batch(StreamContext& sc, float eps, gpu::BatchSpec spec,
-                   unsigned block_size, SharedBuildState& state,
-                   unsigned depth) {
+/// Legacy pair pipeline: kernel -> device sort_by_key -> D2H pairs ->
+/// shard append. Splits recursively on buffer overflow.
+void process_batch_pairs(StreamContext& sc, float eps, gpu::BatchSpec spec,
+                         unsigned block_size, unsigned depth) {
   if (spec.points_in_batch(sc.view.num_points) == 0) return;
 
-  sc.sink.reset();
+  sc.sink->reset();
   const cudasim::KernelStats stats = gpu::run_calc_global(
-      sc.device, sc.view, eps, spec, sc.sink.view(), block_size);
-  {
-    std::lock_guard lock(state.mutex);
-    ++state.batches_run;
-    state.kernel_modeled_seconds += stats.modeled_seconds;
-    state.stream_device_model[sc.timeline_id] += stats.modeled_seconds;
-  }
+      sc.device, sc.view, eps, spec, sc.sink->view(), block_size);
+  ++sc.batches_run;
+  sc.kernel_modeled += stats.modeled_seconds;
+  sc.device_model += stats.modeled_seconds;
+  sc.atomic_ops += stats.work.atomic_ops;
 
-  if (sc.sink.overflowed()) {
+  if (sc.sink->overflowed()) {
     if (depth >= kMaxSplitDepth) {
       throw std::runtime_error(
           "neighbor table build: batch overflowed even after splitting; "
           "result buffer too small for the data density");
     }
-    {
-      std::lock_guard lock(state.mutex);
-      ++state.overflow_splits;
-    }
+    ++sc.overflow_splits;
     // (l, n_b) == (l, 2 n_b) u (l + n_b, 2 n_b): same points, half each.
-    process_batch(sc, eps, {spec.batch, spec.num_batches * 2}, block_size,
-                  state, depth + 1);
-    process_batch(sc, eps,
-                  {spec.batch + spec.num_batches, spec.num_batches * 2},
-                  block_size, state, depth + 1);
+    process_batch_pairs(sc, eps, {spec.batch, spec.num_batches * 2},
+                        block_size, depth + 1);
+    process_batch_pairs(sc, eps,
+                        {spec.batch + spec.num_batches, spec.num_batches * 2},
+                        block_size, depth + 1);
     return;
   }
 
-  const std::uint64_t pairs = sc.sink.count();
+  const std::uint64_t pairs = sc.sink->stored();
   // Group identical keys before shipping R to the host (Alg. 4 line 7).
-  cudasim::sort_by_key(sc.device, sc.sink.pairs(), pairs,
+  cudasim::sort_by_key(sc.device, sc.sink->pairs(), pairs,
                        [](const NeighborPair& p) { return p.key; });
+  const std::uint64_t bytes = pairs * sizeof(NeighborPair);
   // D2H into this stream's pinned staging area.
-  sc.device.blocking_transfer(sc.staging.data(), sc.sink.pairs().device_data(),
-                              pairs * sizeof(NeighborPair),
+  sc.device.blocking_transfer(sc.pair_staging->data(),
+                              sc.sink->pairs().device_data(), bytes,
                               /*to_device=*/false, /*pinned_host=*/true);
-  // Host side: copy the values out of the staging buffer into B and record
-  // the [Tmin, Tmax) ranges — the staging buffer is then free for the
-  // stream's next batch.
-  std::lock_guard lock(state.mutex);
-  hdbscan::ThreadCpuTimer append_timer;  // CPU time: contention-immune
-  state.stream_device_model[sc.timeline_id] +=
-      cudasim::modeled_sort_seconds(sc.device.config(),
-                                    pairs * sizeof(NeighborPair)) +
-      cudasim::modeled_transfer_seconds(sc.device.config(),
-                                        pairs * sizeof(NeighborPair),
+  const double sort_s =
+      cudasim::modeled_sort_seconds(sc.device.config(), bytes);
+  sc.sort_modeled += sort_s;
+  sc.device_model +=
+      sort_s + cudasim::modeled_transfer_seconds(sc.device.config(), bytes,
+                                                 /*pinned=*/true);
+  sc.d2h_bytes += bytes;
+  // Host side: append this batch into the context's private shard — no
+  // lock; shards merge after all streams drain.
+  hdbscan::ThreadCpuTimer append_timer;
+  sc.shard.append_sorted_batch({sc.pair_staging->data(), pairs});
+  sc.append_seconds += append_timer.seconds();
+  sc.total_pairs += pairs;
+  sc.max_batch_pairs = std::max(sc.max_batch_pairs, pairs);
+}
+
+/// Two-pass CSR pipeline: count kernel -> exclusive scan (exact batch
+/// size) -> fill kernel into exact slots -> D2H offsets + values -> shard
+/// append. A batch whose exact size exceeds the value buffer splits
+/// *before* any fill work runs.
+void process_batch_csr(StreamContext& sc, float eps, gpu::BatchSpec spec,
+                       unsigned block_size, unsigned depth) {
+  const std::uint32_t pts = spec.points_in_batch(sc.view.num_points);
+  if (pts == 0) return;
+
+  const cudasim::KernelStats count_stats = gpu::run_count_batch(
+      sc.device, sc.view, eps, spec, sc.counts->device_data(), block_size);
+  ++sc.batches_run;
+  sc.kernel_modeled += count_stats.modeled_seconds;
+  sc.device_model += count_stats.modeled_seconds;
+  sc.atomic_ops += count_stats.work.atomic_ops;
+
+  // Exact batch size; counts become exclusive CSR offsets in place.
+  const std::uint64_t total = cudasim::exclusive_scan(sc.device, *sc.counts,
+                                                      pts);
+  const double scan_s = cudasim::modeled_scan_seconds(
+      sc.device.config(), pts * sizeof(std::uint32_t));
+  sc.scan_modeled += scan_s;
+  sc.device_model += scan_s;
+
+  if (total > sc.values->size()) {
+    if (depth >= kMaxSplitDepth) {
+      throw std::runtime_error(
+          "neighbor table build: batch exceeds the result buffer even "
+          "after splitting; buffer too small for the data density");
+    }
+    ++sc.overflow_splits;
+    process_batch_csr(sc, eps, {spec.batch, spec.num_batches * 2},
+                      block_size, depth + 1);
+    process_batch_csr(sc, eps,
+                      {spec.batch + spec.num_batches, spec.num_batches * 2},
+                      block_size, depth + 1);
+    return;
+  }
+
+  const cudasim::KernelStats fill_stats = gpu::run_fill_csr(
+      sc.device, sc.view, eps, spec, sc.counts->device_data(),
+      sc.values->device_data(), block_size);
+  sc.kernel_modeled += fill_stats.modeled_seconds;
+  sc.device_model += fill_stats.modeled_seconds;
+  sc.atomic_ops += fill_stats.work.atomic_ops;
+
+  // D2H: per-point offsets (tiny) + bare values — no NeighborPair keys on
+  // the wire, so about half the bytes of the pair pipeline.
+  const std::uint64_t offset_bytes = pts * sizeof(std::uint32_t);
+  const std::uint64_t value_bytes = total * sizeof(PointId);
+  sc.device.blocking_transfer(sc.offsets_staging->data(),
+                              sc.counts->device_data(), offset_bytes,
+                              /*to_device=*/false, /*pinned_host=*/true);
+  sc.device.blocking_transfer(sc.values_staging->data(),
+                              sc.values->device_data(), value_bytes,
+                              /*to_device=*/false, /*pinned_host=*/true);
+  sc.device_model +=
+      cudasim::modeled_transfer_seconds(sc.device.config(), offset_bytes,
+                                        /*pinned=*/true) +
+      cudasim::modeled_transfer_seconds(sc.device.config(), value_bytes,
                                         /*pinned=*/true);
-  state.table.append_sorted_batch({sc.staging.data(), pairs});
-  state.total_pairs += pairs;
-  state.max_batch_pairs = std::max(state.max_batch_pairs, pairs);
-  state.stream_append_seconds[sc.timeline_id] += append_timer.seconds();
+  sc.d2h_bytes += offset_bytes + value_bytes;
+
+  hdbscan::ThreadCpuTimer append_timer;
+  sc.shard.append_csr_batch(spec.batch, spec.num_batches,
+                            {sc.offsets_staging->data(), pts},
+                            {sc.values_staging->data(), total});
+  sc.append_seconds += append_timer.seconds();
+  sc.total_pairs += total;
+  sc.max_batch_pairs = std::max(sc.max_batch_pairs, total);
+}
+
+void process_batch(StreamContext& sc, TableBuildMode mode, float eps,
+                   gpu::BatchSpec spec, unsigned block_size) {
+  if (mode == TableBuildMode::kPairSort) {
+    process_batch_pairs(sc, eps, spec, block_size, 0);
+  } else {
+    process_batch_csr(sc, eps, spec, block_size, 0);
+  }
 }
 
 }  // namespace
@@ -138,6 +247,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   WallTimer total_timer;
   BuildReport local_report;
   local_report.used_shared_kernel = policy_.use_shared_kernel;
+  local_report.build_mode = policy_.build_mode;
 
   // Upload the index once per device (pageable host memory, as in the
   // paper: only the result set uses the pinned staging path). Multi-device
@@ -166,17 +276,33 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
         estimate_result_size(first_device, first_view, eps,
                              policy_.sample_fraction, policy_.block_size);
     local_report.estimate_seconds = est_timer.seconds();
+    local_report.atomic_ops +=
+        local_report.estimate.kernel_stats.work.atomic_ops;
   }
 
-  // Plan n_b and b_b, capping the buffers so that num_streams sinks, their
-  // sort scratch, and the staging never exceed any device's free memory.
+  // Plan n_b and b_b, capping the buffers so that num_streams result
+  // buffers and their scratch never exceed any device's free memory. A
+  // pair-mode slot costs sizeof(NeighborPair) twice over (sink + the
+  // sort's Thrust-style temp); a CSR slot is a bare PointId plus the small
+  // per-point counts array — the same memory therefore holds ~4x more
+  // neighbors in CSR mode, which shrinks n_b.
   std::uint64_t min_free_bytes = first_device.free_global_bytes();
   for (const cudasim::Device* d : devices_) {
     min_free_bytes = std::min(min_free_bytes, d->free_global_bytes());
   }
-  const std::uint64_t free_pairs = min_free_bytes / sizeof(NeighborPair);
+  const bool pair_mode = policy_.build_mode == TableBuildMode::kPairSort;
+  const std::uint64_t bytes_per_slot =
+      pair_mode ? 2 * sizeof(NeighborPair) : sizeof(PointId);
+  const std::uint64_t counts_reserve_bytes =
+      pair_mode ? 0
+                : static_cast<std::uint64_t>(index.size()) *
+                      sizeof(std::uint32_t);
+  const std::uint64_t budget_bytes =
+      min_free_bytes * 9 / 10 -
+      std::min(min_free_bytes * 9 / 10, counts_reserve_bytes);
   const std::uint64_t max_buffer_pairs = std::max<std::uint64_t>(
-      1, free_pairs * 9 / (10ull * std::max(1u, policy_.num_streams) * 2));
+      1, budget_bytes /
+             (std::max(1u, policy_.num_streams) * bytes_per_slot));
   // With several devices, plan one batch per (device, stream) context so
   // every device contributes even on the variable-buffer path.
   BatchPolicy planning_policy = policy_;
@@ -188,11 +314,8 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
 
   const auto num_contexts = static_cast<unsigned>(devices_.size()) *
                             std::max(1u, policy_.num_streams);
+  NeighborTable table(index.size());
   SharedBuildState state;
-  state.table = NeighborTable(index.size());
-  state.table.reserve_values(plan.estimated_total_pairs);
-  state.stream_device_model.assign(num_contexts, 0.0);
-  state.stream_append_seconds.assign(num_contexts, 0.0);
 
   // Modeled fixed costs on the reference hardware: index upload over the
   // pageable link (parallel across devices -> counted once), the
@@ -208,62 +331,82 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       cudasim::modeled_transfer_seconds(cfg, upload_bytes, /*pinned=*/false) +
       local_report.estimate.kernel_stats.modeled_seconds;
 
+  double slowest_stream = 0.0;
+  double append_total = 0.0;
+
   if (policy_.use_shared_kernel && plan.num_batches == 1) {
     // GPUCalcShared path (single batch only: the block-per-cell mapping is
-    // incompatible with the strided batch assignment). First device only.
+    // incompatible with the strided batch assignment). First device only;
+    // always the pair pipeline — the block-per-cell schedule has no
+    // per-thread point to count for CSR slots.
+    local_report.build_mode = TableBuildMode::kPairSort;
     gpu::ResultSetDevice sink(first_device, plan.buffer_pairs);
     const cudasim::KernelStats stats = gpu::run_calc_shared(
         first_device, first_view, device_indexes.front()->schedule(),
         device_indexes.front()->num_nonempty_cells(), eps, sink.view(),
         policy_.block_size);
-    state.batches_run = 1;
-    state.kernel_modeled_seconds = stats.modeled_seconds;
+    local_report.batches_run = 1;
+    local_report.kernel_modeled_seconds = stats.modeled_seconds;
+    local_report.atomic_ops += stats.work.atomic_ops;
     if (sink.overflowed()) {
       throw std::runtime_error(
           "neighbor table build (shared kernel): result buffer overflow");
     }
-    const std::uint64_t pairs = sink.count();
+    const std::uint64_t pairs = sink.stored();
+    const std::uint64_t bytes = pairs * sizeof(NeighborPair);
     cudasim::sort_by_key(first_device, sink.pairs(), pairs,
                          [](const NeighborPair& p) { return p.key; });
     cudasim::PinnedBuffer<NeighborPair> staging(first_device, pairs);
     first_device.blocking_transfer(staging.data(), sink.pairs().device_data(),
-                                   pairs * sizeof(NeighborPair), false, true);
+                                   bytes, false, true);
     hdbscan::ThreadCpuTimer append_timer;
-    state.table.append_sorted_batch({staging.data(), pairs});
-    state.total_pairs = pairs;
-    state.max_batch_pairs = pairs;
-    state.stream_append_seconds[0] = append_timer.seconds();
-    state.stream_device_model[0] +=
-        stats.modeled_seconds +
-        cudasim::modeled_sort_seconds(cfg, pairs * sizeof(NeighborPair)) +
-        cudasim::modeled_transfer_seconds(cfg, pairs * sizeof(NeighborPair),
-                                          true);
-    modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
-        cfg, pairs * sizeof(NeighborPair));
+    table.reserve_values(pairs);
+    table.append_sorted_batch({staging.data(), pairs});
+    append_total = append_timer.seconds();
+    local_report.total_pairs = pairs;
+    local_report.max_batch_pairs = pairs;
+    local_report.sort_modeled_seconds =
+        cudasim::modeled_sort_seconds(cfg, bytes);
+    local_report.d2h_bytes = bytes;
+    slowest_stream = stats.modeled_seconds +
+                     local_report.sort_modeled_seconds +
+                     cudasim::modeled_transfer_seconds(cfg, bytes, true) +
+                     append_total;
+    modeled_fixed += cudasim::modeled_pinned_alloc_seconds(cfg, bytes);
   } else {
     local_report.used_shared_kernel = false;
-    // One context (stream + device sink + pinned staging) per
-    // (device, stream) pair.
+    // Largest point count any batch can see (splits only shrink batches).
+    const std::uint32_t max_batch_points =
+        (static_cast<std::uint32_t>(index.size()) + plan.num_batches - 1) /
+        plan.num_batches;
+    // One context (stream + device buffers + pinned staging + private
+    // shard) per (device, stream) pair.
     std::vector<std::unique_ptr<StreamContext>> contexts;
     contexts.reserve(num_contexts);
     for (std::size_t d = 0; d < devices_.size(); ++d) {
       for (unsigned s = 0; s < std::max(1u, policy_.num_streams); ++s) {
         const auto id = static_cast<unsigned>(contexts.size());
         contexts.push_back(std::make_unique<StreamContext>(
-            *devices_[d], device_indexes[d]->view(), plan.buffer_pairs, id));
+            *devices_[d], device_indexes[d]->view(), policy_.build_mode,
+            plan.buffer_pairs, std::max(1u, max_batch_points), id));
+        contexts.back()->shard.reserve_values(plan.estimated_total_pairs /
+                                              num_contexts);
         modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
-                             cfg, plan.buffer_pairs * sizeof(NeighborPair)) /
+                             cfg, contexts.back()->pinned_bytes()) /
                          static_cast<double>(devices_.size());
       }
     }
     // Round-robin the batches; each context serializes its own batches and
-    // overlaps with the others (kernel / sort / transfer / host append).
+    // overlaps with the others (kernel / scan-or-sort / transfer / host
+    // append into the private shard).
+    const TableBuildMode mode = policy_.build_mode;
     for (std::uint32_t l = 0; l < plan.num_batches; ++l) {
       StreamContext& sc = *contexts[l % contexts.size()];
       const gpu::BatchSpec spec{l, plan.num_batches};
-      sc.stream.host_fn([eps, spec, block = policy_.block_size, &sc, &state] {
+      sc.stream.host_fn([mode, eps, spec, block = policy_.block_size, &sc,
+                         &state] {
         try {
-          process_batch(sc, eps, spec, block, state, 0);
+          process_batch(sc, mode, eps, spec, block);
         } catch (...) {
           std::lock_guard lock(state.mutex);
           if (!state.first_error) state.first_error = std::current_exception();
@@ -272,27 +415,42 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     }
     for (auto& sc : contexts) sc->stream.synchronize();
     if (state.first_error) std::rethrow_exception(state.first_error);
+
+    // Merge the per-stream shards into T exactly once (deterministic
+    // order), and harvest the context-private tallies.
+    table.reserve_values(plan.estimated_total_pairs);
+    hdbscan::ThreadCpuTimer merge_timer;
+    for (auto& sc : contexts) {
+      table.absorb_shard(std::move(sc->shard));
+    }
+    const double merge_seconds = merge_timer.seconds();
+    for (const auto& sc : contexts) {
+      local_report.total_pairs += sc->total_pairs;
+      local_report.max_batch_pairs =
+          std::max(local_report.max_batch_pairs, sc->max_batch_pairs);
+      local_report.batches_run += sc->batches_run;
+      local_report.overflow_splits += sc->overflow_splits;
+      local_report.kernel_modeled_seconds += sc->kernel_modeled;
+      local_report.sort_modeled_seconds += sc->sort_modeled;
+      local_report.scan_modeled_seconds += sc->scan_modeled;
+      local_report.atomic_ops += sc->atomic_ops;
+      local_report.d2h_bytes += sc->d2h_bytes;
+      append_total += sc->append_seconds;
+      slowest_stream = std::max(slowest_stream,
+                                sc->device_model + sc->append_seconds);
+    }
+    // The single final merge is serial host work after the streams drain.
+    modeled_fixed += merge_seconds;
+    append_total += merge_seconds;
   }
 
   // Compose the modeled build time: fixed costs plus the slowest context's
-  // timeline (device work + that context's host-side append, which runs on
-  // its own core on the reference host).
-  double slowest_stream = 0.0;
-  for (std::size_t s = 0; s < state.stream_device_model.size(); ++s) {
-    slowest_stream = std::max(slowest_stream,
-                              state.stream_device_model[s] +
-                                  state.stream_append_seconds[s]);
-  }
+  // timeline (device work + that context's host-side shard appends, which
+  // run on its own core on the reference host).
   local_report.modeled_table_seconds = modeled_fixed + slowest_stream;
-
-  local_report.total_pairs = state.total_pairs;
-  local_report.max_batch_pairs = state.max_batch_pairs;
-  local_report.batches_run = state.batches_run;
-  local_report.overflow_splits = state.overflow_splits;
-  local_report.kernel_modeled_seconds = state.kernel_modeled_seconds;
   local_report.table_seconds = total_timer.seconds();
   if (report != nullptr) *report = local_report;
-  return std::move(state.table);
+  return table;
 }
 
 }  // namespace hdbscan

@@ -5,16 +5,30 @@
 //   1. upload the grid index (D, G, A, S) to the device;
 //   2. run the count kernel on a 1% sample to estimate the result size;
 //   3. plan n_b and b_b via the batching equation (Eq. 1);
-//   4. execute the batches round-robin across three CUDA-style streams;
-//      each batch: kernel -> on-device sort_by_key -> D2H into that
-//      stream's pinned staging buffer -> host appends its fraction of T.
+//   4. execute the batches round-robin across three CUDA-style streams.
 //      Streams overlap kernel execution, transfers and host-side table
 //      construction, exactly as described in §VI.
 //
-// Robustness: should a batch still overflow its buffer (adversarial skew
+// Two batch pipelines (TableBuildMode):
+//   * kCsrTwoPass (default) — count kernel writes per-point neighbor
+//     counts, an exclusive scan turns them into exact CSR offsets, the
+//     fill kernel writes neighbor ids straight into their slots. No
+//     device sort, no atomics in the fill pass, and only bare PointId
+//     values + per-point offsets cross PCIe (about half the bytes).
+//   * kPairSort (legacy, paper Alg. 4) — kernel appends (key, value)
+//     pairs through the atomic cursor (bulk-reserved in stages), on-device
+//     sort_by_key groups keys, full pairs go D2H.
+// Each (device, stream) context appends into its own private NeighborTable
+// shard; shards are merged once after all streams synchronize, so no host
+// mutex serializes the per-batch appends.
+//
+// Robustness: should a batch still exceed its buffer (adversarial skew
 // beyond what alpha covers), the batch is recursively split in two —
 // batch (l, n_b) becomes (l, 2 n_b) and (l + n_b, 2 n_b), which partitions
-// the same point set — instead of crashing or silently dropping pairs.
+// the same point set — instead of crashing or silently dropping pairs. In
+// CSR mode the exact size is known after the (cheap) count pass, so a
+// split wastes no fill-kernel work and the legacy mid-kernel overflow is
+// unreachable.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +52,12 @@ struct BuildReport {
   double estimate_seconds = 0.0;
   double table_seconds = 0.0;          ///< total wall time of build()
   double kernel_modeled_seconds = 0.0; ///< summed modeled GPU kernel time
+  double sort_modeled_seconds = 0.0;   ///< modeled device sort (pair mode)
+  double scan_modeled_seconds = 0.0;   ///< modeled device scan (CSR mode)
+  std::uint64_t atomic_ops = 0;        ///< global atomics across all kernels
+  std::uint64_t d2h_bytes = 0;         ///< result bytes shipped to the host
   bool used_shared_kernel = false;
+  TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
 
   /// Modeled wall time of the whole T construction on the reference
   /// hardware (K20c + PCIe 2.0): index upload, estimation kernel, pinned

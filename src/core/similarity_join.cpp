@@ -73,9 +73,13 @@ struct FillJoinKernel {
     if (i >= num_queries) return;
     const Point2 q = queries[i];
     ctx.count_global_bytes(sizeof(Point2));
+    // Stage locally and reserve sink slots in bulk: one atomic per flush
+    // instead of one per pair.
+    gpu::StagedSink staged(sink);
     scan_query(ctx, view, q, eps2, [&](PointId candidate) {
-      sink.push({static_cast<PointId>(i), candidate}, ctx);
+      staged.push({static_cast<PointId>(i), candidate}, ctx);
     });
+    staged.flush(ctx);
   }
 };
 

@@ -103,6 +103,11 @@ void Device::record_sort(double modeled_seconds) {
   metrics_.sort_seconds += modeled_seconds;
 }
 
+void Device::record_scan(double modeled_seconds) {
+  std::lock_guard lock(mutex_);
+  metrics_.scan_seconds += modeled_seconds;
+}
+
 void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,
                                bool to_device, bool pinned_host) {
   const double bw_gbps =

@@ -50,6 +50,7 @@ class Device {
   void record_kernel(const KernelStats& stats);
   void record_transfer(std::size_t bytes, bool to_device, double seconds);
   void record_sort(double modeled_seconds);
+  void record_scan(double modeled_seconds);
 
   /// Sleep `seconds` minus `already_spent` when throttling is enabled.
   void throttle_sleep(double seconds, double already_spent,

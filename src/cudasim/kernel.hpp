@@ -42,8 +42,11 @@ class ThreadCtx {
   unsigned block_dim = 0;
   unsigned grid_dim = 0;
 
-  [[nodiscard]] unsigned global_id() const noexcept {
-    return block_idx * block_dim + thread_idx;
+  /// 64-bit flat thread id: blockIdx * blockDim + threadIdx. 64-bit
+  /// end-to-end so large grids (> 2^32 logical threads) never silently
+  /// truncate before kernels scale the id by a batch stride.
+  [[nodiscard]] std::uint64_t global_id() const noexcept {
+    return static_cast<std::uint64_t>(block_idx) * block_dim + thread_idx;
   }
 
   void count_flops(std::uint64_t n) noexcept { counters_->flops += n; }

@@ -56,6 +56,19 @@ struct KernelStats {
   }
 };
 
+/// Modeled GPU time for an exclusive prefix scan over `bytes` of count
+/// data: a work-efficient (Blelloch-style) scan streams the array roughly
+/// twice (up-sweep read + down-sweep read/write) in two kernel launches.
+/// Linear in the batch's *point* count, unlike the pair-sort it replaces,
+/// which is linear in the far larger pair count.
+inline double modeled_scan_seconds(const DeviceConfig& cfg,
+                                   std::uint64_t bytes) {
+  constexpr double kSweeps = 3.0;  // up-sweep in, down-sweep in+out
+  return kSweeps * static_cast<double>(bytes) /
+             (cfg.mem_bandwidth_gbps * 1e9) +
+         2.0 * cfg.kernel_launch_us * 1e-6;
+}
+
 /// Device-lifetime totals, snapshot via Device::metrics().
 struct DeviceMetrics {
   std::uint64_t kernel_launches = 0;
@@ -66,6 +79,7 @@ struct DeviceMetrics {
   double transfer_seconds = 0.0;  ///< modeled (and slept, when throttled)
   double pinned_alloc_seconds = 0.0;
   double sort_seconds = 0.0;  ///< modeled on-device sort time
+  double scan_seconds = 0.0;  ///< modeled on-device prefix-scan time
   std::size_t current_mem_bytes = 0;
   std::size_t peak_mem_bytes = 0;
 };

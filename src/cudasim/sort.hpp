@@ -1,10 +1,16 @@
-// On-device sort_by_key, standing in for CUDA Thrust's sort_by_key (paper
-// Alg. 4 line 7: the result set stays on the GPU and is sorted by key so
-// identical keys become adjacent before the D2H transfer).
+// On-device sort_by_key and exclusive_scan, standing in for CUDA Thrust's
+// sort_by_key / exclusive_scan.
 //
-// Implementation: LSD radix sort over 32-bit keys, 4 passes of 8 bits,
-// using a device temp buffer (accounted against device memory, like
-// Thrust's internal allocations). Stable, like thrust::sort_by_key.
+//  * sort_by_key (paper Alg. 4 line 7): the result set stays on the GPU
+//    and is sorted by key so identical keys become adjacent before the D2H
+//    transfer. Implementation: LSD radix sort over 32-bit keys, 4 passes
+//    of 8 bits, using a device temp buffer (accounted against device
+//    memory, like Thrust's internal allocations). Stable, like
+//    thrust::sort_by_key.
+//  * exclusive_scan: turns per-point neighbor counts into CSR offsets for
+//    the two-pass table builder — the count-then-fill pattern that makes
+//    the result sort unnecessary (cf. the tree-based GPU DBSCAN of
+//    Prokopenko et al.). Modeled as a work-efficient Blelloch scan.
 #pragma once
 
 #include <array>
@@ -14,6 +20,7 @@
 
 #include "cudasim/buffer.hpp"
 #include "cudasim/device.hpp"
+#include "cudasim/metrics.hpp"
 
 namespace cudasim {
 
@@ -75,6 +82,28 @@ void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
   }
   device.record_sort(
       modeled_sort_seconds(device.config(), count * sizeof(KV)));
+}
+
+/// Exclusive prefix scan over the first `count` elements of `buf`, in
+/// place: buf[i] becomes sum(buf[0..i)), and the grand total is returned.
+/// Runs synchronously on the calling thread, like sort_by_key; the modeled
+/// Blelloch-scan cost is recorded against the device (metrics.hpp).
+template <typename T>
+std::uint64_t exclusive_scan(Device& device, DeviceBuffer<T>& buf,
+                             std::size_t count) {
+  if (count > buf.size()) {
+    throw SimError("exclusive_scan: count exceeds buffer size");
+  }
+  T* data = buf.device_data();
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t v = data[i];
+    data[i] = static_cast<T>(running);
+    running += v;
+  }
+  device.record_scan(
+      modeled_scan_seconds(device.config(), count * sizeof(T)));
+  return running;
 }
 
 }  // namespace cudasim

@@ -35,6 +35,57 @@ void NeighborTable::append_sorted_batch(std::span<const NeighborPair> pairs) {
   }
 }
 
+void NeighborTable::append_csr_batch(std::uint32_t first_key,
+                                     std::uint32_t key_stride,
+                                     std::span<const std::uint32_t> offsets,
+                                     std::span<const PointId> values) {
+  if (key_stride == 0) {
+    throw std::invalid_argument("NeighborTable: zero key stride");
+  }
+  const std::size_t base = values_.size();
+  for (std::size_t g = 0; g < offsets.size(); ++g) {
+    const std::uint64_t key =
+        first_key + static_cast<std::uint64_t>(g) * key_stride;
+    if (key >= begin_.size()) {
+      throw std::out_of_range("NeighborTable: key out of range");
+    }
+    const std::uint32_t run_begin = offsets[g];
+    const std::uint64_t run_end =
+        g + 1 < offsets.size() ? offsets[g + 1] : values.size();
+    if (run_begin > run_end || run_end > values.size()) {
+      throw std::invalid_argument("NeighborTable: malformed CSR offsets");
+    }
+    if (end_[key] != begin_[key]) {
+      throw std::logic_error("NeighborTable: key appears in two batches");
+    }
+    begin_[key] = static_cast<std::uint32_t>(base + run_begin);
+    end_[key] = static_cast<std::uint32_t>(base + run_end);
+  }
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+void NeighborTable::absorb_shard(NeighborTable&& shard) {
+  if (shard.num_points() != num_points()) {
+    throw std::invalid_argument("NeighborTable: shard size mismatch");
+  }
+  if (values_.empty()) {  // first shard: steal its storage wholesale
+    begin_ = std::move(shard.begin_);
+    end_ = std::move(shard.end_);
+    values_ = std::move(shard.values_);
+    return;
+  }
+  const std::size_t base = values_.size();
+  for (std::size_t k = 0; k < begin_.size(); ++k) {
+    if (shard.end_[k] == shard.begin_[k]) continue;  // key not in shard
+    if (end_[k] != begin_[k]) {
+      throw std::logic_error("NeighborTable: key appears in two shards");
+    }
+    begin_[k] = static_cast<std::uint32_t>(base + shard.begin_[k]);
+    end_[k] = static_cast<std::uint32_t>(base + shard.end_[k]);
+  }
+  values_.insert(values_.end(), shard.values_.begin(), shard.values_.end());
+}
+
 NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
                                                  float eps,
                                                  unsigned num_threads) {

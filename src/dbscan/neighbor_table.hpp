@@ -53,6 +53,23 @@ class NeighborTable {
   /// serializes appends.
   void append_sorted_batch(std::span<const NeighborPair> pairs);
 
+  /// Appends one CSR batch from the two-pass builder. The batch covers the
+  /// strided key set first_key + g * key_stride for g in [0, offsets.size());
+  /// key g's values occupy [offsets[g], offsets[g+1]) of `values` (the last
+  /// key runs to values.size()). `offsets` is the exclusive prefix scan the
+  /// device produced, so no sort and no per-pair key material is needed.
+  /// Keys must not have appeared in a previous batch. Not thread-safe.
+  void append_csr_batch(std::uint32_t first_key, std::uint32_t key_stride,
+                        std::span<const std::uint32_t> offsets,
+                        std::span<const PointId> values);
+
+  /// Merges a per-stream shard built over a disjoint key set into this
+  /// table: shard values are appended to B and the shard's ranges are
+  /// rebased. The shard is consumed. Replaces per-batch appends under a
+  /// shared mutex — each stream fills its own shard lock-free and the
+  /// merge happens once, at the end of the build.
+  void absorb_shard(NeighborTable&& shard);
+
   /// Reserve capacity for the expected total pair count.
   void reserve_values(std::size_t expected_pairs) {
     values_.reserve(expected_pairs);

@@ -26,6 +26,7 @@ struct GlobalKernelBody {
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2));
 
+    StagedSink staged(sink);
     std::array<std::uint32_t, 9> cell_ids{};
     const unsigned ncells =
         get_neighbor_cells(view.params, view.params.linear_cell(point),
@@ -43,10 +44,11 @@ struct GlobalKernelBody {
       for (std::uint32_t a = range.begin; a < range.end; ++a) {
         const PointId candidate = view.lookup[a];
         if (dist2(point, view.points[candidate]) <= eps2) {
-          sink.push(NeighborPair{pid, candidate}, ctx);
+          staged.push(NeighborPair{pid, candidate}, ctx);
         }
       }
     }
+    staged.flush(ctx);
   }
 };
 
@@ -72,6 +74,7 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
                                          SharedKernelParams p) {
   const unsigned tid = ctx.thread_idx;
   const unsigned bdim = ctx.block_dim;
+  StagedSink staged(p.sink);
 
   auto cell_ids = ctx.shared_array<std::uint32_t>(0, 9);
   auto cell_count = ctx.shared_array<std::uint32_t>(36, 1);
@@ -145,7 +148,7 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
           ctx.count_flops(static_cast<std::uint64_t>(tile) * 6);
           for (std::uint32_t j = 0; j < tile; ++j) {
             if (dist2(mine, comp_pts[j]) <= p.eps2) {
-              p.sink.push(NeighborPair{my_id, comp_ids[j]}, ctx);
+              staged.push(NeighborPair{my_id, comp_ids[j]}, ctx);
             }
           }
         }
@@ -156,7 +159,84 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
     // Keep the origin tile stable until every thread finished this round.
     co_await ctx.sync();
   }
+  staged.flush(ctx);
 }
+
+/// Pass 1 of the two-pass CSR builder: thread g counts the neighbors of
+/// its batch point and writes counts[g]. No atomics, no result
+/// materialization — an exclusive scan of `counts` then yields the exact
+/// CSR slot offsets for the fill pass.
+struct CountBatchKernelBody {
+  GridView view;
+  float eps2;
+  BatchSpec batch;
+  std::uint32_t* counts;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2));
+    std::uint32_t neighbors = 0;
+    std::array<std::uint32_t, 9> cell_ids{};
+    const unsigned ncells = get_neighbor_cells(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < ncells; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange));
+      const std::uint32_t candidates = range.count();
+      ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
+                             (sizeof(PointId) + sizeof(Point2)));
+      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        neighbors += dist2(point, view.points[view.lookup[a]]) <= eps2;
+      }
+    }
+    counts[gid] = neighbors;
+    ctx.count_global_bytes(sizeof(std::uint32_t));
+  }
+};
+
+/// Pass 2 of the two-pass CSR builder: thread g re-runs its neighborhood
+/// search and writes the neighbor ids directly into its pre-sized CSR slot
+/// [offsets[g], offsets[g] + counts[g]). The offsets are exact, so the
+/// pass needs no atomics, no sort, and ships bare PointId values (half the
+/// bytes of a NeighborPair) over PCIe.
+struct FillCsrKernelBody {
+  GridView view;
+  float eps2;
+  BatchSpec batch;
+  const std::uint32_t* offsets;
+  PointId* values;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2) + sizeof(std::uint32_t));
+    PointId* out = values + offsets[gid];
+    std::array<std::uint32_t, 9> cell_ids{};
+    const unsigned ncells = get_neighbor_cells(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < ncells; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange));
+      const std::uint32_t candidates = range.count();
+      ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
+                             (sizeof(PointId) + sizeof(Point2)));
+      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        const PointId candidate = view.lookup[a];
+        if (dist2(point, view.points[candidate]) <= eps2) {
+          *out++ = candidate;
+          ctx.count_global_bytes(sizeof(PointId));
+        }
+      }
+    }
+  }
+};
 
 /// Per-thread body of the estimation kernel: thread t counts the neighbors
 /// of sample point t * stride and contributes one atomic add.
@@ -217,6 +297,27 @@ void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
   const unsigned grid = grid_dim_for(points, block_size);
   GlobalKernelBody body{view, eps * eps, batch, sink};
   stream.launch(grid, block_size, body, stats_out);
+}
+
+cudasim::KernelStats run_count_batch(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, std::uint32_t* counts,
+                                     unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = grid_dim_for(points, block_size);
+  CountBatchKernelBody body{view, eps * eps, batch, counts};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+cudasim::KernelStats run_fill_csr(cudasim::Device& device,
+                                  const GridView& view, float eps,
+                                  BatchSpec batch,
+                                  const std::uint32_t* offsets,
+                                  PointId* values, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = grid_dim_for(points, block_size);
+  FillCsrKernelBody body{view, eps * eps, batch, offsets, values};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
 }
 
 std::size_t shared_kernel_smem_bytes(unsigned block_size) {

@@ -71,6 +71,25 @@ void enqueue_calc_shared(cudasim::Stream& stream, const GridView& view,
                          cudasim::KernelStats* stats_out = nullptr,
                          unsigned block_size = kDefaultBlockSize);
 
+/// Two-pass CSR builder, pass 1: per-point neighbor counts for one batch.
+/// Thread g writes |N_eps(point g of the batch)| to counts[g]
+/// (counts must hold batch.points_in_batch(n) entries). No atomics.
+cudasim::KernelStats run_count_batch(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, std::uint32_t* counts,
+                                     unsigned block_size = kDefaultBlockSize);
+
+/// Two-pass CSR builder, pass 2: fills neighbor ids into exact CSR slots.
+/// `offsets` is the exclusive prefix scan of the pass-1 counts; thread g
+/// writes its neighbors at values[offsets[g]...]. No atomics, no sort
+/// needed afterwards.
+cudasim::KernelStats run_fill_csr(cudasim::Device& device,
+                                  const GridView& view, float eps,
+                                  BatchSpec batch,
+                                  const std::uint32_t* offsets,
+                                  PointId* values,
+                                  unsigned block_size = kDefaultBlockSize);
+
 /// Shared-memory bytes GPUCalcShared needs for a given block size (origin
 /// and comparison tiles plus the neighbor-cell-id scratch).
 [[nodiscard]] std::size_t shared_kernel_smem_bytes(unsigned block_size);

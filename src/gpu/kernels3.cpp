@@ -19,6 +19,7 @@ struct GlobalKernel3Body {
     if (i >= view.num_points) return;
     const Point3 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point3));
+    StagedSink staged(sink);
     std::array<std::uint32_t, 27> cell_ids{};
     const unsigned n = get_neighbor_cells3(
         view.params, view.params.linear_cell(point), cell_ids);
@@ -31,7 +32,77 @@ struct GlobalKernel3Body {
       for (std::uint32_t a = range.begin; a < range.end; ++a) {
         const PointId candidate = view.lookup[a];
         if (dist2(point, view.points[candidate]) <= eps2) {
-          sink.push({static_cast<PointId>(i), candidate}, ctx);
+          staged.push({static_cast<PointId>(i), candidate}, ctx);
+        }
+      }
+    }
+    staged.flush(ctx);
+  }
+};
+
+/// 3-D pass-1 count kernel for the two-pass CSR builder: thread g writes
+/// its batch point's neighbor count to counts[g]. No atomics.
+struct CountBatch3Body {
+  GridView3 view;
+  float eps2;
+  BatchSpec batch;
+  std::uint32_t* counts;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const Point3 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point3));
+    std::uint32_t matches = 0;
+    std::array<std::uint32_t, 27> cell_ids{};
+    const unsigned n = get_neighbor_cells3(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < n; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange) +
+                             std::uint64_t(range.count()) *
+                                 (sizeof(PointId) + sizeof(Point3)));
+      ctx.count_flops(std::uint64_t(range.count()) * 9);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        matches += dist2(point, view.points[view.lookup[a]]) <= eps2;
+      }
+    }
+    counts[gid] = matches;
+    ctx.count_global_bytes(sizeof(std::uint32_t));
+  }
+};
+
+/// 3-D pass-2 fill kernel: writes neighbor ids at the exact CSR offsets
+/// produced by scanning the pass-1 counts. No atomics, no sort.
+struct FillCsr3Body {
+  GridView3 view;
+  float eps2;
+  BatchSpec batch;
+  const std::uint32_t* offsets;
+  PointId* values;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const Point3 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point3) + sizeof(std::uint32_t));
+    PointId* out = values + offsets[gid];
+    std::array<std::uint32_t, 27> cell_ids{};
+    const unsigned n = get_neighbor_cells3(
+        view.params, view.params.linear_cell(point), cell_ids);
+    for (unsigned c = 0; c < n; ++c) {
+      const CellRange range = view.cells[cell_ids[c]];
+      ctx.count_global_bytes(sizeof(CellRange) +
+                             std::uint64_t(range.count()) *
+                                 (sizeof(PointId) + sizeof(Point3)));
+      ctx.count_flops(std::uint64_t(range.count()) * 9);
+      for (std::uint32_t a = range.begin; a < range.end; ++a) {
+        const PointId candidate = view.lookup[a];
+        if (dist2(point, view.points[candidate]) <= eps2) {
+          *out++ = candidate;
+          ctx.count_global_bytes(sizeof(PointId));
         }
       }
     }
@@ -79,6 +150,29 @@ cudasim::KernelStats run_calc_global3(cudasim::Device& device,
   const unsigned grid = (points + block_size - 1) / block_size;
   return cudasim::run_flat_kernel(
       device, grid, block_size, GlobalKernel3Body{view, eps * eps, batch, sink});
+}
+
+cudasim::KernelStats run_count_batch3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, std::uint32_t* counts,
+                                      unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = (points + block_size - 1) / block_size;
+  return cudasim::run_flat_kernel(
+      device, grid, block_size,
+      CountBatch3Body{view, eps * eps, batch, counts});
+}
+
+cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
+                                   const GridView3& view, float eps,
+                                   BatchSpec batch,
+                                   const std::uint32_t* offsets,
+                                   PointId* values, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = (points + block_size - 1) / block_size;
+  return cudasim::run_flat_kernel(
+      device, grid, block_size,
+      FillCsr3Body{view, eps * eps, batch, offsets, values});
 }
 
 std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,

@@ -18,6 +18,22 @@ cudasim::KernelStats run_calc_global3(cudasim::Device& device,
                                       BatchSpec batch, ResultSinkView sink,
                                       unsigned block_size = kDefaultBlockSize);
 
+/// 3-D two-pass CSR builder, pass 1: per-point neighbor counts (see the
+/// 2-D run_count_batch).
+cudasim::KernelStats run_count_batch3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, std::uint32_t* counts,
+                                      unsigned block_size = kDefaultBlockSize);
+
+/// 3-D two-pass CSR builder, pass 2: fill into exact CSR slots (see the
+/// 2-D run_fill_csr).
+cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
+                                   const GridView3& view, float eps,
+                                   BatchSpec batch,
+                                   const std::uint32_t* offsets,
+                                   PointId* values,
+                                   unsigned block_size = kDefaultBlockSize);
+
 /// 3-D neighbor-count kernel (estimator / exact census with stride 1).
 std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,
                                 float eps, std::uint32_t sample_stride,

@@ -1,0 +1,126 @@
+// The two-pass CSR pipeline must produce exactly the same neighbor table
+// as the legacy pair-sort pipeline and the host oracle — across clustered,
+// uniform, and degenerate (every point in one cell) data — while shipping
+// fewer bytes over PCIe and issuing fewer global atomics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/neighbor_table_builder.hpp"
+#include "data/generators.hpp"
+#include "index/grid_index.hpp"
+
+namespace hdbscan {
+namespace {
+
+cudasim::SimulationOptions fast_options() {
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 2;
+  return opt;
+}
+
+void expect_tables_equal(const NeighborTable& got, const NeighborTable& want) {
+  ASSERT_EQ(got.num_points(), want.num_points());
+  EXPECT_EQ(got.total_pairs(), want.total_pairs());
+  for (PointId i = 0; i < got.num_points(); ++i) {
+    std::vector<PointId> a(got.neighbors(i).begin(), got.neighbors(i).end());
+    std::vector<PointId> b(want.neighbors(i).begin(), want.neighbors(i).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "neighborhood mismatch at point " << i;
+  }
+}
+
+/// Builds T in the given mode and checks it against the host oracle.
+BuildReport build_and_check(const std::vector<Point2>& points, float eps,
+                            TableBuildMode mode) {
+  const GridIndex index = build_grid_index(points, eps);
+  const NeighborTable oracle = build_neighbor_table_host(index, eps);
+  cudasim::Device dev({}, fast_options());
+  BatchPolicy policy;
+  policy.build_mode = mode;
+  BuildReport report;
+  NeighborTableBuilder builder(dev, policy);
+  expect_tables_equal(builder.build(index, eps, &report), oracle);
+  EXPECT_EQ(report.build_mode, mode);
+  EXPECT_EQ(report.total_pairs, oracle.total_pairs());
+  return report;
+}
+
+TEST(CsrPipeline, MatchesPairModeAndOracleClustered) {
+  const auto points = data::generate_sky_survey(4000, 71);
+  build_and_check(points, 0.3f, TableBuildMode::kCsrTwoPass);
+  build_and_check(points, 0.3f, TableBuildMode::kPairSort);
+}
+
+TEST(CsrPipeline, MatchesPairModeAndOracleUniform) {
+  const auto points = data::generate_uniform(4000, 72, 10.0f, 10.0f);
+  build_and_check(points, 0.4f, TableBuildMode::kCsrTwoPass);
+  build_and_check(points, 0.4f, TableBuildMode::kPairSort);
+}
+
+TEST(CsrPipeline, MatchesPairModeAndOracleDegenerateOneCell) {
+  // Every point identical: the entire dataset lands in one grid cell and
+  // every point neighbors every point (n^2 pairs) — worst-case skew for
+  // batching, counting, and the CSR offsets.
+  const std::vector<Point2> points(600, Point2{1.0f, 1.0f});
+  build_and_check(points, 0.5f, TableBuildMode::kCsrTwoPass);
+  build_and_check(points, 0.5f, TableBuildMode::kPairSort);
+}
+
+TEST(CsrPipeline, OverflowSplitsRecoverWithCsr) {
+  // Sabotage the estimate so the planned buffer is ~50x too small: the
+  // count pass detects the exact overflow before any fill work and the
+  // batch splits recursively until everything fits.
+  const auto points = data::generate_space_weather(3000, 73);
+  const float eps = 0.3f;
+  const GridIndex index = build_grid_index(points, eps);
+  const NeighborTable oracle = build_neighbor_table_host(index, eps);
+  cudasim::Device dev({}, fast_options());
+  BatchPolicy policy;
+  policy.estimated_total_override = oracle.total_pairs() / 50 + 1;
+  BuildReport report;
+  NeighborTableBuilder builder(dev, policy);
+  expect_tables_equal(builder.build(index, eps, &report), oracle);
+  EXPECT_GT(report.overflow_splits, 0u);
+  EXPECT_EQ(report.total_pairs, oracle.total_pairs());
+}
+
+TEST(CsrPipeline, ShipsFewerBytesAndAtomicsThanPairMode) {
+  // Dense enough (~30 neighbors per point) that the per-point offsets
+  // array is small against the values; sparse data dilutes the D2H win
+  // because offsets cost 4 bytes per point regardless of degree.
+  const auto points = data::generate_uniform(4000, 74, 10.0f, 10.0f);
+  const BuildReport csr =
+      build_and_check(points, 0.5f, TableBuildMode::kCsrTwoPass);
+  const BuildReport pair =
+      build_and_check(points, 0.5f, TableBuildMode::kPairSort);
+  ASSERT_EQ(csr.total_pairs, pair.total_pairs);
+  // Pair mode ships 8-byte (key, value) pairs; CSR ships 4-byte values
+  // plus a small per-point offsets array.
+  EXPECT_LT(csr.d2h_bytes, pair.d2h_bytes * 6 / 10);
+  // CSR kernels use no result-set atomics at all; pair mode still pays one
+  // bulk reservation per staged flush. Either way CSR must win clearly.
+  EXPECT_LT(csr.atomic_ops, pair.atomic_ops);
+  // CSR drops the device sort entirely (and its modeled time with it).
+  EXPECT_EQ(csr.sort_modeled_seconds, 0.0);
+  EXPECT_GT(pair.sort_modeled_seconds, 0.0);
+  EXPECT_GT(csr.scan_modeled_seconds, 0.0);
+}
+
+TEST(CsrPipeline, StagedReservationCutsPairModeAtomics) {
+  // With 128-slot staging, pair mode needs at most one global atomic per
+  // 128 pairs plus one trailing flush per thread — at least 10x fewer
+  // atomic ops than pairs produced (the pre-staging scheme paid one each).
+  const auto points = data::generate_uniform(4000, 75, 10.0f, 10.0f);
+  const BuildReport pair =
+      build_and_check(points, 0.4f, TableBuildMode::kPairSort);
+  ASSERT_GT(pair.atomic_ops, 0u);
+  EXPECT_GE(pair.total_pairs / pair.atomic_ops, 10u);
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -158,6 +158,83 @@ TEST(ResultSink, OverflowFlagRaisedNotCorrupted) {
   EXPECT_EQ(sink.count(), 0u);
 }
 
+TEST(ResultSink, ExactCapacityIsNotOverflow) {
+  // Filling every slot exactly must not raise the flag; one pair more must,
+  // while stored() clamps to the buffer and produced() keeps counting.
+  cudasim::Device dev({}, fast_options());
+  gpu::ResultSetDevice sink(dev, 8);
+  cudasim::BlockCounters counters;
+  cudasim::ThreadCtx ctx;
+  ctx.block_dim = 1;
+  ctx.grid_dim = 1;
+  ctx.counters_ = &counters;
+  const gpu::ResultSinkView view = sink.view();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(view.push({i, i}, ctx));
+  }
+  EXPECT_FALSE(sink.overflowed());
+  EXPECT_EQ(sink.produced(), 8u);
+  EXPECT_EQ(sink.stored(), 8u);
+
+  EXPECT_FALSE(view.push({8, 8}, ctx));
+  EXPECT_TRUE(sink.overflowed());
+  EXPECT_EQ(sink.produced(), 9u);
+  EXPECT_EQ(sink.stored(), 8u);  // safe read extent stays in bounds
+}
+
+TEST(ResultSink, StagedSinkOneAtomicPerFlush) {
+  cudasim::Device dev({}, fast_options());
+  gpu::ResultSetDevice sink(dev, 1000);
+  cudasim::BlockCounters counters;
+  cudasim::ThreadCtx ctx;
+  ctx.block_dim = 1;
+  ctx.grid_dim = 1;
+  ctx.counters_ = &counters;
+  gpu::StagedSink staged(sink.view());
+  const std::size_t n = 2 * gpu::StagedSink::kStageCapacity + 44;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    staged.push({i, i}, ctx);
+  }
+  EXPECT_EQ(counters.atomic_ops, 2u);  // two automatic flushes at capacity
+  EXPECT_EQ(staged.staged(), 44u);
+  staged.flush(ctx);
+  EXPECT_EQ(counters.atomic_ops, 3u);
+  EXPECT_EQ(staged.staged(), 0u);
+  EXPECT_EQ(sink.produced(), n);
+  EXPECT_FALSE(sink.overflowed());
+  // Every pair landed, in reservation order.
+  const auto slots = sink.pairs().unsafe_host_view();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(slots[i].key, i);
+    EXPECT_EQ(slots[i].value, i);
+  }
+}
+
+TEST(ResultSink, StagedFlushSpanningCapacityRaisesOverflow) {
+  // A bulk reservation that starts in bounds but extends past capacity
+  // must flag overflow, store only the in-bounds prefix, and keep the raw
+  // cursor counting the full reservation.
+  cudasim::Device dev({}, fast_options());
+  gpu::ResultSetDevice sink(dev, 100);
+  cudasim::BlockCounters counters;
+  cudasim::ThreadCtx ctx;
+  ctx.block_dim = 1;
+  ctx.grid_dim = 1;
+  ctx.counters_ = &counters;
+  gpu::StagedSink staged(sink.view());
+  for (std::uint32_t i = 0; i < gpu::StagedSink::kStageCapacity; ++i) {
+    staged.push({i, i}, ctx);
+  }
+  EXPECT_EQ(staged.staged(), 0u);  // auto-flushed at kStageCapacity
+  EXPECT_TRUE(sink.overflowed());
+  EXPECT_EQ(sink.produced(), gpu::StagedSink::kStageCapacity);
+  EXPECT_EQ(sink.stored(), 100u);
+  const auto slots = sink.pairs().unsafe_host_view();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(slots[i].key, i);  // in-bounds prefix written, tail dropped
+  }
+}
+
 TEST(CountKernel, FullCensusEqualsTotalPairs) {
   const KernelTestData d = make_data(2, 0.3f);
   cudasim::Device dev({}, fast_options());

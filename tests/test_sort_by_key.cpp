@@ -137,4 +137,59 @@ TEST(SortByKey, ScratchAllocationIsReleased) {
   EXPECT_GE(dev.metrics().peak_mem_bytes, 2 * before);
 }
 
+class ExclusiveScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExclusiveScanSizes, MatchesSerialScanAndReturnsTotal) {
+  const std::size_t n = GetParam();
+  Device dev({}, fast_options());
+  Xoshiro256 rng(100 + n);
+  std::vector<std::uint32_t> counts(n);
+  for (auto& c : counts) c = static_cast<std::uint32_t>(rng.below(1000));
+
+  std::vector<std::uint32_t> expected(n);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = static_cast<std::uint32_t>(running);
+    running += counts[i];
+  }
+
+  DeviceBuffer<std::uint32_t> buf(dev, std::max<std::size_t>(1, n));
+  std::copy(counts.begin(), counts.end(), buf.unsafe_host_view().begin());
+  const std::uint64_t total = cudasim::exclusive_scan(dev, buf, n);
+  EXPECT_EQ(total, running);
+  const auto scanned = buf.unsafe_host_view();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scanned[i], expected[i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExclusiveScanSizes,
+                         ::testing::Values(0, 1, 2, 255, 256, 257, 10000));
+
+TEST(ExclusiveScan, ScansOnlyPrefix) {
+  Device dev({}, fast_options());
+  DeviceBuffer<std::uint32_t> buf(dev, 10);
+  auto view = buf.unsafe_host_view();
+  for (std::size_t i = 0; i < 10; ++i) view[i] = 5;
+  const std::uint64_t total = cudasim::exclusive_scan(dev, buf, 4);
+  EXPECT_EQ(total, 20u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(view[i], 5 * i);
+  for (std::size_t i = 4; i < 10; ++i) EXPECT_EQ(view[i], 5u);  // untouched
+}
+
+TEST(ExclusiveScan, CountBeyondBufferThrows) {
+  Device dev({}, fast_options());
+  DeviceBuffer<std::uint32_t> buf(dev, 10);
+  EXPECT_THROW(cudasim::exclusive_scan(dev, buf, 11), cudasim::SimError);
+}
+
+TEST(ExclusiveScan, RecordsModeledTime) {
+  Device dev({}, fast_options());
+  DeviceBuffer<std::uint32_t> buf(dev, 1000);
+  auto view = buf.unsafe_host_view();
+  for (auto& c : view) c = 1;
+  cudasim::exclusive_scan(dev, buf, 1000);
+  EXPECT_GT(dev.metrics().scan_seconds, 0.0);
+}
+
 }  // namespace

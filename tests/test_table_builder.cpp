@@ -135,7 +135,8 @@ TEST(TableBuilder, DeviceMemoryFullyReleased) {
 
 TEST(TableBuilder, TinyDeviceMemoryForcesManySmallBatches) {
   // 2 MB of "GPU" memory: index + three tiny buffers. Exercises the
-  // device-capacity cap in the planner.
+  // device-capacity cap in the planner on the legacy pair pipeline (a pair
+  // slot costs sink + sort scratch, so the cap bites hardest there).
   const auto points = data::generate_uniform(5000, 57, 10.0f, 10.0f);
   const float eps = 0.5f;
   const GridIndex index = build_grid_index(points, eps);
@@ -143,9 +144,29 @@ TEST(TableBuilder, TinyDeviceMemoryForcesManySmallBatches) {
   cudasim::DeviceConfig cfg;
   cfg.global_mem_bytes = 2ull << 20;
   cudasim::Device dev(cfg, fast_options());
+  BatchPolicy policy;
+  policy.build_mode = TableBuildMode::kPairSort;
+  BuildReport report;
+  NeighborTableBuilder builder(dev, policy);
+  expect_tables_equal(builder.build(index, eps, &report), oracle);
+  EXPECT_GT(report.plan.num_batches, 3u);
+}
+
+TEST(TableBuilder, TinyDeviceMemoryForcesManySmallBatchesCsr) {
+  // CSR slots are bare PointIds (no key, no sort scratch), so the same
+  // dataset needs ~4x less memory per slot; shrink the device further to
+  // force the cap on the CSR path too.
+  const auto points = data::generate_uniform(5000, 57, 10.0f, 10.0f);
+  const float eps = 0.5f;
+  const GridIndex index = build_grid_index(points, eps);
+  const NeighborTable oracle = build_neighbor_table_host(index, eps);
+  cudasim::DeviceConfig cfg;
+  cfg.global_mem_bytes = 768ull << 10;
+  cudasim::Device dev(cfg, fast_options());
   BuildReport report;
   NeighborTableBuilder builder(dev);
   expect_tables_equal(builder.build(index, eps, &report), oracle);
+  EXPECT_EQ(report.build_mode, TableBuildMode::kCsrTwoPass);
   EXPECT_GT(report.plan.num_batches, 3u);
 }
 
