@@ -38,6 +38,28 @@ enum class TableBuildMode {
   kPairSort,
 };
 
+/// How the builder reacts to injected (or, on real hardware, actual)
+/// device faults — the degradation ladder: retry transient kernel faults,
+/// shrink batches on allocation failure, fail work over from a lost device
+/// to the survivors, and finally fall back to the host builder when no
+/// device remains.
+struct ResiliencePolicy {
+  /// Retries of one batch after TransientKernelFault before it becomes a
+  /// hard error (the launch did no work, so a retry is always safe).
+  unsigned max_transient_retries = 2;
+  /// Times one batch may be split in two after DeviceOutOfMemory before
+  /// the allocation failure becomes a hard error.
+  unsigned max_alloc_retries = 3;
+  /// Requeue a lost device's unfinished batches onto surviving devices.
+  /// Safe because strided batches cover disjoint key sets and a batch's
+  /// shard append happens only after every device op for it succeeded.
+  bool failover = true;
+  /// When every device is lost, finish the remaining batches with the
+  /// host builder instead of throwing. Off by default so a single-device
+  /// out-of-memory condition still surfaces as DeviceOutOfMemory.
+  bool host_fallback = false;
+};
+
 struct BatchPolicy {
   double sample_fraction = 0.01;  ///< f, fraction of points sampled
   double alpha = 0.05;            ///< base over-estimation factor
@@ -52,6 +74,13 @@ struct BatchPolicy {
   std::uint64_t estimated_total_override = 0;
   /// Neighbor-table materialization strategy (see TableBuildMode).
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
+  /// Deepest recursive overflow/out-of-memory split allowed: a batch may
+  /// shrink to 1/2^max_split_depth of its planned size before the builder
+  /// gives up on it. Guards against a pathological estimate looping
+  /// forever.
+  unsigned max_split_depth = 10;
+  /// Fault-degradation behavior (see ResiliencePolicy).
+  ResiliencePolicy resilience;
 };
 
 struct BatchPlan {

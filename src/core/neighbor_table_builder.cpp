@@ -1,14 +1,18 @@
 #include "core/neighbor_table_builder.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/error.hpp"
 #include "cudasim/sort.hpp"
 #include "cudasim/stream.hpp"
 #include "gpu/device_index.hpp"
@@ -18,8 +22,6 @@
 namespace hdbscan {
 
 namespace {
-
-constexpr unsigned kMaxSplitDepth = 10;
 
 /// Everything one (device, stream) pair needs to process its batches.
 /// All tallies are context-private: the stream thread appends into its own
@@ -86,15 +88,146 @@ struct StreamContext {
   std::uint32_t overflow_splits = 0;
 };
 
-struct SharedBuildState {
-  std::mutex mutex;  ///< guards first_error only (appends are shard-local)
-  std::exception_ptr first_error;
+/// One unit of batch work. Strided batches cover disjoint key sets and a
+/// batch's shard append is its final step, so an item that faulted mid-way
+/// can always be re-run in full — on the same context, a surviving one, or
+/// the host — without duplicating keys.
+struct WorkItem {
+  gpu::BatchSpec spec;
+  unsigned depth = 0;              ///< overflow/shrink splits applied
+  unsigned transient_retries = 0;  ///< TransientKernelFault retries so far
+  unsigned alloc_retries = 0;      ///< OOM shrink-splits along this lineage
 };
 
+/// Mutex-protected batch queue shared by every context's pump. Each
+/// context owns a sub-queue (the round-robin assignment, so every device
+/// keeps its share of the work and the modeled timelines stay balanced)
+/// plus one orphan pool holding work pushed back by dead contexts — the
+/// only items a foreign pump will pick up. Items only leave the queue for
+/// the duration of one processing attempt; any failure that is not a hard
+/// error pushes the item (or its two halves) back.
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t num_contexts) : owned_(num_contexts) {}
+
+  /// Queue an item on `ctx`'s own sub-queue (initial assignment, splits,
+  /// transient retries — work that stays with its context).
+  void push(std::size_t ctx, WorkItem item) {
+    std::lock_guard lock(mutex_);
+    owned_[ctx].push_back(item);
+  }
+
+  /// Queue an item for whoever gets to it first (failover).
+  void push_orphan(WorkItem item) {
+    std::lock_guard lock(mutex_);
+    orphans_.push_back(item);
+  }
+
+  /// Move everything `ctx` still owns into the orphan pool — called when
+  /// its device is lost, so survivors inherit the unfinished share.
+  void orphan_context(std::size_t ctx) {
+    std::lock_guard lock(mutex_);
+    while (!owned_[ctx].empty()) {
+      orphans_.push_back(owned_[ctx].front());
+      owned_[ctx].pop_front();
+    }
+  }
+
+  /// Pop `ctx`'s next item, falling back to the orphan pool.
+  bool pop(std::size_t ctx, WorkItem& out) {
+    std::lock_guard lock(mutex_);
+    if (!owned_[ctx].empty()) {
+      out = owned_[ctx].front();
+      owned_[ctx].pop_front();
+      return true;
+    }
+    if (!orphans_.empty()) {
+      out = orphans_.front();
+      orphans_.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() {
+    std::lock_guard lock(mutex_);
+    if (!orphans_.empty()) return false;
+    for (const auto& q : owned_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Removes and returns everything still queued (the host-fallback path).
+  [[nodiscard]] std::vector<WorkItem> drain() {
+    std::lock_guard lock(mutex_);
+    std::vector<WorkItem> v(orphans_.begin(), orphans_.end());
+    orphans_.clear();
+    for (auto& q : owned_) {
+      v.insert(v.end(), q.begin(), q.end());
+      q.clear();
+    }
+    return v;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::deque<WorkItem>> owned_;
+  std::deque<WorkItem> orphans_;
+};
+
+/// State shared by all pumps: the first non-recoverable error plus the
+/// cross-context resilience tallies (appends stay shard-local; this mutex
+/// is touched only on faults and errors, never on the happy path).
+struct SharedBuildState {
+  std::mutex mutex;
+  std::exception_ptr hard_error;
+  std::uint32_t transient_retries = 0;
+  std::uint32_t alloc_retries = 0;
+  std::uint32_t failover_batches = 0;
+
+  void set_hard_error(std::exception_ptr e) {
+    std::lock_guard lock(mutex);
+    if (!hard_error) hard_error = std::move(e);
+  }
+
+  [[nodiscard]] bool has_hard_error() {
+    std::lock_guard lock(mutex);
+    return hard_error != nullptr;
+  }
+};
+
+[[noreturn]] void throw_split_exhausted(const gpu::BatchSpec& spec,
+                                        unsigned depth,
+                                        unsigned max_split_depth) {
+  throw std::runtime_error(
+      "neighbor table build: batch " + std::to_string(spec.batch) + "/" +
+      std::to_string(spec.num_batches) + " exceeds the result buffer at "
+      "split depth " + std::to_string(depth) + " (max_split_depth=" +
+      std::to_string(max_split_depth) +
+      "); buffer too small for the data density");
+}
+
+/// (l, n_b) == (l, 2 n_b) u (l + n_b, 2 n_b): same points, half each.
+/// The halves stay on the splitting context's sub-queue.
+void push_halves(WorkQueue& queue, std::size_t ctx, const WorkItem& item,
+                 unsigned extra_alloc_retry) {
+  WorkItem half = item;
+  half.depth = item.depth + 1;
+  half.alloc_retries = item.alloc_retries + extra_alloc_retry;
+  half.spec = {item.spec.batch, item.spec.num_batches * 2};
+  queue.push(ctx, half);
+  half.spec = {item.spec.batch + item.spec.num_batches,
+               item.spec.num_batches * 2};
+  queue.push(ctx, half);
+}
+
 /// Legacy pair pipeline: kernel -> device sort_by_key -> D2H pairs ->
-/// shard append. Splits recursively on buffer overflow.
-void process_batch_pairs(StreamContext& sc, float eps, gpu::BatchSpec spec,
-                         unsigned block_size, unsigned depth) {
+/// shard append. On buffer overflow the two halves go back to the queue.
+void process_batch_pairs(StreamContext& sc, float eps, const WorkItem& item,
+                         unsigned block_size, WorkQueue& queue,
+                         unsigned max_split_depth) {
+  const gpu::BatchSpec spec = item.spec;
   if (spec.points_in_batch(sc.view.num_points) == 0) return;
 
   sc.sink->reset();
@@ -106,18 +239,11 @@ void process_batch_pairs(StreamContext& sc, float eps, gpu::BatchSpec spec,
   sc.atomic_ops += stats.work.atomic_ops;
 
   if (sc.sink->overflowed()) {
-    if (depth >= kMaxSplitDepth) {
-      throw std::runtime_error(
-          "neighbor table build: batch overflowed even after splitting; "
-          "result buffer too small for the data density");
+    if (item.depth >= max_split_depth) {
+      throw_split_exhausted(spec, item.depth, max_split_depth);
     }
     ++sc.overflow_splits;
-    // (l, n_b) == (l, 2 n_b) u (l + n_b, 2 n_b): same points, half each.
-    process_batch_pairs(sc, eps, {spec.batch, spec.num_batches * 2},
-                        block_size, depth + 1);
-    process_batch_pairs(sc, eps,
-                        {spec.batch + spec.num_batches, spec.num_batches * 2},
-                        block_size, depth + 1);
+    push_halves(queue, sc.timeline_id, item, /*extra_alloc_retry=*/0);
     return;
   }
 
@@ -150,8 +276,10 @@ void process_batch_pairs(StreamContext& sc, float eps, gpu::BatchSpec spec,
 /// size) -> fill kernel into exact slots -> D2H offsets + values -> shard
 /// append. A batch whose exact size exceeds the value buffer splits
 /// *before* any fill work runs.
-void process_batch_csr(StreamContext& sc, float eps, gpu::BatchSpec spec,
-                       unsigned block_size, unsigned depth) {
+void process_batch_csr(StreamContext& sc, float eps, const WorkItem& item,
+                       unsigned block_size, WorkQueue& queue,
+                       unsigned max_split_depth) {
+  const gpu::BatchSpec spec = item.spec;
   const std::uint32_t pts = spec.points_in_batch(sc.view.num_points);
   if (pts == 0) return;
 
@@ -171,17 +299,11 @@ void process_batch_csr(StreamContext& sc, float eps, gpu::BatchSpec spec,
   sc.device_model += scan_s;
 
   if (total > sc.values->size()) {
-    if (depth >= kMaxSplitDepth) {
-      throw std::runtime_error(
-          "neighbor table build: batch exceeds the result buffer even "
-          "after splitting; buffer too small for the data density");
+    if (item.depth >= max_split_depth) {
+      throw_split_exhausted(spec, item.depth, max_split_depth);
     }
     ++sc.overflow_splits;
-    process_batch_csr(sc, eps, {spec.batch, spec.num_batches * 2},
-                      block_size, depth + 1);
-    process_batch_csr(sc, eps,
-                      {spec.batch + spec.num_batches, spec.num_batches * 2},
-                      block_size, depth + 1);
+    push_halves(queue, sc.timeline_id, item, /*extra_alloc_retry=*/0);
     return;
   }
 
@@ -218,12 +340,81 @@ void process_batch_csr(StreamContext& sc, float eps, gpu::BatchSpec spec,
   sc.max_batch_pairs = std::max(sc.max_batch_pairs, total);
 }
 
-void process_batch(StreamContext& sc, TableBuildMode mode, float eps,
-                   gpu::BatchSpec spec, unsigned block_size) {
+void process_item(StreamContext& sc, TableBuildMode mode, float eps,
+                  const WorkItem& item, unsigned block_size, WorkQueue& queue,
+                  unsigned max_split_depth) {
   if (mode == TableBuildMode::kPairSort) {
-    process_batch_pairs(sc, eps, spec, block_size, 0);
+    process_batch_pairs(sc, eps, item, block_size, queue, max_split_depth);
   } else {
-    process_batch_csr(sc, eps, spec, block_size, 0);
+    process_batch_csr(sc, eps, item, block_size, queue, max_split_depth);
+  }
+}
+
+/// One context's work pump, run on its stream thread. Pops items until the
+/// queue is dry, applying the degradation ladder on faults:
+///   * TransientKernelFault — the launch did no work; retry the item up to
+///     max_transient_retries times before it becomes a hard error.
+///   * DeviceOutOfMemory   — a mid-batch scratch allocation failed (e.g.
+///     the pair sort's temp buffer); split the batch in two, which halves
+///     the scratch, bounded by max_alloc_retries and max_split_depth.
+///   * DeviceLost          — the context is dead; requeue the item for a
+///     survivor (or the host) and exit the pump.
+/// Anything else is a hard error: recorded once, every pump winds down,
+/// and build() rethrows only after all streams have drained.
+void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
+          TableBuildMode mode, float eps, unsigned block_size,
+          const ResiliencePolicy& res, unsigned max_split_depth) {
+  const std::size_t ctx = sc.timeline_id;
+  WorkItem item;
+  while (queue.pop(ctx, item)) {
+    if (state.has_hard_error()) {
+      queue.push(ctx, item);
+      return;
+    }
+    try {
+      process_item(sc, mode, eps, item, block_size, queue, max_split_depth);
+    } catch (const cudasim::TransientKernelFault&) {
+      if (item.transient_retries < res.max_transient_retries) {
+        ++item.transient_retries;
+        {
+          std::lock_guard lock(state.mutex);
+          ++state.transient_retries;
+        }
+        queue.push(ctx, item);
+        continue;
+      }
+      state.set_hard_error(std::current_exception());
+      return;
+    } catch (const cudasim::DeviceOutOfMemory&) {
+      if (item.alloc_retries < res.max_alloc_retries &&
+          item.depth < max_split_depth) {
+        {
+          std::lock_guard lock(state.mutex);
+          ++state.alloc_retries;
+        }
+        push_halves(queue, ctx, item, /*extra_alloc_retry=*/1);
+        continue;
+      }
+      state.set_hard_error(std::current_exception());
+      return;
+    } catch (const cudasim::DeviceLost&) {
+      if (res.failover || res.host_fallback) {
+        {
+          std::lock_guard lock(state.mutex);
+          ++state.failover_batches;
+        }
+        // The in-flight item and everything this context still owned go
+        // to the orphan pool, where a surviving context inherits them.
+        queue.push_orphan(item);
+        queue.orphan_context(ctx);
+        return;
+      }
+      state.set_hard_error(std::current_exception());
+      return;
+    } catch (...) {
+      state.set_hard_error(std::current_exception());
+      return;
+    }
   }
 }
 
@@ -248,48 +439,121 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   BuildReport local_report;
   local_report.used_shared_kernel = policy_.use_shared_kernel;
   local_report.build_mode = policy_.build_mode;
+  const ResiliencePolicy& res = policy_.resilience;
+
+  // When every rung of the ladder above it has failed (or every device
+  // failed setup), the whole table is built host-side in one go.
+  auto full_host_fallback = [&]() -> NeighborTable {
+    local_report.used_host_fallback = true;
+    NeighborTable t = build_neighbor_table_host_parallel(index, eps);
+    local_report.total_pairs = t.total_pairs();
+    local_report.table_seconds = total_timer.seconds();
+    if (report != nullptr) *report = local_report;
+    return t;
+  };
 
   // Upload the index once per device (pageable host memory, as in the
   // paper: only the result set uses the pinned staging path). Multi-device
   // mode replicates the index, exactly like a GPU-per-node deployment
-  // (the direction of Mr. Scan, the paper's citation [7]).
-  std::vector<std::unique_ptr<gpu::GridDeviceIndex>> device_indexes;
-  device_indexes.reserve(devices_.size());
+  // (the direction of Mr. Scan, the paper's citation [7]). A device that
+  // cannot even hold the index — or dies during the upload — is dropped;
+  // the remaining devices absorb its share of the batches. The failure
+  // only becomes the caller's problem when no device survives setup.
+  struct DeviceSlot {
+    cudasim::Device* device;
+    std::unique_ptr<gpu::GridDeviceIndex> dev_index;
+  };
+  std::vector<DeviceSlot> slots;
+  slots.reserve(devices_.size());
+  std::exception_ptr setup_error;
   for (cudasim::Device* device : devices_) {
-    cudasim::Stream upload_stream(*device);
-    device_indexes.push_back(
-        std::make_unique<gpu::GridDeviceIndex>(*device, upload_stream, index));
-    upload_stream.synchronize();
+    try {
+      cudasim::Stream upload_stream(*device);
+      auto di = std::make_unique<gpu::GridDeviceIndex>(*device, upload_stream,
+                                                       index);
+      upload_stream.synchronize();
+      slots.push_back(DeviceSlot{device, std::move(di)});
+    } catch (const cudasim::DeviceOutOfMemory&) {
+      ++local_report.devices_lost;
+      if (!setup_error) setup_error = std::current_exception();
+    } catch (const cudasim::DeviceLost&) {
+      ++local_report.devices_lost;
+      if (!setup_error) setup_error = std::current_exception();
+    }
   }
-  cudasim::Device& first_device = *devices_.front();
-  const GridView first_view = device_indexes.front()->view();
+  if (slots.empty()) {
+    if (res.host_fallback) return full_host_fallback();
+    std::rethrow_exception(setup_error);
+  }
 
   // Estimate the result-set size from a 1% sample (negligible cost), or
-  // take the caller's figure when provided.
+  // take the caller's figure when provided. Estimation fails over device
+  // by device: transient faults retry in place, a lost or out-of-memory
+  // device passes the baton to the next one.
   if (policy_.estimated_total_override != 0) {
     local_report.estimate.estimated_total = policy_.estimated_total_override;
     local_report.estimate.sampled_pairs = policy_.estimated_total_override;
     local_report.estimate.sample_stride = 1;
   } else {
     WallTimer est_timer;
-    local_report.estimate =
-        estimate_result_size(first_device, first_view, eps,
-                             policy_.sample_fraction, policy_.block_size);
+    bool estimated = false;
+    std::exception_ptr est_error;
+    for (DeviceSlot& slot : slots) {
+      if (slot.device->lost()) continue;
+      unsigned retries = 0;
+      while (!estimated) {
+        try {
+          local_report.estimate = estimate_result_size(
+              *slot.device, slot.dev_index->view(), eps,
+              policy_.sample_fraction, policy_.block_size);
+          estimated = true;
+        } catch (const cudasim::TransientKernelFault&) {
+          if (retries < res.max_transient_retries) {
+            ++retries;
+            ++local_report.transient_retries;
+            continue;
+          }
+          if (!est_error) est_error = std::current_exception();
+          break;
+        } catch (const cudasim::DeviceLost&) {
+          if (!est_error) est_error = std::current_exception();
+          break;
+        } catch (const cudasim::DeviceOutOfMemory&) {
+          if (!est_error) est_error = std::current_exception();
+          break;
+        }
+      }
+      if (estimated) break;
+    }
+    if (!estimated) {
+      if (res.host_fallback) return full_host_fallback();
+      std::rethrow_exception(est_error);
+    }
     local_report.estimate_seconds = est_timer.seconds();
     local_report.atomic_ops +=
         local_report.estimate.kernel_stats.work.atomic_ops;
   }
 
+  // Drop slots whose device died since the last check, tallying each loss
+  // exactly once (later phases only ever see surviving slots).
+  auto drop_lost_slots = [&] {
+    for (auto it = slots.begin(); it != slots.end();) {
+      if (it->device->lost()) {
+        ++local_report.devices_lost;
+        it = slots.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
   // Plan n_b and b_b, capping the buffers so that num_streams result
-  // buffers and their scratch never exceed any device's free memory. A
-  // pair-mode slot costs sizeof(NeighborPair) twice over (sink + the
-  // sort's Thrust-style temp); a CSR slot is a bare PointId plus the small
-  // per-point counts array — the same memory therefore holds ~4x more
-  // neighbors in CSR mode, which shrinks n_b.
-  std::uint64_t min_free_bytes = first_device.free_global_bytes();
-  for (const cudasim::Device* d : devices_) {
-    min_free_bytes = std::min(min_free_bytes, d->free_global_bytes());
-  }
+  // buffers and their scratch never exceed any surviving device's free
+  // memory. A pair-mode slot costs sizeof(NeighborPair) twice over (sink +
+  // the sort's Thrust-style temp); a CSR slot is a bare PointId plus the
+  // small per-point counts array — the same memory therefore holds ~4x
+  // more neighbors in CSR mode, which shrinks n_b. `shrink_shift` halves
+  // the buffer cap per out-of-memory retry of the context setup.
   const bool pair_mode = policy_.build_mode == TableBuildMode::kPairSort;
   const std::uint64_t bytes_per_slot =
       pair_mode ? 2 * sizeof(NeighborPair) : sizeof(PointId);
@@ -297,30 +561,38 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       pair_mode ? 0
                 : static_cast<std::uint64_t>(index.size()) *
                       sizeof(std::uint32_t);
-  const std::uint64_t budget_bytes =
-      min_free_bytes * 9 / 10 -
-      std::min(min_free_bytes * 9 / 10, counts_reserve_bytes);
-  const std::uint64_t max_buffer_pairs = std::max<std::uint64_t>(
-      1, budget_bytes /
-             (std::max(1u, policy_.num_streams) * bytes_per_slot));
-  // With several devices, plan one batch per (device, stream) context so
-  // every device contributes even on the variable-buffer path.
-  BatchPolicy planning_policy = policy_;
-  planning_policy.num_streams = std::max(1u, policy_.num_streams) *
-                                static_cast<unsigned>(devices_.size());
-  local_report.plan = plan_batches(local_report.estimate.estimated_total,
-                                   planning_policy, max_buffer_pairs);
-  const BatchPlan& plan = local_report.plan;
+  auto compute_plan = [&](unsigned shrink_shift) {
+    std::uint64_t min_free_bytes =
+        std::numeric_limits<std::uint64_t>::max();
+    for (const DeviceSlot& slot : slots) {
+      min_free_bytes = std::min(min_free_bytes,
+                                slot.device->free_global_bytes());
+    }
+    const std::uint64_t budget_bytes =
+        min_free_bytes * 9 / 10 -
+        std::min(min_free_bytes * 9 / 10, counts_reserve_bytes);
+    std::uint64_t max_buffer_pairs = std::max<std::uint64_t>(
+        1, budget_bytes /
+               (std::max(1u, policy_.num_streams) * bytes_per_slot));
+    max_buffer_pairs =
+        std::max<std::uint64_t>(1, max_buffer_pairs >> shrink_shift);
+    // With several devices, plan one batch per (device, stream) context so
+    // every device contributes even on the variable-buffer path.
+    BatchPolicy planning_policy = policy_;
+    planning_policy.num_streams = std::max(1u, policy_.num_streams) *
+                                  static_cast<unsigned>(slots.size());
+    return plan_batches(local_report.estimate.estimated_total,
+                        planning_policy, max_buffer_pairs);
+  };
+  local_report.plan = compute_plan(0);
 
-  const auto num_contexts = static_cast<unsigned>(devices_.size()) *
-                            std::max(1u, policy_.num_streams);
   NeighborTable table(index.size());
-  SharedBuildState state;
 
   // Modeled fixed costs on the reference hardware: index upload over the
   // pageable link (parallel across devices -> counted once), the
   // estimation kernel, and page-locking the staging buffers (spread across
   // the devices' hosts in multi-device mode).
+  cudasim::Device& first_device = *slots.front().device;
   const auto& cfg = first_device.config();
   const std::uint64_t upload_bytes =
       index.points.size() * sizeof(Point2) +
@@ -334,23 +606,30 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   double slowest_stream = 0.0;
   double append_total = 0.0;
 
-  if (policy_.use_shared_kernel && plan.num_batches == 1) {
+  if (policy_.use_shared_kernel && local_report.plan.num_batches == 1) {
     // GPUCalcShared path (single batch only: the block-per-cell mapping is
-    // incompatible with the strided batch assignment). First device only;
-    // always the pair pipeline — the block-per-cell schedule has no
-    // per-thread point to count for CSR slots.
+    // incompatible with the strided batch assignment). First surviving
+    // device only; always the pair pipeline — the block-per-cell schedule
+    // has no per-thread point to count for CSR slots. This legacy path has
+    // no degradation ladder: a fault here propagates to the caller.
+    const BatchPlan& plan = local_report.plan;
     local_report.build_mode = TableBuildMode::kPairSort;
+    const gpu::GridDeviceIndex& dev_index = *slots.front().dev_index;
+    const GridView first_view = dev_index.view();
     gpu::ResultSetDevice sink(first_device, plan.buffer_pairs);
     const cudasim::KernelStats stats = gpu::run_calc_shared(
-        first_device, first_view, device_indexes.front()->schedule(),
-        device_indexes.front()->num_nonempty_cells(), eps, sink.view(),
+        first_device, first_view, dev_index.schedule(),
+        dev_index.num_nonempty_cells(), eps, sink.view(),
         policy_.block_size);
     local_report.batches_run = 1;
     local_report.kernel_modeled_seconds = stats.modeled_seconds;
     local_report.atomic_ops += stats.work.atomic_ops;
     if (sink.overflowed()) {
       throw std::runtime_error(
-          "neighbor table build (shared kernel): result buffer overflow");
+          "neighbor table build (shared kernel): batch 0/1 overflowed the "
+          "result buffer of " + std::to_string(plan.buffer_pairs) +
+          " pairs; the single-batch shared kernel cannot split — use the "
+          "batched pipeline for this density");
     }
     const std::uint64_t pairs = sink.stored();
     const std::uint64_t bytes = pairs * sizeof(NeighborPair);
@@ -375,46 +654,134 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     modeled_fixed += cudasim::modeled_pinned_alloc_seconds(cfg, bytes);
   } else {
     local_report.used_shared_kernel = false;
-    // Largest point count any batch can see (splits only shrink batches).
-    const std::uint32_t max_batch_points =
-        (static_cast<std::uint32_t>(index.size()) + plan.num_batches - 1) /
-        plan.num_batches;
     // One context (stream + device buffers + pinned staging + private
-    // shard) per (device, stream) pair.
+    // shard) per (device, stream) pair. Creating them allocates the big
+    // result buffers, so this is where a tight device first runs out of
+    // memory: each retry halves the buffer cap (growing n_b to match) —
+    // bounded by max_alloc_retries — and a device that dies here is
+    // dropped and planning redone for the survivors.
     std::vector<std::unique_ptr<StreamContext>> contexts;
-    contexts.reserve(num_contexts);
-    for (std::size_t d = 0; d < devices_.size(); ++d) {
-      for (unsigned s = 0; s < std::max(1u, policy_.num_streams); ++s) {
-        const auto id = static_cast<unsigned>(contexts.size());
-        contexts.push_back(std::make_unique<StreamContext>(
-            *devices_[d], device_indexes[d]->view(), policy_.build_mode,
-            plan.buffer_pairs, std::max(1u, max_batch_points), id));
-        contexts.back()->shard.reserve_values(plan.estimated_total_pairs /
-                                              num_contexts);
-        modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
-                             cfg, contexts.back()->pinned_bytes()) /
-                         static_cast<double>(devices_.size());
+    unsigned shrink = 0;
+    for (;;) {
+      drop_lost_slots();
+      if (slots.empty()) {
+        if (res.host_fallback) return full_host_fallback();
+        throw cudasim::DeviceLost(
+            "neighbor table build: every device was lost before batching "
+            "started");
+      }
+      local_report.plan = compute_plan(shrink);
+      const std::uint32_t max_batch_points =
+          (static_cast<std::uint32_t>(index.size()) +
+           local_report.plan.num_batches - 1) /
+          local_report.plan.num_batches;
+      const auto num_contexts = static_cast<unsigned>(slots.size()) *
+                                std::max(1u, policy_.num_streams);
+      try {
+        for (DeviceSlot& slot : slots) {
+          for (unsigned s = 0; s < std::max(1u, policy_.num_streams); ++s) {
+            const auto id = static_cast<unsigned>(contexts.size());
+            contexts.push_back(std::make_unique<StreamContext>(
+                *slot.device, slot.dev_index->view(), policy_.build_mode,
+                local_report.plan.buffer_pairs, std::max(1u, max_batch_points),
+                id));
+            contexts.back()->shard.reserve_values(
+                local_report.plan.estimated_total_pairs / num_contexts);
+          }
+        }
+        break;
+      } catch (const cudasim::DeviceOutOfMemory&) {
+        contexts.clear();
+        if (shrink >= res.max_alloc_retries) throw;
+        ++shrink;
+        ++local_report.alloc_retries;
+      } catch (const cudasim::DeviceLost&) {
+        contexts.clear();  // next iteration drops the dead slot and replans
       }
     }
-    // Round-robin the batches; each context serializes its own batches and
-    // overlaps with the others (kernel / scan-or-sort / transfer / host
-    // append into the private shard).
-    const TableBuildMode mode = policy_.build_mode;
-    for (std::uint32_t l = 0; l < plan.num_batches; ++l) {
-      StreamContext& sc = *contexts[l % contexts.size()];
-      const gpu::BatchSpec spec{l, plan.num_batches};
-      sc.stream.host_fn([mode, eps, spec, block = policy_.block_size, &sc,
-                         &state] {
-        try {
-          process_batch(sc, mode, eps, spec, block);
-        } catch (...) {
-          std::lock_guard lock(state.mutex);
-          if (!state.first_error) state.first_error = std::current_exception();
-        }
-      });
+    const BatchPlan& plan = local_report.plan;
+    for (const auto& sc : contexts) {
+      modeled_fixed += cudasim::modeled_pinned_alloc_seconds(
+                           cfg, sc->pinned_bytes()) /
+                       static_cast<double>(slots.size());
     }
-    for (auto& sc : contexts) sc->stream.synchronize();
-    if (state.first_error) std::rethrow_exception(state.first_error);
+
+    // All batches start in a shared work queue; each context's pump pops,
+    // processes into the private shard, and applies the degradation ladder
+    // on faults (see pump()). The rounds loop re-arms pumps on surviving
+    // contexts until the queue is dry — this is what makes failover work:
+    // an item a dying context pushed back is picked up next round by a
+    // survivor, and the strided key sets stay disjoint whoever runs it.
+    WorkQueue queue(contexts.size());
+    for (std::uint32_t l = 0; l < plan.num_batches; ++l) {
+      queue.push(l % contexts.size(),
+                 WorkItem{gpu::BatchSpec{l, plan.num_batches}});
+    }
+    SharedBuildState state;
+    const TableBuildMode mode = policy_.build_mode;
+    while (!queue.empty()) {
+      bool any_live = false;
+      for (auto& sc : contexts) {
+        if (sc->device.lost()) {
+          // A sibling stream's fault may have killed this device before
+          // this context's pump ever ran — surface its share regardless.
+          queue.orphan_context(sc->timeline_id);
+          continue;
+        }
+        any_live = true;
+        StreamContext* scp = sc.get();
+        sc->stream.host_fn([scp, &queue, &state, mode, eps,
+                            block = policy_.block_size, &res,
+                            depth_max = policy_.max_split_depth] {
+          pump(*scp, queue, state, mode, eps, block, res, depth_max);
+        });
+      }
+      if (!any_live) break;
+      // Drain every stream — on every device — before looking at the
+      // outcome: an error on one context must never leave another
+      // context's in-flight work racing the cleanup below.
+      for (auto& sc : contexts) {
+        try {
+          sc->stream.synchronize();
+        } catch (...) {
+          state.set_hard_error(std::current_exception());
+        }
+      }
+      if (state.has_hard_error()) break;
+    }
+    {
+      std::lock_guard lock(state.mutex);
+      local_report.transient_retries += state.transient_retries;
+      local_report.alloc_retries += state.alloc_retries;
+      local_report.failover_batches += state.failover_batches;
+    }
+    if (state.hard_error) {
+      // Streams are already drained (the rounds loop synchronizes every
+      // context before breaking), so rethrowing here unwinds contexts and
+      // device indexes with no op left in flight anywhere.
+      std::rethrow_exception(state.hard_error);
+    }
+
+    // Whatever is still queued could not run on any device (every context
+    // is dead). The last rung: finish exactly those batches on the host —
+    // their key sets are disjoint from everything the devices completed,
+    // so the shards absorb like any other.
+    std::vector<NeighborTable> host_shards;
+    if (!queue.empty()) {
+      if (!res.host_fallback) {
+        const std::size_t unfinished = queue.drain().size();
+        throw cudasim::DeviceLost(
+            "neighbor table build: all devices lost with " +
+            std::to_string(unfinished) + " batches unfinished");
+      }
+      local_report.used_host_fallback = true;
+      for (const WorkItem& item : queue.drain()) {
+        host_shards.push_back(build_neighbor_table_host_strided(
+            index, eps, item.spec.batch, item.spec.num_batches));
+        ++local_report.host_fallback_batches;
+        local_report.total_pairs += host_shards.back().total_pairs();
+      }
+    }
 
     // Merge the per-stream shards into T exactly once (deterministic
     // order), and harvest the context-private tallies.
@@ -422,6 +789,9 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     hdbscan::ThreadCpuTimer merge_timer;
     for (auto& sc : contexts) {
       table.absorb_shard(std::move(sc->shard));
+    }
+    for (auto& shard : host_shards) {
+      table.absorb_shard(std::move(shard));
     }
     const double merge_seconds = merge_timer.seconds();
     for (const auto& sc : contexts) {
@@ -442,6 +812,12 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     // The single final merge is serial host work after the streams drain.
     modeled_fixed += merge_seconds;
     append_total += merge_seconds;
+
+    // Devices that died during batching (their setup losses were tallied
+    // when their slots were dropped).
+    for (const DeviceSlot& slot : slots) {
+      if (slot.device->lost()) ++local_report.devices_lost;
+    }
   }
 
   // Compose the modeled build time: fixed costs plus the slowest context's

@@ -66,6 +66,20 @@ struct BuildReport {
   /// the "GPU time" the figures report — the simulator executes device
   /// code on the host CPU, so its raw wall time is not GPU time (DESIGN.md).
   double modeled_table_seconds = 0.0;
+
+  // --- degradation accounting (ResiliencePolicy) ---
+  std::uint32_t transient_retries = 0;    ///< TransientKernelFault retries
+  std::uint32_t alloc_retries = 0;        ///< OOM-driven shrink retries
+  std::uint32_t devices_lost = 0;         ///< devices dropped mid-build
+  std::uint32_t failover_batches = 0;     ///< batches requeued to survivors
+  std::uint32_t host_fallback_batches = 0;///< batches finished on the host
+  bool used_host_fallback = false;        ///< any host-side completion
+
+  /// True when any rung of the degradation ladder fired.
+  [[nodiscard]] bool degraded() const noexcept {
+    return transient_retries != 0 || alloc_retries != 0 ||
+           devices_lost != 0 || failover_batches != 0 || used_host_fallback;
+  }
 };
 
 class NeighborTableBuilder {

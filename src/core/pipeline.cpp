@@ -61,6 +61,17 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// what() of the in-flight exception; call only from a catch block.
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 PipelineReport run_multi_clustering(cudasim::Device& device,
@@ -76,17 +87,52 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   WallTimer total_timer;
 
   if (!options.pipelined) {
+    std::exception_ptr first_error;
+    std::size_t failed = 0;
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      HybridTimings t;
-      ClusterResult r = hybrid_dbscan(device, points, variants[i].eps,
-                                      variants[i].minpts, &t, options.policy);
-      report.variants[i].table_seconds = t.index_seconds + t.gpu_table_seconds;
-      report.variants[i].modeled_table_seconds =
-          t.index_seconds + t.modeled_gpu_table_seconds;
-      report.variants[i].dbscan_seconds = t.dbscan_seconds;
-      report.variants[i].num_clusters = r.num_clusters;
-      report.variants[i].noise_count = r.noise_count();
-      if (options.keep_results) report.results[i] = std::move(r);
+      try {
+        if (device.lost()) {
+          // The device died on an earlier variant: finish the sweep
+          // host-side rather than failing every remaining variant.
+          WallTimer t;
+          GridIndex index = build_grid_index(points, variants[i].eps);
+          NeighborTable table =
+              build_neighbor_table_host_parallel(index, variants[i].eps);
+          const double table_s = t.seconds();
+          WallTimer dbscan_timer;
+          ClusterResult indexed =
+              dbscan_neighbor_table(table, variants[i].minpts);
+          ClusterResult r = unmap_labels(indexed, index.original_ids);
+          report.variants[i].table_seconds = table_s;
+          report.variants[i].modeled_table_seconds = table_s;
+          report.variants[i].dbscan_seconds = dbscan_timer.seconds();
+          report.variants[i].num_clusters = r.num_clusters;
+          report.variants[i].noise_count = r.noise_count();
+          report.variants[i].outcome.host_fallback = true;
+          if (options.keep_results) report.results[i] = std::move(r);
+        } else {
+          HybridTimings t;
+          ClusterResult r =
+              hybrid_dbscan(device, points, variants[i].eps,
+                            variants[i].minpts, &t, options.policy);
+          report.variants[i].table_seconds =
+              t.index_seconds + t.gpu_table_seconds;
+          report.variants[i].modeled_table_seconds =
+              t.index_seconds + t.modeled_gpu_table_seconds;
+          report.variants[i].dbscan_seconds = t.dbscan_seconds;
+          report.variants[i].num_clusters = r.num_clusters;
+          report.variants[i].noise_count = r.noise_count();
+          if (options.keep_results) report.results[i] = std::move(r);
+        }
+      } catch (...) {
+        report.variants[i].outcome.ok = false;
+        report.variants[i].outcome.error = describe_current_exception();
+        ++failed;
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (!variants.empty() && failed == variants.size()) {
+      std::rethrow_exception(first_error);
     }
     report.total_seconds = total_timer.seconds();
     return report;
@@ -95,32 +141,50 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   BoundedQueue queue(std::max(1u, options.queue_capacity));
   std::mutex report_mutex;
   std::exception_ptr first_error;
+  std::size_t failed_variants = 0;  // guarded by report_mutex
+
+  auto record_failure = [&](std::size_t i) {
+    std::lock_guard lock(report_mutex);
+    report.variants[i].outcome.ok = false;
+    report.variants[i].outcome.error = describe_current_exception();
+    ++failed_variants;
+    if (!first_error) first_error = std::current_exception();
+  };
 
   // Producer: builds the grid index and T for v_{i+1} while the consumers
-  // are still clustering v_i.
+  // are still clustering v_i. A variant whose build fails is recorded and
+  // skipped — its siblings keep flowing. Once the device is lost the
+  // remaining variants' tables are built host-side instead.
   std::thread producer([&] {
-    try {
-      NeighborTableBuilder builder(device, options.policy);
-      for (std::size_t i = 0; i < variants.size(); ++i) {
+    NeighborTableBuilder builder(device, options.policy);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      try {
         WallTimer t;
         WallTimer index_timer;
         GridIndex index = build_grid_index(points, variants[i].eps);
         const double index_s = index_timer.seconds();
-        BuildReport build_report;
-        NeighborTable table =
-            builder.build(index, variants[i].eps, &build_report);
+        NeighborTable table(0);
+        const bool host = device.lost();
+        double modeled_s = 0.0;
+        if (host) {
+          table = build_neighbor_table_host_parallel(index, variants[i].eps);
+        } else {
+          BuildReport build_report;
+          table = builder.build(index, variants[i].eps, &build_report);
+          modeled_s = index_s + build_report.modeled_table_seconds;
+        }
         {
           std::lock_guard lock(report_mutex);
           report.variants[i].table_seconds = t.seconds();
           report.variants[i].modeled_table_seconds =
-              index_s + build_report.modeled_table_seconds;
+              host ? t.seconds() : modeled_s;
+          report.variants[i].outcome.host_fallback = host;
         }
         queue.push(TableItem{i, std::move(table),
                              std::move(index.original_ids)});
+      } catch (...) {
+        record_failure(i);
       }
-    } catch (...) {
-      std::lock_guard lock(report_mutex);
-      if (!first_error) first_error = std::current_exception();
     }
     queue.close();
   });
@@ -129,10 +193,10 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   consumers.reserve(std::max(1u, options.num_consumers));
   for (unsigned c = 0; c < std::max(1u, options.num_consumers); ++c) {
     consumers.emplace_back([&] {
-      try {
-        while (auto item = queue.pop()) {
+      while (auto item = queue.pop()) {
+        const std::size_t i = item->variant_index;
+        try {
           WallTimer t;
-          const std::size_t i = item->variant_index;
           ClusterResult indexed =
               dbscan_neighbor_table(item->table, variants[i].minpts);
           const double dbscan_s = t.seconds();
@@ -144,17 +208,18 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           report.variants[i].num_clusters = result.num_clusters;
           report.variants[i].noise_count = result.noise_count();
           if (options.keep_results) report.results[i] = std::move(result);
+        } catch (...) {
+          record_failure(i);
         }
-      } catch (...) {
-        std::lock_guard lock(report_mutex);
-        if (!first_error) first_error = std::current_exception();
       }
     });
   }
 
   producer.join();
   for (auto& c : consumers) c.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (!variants.empty() && failed_variants == variants.size()) {
+    std::rethrow_exception(first_error);
+  }
   report.total_seconds = total_timer.seconds();
   return report;
 }

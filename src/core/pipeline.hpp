@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/batch_planner.hpp"
@@ -24,6 +25,18 @@ struct Variant {
   int minpts = 4;
 };
 
+/// How one variant of a multi-variant run ended. A failed variant no
+/// longer aborts its siblings: the pipeline records the failure here and
+/// keeps going, rethrowing the first error only when *every* variant
+/// failed (so single-variant callers still see their exception).
+struct VariantOutcome {
+  bool ok = true;
+  /// The variant's table was built host-side because the device(s) were
+  /// already lost when its turn came.
+  bool host_fallback = false;
+  std::string error;  ///< what() of the failure; empty when ok
+};
+
 struct VariantTiming {
   Variant variant;
   double table_seconds = 0.0;   ///< index + GPU neighbor-table wall time
@@ -32,6 +45,7 @@ struct VariantTiming {
   double modeled_table_seconds = 0.0;
   std::int32_t num_clusters = 0;
   std::size_t noise_count = 0;
+  VariantOutcome outcome;
 };
 
 struct PipelineOptions {

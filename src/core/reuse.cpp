@@ -22,6 +22,7 @@ ReuseReport cluster_minpts_sweep(cudasim::Device& device,
   report.eps = eps;
   report.variant_seconds.assign(minpts_values.size(), 0.0);
   report.variant_clusters.assign(minpts_values.size(), 0);
+  report.outcomes.assign(minpts_values.size(), {});
   if (results != nullptr) results->assign(minpts_values.size(), {});
 
   WallTimer total_timer;
@@ -43,12 +44,16 @@ ReuseReport cluster_minpts_sweep(cudasim::Device& device,
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::size_t failed = 0;  // guarded by error_mutex
 
+  // One failing minpts value (say, an invalid 0 in the middle of a sweep)
+  // is recorded in its outcome slot and the worker moves on; the shared
+  // table is read-only so the siblings are unaffected.
   auto worker = [&] {
-    try {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= minpts_values.size()) return;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= minpts_values.size()) return;
+      try {
         WallTimer t;
         ClusterResult indexed = dbscan_neighbor_table(table, minpts_values[i]);
         report.variant_seconds[i] = t.seconds();
@@ -56,10 +61,19 @@ ReuseReport cluster_minpts_sweep(cudasim::Device& device,
         if (results != nullptr) {
           (*results)[i] = unmap_labels(indexed, index.original_ids);
         }
+      } catch (const std::exception& e) {
+        std::lock_guard lock(error_mutex);
+        report.outcomes[i].ok = false;
+        report.outcomes[i].error = e.what();
+        ++failed;
+        if (!first_error) first_error = std::current_exception();
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        report.outcomes[i].ok = false;
+        report.outcomes[i].error = "unknown error";
+        ++failed;
+        if (!first_error) first_error = std::current_exception();
       }
-    } catch (...) {
-      std::lock_guard lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
     }
   };
 
@@ -71,7 +85,9 @@ ReuseReport cluster_minpts_sweep(cudasim::Device& device,
     for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
     for (auto& t : threads) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (!minpts_values.empty() && failed == minpts_values.size()) {
+    std::rethrow_exception(first_error);
+  }
 
   report.dbscan_wall_seconds = dbscan_timer.seconds();
   report.total_seconds = total_timer.seconds();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/batch_planner.hpp"
+#include "core/pipeline.hpp"
 #include "cudasim/device.hpp"
 #include "dbscan/cluster_result.hpp"
 
@@ -26,6 +27,10 @@ struct ReuseReport {
   /// input); feed these to makespan_seconds() to model k-core scaling.
   std::vector<double> variant_seconds;
   std::vector<std::int32_t> variant_clusters;
+  /// Per-minpts outcome: a failing variant (e.g. an invalid minpts among
+  /// valid ones) is recorded here and no longer aborts its siblings; the
+  /// first error is rethrown only when every variant failed.
+  std::vector<VariantOutcome> outcomes;
 };
 
 /// Builds T once for `eps`, then clusters every minpts value using

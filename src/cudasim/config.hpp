@@ -8,8 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace cudasim {
+
+class FaultInjector;  // fault.hpp
 
 struct DeviceConfig {
   // --- capacity ---
@@ -53,6 +56,9 @@ struct SimulationOptions {
   bool throttle_transfers = true;    ///< sleep to modeled PCIe time
   bool throttle_pinned_alloc = true; ///< sleep to modeled page-lock time
   std::size_t executor_threads = 0;  ///< 0 = hardware concurrency
+  /// Optional deterministic fault injection (fault.hpp). Shared so tests
+  /// and chaos harnesses keep a handle for inspecting fired counters.
+  std::shared_ptr<FaultInjector> fault;
 };
 
 }  // namespace cudasim

@@ -7,8 +7,18 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "cudasim/fault.hpp"
 
 namespace cudasim {
+
+namespace {
+
+[[noreturn]] void throw_device_lost() {
+  throw DeviceLost("device lost: a scripted device-loss fault fired; all "
+                   "subsequent operations on this device fail");
+}
+
+}  // namespace
 
 Device::Device(DeviceConfig config, SimulationOptions options)
     : config_(config), options_(options) {
@@ -17,7 +27,96 @@ Device::Device(DeviceConfig config, SimulationOptions options)
 
 Device::~Device() = default;
 
+void Device::fault_gate_alloc(std::size_t bytes) {
+  FaultInjector* fault = options_.fault.get();
+  if (fault == nullptr) return;
+  switch (fault->on_alloc()) {
+    case FaultFire::kNone:
+      return;
+    case FaultFire::kOutOfMemory: {
+      std::lock_guard lock(mutex_);
+      ++metrics_.injected_oom_faults;
+      throw DeviceOutOfMemory(bytes, used_bytes_, config_.global_mem_bytes);
+    }
+    case FaultFire::kDeviceLost:
+    default: {
+      {
+        std::lock_guard lock(mutex_);
+        metrics_.device_lost = true;
+        ++metrics_.refused_ops;
+      }
+      throw_device_lost();
+    }
+  }
+}
+
+double Device::fault_gate_transfer() {
+  FaultInjector* fault = options_.fault.get();
+  if (fault == nullptr) return 1.0;
+  double slowdown = 1.0;
+  const FaultFire fire = fault->on_transfer(&slowdown);
+  if (fire == FaultFire::kDeviceLost) {
+    {
+      std::lock_guard lock(mutex_);
+      metrics_.device_lost = true;
+      ++metrics_.refused_ops;
+    }
+    throw_device_lost();
+  }
+  if (slowdown > 1.0) {
+    std::lock_guard lock(mutex_);
+    ++metrics_.degraded_transfers;
+  }
+  return slowdown;
+}
+
+void Device::fault_on_kernel_launch() {
+  FaultInjector* fault = options_.fault.get();
+  if (fault == nullptr) return;
+  switch (fault->on_kernel_launch()) {
+    case FaultFire::kNone:
+      return;
+    case FaultFire::kTransientKernel: {
+      {
+        std::lock_guard lock(mutex_);
+        ++metrics_.injected_transient_faults;
+      }
+      throw TransientKernelFault(
+          "transient kernel fault: scripted launch failure; the launch did "
+          "no work and may be retried");
+    }
+    case FaultFire::kDeviceLost:
+    default: {
+      {
+        std::lock_guard lock(mutex_);
+        metrics_.device_lost = true;
+        ++metrics_.refused_ops;
+      }
+      throw_device_lost();
+    }
+  }
+}
+
+void Device::fault_on_device_op() {
+  FaultInjector* fault = options_.fault.get();
+  if (fault == nullptr) return;
+  if (fault->on_op() == FaultFire::kDeviceLost) {
+    {
+      std::lock_guard lock(mutex_);
+      metrics_.device_lost = true;
+      ++metrics_.refused_ops;
+    }
+    throw_device_lost();
+  }
+}
+
+bool Device::lost() const noexcept {
+  const FaultInjector* fault = options_.fault.get();
+  return fault != nullptr && fault->lost();
+}
+
 void* Device::allocate_global(std::size_t bytes) {
+  fault_gate_alloc(bytes);
   {
     std::lock_guard lock(mutex_);
     if (used_bytes_ + bytes > config_.global_mem_bytes) {
@@ -42,6 +141,7 @@ void Device::free_global(void* p, std::size_t bytes) noexcept {
 }
 
 void* Device::allocate_pinned(std::size_t bytes) {
+  fault_on_device_op();
   const double model_s = config_.pinned_alloc_base_us * 1e-6 +
                          static_cast<double>(bytes) /
                              (config_.pinned_alloc_gbps * 1e9);
@@ -75,9 +175,11 @@ DeviceMetrics Device::metrics() const {
 void Device::reset_metrics() {
   std::lock_guard lock(mutex_);
   const std::size_t current = metrics_.current_mem_bytes;
+  const bool was_lost = metrics_.device_lost;  // loss is permanent
   metrics_ = DeviceMetrics{};
   metrics_.current_mem_bytes = current;
   metrics_.peak_mem_bytes = current;
+  metrics_.device_lost = was_lost;
 }
 
 void Device::record_kernel(const KernelStats& stats) {
@@ -110,8 +212,12 @@ void Device::record_scan(double modeled_seconds) {
 
 void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,
                                bool to_device, bool pinned_host) {
+  // Throws DeviceLost once the device is gone; under injected PCIe
+  // degradation the effective bandwidth is divided by the slowdown.
+  const double slowdown = fault_gate_transfer();
   const double bw_gbps =
-      pinned_host ? config_.pcie_pinned_gbps : config_.pcie_pageable_gbps;
+      (pinned_host ? config_.pcie_pinned_gbps : config_.pcie_pageable_gbps) /
+      slowdown;
   const double model_s = config_.pcie_latency_us * 1e-6 +
                          static_cast<double>(bytes) / (bw_gbps * 1e9);
   hdbscan::WallTimer t;

@@ -46,6 +46,18 @@ class Device {
   [[nodiscard]] DeviceMetrics metrics() const;
   void reset_metrics();
 
+  /// True once an injected device-loss fault fired: the device refuses all
+  /// further work (every op throws DeviceLost) until destroyed.
+  [[nodiscard]] bool lost() const noexcept;
+
+  // --- fault-injection gates (no-ops without SimulationOptions::fault) ---
+  /// Called by the kernel engine before a launch executes; throws
+  /// TransientKernelFault or DeviceLost when the plan says so.
+  void fault_on_kernel_launch();
+  /// Called by on-device primitives (sort/scan) and pinned allocation;
+  /// throws DeviceLost once the device is gone.
+  void fault_on_device_op();
+
   // --- internal accounting hooks (used by Stream / kernel engine / sort) ---
   void record_kernel(const KernelStats& stats);
   void record_transfer(std::size_t bytes, bool to_device, double seconds);
@@ -63,6 +75,12 @@ class Device {
                          bool to_device, bool pinned_host);
 
  private:
+  /// Consults the injector for an allocation; throws on a scripted fault.
+  void fault_gate_alloc(std::size_t bytes);
+  /// Consults the injector for a transfer; returns the bandwidth slowdown
+  /// factor (>= 1.0) and throws once the device is lost.
+  [[nodiscard]] double fault_gate_transfer();
+
   DeviceConfig config_;
   SimulationOptions options_;
   std::unique_ptr<hdbscan::ThreadPool> executor_;

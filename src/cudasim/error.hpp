@@ -37,4 +37,21 @@ class LaunchError : public SimError {
   using SimError::SimError;
 };
 
+/// A transient kernel/stream fault (the simulated analogue of a sticky-free
+/// launch failure: ECC hiccup, watchdog preemption, driver retry). The
+/// launch that observed it did no work; re-issuing the same launch is safe
+/// and expected to succeed.
+class TransientKernelFault : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Permanent device loss (cudaErrorDeviceUnavailable): once thrown, every
+/// subsequent operation on the same device throws it again. Recovery means
+/// moving the work to another device or to the host, never retrying here.
+class DeviceLost : public SimError {
+ public:
+  using SimError::SimError;
+};
+
 }  // namespace cudasim

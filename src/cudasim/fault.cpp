@@ -1,0 +1,132 @@
+#include "cudasim/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace cudasim {
+
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::randomized(std::uint64_t seed) {
+  hdbscan::SplitMix64 rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  // Independent gates so plans stack hazards the way real incidents do;
+  // ordinals are small enough to land inside a modest build.
+  if (rng.next() % 100 < 55) {
+    plan.transient_launches.push_back(1 + rng.next() % 40);
+  }
+  if (rng.next() % 100 < 40) {
+    plan.oom_allocs.push_back(1 + rng.next() % 24);
+  }
+  if (rng.next() % 100 < 40) {
+    plan.degrade_from_transfer = 1 + rng.next() % 20;
+    plan.degrade_factor = 2.0 + static_cast<double>(rng.next() % 7);
+  }
+  if (rng.next() % 100 < 35) {
+    plan.lost_at_op = 10 + rng.next() % 300;
+  }
+  if (plan.empty()) {  // a chaos plan with no chaos tests nothing
+    plan.transient_launches.push_back(1 + rng.next() % 20);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "fault plan (seed " + std::to_string(seed) + "):";
+  if (empty()) return out + " none";
+  for (const std::uint64_t a : oom_allocs) {
+    out += " oom@alloc" + std::to_string(a);
+  }
+  for (const std::uint64_t l : transient_launches) {
+    out += " transient@launch" + std::to_string(l);
+  }
+  if (degrade_from_transfer != 0) {
+    char factor[32];
+    std::snprintf(factor, sizeof(factor), "%.3g", degrade_factor);
+    out += " pcie/" + std::string(factor) + "@xfer" +
+           std::to_string(degrade_from_transfer);
+  }
+  if (lost_at_op != 0) {
+    out += " lost@op" + std::to_string(lost_at_op);
+  }
+  return out;
+}
+
+bool FaultInjector::advance_op_locked() {
+  ++ops_;
+  if (counters_.lost) {
+    ++counters_.refused_ops;
+    return true;
+  }
+  if (plan_.lost_at_op != 0 && ops_ >= plan_.lost_at_op) {
+    counters_.lost = true;
+    return true;
+  }
+  return false;
+}
+
+FaultFire FaultInjector::on_alloc() {
+  std::lock_guard lock(mutex_);
+  if (advance_op_locked()) return FaultFire::kDeviceLost;
+  ++allocs_;
+  if (contains(plan_.oom_allocs, allocs_)) {
+    ++counters_.oom_fired;
+    return FaultFire::kOutOfMemory;
+  }
+  return FaultFire::kNone;
+}
+
+FaultFire FaultInjector::on_kernel_launch() {
+  std::lock_guard lock(mutex_);
+  if (advance_op_locked()) return FaultFire::kDeviceLost;
+  ++launches_;
+  if (contains(plan_.transient_launches, launches_)) {
+    ++counters_.transient_fired;
+    return FaultFire::kTransientKernel;
+  }
+  return FaultFire::kNone;
+}
+
+FaultFire FaultInjector::on_transfer(double* slowdown) {
+  std::lock_guard lock(mutex_);
+  *slowdown = 1.0;
+  if (advance_op_locked()) return FaultFire::kDeviceLost;
+  ++transfers_;
+  if (plan_.degrade_from_transfer != 0 &&
+      transfers_ >= plan_.degrade_from_transfer && plan_.degrade_factor > 1.0) {
+    *slowdown = plan_.degrade_factor;
+    ++counters_.degraded_transfers;
+  }
+  return FaultFire::kNone;
+}
+
+FaultFire FaultInjector::on_op() {
+  std::lock_guard lock(mutex_);
+  return advance_op_locked() ? FaultFire::kDeviceLost : FaultFire::kNone;
+}
+
+bool FaultInjector::lost() const {
+  std::lock_guard lock(mutex_);
+  return counters_.lost;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::uint64_t FaultInjector::ops() const {
+  std::lock_guard lock(mutex_);
+  return ops_;
+}
+
+}  // namespace cudasim

@@ -1,0 +1,110 @@
+// Deterministic fault injection for the simulated device.
+//
+// A FaultPlan scripts *when* hazards fire, in terms of per-device operation
+// counters rather than wall time, so a plan replays identically across runs
+// (given the same stream layout): the N-th global allocation fails, the
+// N-th kernel launch faults transiently, PCIe bandwidth degrades from the
+// K-th transfer onward, the whole device is lost at global op L. A
+// FaultInjector is attached to a Device via SimulationOptions::fault and
+// consulted by every accounting hook (device.cpp, stream.cpp via
+// blocking_transfer, kernel.hpp, sort.hpp).
+//
+// The injector only *decides*; the Device translates decisions into the
+// matching SimError subclasses and per-device fault metrics, so consumers
+// (NeighborTableBuilder's ResiliencePolicy, the pipeline's per-variant
+// outcomes) see exactly the exceptions real CUDA failure modes map to.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cudasim {
+
+/// What a fault hook decided for the current operation.
+enum class FaultFire {
+  kNone,             ///< proceed normally
+  kOutOfMemory,      ///< this allocation fails with DeviceOutOfMemory
+  kTransientKernel,  ///< this launch fails once with TransientKernelFault
+  kDeviceLost,       ///< the device is gone; this and every later op throws
+};
+
+/// A scripted schedule of hazards. All indices are 1-based op ordinals
+/// within their category; 0 disables the corresponding fault.
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< provenance (set by randomized())
+
+  /// Global allocations (allocate_global calls) that throw
+  /// DeviceOutOfMemory. The allocation does not consume capacity.
+  std::vector<std::uint64_t> oom_allocs;
+
+  /// Kernel launches that fail once with TransientKernelFault before any
+  /// block runs. A re-issued launch lands on the next ordinal and succeeds.
+  std::vector<std::uint64_t> transient_launches;
+
+  /// From this transfer ordinal onward, PCIe bandwidth is divided by
+  /// degrade_factor (modeled — and slept, when throttled).
+  std::uint64_t degrade_from_transfer = 0;
+  double degrade_factor = 1.0;
+
+  /// Global op ordinal (allocations + launches + transfers + sorts/scans)
+  /// at which the device is permanently lost.
+  std::uint64_t lost_at_op = 0;
+
+  /// Seeded random plan for chaos testing: always injects at least one
+  /// fault; may stack several. Same seed => same plan.
+  [[nodiscard]] static FaultPlan randomized(std::uint64_t seed);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return oom_allocs.empty() && transient_launches.empty() &&
+           degrade_from_transfer == 0 && lost_at_op == 0;
+  }
+
+  /// One-line human-readable summary of the scripted hazards.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Lifetime totals of what actually fired (also mirrored, per device, into
+/// DeviceMetrics by the Device hooks).
+struct FaultCounters {
+  std::uint64_t oom_fired = 0;
+  std::uint64_t transient_fired = 0;
+  std::uint64_t degraded_transfers = 0;
+  std::uint64_t refused_ops = 0;  ///< ops rejected after device loss
+  bool lost = false;
+};
+
+/// Thread-safe decision engine for one device. Each on_* hook advances the
+/// relevant counters and reports whether (and how) the op must fail.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultFire on_alloc();
+  FaultFire on_kernel_launch();
+  /// Also writes the current bandwidth slowdown (>= 1.0) for this transfer.
+  FaultFire on_transfer(double* slowdown);
+  /// Generic device op (pinned alloc, on-device sort/scan): only the
+  /// device-lost hazard applies.
+  FaultFire on_op();
+
+  [[nodiscard]] bool lost() const;
+  [[nodiscard]] FaultCounters counters() const;
+  [[nodiscard]] std::uint64_t ops() const;
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Advances the global op ordinal; flips to lost at plan_.lost_at_op.
+  [[nodiscard]] bool advance_op_locked();
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t launches_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t ops_ = 0;
+  FaultCounters counters_;
+};
+
+}  // namespace cudasim

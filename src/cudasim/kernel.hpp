@@ -163,6 +163,9 @@ template <typename F>
 KernelStats run_flat_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
                             F&& body) {
   detail::validate_launch(dev, grid_dim, block_dim, 0);
+  // Scripted fault gate: a TransientKernelFault or DeviceLost fires here,
+  // before any block executes, so a failed launch never does partial work.
+  dev.fault_on_kernel_launch();
   hdbscan::WallTimer wall;
 
   KernelStats stats;
@@ -201,6 +204,7 @@ template <typename G>
 KernelStats run_coop_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, G&& gen) {
   detail::validate_launch(dev, grid_dim, block_dim, shared_bytes);
+  dev.fault_on_kernel_launch();
   hdbscan::WallTimer wall;
 
   KernelStats stats;

@@ -82,6 +82,13 @@ struct DeviceMetrics {
   double scan_seconds = 0.0;  ///< modeled on-device prefix-scan time
   std::size_t current_mem_bytes = 0;
   std::size_t peak_mem_bytes = 0;
+
+  // --- fault-injection accounting (zero unless a FaultInjector fired) ---
+  std::uint64_t injected_oom_faults = 0;       ///< scripted alloc failures
+  std::uint64_t injected_transient_faults = 0; ///< scripted launch faults
+  std::uint64_t degraded_transfers = 0;        ///< transfers at reduced PCIe
+  std::uint64_t refused_ops = 0;               ///< ops after device loss
+  bool device_lost = false;                    ///< device permanently gone
 };
 
 }  // namespace cudasim

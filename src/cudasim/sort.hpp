@@ -56,6 +56,7 @@ void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
   if (count > buf.size()) {
     throw SimError("sort_by_key: count exceeds buffer size");
   }
+  device.fault_on_device_op();  // throws DeviceLost once the device is gone
   if (count > 1) {
     DeviceBuffer<KV> temp(device, count);  // Thrust-style scratch allocation
     KV* a = buf.device_data();
@@ -94,6 +95,7 @@ std::uint64_t exclusive_scan(Device& device, DeviceBuffer<T>& buf,
   if (count > buf.size()) {
     throw SimError("exclusive_scan: count exceeds buffer size");
   }
+  device.fault_on_device_op();  // throws DeviceLost once the device is gone
   T* data = buf.device_data();
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < count; ++i) {

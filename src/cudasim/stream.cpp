@@ -11,9 +11,11 @@ Stream::Stream(Device& device) : device_(device) {
 }
 
 Stream::~Stream() {
-  synchronize();
+  // Drain without rethrowing: a captured async failure (e.g. an injected
+  // DeviceLost during a queued transfer) must not escape a destructor.
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
     stopping_ = true;
   }
   cv_.notify_all();
@@ -40,7 +42,16 @@ void Stream::worker_loop() {
       queue_.pop_front();
       busy_ = true;
     }
-    op();
+    // An op that throws (device loss mid-transfer, a fault in a queued
+    // launch) poisons the stream instead of killing the process: the first
+    // exception is kept and rethrown at the next synchronize(), mirroring
+    // how CUDA surfaces async errors at the next sync point.
+    try {
+      op();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       busy_ = false;
@@ -52,6 +63,12 @@ void Stream::worker_loop() {
 void Stream::synchronize() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (error_) {
+    // Rethrow once; the stream stays usable for cleanup/drain afterwards.
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void Stream::do_transfer(void* dst, const void* src, std::size_t bytes,

@@ -151,6 +151,8 @@ class Stream {
   }
 
   /// Block the calling thread until every enqueued operation has run.
+  /// If any enqueued op threw, the first such exception is rethrown here
+  /// (then cleared) — async failures surface at the sync point, as in CUDA.
   void synchronize();
 
  private:
@@ -167,6 +169,7 @@ class Stream {
   std::condition_variable idle_cv_;
   bool busy_ = false;
   bool stopping_ = false;
+  std::exception_ptr error_;  ///< first async op failure, kept until sync
 };
 
 }  // namespace cudasim

@@ -86,6 +86,47 @@ void NeighborTable::absorb_shard(NeighborTable&& shard) {
   values_.insert(values_.end(), shard.values_.begin(), shard.values_.end());
 }
 
+void NeighborTable::canonicalize() {
+  std::vector<std::uint32_t> new_begin(begin_.size(), 0);
+  std::vector<std::uint32_t> new_end(end_.size(), 0);
+  std::vector<PointId> new_values;
+  new_values.reserve(values_.size());
+  for (std::size_t k = 0; k < begin_.size(); ++k) {
+    const std::size_t run_begin = new_values.size();
+    new_values.insert(new_values.end(), values_.begin() + begin_[k],
+                      values_.begin() + end_[k]);
+    std::sort(new_values.begin() + run_begin, new_values.end());
+    new_begin[k] = static_cast<std::uint32_t>(run_begin);
+    new_end[k] = static_cast<std::uint32_t>(new_values.size());
+  }
+  begin_ = std::move(new_begin);
+  end_ = std::move(new_end);
+  values_ = std::move(new_values);
+}
+
+NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
+                                                float eps,
+                                                std::uint32_t first_key,
+                                                std::uint32_t key_stride) {
+  if (key_stride == 0) {
+    throw std::invalid_argument("build_neighbor_table_host_strided: stride 0");
+  }
+  const std::size_t n = index.size();
+  NeighborTable shard(n);
+  std::vector<PointId> neighbors;
+  std::vector<NeighborPair> pairs;
+  for (std::uint64_t key = first_key; key < n; key += key_stride) {
+    grid_query(index, index.points[key], eps, neighbors);
+    pairs.clear();
+    pairs.reserve(neighbors.size());
+    for (const PointId v : neighbors) {
+      pairs.push_back({static_cast<PointId>(key), v});
+    }
+    shard.append_sorted_batch(pairs);
+  }
+  return shard;
+}
+
 NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
                                                  float eps,
                                                  unsigned num_threads) {

@@ -75,6 +75,20 @@ class NeighborTable {
     values_.reserve(expected_pairs);
   }
 
+  /// Rewrites the table into its canonical form: values laid out in
+  /// ascending key order with each neighbor list sorted. Any two tables
+  /// holding the same neighborhood sets — whatever batch interleave, split
+  /// schedule, or retry/failover history produced them — canonicalize to
+  /// byte-identical begin/end/value arrays, which is how the resilience
+  /// tests and the chaos harness assert that a degraded build lost nothing.
+  void canonicalize();
+
+  /// Byte equality of ranges and values (meaningful after canonicalize()).
+  [[nodiscard]] bool identical_to(const NeighborTable& other) const noexcept {
+    return begin_ == other.begin_ && end_ == other.end_ &&
+           values_ == other.values_;
+  }
+
   /// Direct access for tests.
   [[nodiscard]] std::span<const PointId> values() const noexcept {
     return values_;
@@ -97,5 +111,16 @@ NeighborTable build_neighbor_table_host(const GridIndex& index, float eps);
 NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
                                                  float eps,
                                                  unsigned num_threads = 0);
+
+/// Host construction of one strided batch's shard: only the keys
+/// first_key + g * key_stride (g = 0, 1, ...) are searched and filled; all
+/// other ranges stay empty. This is the degradation ladder's final rung —
+/// when every device is lost mid-build, the builder completes exactly the
+/// unfinished batches on the host and absorbs the shards, keeping all
+/// GPU-completed work. The shard is absorb_shard()-compatible.
+NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
+                                                float eps,
+                                                std::uint32_t first_key,
+                                                std::uint32_t key_stride);
 
 }  // namespace hdbscan

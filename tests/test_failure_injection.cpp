@@ -34,6 +34,43 @@ TEST(FailureInjection, DeviceTooSmallForIndexThrowsOom) {
   EXPECT_EQ(device.used_global_bytes(), 0u);
 }
 
+TEST(FailureInjection, MultiDeviceTooSmallThrowsOomAndReleasesAll) {
+  // Both devices are too small for the index: the multi-device build must
+  // drain every stream, release every allocation on every device, and only
+  // then surface DeviceOutOfMemory.
+  const auto points = data::generate_uniform(10000, 1, 10.0f, 10.0f);
+  const GridIndex index = build_grid_index(points, 0.3f);
+  cudasim::DeviceConfig cfg;
+  cfg.global_mem_bytes = 16 << 10;
+  cudasim::Device d0(cfg, fast_options());
+  cudasim::Device d1(cfg, fast_options());
+  NeighborTableBuilder builder({&d0, &d1});
+  EXPECT_THROW((void)builder.build(index, 0.3f), cudasim::DeviceOutOfMemory);
+  EXPECT_EQ(d0.used_global_bytes(), 0u);
+  EXPECT_EQ(d1.used_global_bytes(), 0u);
+}
+
+TEST(FailureInjection, OneTinyDeviceAmongHealthyDegradesNotFails) {
+  // A device that cannot even hold the index is dropped at setup; the
+  // healthy one carries the whole build and the table is still exact.
+  const auto points = data::generate_uniform(5000, 6, 10.0f, 10.0f);
+  const GridIndex index = build_grid_index(points, 0.3f);
+  cudasim::Device healthy({}, fast_options());
+  cudasim::DeviceConfig tiny_cfg;
+  tiny_cfg.global_mem_bytes = 16 << 10;
+  cudasim::Device tiny(tiny_cfg, fast_options());
+  NeighborTableBuilder builder({&healthy, &tiny});
+  BuildReport report;
+  NeighborTable table = builder.build(index, 0.3f, &report);
+  EXPECT_EQ(report.devices_lost, 1u);
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(tiny.used_global_bytes(), 0u);
+  NeighborTable oracle = build_neighbor_table_host(index, 0.3f);
+  table.canonicalize();
+  oracle.canonicalize();
+  EXPECT_TRUE(table.identical_to(oracle));
+}
+
 TEST(FailureInjection, OverflowBeyondSplitDepthThrowsNotCorrupts) {
   // Estimate claims ~nothing; buffers so tiny that even max-depth splits
   // cannot fit a dense clump's neighborhood -> builder must throw.

@@ -6,12 +6,21 @@
 //   hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]
 //   hdbscan_cli table <in> <eps> <table_out.bin>
 //   hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>
+//   hdbscan_cli chaos <SW1|...|uniform> <n> <seed> [devices]
+//
+// `chaos` attaches a seeded randomized fault plan to every simulated
+// device, runs a resilient multi-device build plus clustering, and exits
+// nonzero if any invariant breaks (wrong table, leaked device memory,
+// wrong clustering) — the degradation ladder may bend but results may not.
 //
 // Files ending in .bin use the library's binary point format; anything
 // else is parsed as "x,y" CSV.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,9 +30,11 @@
 #include "core/pipeline.hpp"
 #include "core/reuse.hpp"
 #include "cudasim/device.hpp"
+#include "cudasim/fault.hpp"
 #include "data/datasets.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
+#include "dbscan/dbscan.hpp"
 #include "dbscan/optics.hpp"
 #include "dbscan/table_io.hpp"
 #include "index/grid_index.hpp"
@@ -83,7 +94,9 @@ int usage() {
       "  hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>\n"
       "  hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]\n"
       "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
-      "  hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>\n");
+      "  hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>\n"
+      "  hdbscan_cli chaos <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <seed>"
+      " [devices]\n");
   return 2;
 }
 
@@ -236,6 +249,98 @@ int cmd_optics(int argc, char** argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  const unsigned num_devices =
+      argc > 5 ? std::max(1, std::atoi(argv[5])) : 2u;
+  const float eps = 0.5f;
+  const int minpts = 4;
+
+  const std::vector<Point2> points =
+      kind == "uniform" ? data::generate_uniform(n, seed, 35.0f, 35.0f)
+                        : data::make_dataset(kind, n);
+  const GridIndex index = build_grid_index(points, eps);
+  NeighborTable oracle = build_neighbor_table_host_parallel(index, eps);
+  oracle.canonicalize();
+
+  cudasim::SimulationOptions sim;
+  sim.throttle_transfers = false;
+  sim.throttle_pinned_alloc = false;
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  std::vector<cudasim::Device*> device_ptrs;
+  for (unsigned d = 0; d < num_devices; ++d) {
+    const auto plan = cudasim::FaultPlan::randomized(seed + 17 * d);
+    std::printf("device %u plan: %s\n", d, plan.describe().c_str());
+    cudasim::SimulationOptions opt = sim;
+    opt.fault = std::make_shared<cudasim::FaultInjector>(plan);
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, opt));
+    device_ptrs.push_back(devices.back().get());
+  }
+
+  // Many small batches so the scripted faults land mid-build; every rung
+  // of the ladder is armed, down to the host fallback.
+  BatchPolicy policy;
+  policy.estimated_total_override = std::max<std::uint64_t>(
+      1, oracle.total_pairs());
+  policy.static_threshold_pairs = 1;
+  policy.static_buffer_pairs =
+      std::max<std::uint64_t>(1, oracle.total_pairs() / 24);
+  policy.resilience.host_fallback = true;
+
+  NeighborTableBuilder builder(device_ptrs, policy);
+  BuildReport report;
+  NeighborTable table = builder.build(index, eps, &report);
+  std::printf(
+      "build survived: %u batches, %llu pairs | retries: %u transient,"
+      " %u alloc | %u devices lost, %u batches failed over, %u finished"
+      " on host%s\n",
+      report.batches_run,
+      static_cast<unsigned long long>(report.total_pairs),
+      report.transient_retries, report.alloc_retries, report.devices_lost,
+      report.failover_batches, report.host_fallback_batches,
+      report.used_host_fallback ? " (host fallback)" : "");
+
+  int violations = 0;
+  table.canonicalize();
+  if (!table.identical_to(oracle)) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATED: degraded table differs from the host"
+                 " oracle (%zu vs %zu pairs)\n",
+                 table.total_pairs(), oracle.total_pairs());
+    ++violations;
+  }
+  for (unsigned d = 0; d < num_devices; ++d) {
+    if (devices[d]->used_global_bytes() != 0) {
+      std::fprintf(stderr,
+                   "INVARIANT VIOLATED: device %u leaks %zu bytes after the"
+                   " build\n",
+                   d, devices[d]->used_global_bytes());
+      ++violations;
+    }
+  }
+  const ClusterResult got = dbscan_neighbor_table(table, minpts);
+  const ClusterResult want = dbscan_neighbor_table(oracle, minpts);
+  if (got.num_clusters != want.num_clusters ||
+      got.noise_count() != want.noise_count()) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATED: clustering differs (%d/%zu vs"
+                 " %d/%zu clusters/noise)\n",
+                 got.num_clusters, got.noise_count(), want.num_clusters,
+                 want.noise_count());
+    ++violations;
+  }
+  if (violations != 0) return 1;
+  std::printf("chaos: all invariants held (%zu points, %u devices,"
+              " seed %llu)\n",
+              points.size(), num_devices,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,6 +353,7 @@ int main(int argc, char** argv) {
     if (cmd == "reuse") return cmd_reuse(argc, argv);
     if (cmd == "table") return cmd_table(argc, argv);
     if (cmd == "optics") return cmd_optics(argc, argv);
+    if (cmd == "chaos") return cmd_chaos(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
