@@ -8,7 +8,15 @@
 // (pair mode pays one bulk reservation per 128-pair staged flush, itself
 // >= 10x fewer atomics than the historical one-per-pair scheme).
 //
-// Emits BENCH_table_build.json alongside the human-readable table.
+// Emits BENCH_table_build.json (schema_version 2) alongside the
+// human-readable table. The JSON is self-describing: a `scenario` block
+// records the scale factor, trial count, and the exact generator seed and
+// size of every dataset, so a stored result can be reproduced bit-for-bit.
+//
+// The run ends with the disabled-tracing overhead guard: it counts the
+// TRACE sites one build executes, microbenchmarks the disabled fast path
+// (one relaxed atomic load per site), and fails the bench if the projected
+// cost exceeds 2% of the build's wall time.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -17,6 +25,7 @@
 #include "bench_common.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "index/grid_index.hpp"
+#include "obs/trace.hpp"
 #include "scenarios.hpp"
 
 namespace {
@@ -74,6 +83,8 @@ int main() {
   struct Row {
     std::string dataset;
     float eps;
+    std::size_t n = 0;
+    std::uint64_t seed = 0;
     ModeResult csr;
     ModeResult pair;
   };
@@ -89,7 +100,7 @@ int main() {
     const GridIndex index = build_grid_index(points, eps);
     cudasim::Device device = bench::make_device();
 
-    Row row{dataset, eps,
+    Row row{dataset, eps, points.size(), data::dataset_seed(dataset),
             run_mode(device, index, eps, TableBuildMode::kCsrTwoPass),
             run_mode(device, index, eps, TableBuildMode::kPairSort)};
 
@@ -112,12 +123,77 @@ int main() {
     rows.push_back(std::move(row));
   }
 
+  // --- disabled-tracing overhead guard -------------------------------
+  // (a) one traced SW1 build counts the TRACE sites it executes; (b) the
+  // disabled fast path is microbenchmarked; (c) assert that sites x
+  // per-site cost stays under 2% of the build's disabled-mode wall time.
+  std::size_t guard_sites = 0;
+  double guard_per_site_ns = 0.0;
+  double guard_overhead_pct = 0.0;
+  bool guard_ok = true;
+  {
+    const float eps = rows.front().eps;
+    const auto points = data::make_dataset(rows.front().dataset);
+    const GridIndex index = build_grid_index(points, eps);
+    cudasim::Device device = bench::make_device();
+    NeighborTableBuilder builder(device, {});
+
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (obs::kTraceCompiled) {
+      tracer.enable();
+      (void)builder.build(index, eps);
+      tracer.disable();
+      guard_sites = tracer.snapshot().size() +
+                    static_cast<std::size_t>(tracer.dropped());
+    }
+
+    double build_s = 1e30;
+    for (int t = 0; t < 3; ++t) {
+      WallTimer timer;
+      (void)builder.build(index, eps);
+      build_s = std::min(build_s, timer.seconds());
+    }
+
+    constexpr int kProbes = 1'000'000;
+    WallTimer probe;
+    for (int i = 0; i < kProbes; ++i) {
+      TRACE_SPAN("bench", "overhead probe");
+    }
+    guard_per_site_ns = probe.seconds() / kProbes * 1e9;
+    const double projected_s =
+        static_cast<double>(guard_sites) * guard_per_site_ns * 1e-9;
+    guard_overhead_pct = build_s > 0.0 ? 100.0 * projected_s / build_s : 0.0;
+    guard_ok = guard_overhead_pct < 2.0;
+    std::printf(
+        "\n  trace-overhead guard: %zu sites/build x %.1f ns/site vs"
+        " %.3f s build -> %.4f%% overhead when disabled (< 2%%: %s)\n",
+        guard_sites, guard_per_site_ns, build_s, guard_overhead_pct,
+        guard_ok ? "PASS" : "FAIL");
+  }
+
   std::FILE* out = std::fopen("BENCH_table_build.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_table_build.json for writing\n");
     return 1;
   }
-  std::fprintf(out, "{\n  \"benchmark\": \"table_build\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"table_build\",\n"
+               "  \"schema_version\": 2,\n"
+               "  \"scenario\": {\n"
+               "    \"scale\": %.4f,\n"
+               "    \"trials\": %d,\n"
+               "    \"datasets\": [\n",
+               env_scale(), std::max(3, env_trials()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "      {\"name\": \"%s\", \"n\": %zu, \"seed\": %llu, "
+                 "\"eps\": %.3f}%s\n",
+                 row.dataset.c_str(), row.n,
+                 static_cast<unsigned long long>(row.seed), row.eps,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n  },\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(out,
@@ -139,8 +215,13 @@ int main() {
     }
     std::fprintf(out, "    ]}%s\n", i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out,
+               "  ],\n  \"trace_overhead_guard\": {\"sites\": %zu, "
+               "\"per_site_ns\": %.2f, \"overhead_percent\": %.4f, "
+               "\"limit_percent\": 2.0, \"pass\": %s}\n}\n",
+               guard_sites, guard_per_site_ns, guard_overhead_pct,
+               guard_ok ? "true" : "false");
   std::fclose(out);
   std::printf("\nwrote BENCH_table_build.json\n");
-  return 0;
+  return guard_ok ? 0 : 1;
 }

@@ -48,4 +48,35 @@ double pipeline_makespan_seconds(std::span<const double> produce,
   return std::max(makespan, produced_at);
 }
 
+double interval_union_seconds(std::span<const Interval> spans) {
+  std::vector<Interval> sorted;
+  sorted.reserve(spans.size());
+  for (const Interval& s : spans) {
+    if (s.end > s.begin) sorted.push_back(s);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  double total = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = 0.0;
+  bool open = false;
+  for (const Interval& s : sorted) {
+    if (!open) {
+      cur_begin = s.begin;
+      cur_end = s.end;
+      open = true;
+    } else if (s.begin <= cur_end) {
+      cur_end = std::max(cur_end, s.end);
+    } else {
+      total += cur_end - cur_begin;
+      cur_begin = s.begin;
+      cur_end = s.end;
+    }
+  }
+  if (open) total += cur_end - cur_begin;
+  return total;
+}
+
 }  // namespace hdbscan

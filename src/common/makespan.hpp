@@ -28,4 +28,16 @@ namespace hdbscan {
     std::span<const double> produce, std::span<const double> consume,
     std::size_t num_consumers);
 
+/// A half-open [begin, end) time interval in seconds.
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Total covered time of the union of (possibly overlapping, possibly
+/// nested) intervals. Zero- and negative-length intervals contribute
+/// nothing. This is the makespan of work that may overlap — the
+/// denominator of the trace profiler's overlap ratio.
+[[nodiscard]] double interval_union_seconds(std::span<const Interval> spans);
+
 }  // namespace hdbscan

@@ -13,6 +13,11 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
+  /// Folds another accumulator into this one (Chan et al. pairwise
+  /// update). Associative and commutative up to floating-point rounding,
+  /// so per-thread accumulators can be merged in any order.
+  void merge(const RunningStats& other) noexcept;
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double variance() const noexcept;

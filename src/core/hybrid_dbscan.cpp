@@ -1,6 +1,7 @@
 #include "core/hybrid_dbscan.hpp"
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace hdbscan {
 
@@ -23,7 +24,10 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
   WallTimer total_timer;
 
   WallTimer phase_timer;
-  const GridIndex index = build_grid_index(points, eps);
+  const GridIndex index = [&] {
+    TRACE_SPAN("index", "grid_index n=%zu", points.size());
+    return build_grid_index(points, eps);
+  }();
   local.index_seconds = phase_timer.seconds();
 
   phase_timer.reset();

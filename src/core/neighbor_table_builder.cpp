@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "core/report_metrics.hpp"
 #include "cudasim/buffer.hpp"
 #include "cudasim/error.hpp"
 #include "cudasim/sort.hpp"
@@ -18,6 +19,7 @@
 #include "gpu/device_index.hpp"
 #include "gpu/kernels.hpp"
 #include "gpu/result_sink.hpp"
+#include "obs/trace.hpp"
 
 namespace hdbscan {
 
@@ -229,6 +231,8 @@ void process_batch_pairs(StreamContext& sc, float eps, const WorkItem& item,
                          unsigned max_split_depth) {
   const gpu::BatchSpec spec = item.spec;
   if (spec.points_in_batch(sc.view.num_points) == 0) return;
+  TRACE_SPAN("batch", "batch %u/%u d%u", spec.batch, spec.num_batches,
+             sc.device.id());
 
   sc.sink->reset();
   const cudasim::KernelStats stats = gpu::run_calc_global(
@@ -243,6 +247,8 @@ void process_batch_pairs(StreamContext& sc, float eps, const WorkItem& item,
       throw_split_exhausted(spec, item.depth, max_split_depth);
     }
     ++sc.overflow_splits;
+    TRACE_INSTANT("resilience", "overflow_split %u/%u", spec.batch,
+                  spec.num_batches);
     push_halves(queue, sc.timeline_id, item, /*extra_alloc_retry=*/0);
     return;
   }
@@ -282,6 +288,8 @@ void process_batch_csr(StreamContext& sc, float eps, const WorkItem& item,
   const gpu::BatchSpec spec = item.spec;
   const std::uint32_t pts = spec.points_in_batch(sc.view.num_points);
   if (pts == 0) return;
+  TRACE_SPAN("batch", "batch %u/%u d%u", spec.batch, spec.num_batches,
+             sc.device.id());
 
   const cudasim::KernelStats count_stats = gpu::run_count_batch(
       sc.device, sc.view, eps, spec, sc.counts->device_data(), block_size);
@@ -303,6 +311,8 @@ void process_batch_csr(StreamContext& sc, float eps, const WorkItem& item,
       throw_split_exhausted(spec, item.depth, max_split_depth);
     }
     ++sc.overflow_splits;
+    TRACE_INSTANT("resilience", "overflow_split %u/%u", spec.batch,
+                  spec.num_batches);
     push_halves(queue, sc.timeline_id, item, /*extra_alloc_retry=*/0);
     return;
   }
@@ -376,6 +386,8 @@ void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
     } catch (const cudasim::TransientKernelFault&) {
       if (item.transient_retries < res.max_transient_retries) {
         ++item.transient_retries;
+        TRACE_INSTANT("resilience", "retry %u/%u try=%u", item.spec.batch,
+                      item.spec.num_batches, item.transient_retries);
         {
           std::lock_guard lock(state.mutex);
           ++state.transient_retries;
@@ -388,6 +400,8 @@ void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
     } catch (const cudasim::DeviceOutOfMemory&) {
       if (item.alloc_retries < res.max_alloc_retries &&
           item.depth < max_split_depth) {
+        TRACE_INSTANT("resilience", "oom_split %u/%u", item.spec.batch,
+                      item.spec.num_batches);
         {
           std::lock_guard lock(state.mutex);
           ++state.alloc_retries;
@@ -399,6 +413,8 @@ void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
       return;
     } catch (const cudasim::DeviceLost&) {
       if (res.failover || res.host_fallback) {
+        TRACE_INSTANT("resilience", "failover %u/%u", item.spec.batch,
+                      item.spec.num_batches);
         {
           std::lock_guard lock(state.mutex);
           ++state.failover_batches;
@@ -435,6 +451,7 @@ NeighborTableBuilder::NeighborTableBuilder(
 
 NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
                                           BuildReport* report) {
+  TRACE_SPAN("build", "table_build n=%zu", index.size());
   WallTimer total_timer;
   BuildReport local_report;
   local_report.used_shared_kernel = policy_.use_shared_kernel;
@@ -444,10 +461,12 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   // When every rung of the ladder above it has failed (or every device
   // failed setup), the whole table is built host-side in one go.
   auto full_host_fallback = [&]() -> NeighborTable {
+    TRACE_SPAN("host", "host_fallback_full");
     local_report.used_host_fallback = true;
     NeighborTable t = build_neighbor_table_host_parallel(index, eps);
     local_report.total_pairs = t.total_pairs();
     local_report.table_seconds = total_timer.seconds();
+    publish_build_report(local_report);
     if (report != nullptr) *report = local_report;
     return t;
   };
@@ -468,6 +487,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   std::exception_ptr setup_error;
   for (cudasim::Device* device : devices_) {
     try {
+      TRACE_SPAN("build", "index_upload d%u", device->id());
       cudasim::Stream upload_stream(*device);
       auto di = std::make_unique<gpu::GridDeviceIndex>(*device, upload_stream,
                                                        index);
@@ -495,6 +515,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     local_report.estimate.sampled_pairs = policy_.estimated_total_override;
     local_report.estimate.sample_stride = 1;
   } else {
+    TRACE_SPAN("build", "estimate");
     WallTimer est_timer;
     bool estimated = false;
     std::exception_ptr est_error;
@@ -776,6 +797,8 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       }
       local_report.used_host_fallback = true;
       for (const WorkItem& item : queue.drain()) {
+        TRACE_SPAN("host", "host_fallback %u/%u", item.spec.batch,
+                   item.spec.num_batches);
         host_shards.push_back(build_neighbor_table_host_strided(
             index, eps, item.spec.batch, item.spec.num_batches));
         ++local_report.host_fallback_batches;
@@ -785,6 +808,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
 
     // Merge the per-stream shards into T exactly once (deterministic
     // order), and harvest the context-private tallies.
+    TRACE_SPAN("build", "shard_merge");
     table.reserve_values(plan.estimated_total_pairs);
     hdbscan::ThreadCpuTimer merge_timer;
     for (auto& sc : contexts) {
@@ -825,6 +849,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   // run on its own core on the reference host).
   local_report.modeled_table_seconds = modeled_fixed + slowest_stream;
   local_report.table_seconds = total_timer.seconds();
+  publish_build_report(local_report);
   if (report != nullptr) *report = local_report;
   return table;
 }

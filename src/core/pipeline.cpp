@@ -11,6 +11,7 @@
 #include "core/hybrid_dbscan.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "dbscan/dbscan.hpp"
+#include "obs/trace.hpp"
 
 namespace hdbscan {
 
@@ -91,6 +92,8 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
     std::size_t failed = 0;
     for (std::size_t i = 0; i < variants.size(); ++i) {
       try {
+        TRACE_SPAN("pipeline", "variant v%zu eps=%.3f", i,
+                   static_cast<double>(variants[i].eps));
         if (device.lost()) {
           // The device died on an earlier variant: finish the sweep
           // host-side rather than failing every remaining variant.
@@ -156,9 +159,12 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   // skipped — its siblings keep flowing. Once the device is lost the
   // remaining variants' tables are built host-side instead.
   std::thread producer([&] {
+    obs::set_thread_track(obs::kHostPid, "producer");
     NeighborTableBuilder builder(device, options.policy);
     for (std::size_t i = 0; i < variants.size(); ++i) {
       try {
+        TRACE_SPAN("pipeline", "produce v%zu eps=%.3f", i,
+                   static_cast<double>(variants[i].eps));
         WallTimer t;
         WallTimer index_timer;
         GridIndex index = build_grid_index(points, variants[i].eps);
@@ -193,9 +199,12 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   consumers.reserve(std::max(1u, options.num_consumers));
   for (unsigned c = 0; c < std::max(1u, options.num_consumers); ++c) {
     consumers.emplace_back([&] {
+      obs::set_thread_track(obs::kHostPid, "consumer");
       while (auto item = queue.pop()) {
         const std::size_t i = item->variant_index;
         try {
+          TRACE_SPAN("pipeline", "consume v%zu minpts=%u", i,
+                     variants[i].minpts);
           WallTimer t;
           ClusterResult indexed =
               dbscan_neighbor_table(item->table, variants[i].minpts);

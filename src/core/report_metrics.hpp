@@ -1,0 +1,24 @@
+// Bridges from the repo's end-of-run aggregate structs (cudasim's
+// DeviceMetrics, the builder's BuildReport) into the obs metrics
+// registry. The structs stay the public API; these functions mirror
+// their fields into named registry metrics so `--metrics-out` and the
+// profile subcommand expose one uniform surface.
+#pragma once
+
+#include <cstdint>
+
+#include "core/neighbor_table_builder.hpp"
+#include "cudasim/metrics.hpp"
+
+namespace hdbscan {
+
+/// Publishes one device's metrics under labels "device=<id>".
+void publish_device_metrics(std::uint32_t device_id,
+                            const cudasim::DeviceMetrics& m);
+
+/// Publishes a build report's counters and timings (no labels; callers
+/// running several builds get cumulative counters, which is the registry
+/// contract).
+void publish_build_report(const BuildReport& report);
+
+}  // namespace hdbscan

@@ -9,6 +9,7 @@
 #include "core/hybrid_dbscan.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "dbscan/dbscan.hpp"
+#include "obs/trace.hpp"
 
 namespace hdbscan {
 
@@ -28,6 +29,8 @@ ReuseReport cluster_minpts_sweep(cudasim::Device& device,
   WallTimer total_timer;
 
   // Phase 1: one neighbor table for this eps.
+  TRACE_SPAN("reuse", "minpts_sweep eps=%.3f k=%zu",
+             static_cast<double>(eps), minpts_values.size());
   WallTimer table_timer;
   WallTimer index_timer;
   const GridIndex index = build_grid_index(points, eps);

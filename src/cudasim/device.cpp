@@ -1,5 +1,6 @@
 #include "cudasim/device.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,7 @@
 
 #include "common/timer.hpp"
 #include "cudasim/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace cudasim {
 
@@ -18,10 +20,15 @@ namespace {
                    "subsequent operations on this device fail");
 }
 
+[[nodiscard]] std::uint32_t next_device_id() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Device::Device(DeviceConfig config, SimulationOptions options)
-    : config_(config), options_(options) {
+    : config_(config), options_(options), id_(next_device_id()) {
   executor_ = std::make_unique<hdbscan::ThreadPool>(options_.executor_threads);
 }
 
@@ -34,12 +41,14 @@ void Device::fault_gate_alloc(std::size_t bytes) {
     case FaultFire::kNone:
       return;
     case FaultFire::kOutOfMemory: {
+      TRACE_INSTANT("fault", "oom d%u", id_);
       std::lock_guard lock(mutex_);
       ++metrics_.injected_oom_faults;
       throw DeviceOutOfMemory(bytes, used_bytes_, config_.global_mem_bytes);
     }
     case FaultFire::kDeviceLost:
     default: {
+      TRACE_INSTANT("fault", "device_lost d%u", id_);
       {
         std::lock_guard lock(mutex_);
         metrics_.device_lost = true;
@@ -56,6 +65,7 @@ double Device::fault_gate_transfer() {
   double slowdown = 1.0;
   const FaultFire fire = fault->on_transfer(&slowdown);
   if (fire == FaultFire::kDeviceLost) {
+    TRACE_INSTANT("fault", "device_lost d%u", id_);
     {
       std::lock_guard lock(mutex_);
       metrics_.device_lost = true;
@@ -64,6 +74,7 @@ double Device::fault_gate_transfer() {
     throw_device_lost();
   }
   if (slowdown > 1.0) {
+    TRACE_INSTANT("fault", "pcie_degraded d%u x%.1f", id_, slowdown);
     std::lock_guard lock(mutex_);
     ++metrics_.degraded_transfers;
   }
@@ -77,6 +88,7 @@ void Device::fault_on_kernel_launch() {
     case FaultFire::kNone:
       return;
     case FaultFire::kTransientKernel: {
+      TRACE_INSTANT("fault", "transient_kernel d%u", id_);
       {
         std::lock_guard lock(mutex_);
         ++metrics_.injected_transient_faults;
@@ -101,6 +113,7 @@ void Device::fault_on_device_op() {
   FaultInjector* fault = options_.fault.get();
   if (fault == nullptr) return;
   if (fault->on_op() == FaultFire::kDeviceLost) {
+    TRACE_INSTANT("fault", "device_lost d%u", id_);
     {
       std::lock_guard lock(mutex_);
       metrics_.device_lost = true;
@@ -116,6 +129,7 @@ bool Device::lost() const noexcept {
 }
 
 void* Device::allocate_global(std::size_t bytes) {
+  TRACE_SPAN("alloc", "malloc d%u %zuB", id_, bytes);
   fault_gate_alloc(bytes);
   {
     std::lock_guard lock(mutex_);
@@ -129,8 +143,16 @@ void* Device::allocate_global(std::size_t bytes) {
     }
   }
   // 64-byte alignment mirrors cudaMalloc's strong alignment guarantees.
-  void* p = ::operator new(bytes == 0 ? 1 : bytes, std::align_val_t{64});
-  return p;
+  // The reservation above must unwind if the backing host allocation
+  // fails, or capacity accounting would leak the phantom bytes forever.
+  try {
+    return ::operator new(bytes == 0 ? 1 : bytes, std::align_val_t{64});
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    used_bytes_ -= bytes;
+    metrics_.current_mem_bytes = used_bytes_;
+    throw;
+  }
 }
 
 void Device::free_global(void* p, std::size_t bytes) noexcept {
@@ -141,6 +163,7 @@ void Device::free_global(void* p, std::size_t bytes) noexcept {
 }
 
 void* Device::allocate_pinned(std::size_t bytes) {
+  TRACE_SPAN("alloc", "pinned d%u %zuB", id_, bytes);
   fault_on_device_op();
   const double model_s = config_.pinned_alloc_base_us * 1e-6 +
                          static_cast<double>(bytes) /
@@ -148,6 +171,7 @@ void* Device::allocate_pinned(std::size_t bytes) {
   hdbscan::WallTimer t;
   void* p = ::operator new(bytes == 0 ? 1 : bytes, std::align_val_t{64});
   throttle_sleep(model_s, t.seconds(), options_.throttle_pinned_alloc);
+  hdbscan::obs::modeled_advance(model_s);
   std::lock_guard lock(mutex_);
   metrics_.pinned_alloc_seconds += model_s;
   return p;
@@ -212,6 +236,8 @@ void Device::record_scan(double modeled_seconds) {
 
 void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,
                                bool to_device, bool pinned_host) {
+  TRACE_SPAN("transfer", "%s d%u %zuB", to_device ? "h2d" : "d2h", id_,
+             bytes);
   // Throws DeviceLost once the device is gone; under injected PCIe
   // degradation the effective bandwidth is divided by the slowdown.
   const double slowdown = fault_gate_transfer();
@@ -223,6 +249,7 @@ void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,
   hdbscan::WallTimer t;
   std::memcpy(dst, src, bytes);
   throttle_sleep(model_s, t.seconds(), options_.throttle_transfers);
+  hdbscan::obs::modeled_advance(model_s);
   record_transfer(bytes, to_device, model_s);
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 
@@ -26,6 +27,10 @@ class Device {
   [[nodiscard]] const SimulationOptions& options() const noexcept {
     return options_;
   }
+
+  /// Process-unique ordinal (creation order), used as the trace process id
+  /// (obs::device_pid(id())) so every device owns one timeline process.
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
 
   /// Global-memory allocation with capacity accounting. Throws
   /// DeviceOutOfMemory when the request would exceed capacity.
@@ -83,6 +88,7 @@ class Device {
 
   DeviceConfig config_;
   SimulationOptions options_;
+  std::uint32_t id_;
   std::unique_ptr<hdbscan::ThreadPool> executor_;
 
   mutable std::mutex mutex_;

@@ -31,6 +31,7 @@
 #include "cudasim/device.hpp"
 #include "cudasim/error.hpp"
 #include "cudasim/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cudasim {
 
@@ -166,6 +167,7 @@ KernelStats run_flat_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
   // Scripted fault gate: a TransientKernelFault or DeviceLost fires here,
   // before any block executes, so a failed launch never does partial work.
   dev.fault_on_kernel_launch();
+  TRACE_SPAN("kernel", "flat d%u %ux%u", dev.id(), grid_dim, block_dim);
   hdbscan::WallTimer wall;
 
   KernelStats stats;
@@ -193,6 +195,7 @@ KernelStats run_flat_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
 
   stats.wall_seconds = wall.seconds();
   stats.finalize(dev.config());
+  hdbscan::obs::modeled_advance(stats.modeled_seconds);
   dev.record_kernel(stats);
   return stats;
 }
@@ -205,6 +208,7 @@ KernelStats run_coop_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, G&& gen) {
   detail::validate_launch(dev, grid_dim, block_dim, shared_bytes);
   dev.fault_on_kernel_launch();
+  TRACE_SPAN("kernel", "coop d%u %ux%u", dev.id(), grid_dim, block_dim);
   hdbscan::WallTimer wall;
 
   KernelStats stats;
@@ -255,6 +259,7 @@ KernelStats run_coop_kernel(Device& dev, unsigned grid_dim, unsigned block_dim,
 
   stats.wall_seconds = wall.seconds();
   stats.finalize(dev.config());
+  hdbscan::obs::modeled_advance(stats.modeled_seconds);
   dev.record_kernel(stats);
   return stats;
 }

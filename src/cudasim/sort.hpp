@@ -21,6 +21,7 @@
 #include "cudasim/buffer.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cudasim {
 
@@ -57,6 +58,7 @@ void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
     throw SimError("sort_by_key: count exceeds buffer size");
   }
   device.fault_on_device_op();  // throws DeviceLost once the device is gone
+  TRACE_SPAN("sort", "sort_by_key d%u n=%zu", device.id(), count);
   if (count > 1) {
     DeviceBuffer<KV> temp(device, count);  // Thrust-style scratch allocation
     KV* a = buf.device_data();
@@ -81,8 +83,10 @@ void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
     }
     // 4 passes end back in the original buffer (a == buf.device_data()).
   }
-  device.record_sort(
-      modeled_sort_seconds(device.config(), count * sizeof(KV)));
+  const double model_s =
+      modeled_sort_seconds(device.config(), count * sizeof(KV));
+  hdbscan::obs::modeled_advance(model_s);
+  device.record_sort(model_s);
 }
 
 /// Exclusive prefix scan over the first `count` elements of `buf`, in
@@ -96,6 +100,7 @@ std::uint64_t exclusive_scan(Device& device, DeviceBuffer<T>& buf,
     throw SimError("exclusive_scan: count exceeds buffer size");
   }
   device.fault_on_device_op();  // throws DeviceLost once the device is gone
+  TRACE_SPAN("sort", "scan d%u n=%zu", device.id(), count);
   T* data = buf.device_data();
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -103,8 +108,10 @@ std::uint64_t exclusive_scan(Device& device, DeviceBuffer<T>& buf,
     data[i] = static_cast<T>(running);
     running += v;
   }
-  device.record_scan(
-      modeled_scan_seconds(device.config(), count * sizeof(T)));
+  const double model_s =
+      modeled_scan_seconds(device.config(), count * sizeof(T));
+  hdbscan::obs::modeled_advance(model_s);
+  device.record_scan(model_s);
   return running;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace cudasim {
 
@@ -32,6 +33,10 @@ void Stream::enqueue(std::function<void()> op) {
 }
 
 void Stream::worker_loop() {
+  // The worker is a "thread" row inside its device's trace process; every
+  // span recorded while an op runs lands on this track.
+  hdbscan::obs::set_thread_track(hdbscan::obs::device_pid(device_.id()),
+                                 "stream");
   for (;;) {
     std::function<void()> op;
     {

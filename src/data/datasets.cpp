@@ -25,12 +25,20 @@ const DatasetInfo& dataset_info(std::string_view name) {
   throw std::invalid_argument("unknown dataset: " + std::string(name));
 }
 
+std::uint64_t dataset_seed(std::string_view name) {
+  const DatasetInfo& info = dataset_info(name);
+  // Seed derived from the name so each dataset is distinct but stable.
+  std::uint64_t seed = 0x243f6a8885a308d3ull;
+  for (const char c : info.name) {
+    seed = seed * 131 + static_cast<unsigned char>(c);
+  }
+  return seed;
+}
+
 std::vector<Point2> make_dataset(std::string_view name, std::size_t size) {
   const DatasetInfo& info = dataset_info(name);
   if (size == 0) size = scaled_size(info.default_size);
-  // Seed derived from the name so each dataset is distinct but stable.
-  std::uint64_t seed = 0x243f6a8885a308d3ull;
-  for (const char c : info.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  const std::uint64_t seed = dataset_seed(name);
 
   if (info.skewed) {
     SpaceWeatherParams params;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,10 @@ const std::vector<DatasetInfo>& dataset_registry();
 
 /// Info for one name; throws std::invalid_argument for unknown names.
 const DatasetInfo& dataset_info(std::string_view name);
+
+/// The fixed generator seed for a named dataset (derived from the name).
+/// Exposed so benchmark outputs can record the exact seed they ran with.
+[[nodiscard]] std::uint64_t dataset_seed(std::string_view name);
 
 /// Generates the named dataset at `size` points (0 = scaled default,
 /// i.e. default_size * HDBSCAN_SCALE). Deterministic per name.

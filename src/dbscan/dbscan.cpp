@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hdbscan {
 
 namespace {
@@ -89,6 +91,7 @@ ClusterResult dbscan_neighbor_table(const NeighborTable& table, int minpts) {
   // entire point of precomputing T (paper Alg. 4 line 9).
   if (minpts < 1) throw std::invalid_argument("dbscan: minpts must be >= 1");
   const std::size_t n = table.num_points();
+  TRACE_SPAN("dbscan", "dbscan_table n=%zu minpts=%d", n, minpts);
   const auto required = static_cast<std::uint32_t>(minpts);
 
   ClusterResult result;

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace hdbscan {
 
 namespace {
@@ -32,6 +34,7 @@ OpticsResult optics(std::span<const Point2> points, const NeighborTable& table,
   if (minpts < 1) throw std::invalid_argument("optics: minpts must be >= 1");
 
   const std::size_t n = points.size();
+  TRACE_SPAN("dbscan", "optics n=%zu minpts=%d", n, minpts);
   OpticsResult result;
   result.eps = eps;
   result.minpts = minpts;

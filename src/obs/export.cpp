@@ -1,0 +1,503 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/makespan.hpp"
+#include "obs/registry.hpp"
+
+namespace hdbscan::obs {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string format_us(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+[[nodiscard]] std::string process_display_name(std::uint32_t pid) {
+  const bool modeled = pid >= kModeledPidOffset;
+  const std::uint32_t base = modeled ? pid - kModeledPidOffset : pid;
+  std::string name;
+  if (base == kHostPid) {
+    name = "host";
+  } else if (is_device_pid(base)) {
+    name = "device " + std::to_string(base - kDevicePidBase);
+  } else {
+    name = "pid " + std::to_string(base);
+  }
+  if (modeled) name += " (modeled)";
+  return name;
+}
+
+void append_metadata(std::string& out, const char* what, std::uint32_t pid,
+                     std::uint32_t tid, bool with_tid,
+                     const std::string& value) {
+  out += "  {\"ph\": \"M\", \"name\": \"";
+  out += what;
+  out += "\", \"pid\": " + std::to_string(pid);
+  if (with_tid) out += ", \"tid\": " + std::to_string(tid);
+  out += ", \"args\": {\"name\": \"" + json_escape(value) + "\"}},\n";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for validate_trace_file. Supports the full JSON value
+// grammar but keeps only what the validator inspects: objects as
+// string->node maps, arrays as vectors, strings, and numbers.
+// ---------------------------------------------------------------------------
+
+struct JsonNode {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonNode> array;
+  std::map<std::string, JsonNode> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonNode& out, std::string& error) {
+    pos_ = 0;
+    if (!parse_value(out)) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing data after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* msg) {
+    if (error_.empty()) {
+      error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonNode& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonNode::Type::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, c == 't');
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") return fail("bad keyword");
+      pos_ += 4;
+      out.type = JsonNode::Type::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_keyword(JsonNode& out, bool value) {
+    const std::string_view kw = value ? "true" : "false";
+    if (text_.substr(pos_, kw.size()) != kw) return fail("bad keyword");
+    pos_ += kw.size();
+    out.type = JsonNode::Type::kBool;
+    out.boolean = value;
+    return true;
+  }
+
+  bool parse_number(JsonNode& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    out.type = JsonNode::Type::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            // Validator only needs ASCII round-tripping; non-ASCII code
+            // points are replaced, not decoded.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JsonNode& out) {
+    if (!consume('{')) return fail("expected '{'");
+    out.type = JsonNode::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonNode value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonNode& out) {
+    if (!consume('[')) return fail("expected '['");
+    out.type = JsonNode::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonNode value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+[[nodiscard]] const JsonNode* find(const JsonNode& obj, const char* key) {
+  if (obj.type != JsonNode::Type::kObject) return nullptr;
+  const auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
+[[nodiscard]] std::string get_string(const JsonNode& obj, const char* key) {
+  const JsonNode* n = find(obj, key);
+  return (n != nullptr && n->type == JsonNode::Type::kString) ? n->str : "";
+}
+
+[[nodiscard]] double get_number(const JsonNode& obj, const char* key,
+                                double fallback = 0.0) {
+  const JsonNode* n = find(obj, key);
+  return (n != nullptr && n->type == JsonNode::Type::kNumber) ? n->number
+                                                              : fallback;
+}
+
+bool write_text_file(const std::string& path, const std::string& body,
+                     std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::vector<TraceTrack>& tracks) {
+  std::string out;
+  out.reserve(events.size() * 160 + 4096);
+  out += "{\n\"traceEvents\": [\n";
+
+  // Which modeled mirror processes exist (only spans with a modeled
+  // duration create them).
+  std::set<std::uint32_t> pids;
+  std::set<std::uint32_t> modeled_pids;
+  for (const TraceEvent& e : events) {
+    pids.insert(e.pid);
+    if (e.type == EventType::kSpan && e.model_dur_us >= 0.0) {
+      modeled_pids.insert(e.pid + kModeledPidOffset);
+    }
+  }
+  for (const TraceTrack& t : tracks) pids.insert(t.pid);
+
+  for (const std::uint32_t pid : pids) {
+    append_metadata(out, "process_name", pid, 0, false,
+                    process_display_name(pid));
+  }
+  for (const std::uint32_t pid : modeled_pids) {
+    append_metadata(out, "process_name", pid, 0, false,
+                    process_display_name(pid));
+  }
+  for (const TraceTrack& t : tracks) {
+    append_metadata(out, "thread_name", t.pid, t.tid, true, t.name);
+    if (modeled_pids.count(t.pid + kModeledPidOffset) != 0) {
+      append_metadata(out, "thread_name", t.pid + kModeledPidOffset, t.tid,
+                      true, t.name + " (modeled)");
+    }
+  }
+
+  bool first = true;
+  auto begin_event = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Metadata lines above end with ",\n" unconditionally; the first real
+  // event glues straight on.
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case EventType::kSpan:
+        begin_event();
+        out += "  {\"ph\": \"X\", \"name\": \"" + json_escape(e.name) +
+               "\", \"cat\": \"" + json_escape(e.category) +
+               "\", \"pid\": " + std::to_string(e.pid) +
+               ", \"tid\": " + std::to_string(e.tid) +
+               ", \"ts\": " + format_us(e.ts_us) +
+               ", \"dur\": " + format_us(e.dur_us) + "}";
+        if (e.model_dur_us >= 0.0) {
+          begin_event();
+          out += "  {\"ph\": \"X\", \"name\": \"" + json_escape(e.name) +
+                 "\", \"cat\": \"" + json_escape(e.category) +
+                 "\", \"pid\": " + std::to_string(e.pid + kModeledPidOffset) +
+                 ", \"tid\": " + std::to_string(e.tid) +
+                 ", \"ts\": " + format_us(e.model_ts_us) +
+                 ", \"dur\": " + format_us(e.model_dur_us) + "}";
+        }
+        break;
+      case EventType::kInstant:
+        begin_event();
+        out += "  {\"ph\": \"i\", \"s\": \"t\", \"name\": \"" +
+               json_escape(e.name) + "\", \"cat\": \"" +
+               json_escape(e.category) + "\", \"pid\": " +
+               std::to_string(e.pid) + ", \"tid\": " + std::to_string(e.tid) +
+               ", \"ts\": " + format_us(e.ts_us) + "}";
+        break;
+      case EventType::kCounter:
+        begin_event();
+        out += "  {\"ph\": \"C\", \"name\": \"" + json_escape(e.name) +
+               "\", \"cat\": \"" + json_escape(e.category) +
+               "\", \"pid\": " + std::to_string(e.pid) +
+               ", \"ts\": " + format_us(e.ts_us) +
+               ", \"args\": {\"value\": " + format_us(e.value) + "}}";
+        break;
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, std::string* error) {
+  Tracer& t = Tracer::global();
+  return write_text_file(path, chrome_trace_json(t.snapshot(), t.tracks()),
+                         error);
+}
+
+bool write_metrics_json(const std::string& path, std::string* error) {
+  return write_text_file(path, Registry::global().json(), error);
+}
+
+TraceValidation validate_trace_file(const std::string& path) {
+  TraceValidation v;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    v.error = "cannot open '" + path + "'";
+    return v;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonNode root;
+  JsonParser parser(text);
+  if (!parser.parse(root, v.error)) return v;
+  const JsonNode* trace_events = find(root, "traceEvents");
+  if (trace_events == nullptr ||
+      trace_events->type != JsonNode::Type::kArray) {
+    v.error = "missing traceEvents array";
+    return v;
+  }
+
+  std::set<std::uint32_t> device_pids;
+  std::set<std::uint64_t> device_span_tracks;
+  for (const JsonNode& e : trace_events->array) {
+    const std::string ph = get_string(e, "ph");
+    if (ph == "M") continue;  // metadata
+    ++v.events;
+    const auto pid = static_cast<std::uint32_t>(get_number(e, "pid"));
+    const auto tid = static_cast<std::uint32_t>(get_number(e, "tid"));
+    if (ph == "X") {
+      ++v.complete_spans;
+      if (find(e, "ts") == nullptr || find(e, "dur") == nullptr) {
+        v.error = "complete span without ts/dur";
+        return v;
+      }
+      if (pid >= kModeledPidOffset) {
+        ++v.modeled_span_events;
+      } else if (is_device_pid(pid)) {
+        device_pids.insert(pid);
+        device_span_tracks.insert(
+            (static_cast<std::uint64_t>(pid) << 32) | tid);
+      } else if (pid == kHostPid) {
+        ++v.host_spans;
+      }
+    } else if (ph == "i" || ph == "I") {
+      ++v.instants;
+      if (get_string(e, "cat") == "fault") v.has_fault_instant = true;
+    } else if (ph == "C") {
+      ++v.counters;
+    }
+  }
+  v.device_pids.assign(device_pids.begin(), device_pids.end());
+  v.device_span_tracks = device_span_tracks.size();
+  v.ok = true;
+  return v;
+}
+
+TraceProfile profile_trace(const std::vector<TraceEvent>& events) {
+  TraceProfile p;
+  std::map<std::string, PhaseStat> phases;
+  std::map<std::uint64_t, std::vector<Interval>> per_track;
+  std::vector<Interval> all;
+  double min_ts = 0.0;
+  double max_end = 0.0;
+  bool any = false;
+
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kSpan) continue;
+    const Interval iv{e.ts_us * 1e-6, e.end_us() * 1e-6};
+    PhaseStat& ps = phases[e.category];
+    ps.category = e.category;
+    ++ps.spans;
+    if (e.model_dur_us >= 0.0) ps.modeled_seconds += e.model_dur_us * 1e-6;
+    per_track[(static_cast<std::uint64_t>(e.pid) << 32) | e.tid].push_back(iv);
+    all.push_back(iv);
+    if (!any) {
+      min_ts = iv.begin;
+      max_end = iv.end;
+      any = true;
+    } else {
+      min_ts = std::min(min_ts, iv.begin);
+      max_end = std::max(max_end, iv.end);
+    }
+  }
+  if (!any) return p;
+
+  // Per-category busy time needs its own union so nested spans within the
+  // same category (e.g. a batch span wrapping kernel spans) do not double
+  // count.
+  std::map<std::string, std::vector<Interval>> per_category;
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kSpan) continue;
+    per_category[e.category].push_back(
+        Interval{e.ts_us * 1e-6, e.end_us() * 1e-6});
+  }
+  for (auto& [cat, ivs] : per_category) {
+    phases[cat].busy_seconds = interval_union_seconds(ivs);
+  }
+
+  p.wall_span_seconds = max_end - min_ts;
+  for (const auto& [track, ivs] : per_track) {
+    p.busy_seconds += interval_union_seconds(ivs);
+  }
+  p.coverage_seconds = interval_union_seconds(all);
+  p.overlap_ratio =
+      p.coverage_seconds > 0.0 ? p.busy_seconds / p.coverage_seconds : 0.0;
+
+  p.phases.reserve(phases.size());
+  for (auto& [cat, ps] : phases) p.phases.push_back(std::move(ps));
+  std::sort(p.phases.begin(), p.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              return a.busy_seconds > b.busy_seconds;
+            });
+  return p;
+}
+
+}  // namespace hdbscan::obs

@@ -1,0 +1,81 @@
+// Exporters and analysis helpers for the tracer and the metrics registry.
+//
+// chrome_trace_json() serializes a snapshot into the Chrome / Perfetto
+// `trace_event` JSON format (open in https://ui.perfetto.dev or
+// chrome://tracing). Spans are emitted as complete ("X") events so a
+// partially-overflowed ring never produces unmatched begin/end pairs;
+// fault firings and other markers are instants ("i"); counter samples are
+// "C" events. Track naming uses process_name / thread_name metadata:
+// pid 1 is the host, pid 100+d is simulated device d, and every process
+// with modeled-time spans gets a mirror process at pid + 10000 showing
+// the cost model's view of the same work.
+//
+// validate_trace_file() re-parses an emitted file with a minimal JSON
+// reader — enough structure checking for the trace_smoke CTest target
+// without a JSON dependency. profile_trace() powers `hdbscan_cli
+// profile`: per-category busy time from interval unions plus the
+// wall-clock overlap ratio.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hdbscan::obs {
+
+/// Serializes events + track names as a trace_event JSON document.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::vector<TraceTrack>& tracks);
+
+/// Snapshots the global tracer and writes the JSON to `path`.
+/// Returns false (and sets `error` if given) on I/O failure.
+bool write_chrome_trace(const std::string& path, std::string* error = nullptr);
+
+/// Writes Registry::global().json() to `path`.
+bool write_metrics_json(const std::string& path, std::string* error = nullptr);
+
+/// What trace_smoke asserts about an emitted trace file.
+struct TraceValidation {
+  bool ok = false;
+  std::string error;
+  std::size_t events = 0;          ///< trace events excluding metadata
+  std::size_t complete_spans = 0;  ///< "X" events
+  std::size_t instants = 0;        ///< "i" events
+  std::size_t counters = 0;        ///< "C" events
+  std::vector<std::uint32_t> device_pids;  ///< distinct device processes
+  /// (pid, tid) pairs on device processes that carry >= 1 span.
+  std::size_t device_span_tracks = 0;
+  std::size_t modeled_span_events = 0;  ///< spans on modeled mirror pids
+  std::size_t host_spans = 0;           ///< spans on the host process
+  bool has_fault_instant = false;       ///< any instant in category "fault"
+};
+
+/// Parses `path` as trace_event JSON and checks structural invariants.
+[[nodiscard]] TraceValidation validate_trace_file(const std::string& path);
+
+/// Per-category timing rollup of one snapshot (wall clock).
+struct PhaseStat {
+  std::string category;
+  std::size_t spans = 0;
+  double busy_seconds = 0.0;      ///< union of the category's intervals
+  double modeled_seconds = 0.0;   ///< sum of modeled durations
+};
+
+struct TraceProfile {
+  double wall_span_seconds = 0.0;  ///< last span end - first span begin
+  double busy_seconds = 0.0;       ///< sum of per-track interval unions
+  double coverage_seconds = 0.0;   ///< union of all span intervals
+  /// busy / coverage: 1.0 = fully serial, N = N tracks perfectly
+  /// overlapped. The pipeline argument of the paper is this number > 1.
+  double overlap_ratio = 0.0;
+  std::vector<PhaseStat> phases;   ///< sorted by busy_seconds, desc
+};
+
+/// Profiles wall-clock spans (modeled mirror pids excluded — their
+/// modeled durations are rolled into PhaseStat::modeled_seconds).
+[[nodiscard]] TraceProfile profile_trace(const std::vector<TraceEvent>& events);
+
+}  // namespace hdbscan::obs

@@ -1,0 +1,233 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hdbscan::obs {
+
+namespace {
+
+[[nodiscard]] std::string metric_key(std::string_view name,
+                                     std::string_view labels) {
+  std::string key(name);
+  key.push_back('{');
+  key.append(labels);
+  key.push_back('}');
+  return key;
+}
+
+/// Minimal JSON string escaping (labels may carry user-supplied text).
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t bucket = bounds_.size();  // +inf bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_seconds_bounds() {
+  return {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0};
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Metric& Registry::find_or_create(Kind kind, std::string_view name,
+                                           std::string_view labels,
+                                           std::vector<double>* bounds) {
+  const std::string key = metric_key(name, labels);
+  std::lock_guard lock(mutex_);
+  auto it = metrics_.find(key);
+  if (it != metrics_.end()) {
+    if (it->second->kind != kind) {
+      throw std::logic_error("Registry: metric '" + key +
+                             "' registered with a different kind");
+    }
+    return *it->second;
+  }
+  auto m = std::make_unique<Metric>();
+  m->kind = kind;
+  m->name = std::string(name);
+  m->labels = std::string(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      m->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      m->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      m->histogram = std::make_unique<Histogram>(
+          (bounds != nullptr && !bounds->empty())
+              ? std::move(*bounds)
+              : Histogram::default_seconds_bounds());
+      break;
+  }
+  Metric& ref = *m;
+  metrics_.emplace(key, std::move(m));
+  return ref;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  return *find_or_create(Kind::kCounter, name, labels, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  return *find_or_create(Kind::kGauge, name, labels, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view labels,
+                               std::vector<double> bounds) {
+  return *find_or_create(Kind::kHistogram, name, labels, &bounds).histogram;
+}
+
+std::string Registry::text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [key, m] : metrics_) {
+    switch (m->kind) {
+      case Kind::kCounter:
+        out += key + " " + std::to_string(m->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += key + " " + format_double(m->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = m->histogram->snapshot();
+        out += key + "_count " + std::to_string(s.count) + "\n";
+        out += key + "_sum " + format_double(s.sum) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n  \"schema_version\": 1,\n  \"metrics\": [\n";
+  bool first = true;
+  for (const auto& [key, m] : metrics_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(m->name) + "\", \"labels\": \"" +
+           json_escape(m->labels) + "\", ";
+    switch (m->kind) {
+      case Kind::kCounter:
+        out += "\"type\": \"counter\", \"value\": " +
+               std::to_string(m->counter->value()) + "}";
+        break;
+      case Kind::kGauge:
+        out += "\"type\": \"gauge\", \"value\": " +
+               format_double(m->gauge->value()) + "}";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = m->histogram->snapshot();
+        out += "\"type\": \"histogram\", \"count\": " +
+               std::to_string(s.count) +
+               ", \"sum\": " + format_double(s.sum) + ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.counts.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += "{\"le\": ";
+          out += i < s.bounds.size() ? format_double(s.bounds[i])
+                                     : std::string("\"inf\"");
+          out += ", \"count\": " + std::to_string(s.counts[i]) + "}";
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, m] : metrics_) {
+    switch (m->kind) {
+      case Kind::kCounter: m->counter->reset(); break;
+      case Kind::kGauge: m->gauge->reset(); break;
+      case Kind::kHistogram: m->histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return metrics_.size();
+}
+
+}  // namespace hdbscan::obs

@@ -1,0 +1,135 @@
+// Named-metrics registry: counters, gauges, and histograms with labels.
+//
+// The registry supersedes the ad-hoc end-of-run aggregates (cudasim's
+// DeviceMetrics, the builder's BuildReport) as the *export* surface —
+// those public structs stay untouched and are mirrored into the registry
+// by the publish_* bridges (core/report_metrics.hpp), while new
+// instrumentation can register counters directly. Lookup is by
+// (name, labels) under one mutex; call sites that care about cost resolve
+// the metric once and keep the reference (metric objects have stable
+// addresses for the registry's lifetime). Updates are lock-free atomics.
+//
+// Exposition: text() is a Prometheus-style text dump for humans;
+// json() a flat machine-readable document (schema_version 1) usable by
+// the BENCH_*.json tooling and `hdbscan_cli --metrics-out`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdbscan::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written floating-point metric.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative-bucket exposition like Prometheus).
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bucket bounds, strictly increasing;
+  /// one implicit +inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;        ///< upper bounds (without +inf)
+    std::vector<std::uint64_t> counts; ///< per-bucket (bounds.size() + 1)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset() noexcept;
+
+  /// Default bounds for durations in seconds (10 us .. 60 s).
+  [[nodiscard]] static std::vector<double> default_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry the instrumented layers publish into.
+  static Registry& global();
+
+  /// Finds or creates a metric. `labels` is a comma-separated
+  /// "key=value,key=value" string (empty for none). Throws
+  /// std::logic_error if the same (name, labels) was registered as a
+  /// different kind.
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  /// `bounds` applies only on first registration (empty = default
+  /// seconds bounds).
+  Histogram& histogram(std::string_view name, std::string_view labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Prometheus-style text exposition, one metric per line, sorted.
+  [[nodiscard]] std::string text() const;
+  /// Flat JSON document: {"schema_version":1,"metrics":[...]}.
+  [[nodiscard]] std::string json() const;
+
+  /// Zeroes every metric, keeping registrations (references stay valid).
+  void reset_values();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& find_or_create(Kind kind, std::string_view name,
+                         std::string_view labels,
+                         std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;  ///< key: name{labels}
+};
+
+}  // namespace hdbscan::obs

@@ -1,0 +1,219 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace hdbscan::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t clock_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-thread event ring. The owning thread appends under `mutex` (always
+/// uncontended on the hot path); the tracer locks the same mutex only to
+/// snapshot, reset, or re-arm, which happens between workloads. The ring
+/// is allocated lazily on the first record so idle threads (streams of an
+/// untraced run) cost one small registration node and nothing else.
+struct Tracer::ThreadState {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t size = 0;       ///< events stored (<= ring.size())
+  std::uint64_t dropped = 0;  ///< events discarded once the ring filled
+  std::uint32_t pid = kHostPid;
+  std::uint32_t tid = 0;
+  char track_name[32] = "host";
+  double modeled_us = 0.0;  ///< this thread's modeled clock
+};
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadState& Tracer::thread_state() {
+  thread_local std::shared_ptr<ThreadState> tls;
+  // A thread that outlives one Tracer use and touches another tracer
+  // instance is not supported (there is only the global()); the TLS node
+  // is registered exactly once per thread.
+  if (!tls) {
+    tls = std::make_shared<ThreadState>();
+    std::lock_guard lock(mutex_);
+    tls->pid = kHostPid;
+    tls->tid = [&] {
+      for (auto& [pid, next] : next_tid_) {
+        if (pid == kHostPid) return next++;
+      }
+      next_tid_.emplace_back(kHostPid, 1);
+      return 0u;
+    }();
+    std::snprintf(tls->track_name, sizeof(tls->track_name), "host-%u",
+                  tls->tid);
+    // Prune buffers of exited threads that hold no events — they only
+    // existed to name a track nobody recorded on.
+    std::erase_if(states_, [](const std::shared_ptr<ThreadState>& s) {
+      if (s.use_count() != 1) return false;
+      std::lock_guard slock(s->mutex);
+      return s->size == 0;
+    });
+    states_.push_back(tls);
+  }
+  return *tls;
+}
+
+void Tracer::enable() {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    // Drop buffers of threads that already exited; re-arm the live ones.
+    std::erase_if(states_, [](const std::shared_ptr<ThreadState>& s) {
+      return s.use_count() == 1;
+    });
+    for (const auto& s : states_) {
+      std::lock_guard slock(s->mutex);
+      s->ring.clear();
+      s->ring.shrink_to_fit();
+      s->ring.reserve(0);  // reallocated lazily at the new capacity
+      s->size = 0;
+      s->dropped = 0;
+      s->modeled_us = 0.0;
+    }
+    (void)cap;
+  }
+  epoch_ns_.store(clock_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::set_thread_capacity(std::size_t events) {
+  capacity_.store(events == 0 ? 1 : events, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_track(std::uint32_t pid, const char* name) {
+  ThreadState& s = thread_state();
+  std::uint32_t tid = 0;
+  {
+    std::lock_guard lock(mutex_);
+    bool found = false;
+    for (auto& [p, next] : next_tid_) {
+      if (p == pid) {
+        tid = next++;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      next_tid_.emplace_back(pid, 1);
+      tid = 0;
+    }
+  }
+  std::lock_guard slock(s.mutex);
+  s.pid = pid;
+  s.tid = tid;
+  std::snprintf(s.track_name, sizeof(s.track_name), "%s", name);
+}
+
+void Tracer::record(EventType type, const char* category, const char* name,
+                    double ts_us, double dur_us, double model_ts_us,
+                    double model_dur_us, double value) {
+  if (!enabled()) return;
+  ThreadState& s = thread_state();
+  std::lock_guard lock(s.mutex);
+  if (s.ring.capacity() == 0) {
+    s.ring.reserve(capacity_.load(std::memory_order_relaxed));
+  }
+  if (s.size >= s.ring.capacity()) {
+    // Keep the run's beginning; later events are counted, not stored.
+    ++s.dropped;
+    return;
+  }
+  s.ring.emplace_back();
+  TraceEvent& e = s.ring.back();
+  ++s.size;
+  std::snprintf(e.name, sizeof(e.name), "%s", name);
+  e.category = category;
+  e.type = type;
+  e.pid = s.pid;
+  e.tid = s.tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.model_ts_us = model_ts_us;
+  e.model_dur_us = model_dur_us;
+  e.value = value;
+}
+
+double Tracer::now_us() const noexcept {
+  return static_cast<double>(clock_ns() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+void Tracer::modeled_advance(double seconds) noexcept {
+  ThreadState& s = thread_state();
+  std::lock_guard lock(s.mutex);
+  s.modeled_us += seconds * 1e6;
+}
+
+double Tracer::modeled_now_us() noexcept {
+  ThreadState& s = thread_state();
+  std::lock_guard lock(s.mutex);
+  return s.modeled_us;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadState>> states;
+  {
+    std::lock_guard lock(mutex_);
+    states = states_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& s : states) {
+    std::lock_guard slock(s->mutex);
+    out.insert(out.end(), s->ring.begin(), s->ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::vector<TraceTrack> Tracer::tracks() const {
+  std::vector<std::shared_ptr<ThreadState>> states;
+  {
+    std::lock_guard lock(mutex_);
+    states = states_;
+  }
+  std::vector<TraceTrack> out;
+  out.reserve(states.size());
+  for (const auto& s : states) {
+    std::lock_guard slock(s->mutex);
+    out.push_back(TraceTrack{s->pid, s->tid, s->track_name});
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<ThreadState>> states;
+  {
+    std::lock_guard lock(mutex_);
+    states = states_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& s : states) {
+    std::lock_guard slock(s->mutex);
+    total += s->dropped;
+  }
+  return total;
+}
+
+}  // namespace hdbscan::obs

@@ -1,0 +1,260 @@
+// Structured span tracing for the simulator and the hybrid pipeline.
+//
+// The tracer records three kinds of events — spans (RAII scopes), instant
+// events, and counter samples — into per-thread ring buffers, so the hot
+// path never touches a shared lock: each thread appends under its own
+// (uncontended) buffer mutex, and the only global synchronization is a
+// one-time registration when a thread first records. When tracing is
+// disabled (the default), every TRACE_* site costs one relaxed atomic load
+// and a predicted branch; defining HDBSCAN_TRACE_DISABLED compiles the
+// sites out entirely.
+//
+// Every event carries a (pid, tid) track identity mirroring the Chrome /
+// Perfetto trace_event model: the host is one "process", each simulated
+// device is another, and each stream worker or host worker thread is a
+// "thread" row inside its process. Spans additionally carry a *modeled*
+// timestamp pair — the simulator's cost-model clock, advanced explicitly
+// via modeled_advance() by the cudasim accounting hooks — which the
+// exporter emits as a parallel set of processes (pid + kModeledPidOffset),
+// so a trace shows both what the simulator's host CPU actually did and
+// what the modeled reference GPU would have done.
+//
+// Exporters live in obs/export.hpp; the metrics registry in
+// obs/registry.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hdbscan::obs {
+
+/// Track (process) ids of the exported timeline. The host is one Perfetto
+/// process; simulated device d is process kDevicePidBase + d; the
+/// modeled-time mirror of any process sits at pid + kModeledPidOffset.
+inline constexpr std::uint32_t kHostPid = 1;
+inline constexpr std::uint32_t kDevicePidBase = 100;
+inline constexpr std::uint32_t kModeledPidOffset = 10000;
+
+[[nodiscard]] constexpr std::uint32_t device_pid(
+    std::uint32_t device_id) noexcept {
+  return kDevicePidBase + device_id;
+}
+
+[[nodiscard]] constexpr bool is_device_pid(std::uint32_t pid) noexcept {
+  return pid >= kDevicePidBase && pid < kModeledPidOffset;
+}
+
+enum class EventType : std::uint8_t { kSpan, kInstant, kCounter };
+
+/// One recorded event. `name` is copied (call sites may format dynamic
+/// names); `category` must be a string literal with static storage.
+struct TraceEvent {
+  char name[48] = {};
+  const char* category = "";
+  EventType type = EventType::kInstant;
+  std::uint32_t pid = kHostPid;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;        ///< wall microseconds since the tracer epoch
+  double dur_us = 0.0;       ///< spans only
+  double model_ts_us = 0.0;  ///< modeled-clock begin (spans)
+  double model_dur_us = -1.0;  ///< < 0: no modeled-time mirror
+  double value = 0.0;          ///< counters only
+
+  [[nodiscard]] double end_us() const noexcept { return ts_us + dur_us; }
+};
+
+/// A (pid, tid) row of the timeline plus its display name.
+struct TraceTrack {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer every TRACE_* site records into.
+  static Tracer& global();
+
+  /// Discards previously collected events, resets the epoch and every
+  /// thread's modeled clock, and starts recording.
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity in events. Takes effect for buffers that
+  /// have not yet allocated their ring (all of them after the next
+  /// enable()). The ring keeps the *oldest* events and counts the rest as
+  /// dropped — a bounded trace of the run's beginning beats unbounded
+  /// memory.
+  void set_thread_capacity(std::size_t events);
+
+  /// Names the calling thread's track and assigns it to process `pid`
+  /// (fresh tid within that pid). Threads that never call this land on
+  /// the host process as "host".
+  void set_thread_track(std::uint32_t pid, const char* name);
+
+  /// Appends one event on the calling thread's track. `name` is copied.
+  void record(EventType type, const char* category, const char* name,
+              double ts_us, double dur_us, double model_ts_us,
+              double model_dur_us, double value);
+
+  /// Wall microseconds since the epoch set by the last enable().
+  [[nodiscard]] double now_us() const noexcept;
+
+  /// Advances the calling thread's modeled clock (cudasim cost model).
+  void modeled_advance(double seconds) noexcept;
+  [[nodiscard]] double modeled_now_us() noexcept;
+
+  /// All collected events, sorted by wall begin time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Every registered track (including ones with no events yet).
+  [[nodiscard]] std::vector<TraceTrack> tracks() const;
+  /// Events lost to ring overflow since the last enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  struct ThreadState;
+
+  Tracer() = default;
+  ThreadState& thread_state();
+  ThreadState* thread_state_if_any() noexcept;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> epoch_ns_{0};
+  std::atomic<std::size_t> capacity_{16384};
+
+  mutable std::mutex mutex_;  ///< guards states_ / next_tid_ (registration)
+  std::vector<std::shared_ptr<ThreadState>> states_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> next_tid_;
+};
+
+#if defined(HDBSCAN_TRACE_DISABLED)
+
+// Compile-time kill switch: every site becomes a no-op expression and the
+// helpers fold to nothing. The Tracer class itself stays available (the
+// exporters and CLI still link), it just never receives events.
+inline constexpr bool kTraceCompiled = false;
+
+class Span {
+ public:
+  Span(const char*, const char*, ...) noexcept {}
+};
+
+inline void instant(const char*, const char*, ...) noexcept {}
+inline void counter(const char*, const char*, double) noexcept {}
+inline void set_thread_track(std::uint32_t, const char*) noexcept {}
+inline void modeled_advance(double) noexcept {}
+[[nodiscard]] inline bool tracing_enabled() noexcept { return false; }
+
+#define TRACE_SPAN(...) ((void)0)
+#define TRACE_INSTANT(...) ((void)0)
+#define TRACE_COUNTER(...) ((void)0)
+
+#else  // tracing compiled in
+
+inline constexpr bool kTraceCompiled = true;
+
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return Tracer::global().enabled();
+}
+
+/// Advances the calling thread's modeled clock; no-op when disabled.
+inline void modeled_advance(double seconds) noexcept {
+  Tracer& t = Tracer::global();
+  if (t.enabled()) t.modeled_advance(seconds);
+}
+
+/// Names the calling thread's timeline row (see Tracer::set_thread_track).
+inline void set_thread_track(std::uint32_t pid, const char* name) {
+  Tracer::global().set_thread_track(pid, name);
+}
+
+/// RAII span scope: captures wall + modeled begin on construction, records
+/// one complete-span event on destruction. Near-free when disabled.
+class Span {
+ public:
+  __attribute__((format(printf, 3, 4)))
+  Span(const char* category, const char* fmt, ...) noexcept {
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;
+    active_ = true;
+    category_ = category;
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(name_, sizeof(name_), fmt, args);
+    va_end(args);
+    model_ts_us_ = t.modeled_now_us();
+    ts_us_ = t.now_us();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (!active_) return;
+    Tracer& t = Tracer::global();
+    const double end = t.now_us();
+    const double model_end = t.modeled_now_us();
+    const double model_dur = model_end - model_ts_us_;
+    t.record(EventType::kSpan, category_, name_, ts_us_, end - ts_us_,
+             model_ts_us_, model_dur > 0.0 ? model_dur : -1.0, 0.0);
+  }
+
+ private:
+  bool active_ = false;
+  const char* category_ = "";
+  char name_[48] = {};
+  double ts_us_ = 0.0;
+  double model_ts_us_ = 0.0;
+};
+
+/// Records an instant event (a point-in-time marker, e.g. a fault firing).
+__attribute__((format(printf, 2, 3)))
+inline void instant(const char* category, const char* fmt, ...) noexcept {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  char name[48];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(name, sizeof(name), fmt, args);
+  va_end(args);
+  t.record(EventType::kInstant, category, name, t.now_us(), 0.0, 0.0, -1.0,
+           0.0);
+}
+
+/// Records a counter sample (rendered as a track graph in Perfetto).
+inline void counter(const char* category, const char* name,
+                    double value) noexcept {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  t.record(EventType::kCounter, category, name, t.now_us(), 0.0, 0.0, -1.0,
+           value);
+}
+
+#define HDBSCAN_TRACE_CONCAT_(a, b) a##b
+#define HDBSCAN_TRACE_CONCAT(a, b) HDBSCAN_TRACE_CONCAT_(a, b)
+
+/// RAII span for the enclosing scope: TRACE_SPAN("build", "batch %u", b);
+#define TRACE_SPAN(category, ...)                              \
+  ::hdbscan::obs::Span HDBSCAN_TRACE_CONCAT(hdbscan_trace_span_, \
+                                            __LINE__) {        \
+    category, __VA_ARGS__                                      \
+  }
+
+#define TRACE_INSTANT(category, ...) \
+  ::hdbscan::obs::instant(category, __VA_ARGS__)
+
+#define TRACE_COUNTER(category, name, value) \
+  ::hdbscan::obs::counter(category, name, value)
+
+#endif  // HDBSCAN_TRACE_DISABLED
+
+}  // namespace hdbscan::obs

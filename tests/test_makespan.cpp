@@ -78,5 +78,49 @@ TEST(PipelineMakespan, ZeroConsumersThrows) {
   EXPECT_THROW(pipeline_makespan_seconds(a, a, 0), std::invalid_argument);
 }
 
+TEST(IntervalUnion, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(interval_union_seconds({}), 0.0);
+}
+
+TEST(IntervalUnion, SingleInterval) {
+  const std::vector<Interval> v{{1.0, 3.5}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 2.5);
+}
+
+TEST(IntervalUnion, DisjointIntervalsSum) {
+  const std::vector<Interval> v{{0.0, 1.0}, {2.0, 3.0}, {10.0, 10.5}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 2.5);
+}
+
+TEST(IntervalUnion, OverlapCountedOnce) {
+  // [0,2) and [1,3) overlap on [1,2): the union is [0,3).
+  const std::vector<Interval> v{{0.0, 2.0}, {1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 3.0);
+}
+
+TEST(IntervalUnion, NestedIntervalAddsNothing) {
+  // A span fully inside another (a kernel inside its batch) must not
+  // inflate busy time.
+  const std::vector<Interval> v{{0.0, 10.0}, {2.0, 4.0}, {5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 10.0);
+}
+
+TEST(IntervalUnion, TouchingEndpointsMerge) {
+  // Half-open intervals: [0,1) and [1,2) tile [0,2) with no gap.
+  const std::vector<Interval> v{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 2.0);
+}
+
+TEST(IntervalUnion, UnsortedInputHandled) {
+  const std::vector<Interval> v{{5.0, 7.0}, {0.0, 1.0}, {6.0, 9.0}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 5.0);
+}
+
+TEST(IntervalUnion, DegenerateIntervalsIgnored) {
+  // Zero-length and inverted intervals contribute nothing.
+  const std::vector<Interval> v{{1.0, 1.0}, {3.0, 2.0}, {4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(interval_union_seconds(v), 1.0);
+}
+
 }  // namespace
 }  // namespace hdbscan

@@ -1,0 +1,107 @@
+// DeviceMetrics snapshot coherency under concurrent stream traffic.
+//
+// Device::metrics() returns a copy taken under the device mutex, so every
+// snapshot must be internally consistent (peak >= current memory) and
+// successive snapshots must be monotone in the cumulative counters, even
+// while two streams are hammering transfers and allocations. A torn or
+// unsynchronized read would show peak < current or a counter that moves
+// backwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "cudasim/buffer.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/stream.hpp"
+
+namespace cudasim {
+namespace {
+
+TEST(MetricsCoherency, SnapshotsUnderTwoStreamHammer) {
+  SimulationOptions options;
+  options.throttle_transfers = false;
+  options.throttle_pinned_alloc = false;
+  Device device(DeviceConfig{}, options);
+
+  constexpr int kIterations = 200;
+  constexpr std::size_t kCount = 512;
+  std::atomic<bool> done{false};
+
+  auto hammer = [&](Stream& stream) {
+    std::vector<std::uint32_t> host(kCount);
+    std::iota(host.begin(), host.end(), 0u);
+    std::vector<std::uint32_t> back(kCount);
+    for (int i = 0; i < kIterations; ++i) {
+      DeviceBuffer<std::uint32_t> buf(device, kCount);
+      stream.memcpy_to_device(buf, host.data(), kCount);
+      stream.memcpy_to_host(back.data(), buf, kCount);
+      stream.synchronize();
+    }
+  };
+
+  Stream s1(device);
+  Stream s2(device);
+  std::thread t1([&] { hammer(s1); });
+  std::thread t2([&] { hammer(s2); });
+
+  // Poll snapshots concurrently with the traffic and check invariants on
+  // every one of them.
+  DeviceMetrics prev = device.metrics();
+  std::size_t polls = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    const DeviceMetrics m = device.metrics();
+    EXPECT_GE(m.peak_mem_bytes, m.current_mem_bytes);
+    EXPECT_GE(m.h2d_bytes, prev.h2d_bytes);
+    EXPECT_GE(m.d2h_bytes, prev.d2h_bytes);
+    EXPECT_GE(m.transfer_seconds, prev.transfer_seconds);
+    EXPECT_GE(m.kernel_launches, prev.kernel_launches);
+    // h2d and d2h run in lock-step per iteration per stream, so the two
+    // byte counters can never drift apart by more than two in-flight
+    // copies per stream.
+    const auto per_copy = kCount * sizeof(std::uint32_t);
+    EXPECT_LE(m.d2h_bytes, m.h2d_bytes);
+    EXPECT_GE(m.d2h_bytes + 4 * per_copy, m.h2d_bytes);
+    prev = m;
+    if (++polls % 64 == 0) std::this_thread::yield();
+    if (m.d2h_bytes >= 2ull * kIterations * per_copy) {
+      done.store(true, std::memory_order_relaxed);  // both hammers finished
+    }
+  }
+  t1.join();
+  t2.join();
+
+  const DeviceMetrics last = device.metrics();
+  const std::uint64_t expected_bytes =
+      2ull * kIterations * kCount * sizeof(std::uint32_t);
+  EXPECT_EQ(last.h2d_bytes, expected_bytes);
+  EXPECT_EQ(last.d2h_bytes, expected_bytes);
+  EXPECT_EQ(last.current_mem_bytes, 0u);  // all buffers released
+  EXPECT_GE(last.peak_mem_bytes, kCount * sizeof(std::uint32_t));
+  EXPECT_EQ(device.used_global_bytes(), 0u);
+}
+
+TEST(MetricsCoherency, PeakNeverBelowCurrentDuringAllocChurn) {
+  Device device;
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; i < 400; ++i) {
+      DeviceBuffer<std::uint8_t> a(device, 4096);
+      DeviceBuffer<std::uint8_t> b(device, 8192);
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  while (!stop.load(std::memory_order_relaxed)) {
+    const DeviceMetrics m = device.metrics();
+    ASSERT_GE(m.peak_mem_bytes, m.current_mem_bytes);
+  }
+  churn.join();
+  EXPECT_EQ(device.metrics().current_mem_bytes, 0u);
+  EXPECT_GE(device.metrics().peak_mem_bytes, 4096u + 8192u);
+}
+
+}  // namespace
+}  // namespace cudasim

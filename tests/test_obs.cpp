@@ -1,0 +1,276 @@
+// Tracer, metrics registry, and exporter tests. The tracer and registry
+// are process-wide singletons, so every test re-enables (which clears
+// state) or uses test-unique metric names.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hdbscan::obs {
+namespace {
+
+#if !defined(HDBSCAN_TRACE_DISABLED)
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  t.disable();
+  TRACE_SPAN("test", "ignored");
+  TRACE_INSTANT("test", "ignored");
+  TRACE_COUNTER("test", "ignored", 1.0);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Tracer, SpanCarriesDurationAndTrack) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  set_thread_track(kHostPid, "test-main");
+  {
+    TRACE_SPAN("test", "scope %d", 42);
+  }
+  t.disable();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventType::kSpan);
+  EXPECT_STREQ(events[0].name, "scope 42");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_EQ(events[0].pid, kHostPid);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_LT(events[0].model_dur_us, 0.0);  // no modeled time advanced
+}
+
+TEST(Tracer, ModeledAdvanceProducesMirrorDuration) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  {
+    TRACE_SPAN("test", "modeled");
+    modeled_advance(0.25);
+  }
+  t.disable();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].model_dur_us, 250000.0, 1e-6);
+}
+
+TEST(Tracer, EnableClearsPreviousRun) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  TRACE_INSTANT("test", "first run");
+  t.enable();  // restart: the old event must be gone
+  TRACE_INSTANT("test", "second run");
+  t.disable();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second run");
+}
+
+TEST(Tracer, SnapshotSortedAcrossThreads) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([w] {
+      set_thread_track(device_pid(static_cast<std::uint32_t>(w)), "worker");
+      for (int i = 0; i < 50; ++i) TRACE_INSTANT("test", "w%d i%d", w, i);
+    });
+  }
+  for (auto& th : workers) th.join();
+  t.disable();
+  const auto events = t.snapshot();
+  EXPECT_EQ(events.size(), 200u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST(Tracer, RingKeepsOldestAndCountsDropped) {
+  Tracer& t = Tracer::global();
+  t.set_thread_capacity(8);
+  t.enable();
+  for (int i = 0; i < 20; ++i) TRACE_INSTANT("test", "i%d", i);
+  t.disable();
+  const auto events = t.snapshot();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_STREQ(events[0].name, "i0");  // oldest kept
+  EXPECT_EQ(t.dropped(), 12u);
+  t.set_thread_capacity(16384);
+  t.enable();  // reallocate rings at the default capacity for later tests
+  t.disable();
+}
+
+TEST(Registry, CounterGaugeHistogramRoundTrip) {
+  Registry& r = Registry::global();
+  Counter& c = r.counter("test_rt_counter", "case=a");
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(&c, &r.counter("test_rt_counter", "case=a"));  // stable address
+
+  Gauge& g = r.gauge("test_rt_gauge");
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+
+  Histogram& h = r.histogram("test_rt_hist", "", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 105.5);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry& r = Registry::global();
+  r.counter("test_kind_clash");
+  EXPECT_THROW(r.gauge("test_kind_clash"), std::logic_error);
+  EXPECT_THROW(r.histogram("test_kind_clash"), std::logic_error);
+}
+
+TEST(Registry, SameNameDifferentLabelsAreDistinct) {
+  Registry& r = Registry::global();
+  r.counter("test_labeled", "device=0").add(1);
+  r.counter("test_labeled", "device=1").add(2);
+  EXPECT_EQ(r.counter("test_labeled", "device=0").value(), 1u);
+  EXPECT_EQ(r.counter("test_labeled", "device=1").value(), 2u);
+}
+
+TEST(Registry, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, ExpositionFormats) {
+  Registry& r = Registry::global();
+  r.counter("test_expo_counter", "kind=x").add(7);
+  const std::string text = r.text();
+  EXPECT_NE(text.find("test_expo_counter{kind=x} 7"), std::string::npos);
+  const std::string json = r.json();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test_expo_counter\""), std::string::npos);
+}
+
+TEST(Export, WriteValidateRoundTrip) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  set_thread_track(kHostPid, "main");
+  {
+    TRACE_SPAN("host", "host work");
+  }
+  std::thread dev([] {
+    set_thread_track(device_pid(0), "stream0");
+    TRACE_SPAN("kernel", "kernel work");
+    modeled_advance(0.001);
+    TRACE_INSTANT("fault", "transient_kernel d0");
+  });
+  dev.join();
+  t.disable();
+
+  const std::string path = "test_obs_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_chrome_trace(path, &error)) << error;
+
+  const TraceValidation v = validate_trace_file(path);
+  EXPECT_TRUE(v.ok) << v.error;
+  // Two wall-clock spans plus the kernel span's modeled-time mirror.
+  EXPECT_EQ(v.complete_spans, 3u);
+  EXPECT_EQ(v.instants, 1u);
+  ASSERT_EQ(v.device_pids.size(), 1u);
+  EXPECT_EQ(v.device_pids[0], device_pid(0));
+  EXPECT_EQ(v.device_span_tracks, 1u);
+  EXPECT_EQ(v.modeled_span_events, 1u);  // only the kernel advanced a model
+  EXPECT_EQ(v.host_spans, 1u);
+  EXPECT_TRUE(v.has_fault_instant);
+  std::remove(path.c_str());
+}
+
+TEST(Export, ValidateRejectsGarbage) {
+  const std::string path = "test_obs_garbage.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"traceEvents\": [", f);  // truncated document
+  std::fclose(f);
+  const TraceValidation v = validate_trace_file(path);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.error.empty());
+  std::remove(path.c_str());
+}
+
+#endif  // !HDBSCAN_TRACE_DISABLED
+
+TraceEvent make_span(const char* cat, std::uint32_t pid, std::uint32_t tid,
+                     double ts_us, double dur_us, double model_dur_us = -1.0) {
+  TraceEvent e;
+  std::snprintf(e.name, sizeof(e.name), "%s", cat);
+  e.category = cat;
+  e.type = EventType::kSpan;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.model_dur_us = model_dur_us;
+  return e;
+}
+
+TEST(Profile, EmptySnapshot) {
+  const TraceProfile p = profile_trace({});
+  EXPECT_DOUBLE_EQ(p.overlap_ratio, 0.0);
+  EXPECT_TRUE(p.phases.empty());
+}
+
+TEST(Profile, SerialRunHasOverlapOne) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(make_span("build", kHostPid, 0, 0.0, 1e6));
+  ev.push_back(make_span("dbscan", kHostPid, 0, 1e6, 1e6));
+  const TraceProfile p = profile_trace(ev);
+  EXPECT_NEAR(p.wall_span_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(p.busy_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(p.coverage_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(p.overlap_ratio, 1.0, 1e-9);
+  ASSERT_EQ(p.phases.size(), 2u);
+}
+
+TEST(Profile, TwoTracksFullyOverlappedIsTwo) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(make_span("build", kHostPid, 0, 0.0, 1e6));
+  ev.push_back(make_span("dbscan", kHostPid, 1, 0.0, 1e6));
+  const TraceProfile p = profile_trace(ev);
+  EXPECT_NEAR(p.overlap_ratio, 2.0, 1e-9);
+}
+
+TEST(Profile, NestedSpansDoNotDoubleCountBusy) {
+  // A kernel span nested in its batch span on the same track: busy time
+  // for the track is the union, not the sum.
+  std::vector<TraceEvent> ev;
+  ev.push_back(make_span("batch", device_pid(0), 0, 0.0, 1e6));
+  ev.push_back(make_span("kernel", device_pid(0), 0, 2e5, 4e5));
+  const TraceProfile p = profile_trace(ev);
+  EXPECT_NEAR(p.busy_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(p.overlap_ratio, 1.0, 1e-9);
+}
+
+TEST(Profile, ModeledSecondsRollUpPerCategory) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(make_span("kernel", device_pid(0), 0, 0.0, 1e6, 5e5));
+  ev.push_back(make_span("kernel", device_pid(0), 0, 1e6, 1e6, 2.5e5));
+  const TraceProfile p = profile_trace(ev);
+  ASSERT_EQ(p.phases.size(), 1u);
+  EXPECT_EQ(p.phases[0].category, "kernel");
+  EXPECT_EQ(p.phases[0].spans, 2u);
+  EXPECT_NEAR(p.phases[0].modeled_seconds, 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace hdbscan::obs

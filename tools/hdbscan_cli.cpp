@@ -7,11 +7,25 @@
 //   hdbscan_cli table <in> <eps> <table_out.bin>
 //   hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>
 //   hdbscan_cli chaos <SW1|...|uniform> <n> <seed> [devices]
+//   hdbscan_cli profile <SW1|...|uniform> <n> <variants> [--faults=SEED]
+//                       [--selftest]
+//
+// Global flags (any subcommand, stripped before dispatch):
+//   --trace-out=FILE     enable tracing; write Chrome/Perfetto trace JSON
+//   --metrics-out=FILE   write the metrics registry as JSON
 //
 // `chaos` attaches a seeded randomized fault plan to every simulated
 // device, runs a resilient multi-device build plus clustering, and exits
 // nonzero if any invariant breaks (wrong table, leaked device memory,
 // wrong clustering) — the degradation ladder may bend but results may not.
+// Fault plans and firings are emitted as tracer events, not printouts.
+//
+// `profile` runs a Figure-4-style pipelined multi-variant clustering with
+// tracing always on and prints a per-phase makespan table plus the
+// busy/coverage overlap ratio; --faults arms a deterministic transient
+// fault plan (absorbed by the retry ladder) so fault instants appear in
+// the trace, and --selftest re-parses the written trace file and checks
+// its structural invariants (the trace_smoke CTest target).
 //
 // Files ending in .bin use the library's binary point format; anything
 // else is parsed as "x,y" CSV.
@@ -28,6 +42,7 @@
 #include "common/timer.hpp"
 #include "core/hybrid_dbscan.hpp"
 #include "core/pipeline.hpp"
+#include "core/report_metrics.hpp"
 #include "core/reuse.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/fault.hpp"
@@ -38,6 +53,9 @@
 #include "dbscan/optics.hpp"
 #include "dbscan/table_io.hpp"
 #include "index/grid_index.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -96,9 +114,20 @@ int usage() {
       "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
       "  hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>\n"
       "  hdbscan_cli chaos <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <seed>"
-      " [devices]\n");
+      " [devices]\n"
+      "  hdbscan_cli profile <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n>"
+      " <variants> [--faults=SEED] [--selftest]\n"
+      "global flags (any subcommand):\n"
+      "  --trace-out=FILE     enable tracing, write Perfetto trace JSON\n"
+      "  --metrics-out=FILE   write the metrics registry as JSON\n");
   return 2;
 }
+
+/// Global observability flags, stripped from argv before dispatch.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+};
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 5) return usage();
@@ -259,6 +288,14 @@ int cmd_chaos(int argc, char** argv) {
   const float eps = 0.5f;
   const int minpts = 4;
 
+  // Fault plans and firings flow through the tracer (instants in the
+  // "chaos" / "fault" categories) instead of per-device printouts, so a
+  // --trace-out run shows exactly where each fault landed on the timeline.
+  if (obs::kTraceCompiled && !obs::tracing_enabled()) {
+    obs::Tracer::global().enable();
+  }
+  obs::set_thread_track(obs::kHostPid, "chaos");
+
   const std::vector<Point2> points =
       kind == "uniform" ? data::generate_uniform(n, seed, 35.0f, 35.0f)
                         : data::make_dataset(kind, n);
@@ -273,7 +310,12 @@ int cmd_chaos(int argc, char** argv) {
   std::vector<cudasim::Device*> device_ptrs;
   for (unsigned d = 0; d < num_devices; ++d) {
     const auto plan = cudasim::FaultPlan::randomized(seed + 17 * d);
-    std::printf("device %u plan: %s\n", d, plan.describe().c_str());
+    TRACE_INSTANT("chaos", "plan d%u: %s", d, plan.describe().c_str());
+    if (!obs::kTraceCompiled) {
+      // Tracing compiled out: fall back to the legacy printout so the
+      // plans stay observable.
+      std::printf("device %u plan: %s\n", d, plan.describe().c_str());
+    }
     cudasim::SimulationOptions opt = sim;
     opt.fault = std::make_shared<cudasim::FaultInjector>(plan);
     devices.push_back(
@@ -303,6 +345,23 @@ int cmd_chaos(int argc, char** argv) {
       report.transient_retries, report.alloc_retries, report.devices_lost,
       report.failover_batches, report.host_fallback_batches,
       report.used_host_fallback ? " (host fallback)" : "");
+
+  // Roll the per-device end state into the metrics registry (exported via
+  // --metrics-out) and summarize what the tracer saw of the fault storm.
+  for (unsigned d = 0; d < num_devices; ++d) {
+    publish_device_metrics(devices[d]->id(), devices[d]->metrics());
+  }
+  if (obs::kTraceCompiled) {
+    std::size_t fault_events = 0;
+    for (const obs::TraceEvent& e : obs::Tracer::global().snapshot()) {
+      if (e.type == obs::EventType::kInstant &&
+          std::strcmp(e.category, "fault") == 0) {
+        ++fault_events;
+      }
+    }
+    std::printf("chaos: %zu fault events traced across %u devices\n",
+                fault_events, num_devices);
+  }
 
   int violations = 0;
   table.canonicalize();
@@ -341,22 +400,195 @@ int cmd_chaos(int argc, char** argv) {
   return 0;
 }
 
+int cmd_profile(int argc, char** argv, const ObsOptions& obs_opts) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+  const int num_variants = std::max(1, std::atoi(argv[4]));
+  bool selftest = false;
+  bool with_faults = false;
+  std::uint64_t fault_seed = 0;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      with_faults = true;
+      fault_seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 9));
+    } else {
+      return usage();
+    }
+  }
+
+  const std::vector<Point2> points =
+      kind == "uniform" ? data::generate_uniform(n, 1, 35.0f, 35.0f)
+                        : data::make_dataset(kind, n);
+
+  // Figure-4-style variant set: an eps sweep at fixed minpts, clustered
+  // through the pipelined producer/consumer path.
+  std::vector<Variant> variants;
+  variants.reserve(static_cast<std::size_t>(num_variants));
+  for (int i = 0; i < num_variants; ++i) {
+    variants.push_back({0.4f + 0.1f * static_cast<float>(i), 4});
+  }
+
+  cudasim::SimulationOptions sim;
+  if (with_faults) {
+    // Deterministic transient plan: launches 3 and 9 fail once each, which
+    // the default retry ladder (max_transient_retries = 2) absorbs, so the
+    // run succeeds while fault instants land in the trace.
+    cudasim::FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.transient_launches = {3, 9};
+    sim.fault = std::make_shared<cudasim::FaultInjector>(plan);
+  }
+  cudasim::Device device(cudasim::DeviceConfig{}, sim);
+
+  // Profiling is pointless without the tracer: always on here, regardless
+  // of --trace-out (which only adds the file export).
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) tracer.enable();
+  obs::set_thread_track(obs::kHostPid, "main");
+
+  PipelineOptions options;
+  options.pipelined = true;
+  const PipelineReport report =
+      run_multi_clustering(device, points, variants, options);
+  publish_device_metrics(device.id(), device.metrics());
+
+  std::printf("%zu points, %d variants (eps %.2f..%.2f, minpts 4),"
+              " pipelined: %.3f s\n",
+              points.size(), num_variants, variants.front().eps,
+              variants.back().eps, report.total_seconds);
+
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  const obs::TraceProfile profile = obs::profile_trace(events);
+  std::printf("%-12s %8s %12s %14s\n", "phase", "spans", "busy (s)",
+              "modeled (s)");
+  for (const obs::PhaseStat& p : profile.phases) {
+    std::printf("%-12s %8zu %12.4f %14.4f\n", p.category.c_str(), p.spans,
+                p.busy_seconds, p.modeled_seconds);
+  }
+  std::printf("overlap ratio: %.2f (busy %.3f s / coverage %.3f s over"
+              " %.3f s wall)\n",
+              profile.overlap_ratio, profile.busy_seconds,
+              profile.coverage_seconds, profile.wall_span_seconds);
+  if (tracer.dropped() > 0) {
+    std::printf("note: %llu events dropped (ring overflow; raise the"
+                " per-thread capacity)\n",
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+
+  // profile owns its exports (main skips the generic writer for this
+  // subcommand): selftest has to re-read the file after it is written.
+  const std::string trace_path = !obs_opts.trace_out.empty()
+                                     ? obs_opts.trace_out
+                                     : std::string("hdbscan_profile.json");
+  std::string err;
+  if (!obs::write_chrome_trace(trace_path, &err)) {
+    std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s\n", trace_path.c_str());
+  if (!obs_opts.metrics_out.empty()) {
+    if (!obs::write_metrics_json(obs_opts.metrics_out, &err)) {
+      std::fprintf(stderr, "metrics export failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", obs_opts.metrics_out.c_str());
+  }
+
+  if (selftest) {
+    if (!obs::kTraceCompiled) {
+      std::printf("selftest skipped: tracing compiled out"
+                  " (HDBSCAN_TRACE_DISABLED)\n");
+      return 0;
+    }
+    const obs::TraceValidation v = obs::validate_trace_file(trace_path);
+    int failures = 0;
+    auto check = [&](bool ok, const char* what) {
+      if (!ok) {
+        std::fprintf(stderr, "selftest FAILED: %s\n", what);
+        ++failures;
+      }
+    };
+    check(v.ok, v.ok ? "" : v.error.c_str());
+    check(v.complete_spans > 0, "no complete spans");
+    check(!v.device_pids.empty(), "no device processes in trace");
+    check(v.device_span_tracks >= v.device_pids.size(),
+          "a device process has no span-carrying track");
+    check(v.modeled_span_events > 0, "no modeled-time mirror spans");
+    check(v.host_spans >= 1, "no host spans");
+    if (with_faults) check(v.has_fault_instant, "no fault instants");
+    if (failures != 0) return 1;
+    std::printf("selftest passed: %zu events (%zu spans, %zu instants),"
+                " %zu device processes, %zu modeled spans\n",
+                v.events, v.complete_spans, v.instants,
+                v.device_pids.size(), v.modeled_span_events);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global observability flags so every subcommand sees its
+  // positional arguments unchanged.
+  ObsOptions obs_opts;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      obs_opts.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      obs_opts.metrics_out = arg.substr(14);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+
+  if (!obs_opts.trace_out.empty()) hdbscan::obs::Tracer::global().enable();
+
+  int rc = -1;
   try {
-    if (cmd == "gen") return cmd_gen(argc, argv);
-    if (cmd == "cluster") return cmd_cluster(argc, argv);
-    if (cmd == "sweep") return cmd_sweep(argc, argv);
-    if (cmd == "reuse") return cmd_reuse(argc, argv);
-    if (cmd == "table") return cmd_table(argc, argv);
-    if (cmd == "optics") return cmd_optics(argc, argv);
-    if (cmd == "chaos") return cmd_chaos(argc, argv);
+    if (cmd == "gen") rc = cmd_gen(argc, argv);
+    else if (cmd == "cluster") rc = cmd_cluster(argc, argv);
+    else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
+    else if (cmd == "reuse") rc = cmd_reuse(argc, argv);
+    else if (cmd == "table") rc = cmd_table(argc, argv);
+    else if (cmd == "optics") rc = cmd_optics(argc, argv);
+    else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
+    else if (cmd == "profile") return cmd_profile(argc, argv, obs_opts);
+    else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+
+  // Generic exports for every subcommand except profile (which writes and
+  // validates its own files before returning). Exported even when the
+  // command failed — a trace of a failing run is the useful one.
+  std::string err;
+  if (!obs_opts.trace_out.empty()) {
+    if (hdbscan::obs::write_chrome_trace(obs_opts.trace_out, &err)) {
+      std::printf("trace written to %s\n", obs_opts.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!obs_opts.metrics_out.empty()) {
+    if (hdbscan::obs::write_metrics_json(obs_opts.metrics_out, &err)) {
+      std::printf("metrics written to %s\n", obs_opts.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n", err.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
