@@ -1,0 +1,41 @@
+// An allocator adaptor that default-initializes instead of value-
+// initializing on vector growth. For trivial element types this makes
+// `resize(n)` / `vector(n)` skip the zero-fill — the right tool for
+// buffers whose every slot is written exactly once afterwards (the
+// neighbor-table value array: multi-megabyte, rebuilt per expansion, and
+// the zero-fill would sit on the serial critical path).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hdbscan {
+
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace hdbscan

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 
+#include "common/types.hpp"
+
 namespace hdbscan {
 
 /// How each batch's neighbor pairs are materialized and shipped to the
@@ -74,6 +76,12 @@ struct BatchPolicy {
   std::uint64_t estimated_total_override = 0;
   /// Neighbor-table materialization strategy (see TableBuildMode).
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
+  /// Candidate-pair traversal (see ScanMode in common/types.hpp). kHalf
+  /// tests each pair once — roughly half the distance FLOPs and candidate
+  /// reads of kFull — and the builder restores symmetry afterwards
+  /// (device-side for the shared kernel, host-side expand for the batched
+  /// pipelines). kFull is kept for A/B benchmarking.
+  ScanMode scan_mode = ScanMode::kHalf;
   /// Deepest recursive overflow/out-of-memory split allowed: a batch may
   /// shrink to 1/2^max_split_depth of its planned size before the builder
   /// gives up on it. Guards against a pathological estimate looping

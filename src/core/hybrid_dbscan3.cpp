@@ -2,6 +2,7 @@
 
 #include "common/timer.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/sort.hpp"
 #include "cudasim/stream.hpp"
 #include "dbscan/dbscan.hpp"
@@ -25,7 +26,8 @@ NeighborTable build_neighbor_table_host3(const GridIndex3& index, float eps) {
 
 NeighborTable build_neighbor_table_device3(cudasim::Device& device,
                                            const GridIndex3& index, float eps,
-                                           Build3Report* report) {
+                                           Build3Report* report,
+                                           ScanMode mode) {
   WallTimer total_timer;
   Build3Report local;
 
@@ -51,35 +53,41 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
   // offsets, fill straight into the slots. No device sort, no pair keys on
   // the wire — only the offsets array and the bare neighbor ids go D2H.
   const auto npts = static_cast<std::uint32_t>(index.points.size());
-  cudasim::DeviceBuffer<std::uint32_t> d_counts(device,
-                                                std::max<std::uint32_t>(1, npts));
-  cudasim::KernelStats stats =
-      gpu::run_count_batch3(device, view, eps, {}, d_counts.device_data());
+  cudasim::PooledDeviceBuffer<std::uint32_t> d_counts(
+      device, std::max<std::uint32_t>(1, npts));
+  cudasim::KernelStats stats = gpu::run_count_batch3(
+      device, view, eps, {}, d_counts.device_data(), mode);
   local.modeled_table_seconds += stats.modeled_seconds;
+  local.kernel_flops += stats.work.flops;
 
   const std::uint64_t pairs = cudasim::exclusive_scan(device, d_counts, npts);
   local.modeled_table_seconds += cudasim::modeled_scan_seconds(
       device.config(), npts * sizeof(std::uint32_t));
 
-  cudasim::DeviceBuffer<PointId> d_values(device,
-                                          std::max<std::uint64_t>(1, pairs));
+  cudasim::PooledDeviceBuffer<PointId> d_values(
+      device, std::max<std::uint64_t>(1, pairs));
   stats = gpu::run_fill_csr3(device, view, eps, {}, d_counts.device_data(),
-                             d_values.device_data());
+                             d_values.device_data(), mode);
   local.modeled_table_seconds += stats.modeled_seconds;
+  local.kernel_flops += stats.work.flops;
 
   const std::uint64_t offset_bytes = npts * sizeof(std::uint32_t);
   const std::uint64_t value_bytes = pairs * sizeof(PointId);
-  cudasim::PinnedBuffer<std::uint32_t> offsets_staging(device, npts);
-  cudasim::PinnedBuffer<PointId> values_staging(device, pairs);
+  cudasim::PooledPinnedBuffer<std::uint32_t> offsets_staging(device, npts);
+  cudasim::PooledPinnedBuffer<PointId> values_staging(device, pairs);
   device.blocking_transfer(offsets_staging.data(), d_counts.device_data(),
                            offset_bytes, false, true);
   device.blocking_transfer(values_staging.data(), d_values.device_data(),
                            value_bytes, false, true);
   local.modeled_table_seconds +=
       cudasim::modeled_transfer_seconds(device.config(), offset_bytes, true) +
-      cudasim::modeled_transfer_seconds(device.config(), value_bytes, true) +
-      cudasim::modeled_pinned_alloc_seconds(device.config(),
-                                            offset_bytes + value_bytes);
+      cudasim::modeled_transfer_seconds(device.config(), value_bytes, true);
+  // Page-lock cost only for staging the pool had to freshly pin.
+  std::uint64_t fresh_pinned = 0;
+  if (offsets_staging.fresh()) fresh_pinned += offset_bytes;
+  if (values_staging.fresh()) fresh_pinned += value_bytes;
+  local.modeled_table_seconds +=
+      cudasim::modeled_pinned_alloc_seconds(device.config(), fresh_pinned);
 
   NeighborTable table(index.size());
   table.reserve_values(pairs);
@@ -88,7 +96,13 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
                          {values_staging.data(), pairs});
   local.modeled_table_seconds += append_timer.seconds();
 
-  local.total_pairs = pairs;
+  if (mode == ScanMode::kHalf) {
+    local.expand_seconds = table.expand_half_table(
+        static_cast<unsigned>(std::max(1, device.config().host_cores)));
+    local.modeled_table_seconds += local.expand_seconds;
+  }
+
+  local.total_pairs = table.total_pairs();
   local.table_seconds = total_timer.seconds();
   if (report != nullptr) *report = local;
   return table;
@@ -96,10 +110,10 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
 
 ClusterResult hybrid_dbscan3(cudasim::Device& device,
                              std::span<const Point3> points, float eps,
-                             int minpts, Build3Report* report) {
+                             int minpts, Build3Report* report, ScanMode mode) {
   const GridIndex3 index = build_grid_index3(points, eps);
   const NeighborTable table =
-      build_neighbor_table_device3(device, index, eps, report);
+      build_neighbor_table_device3(device, index, eps, report, mode);
   const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
   ClusterResult out;
   out.num_clusters = indexed.num_clusters;

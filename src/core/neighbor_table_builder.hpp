@@ -56,8 +56,12 @@ struct BuildReport {
   double scan_modeled_seconds = 0.0;   ///< modeled device scan (CSR mode)
   std::uint64_t atomic_ops = 0;        ///< global atomics across all kernels
   std::uint64_t d2h_bytes = 0;         ///< result bytes shipped to the host
+  std::uint64_t kernel_flops = 0;      ///< distance-test FLOPs (batch kernels)
+  std::uint64_t kernel_global_bytes = 0;  ///< global-memory traffic of same
+  double expand_seconds = 0.0;  ///< host transpose restoring back rows (kHalf)
   bool used_shared_kernel = false;
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
+  ScanMode scan_mode = ScanMode::kHalf;  ///< pair-evaluation mode that ran
 
   /// Modeled wall time of the whole T construction on the reference
   /// hardware (K20c + PCIe 2.0): index upload, estimation kernel, pinned

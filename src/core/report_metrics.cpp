@@ -35,6 +35,16 @@ void publish_device_metrics(std::uint32_t device_id,
   r.gauge("cudasim_refused_ops", labels)
       .set(static_cast<double>(m.refused_ops));
   r.gauge("cudasim_device_lost", labels).set(m.device_lost ? 1.0 : 0.0);
+  r.gauge("cudasim_pool_device_hits", labels)
+      .set(static_cast<double>(m.pool_device_hits));
+  r.gauge("cudasim_pool_device_misses", labels)
+      .set(static_cast<double>(m.pool_device_misses));
+  r.gauge("cudasim_pool_pinned_hits", labels)
+      .set(static_cast<double>(m.pool_pinned_hits));
+  r.gauge("cudasim_pool_pinned_misses", labels)
+      .set(static_cast<double>(m.pool_pinned_misses));
+  r.gauge("cudasim_pool_trim_bytes", labels)
+      .set(static_cast<double>(m.pool_trim_bytes));
 }
 
 void publish_build_report(const BuildReport& report) {
@@ -44,6 +54,12 @@ void publish_build_report(const BuildReport& report) {
   r.counter("build_total_pairs").add(report.total_pairs);
   r.counter("build_d2h_bytes").add(report.d2h_bytes);
   r.counter("build_atomic_ops").add(report.atomic_ops);
+  r.counter("build_kernel_flops").add(report.kernel_flops);
+  r.counter("build_kernel_global_bytes").add(report.kernel_global_bytes);
+  if (report.scan_mode == ScanMode::kHalf) {
+    r.counter("build_half_scan_builds").add(1);
+    r.histogram("build_expand_seconds").observe(report.expand_seconds);
+  }
   r.counter("build_transient_retries").add(report.transient_retries);
   r.counter("build_alloc_retries").add(report.alloc_retries);
   r.counter("build_devices_lost").add(report.devices_lost);

@@ -1,0 +1,103 @@
+#include "cudasim/buffer_pool.hpp"
+
+#include "cudasim/error.hpp"
+
+namespace cudasim {
+
+BufferPool::Checkout BufferPool::acquire(std::size_t bytes, bool pinned) {
+  const std::size_t bucket = bucket_for(bytes);
+  {
+    std::lock_guard lock(mutex_);
+    auto& lists = pinned ? free_pinned_ : free_device_;
+    auto it = lists.find(bucket);
+    if (it != lists.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      device_->record_pool(pinned, /*hit=*/true);
+      return Checkout{p, bucket, pinned, /*fresh=*/false};
+    }
+  }
+  device_->record_pool(pinned, /*hit=*/false);
+  if (pinned) {
+    return Checkout{device_->allocate_pinned(bucket), bucket, true,
+                    /*fresh=*/true};
+  }
+  try {
+    return Checkout{device_->allocate_global(bucket), bucket, false,
+                    /*fresh=*/true};
+  } catch (const DeviceOutOfMemory&) {
+    // Cached blocks still hold capacity; drop them and retry once. A cold
+    // pool has nothing to give back — rethrow so scripted OOM faults reach
+    // the builder's degradation ladder untouched.
+    if (trim() == 0) throw;
+    return Checkout{device_->allocate_global(bucket), bucket, false,
+                    /*fresh=*/true};
+  }
+}
+
+void BufferPool::release(Checkout& c) noexcept {
+  if (c.data == nullptr) return;
+  if (device_->lost()) {
+    // Nothing should keep a dead device's capacity reserved; capacity
+    // accounting still works after loss, so free outright.
+    if (c.pinned) {
+      device_->free_pinned(c.data, c.bucket_bytes);
+    } else {
+      device_->free_global(c.data, c.bucket_bytes);
+    }
+  } else {
+    std::lock_guard lock(mutex_);
+    auto& lists = c.pinned ? free_pinned_ : free_device_;
+    lists[c.bucket_bytes].push_back(c.data);
+  }
+  c = Checkout{};
+}
+
+std::size_t BufferPool::trim() noexcept {
+  std::map<std::size_t, std::vector<void*>> victims;
+  {
+    std::lock_guard lock(mutex_);
+    victims.swap(free_device_);
+  }
+  std::size_t freed = 0;
+  for (auto& [bucket, blocks] : victims) {
+    for (void* p : blocks) {
+      device_->free_global(p, bucket);
+      freed += bucket;
+    }
+  }
+  if (freed > 0) device_->record_pool_trim(freed);
+  return freed;
+}
+
+std::size_t BufferPool::cached_device_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [bucket, blocks] : free_device_) {
+    total += bucket * blocks.size();
+  }
+  return total;
+}
+
+std::size_t BufferPool::cached_pinned_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [bucket, blocks] : free_pinned_) {
+    total += bucket * blocks.size();
+  }
+  return total;
+}
+
+void BufferPool::free_all() noexcept {
+  std::lock_guard lock(mutex_);
+  for (auto& [bucket, blocks] : free_device_) {
+    for (void* p : blocks) device_->free_global(p, bucket);
+  }
+  free_device_.clear();
+  for (auto& [bucket, blocks] : free_pinned_) {
+    for (void* p : blocks) device_->free_pinned(p, bucket);
+  }
+  free_pinned_.clear();
+}
+
+}  // namespace cudasim

@@ -1,0 +1,222 @@
+// Size-bucketed arena for device scratch and pinned host staging.
+//
+// The paper singles out pinned (page-locked) allocation as expensive enough
+// to shape the batching scheme; device malloc/free churn per batch and per
+// sweep variant costs real time too. The pool amortizes both: blocks are
+// checked out, used, and returned to per-bucket free lists, so the modeled
+// page-lock cost (Device::allocate_pinned) and the device allocation are
+// paid once per process per bucket instead of once per batch/variant.
+//
+// Lifecycle rules (see DESIGN.md §10):
+//   * acquire() rounds the request up to a power-of-2 bucket and reuses a
+//     cached block when one exists (a *hit* — no allocation, no modeled
+//     pinned page-lock time). Misses allocate through the device and are
+//     flagged `fresh` so callers can model first-touch costs exactly once.
+//   * release() returns the block to its bucket's free list — unless the
+//     device is lost, in which case the block is freed outright (nothing
+//     should keep a dead device's capacity reserved).
+//   * Cached *device* blocks still hold device capacity. When an acquire
+//     hits DeviceOutOfMemory, the pool trims its device free lists and
+//     retries once — but only if the trim actually freed bytes. A cold
+//     pool rethrows immediately, so scripted fault-injection OOMs keep
+//     driving the builder's degradation ladder exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cudasim/device.hpp"
+
+namespace cudasim {
+
+class BufferPool {
+ public:
+  /// A checked-out block. `bucket_bytes` is the rounded-up capacity that
+  /// must be handed back to release(); `fresh` is true when the pool had
+  /// to allocate (pool miss) rather than reuse a cached block.
+  struct Checkout {
+    void* data = nullptr;
+    std::size_t bucket_bytes = 0;
+    bool pinned = false;
+    bool fresh = false;
+  };
+
+  explicit BufferPool(Device& device) : device_(&device) {}
+  ~BufferPool() { free_all(); }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Checks out a block of at least `bytes` (device global memory, or
+  /// pinned host memory when `pinned`). Propagates the device's
+  /// DeviceOutOfMemory / DeviceLost; device-memory misses trim-and-retry
+  /// once when the trim freed something.
+  [[nodiscard]] Checkout acquire(std::size_t bytes, bool pinned);
+
+  /// Returns a block to its free list (or frees it if the device is lost).
+  /// Passing a default-constructed / already-released Checkout is a no-op.
+  void release(Checkout& c) noexcept;
+
+  /// Frees every cached *device* block, returning capacity to the device;
+  /// returns the number of bytes freed. Pinned blocks are not trimmed —
+  /// re-pinning is the cost the pool exists to avoid.
+  std::size_t trim() noexcept;
+
+  /// Total bytes sitting in the device / pinned free lists (tests).
+  [[nodiscard]] std::size_t cached_device_bytes() const;
+  [[nodiscard]] std::size_t cached_pinned_bytes() const;
+
+  /// Smallest power-of-2 bucket holding `bytes` (min 256).
+  [[nodiscard]] static std::size_t bucket_for(std::size_t bytes) noexcept {
+    std::size_t b = 256;
+    while (b < bytes) b <<= 1;
+    return b;
+  }
+
+ private:
+  void free_all() noexcept;
+
+  Device* device_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::vector<void*>> free_device_;
+  std::map<std::size_t, std::vector<void*>> free_pinned_;
+};
+
+/// Device scratch checked out from the owning device's pool. Drop-in for
+/// DeviceBuffer<T> in kernel-facing code (device_data()/size()/bytes()).
+template <typename T>
+class PooledDeviceBuffer {
+ public:
+  PooledDeviceBuffer() = default;
+
+  PooledDeviceBuffer(Device& device, std::size_t count)
+      : device_(&device), count_(count) {
+    checkout_ = device.pool().acquire(count * sizeof(T), /*pinned=*/false);
+  }
+
+  PooledDeviceBuffer(PooledDeviceBuffer&& o) noexcept
+      : device_(std::exchange(o.device_, nullptr)),
+        checkout_(std::exchange(o.checkout_, {})),
+        count_(std::exchange(o.count_, 0)) {}
+
+  PooledDeviceBuffer& operator=(PooledDeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = std::exchange(o.device_, nullptr);
+      checkout_ = std::exchange(o.checkout_, {});
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+
+  PooledDeviceBuffer(const PooledDeviceBuffer&) = delete;
+  PooledDeviceBuffer& operator=(const PooledDeviceBuffer&) = delete;
+
+  ~PooledDeviceBuffer() { release(); }
+
+  [[nodiscard]] T* device_data() noexcept {
+    return static_cast<T*>(checkout_.data);
+  }
+  [[nodiscard]] const T* device_data() const noexcept {
+    return static_cast<const T*>(checkout_.data);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return count_ * sizeof(T);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] Device* device() const noexcept { return device_; }
+  /// True when this checkout allocated fresh memory (pool miss).
+  [[nodiscard]] bool fresh() const noexcept { return checkout_.fresh; }
+
+  [[nodiscard]] std::span<T> unsafe_host_view() noexcept {
+    return {device_data(), count_};
+  }
+  [[nodiscard]] std::span<const T> unsafe_host_view() const noexcept {
+    return {device_data(), count_};
+  }
+
+ private:
+  void release() noexcept {
+    if (device_ != nullptr && checkout_.data != nullptr) {
+      device_->pool().release(checkout_);
+    }
+    device_ = nullptr;
+    checkout_ = {};
+    count_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  BufferPool::Checkout checkout_{};
+  std::size_t count_ = 0;
+};
+
+/// Pinned host staging checked out from the pool. Drop-in for
+/// PinnedBuffer<T> (data()/size()/span()); a pool hit skips the modeled
+/// page-lock cost entirely — the mechanism behind flat pinned-alloc time
+/// across reuse sweeps.
+template <typename T>
+class PooledPinnedBuffer {
+ public:
+  PooledPinnedBuffer() = default;
+
+  PooledPinnedBuffer(Device& device, std::size_t count)
+      : device_(&device), count_(count) {
+    checkout_ = device.pool().acquire(count * sizeof(T), /*pinned=*/true);
+  }
+
+  PooledPinnedBuffer(PooledPinnedBuffer&& o) noexcept
+      : device_(std::exchange(o.device_, nullptr)),
+        checkout_(std::exchange(o.checkout_, {})),
+        count_(std::exchange(o.count_, 0)) {}
+
+  PooledPinnedBuffer& operator=(PooledPinnedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = std::exchange(o.device_, nullptr);
+      checkout_ = std::exchange(o.checkout_, {});
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+
+  PooledPinnedBuffer(const PooledPinnedBuffer&) = delete;
+  PooledPinnedBuffer& operator=(const PooledPinnedBuffer&) = delete;
+
+  ~PooledPinnedBuffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return static_cast<T*>(checkout_.data); }
+  [[nodiscard]] const T* data() const noexcept {
+    return static_cast<const T*>(checkout_.data);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return count_ * sizeof(T);
+  }
+  [[nodiscard]] bool fresh() const noexcept { return checkout_.fresh; }
+  [[nodiscard]] std::span<T> span() noexcept { return {data(), count_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data(), count_};
+  }
+
+ private:
+  void release() noexcept {
+    if (device_ != nullptr && checkout_.data != nullptr) {
+      device_->pool().release(checkout_);
+    }
+    device_ = nullptr;
+    checkout_ = {};
+    count_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  BufferPool::Checkout checkout_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace cudasim

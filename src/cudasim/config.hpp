@@ -42,6 +42,14 @@ struct DeviceConfig {
   double pinned_alloc_base_us = 80.0;
   double pinned_alloc_gbps = 8.0;  ///< page-locking throughput
 
+  // --- reference host ---
+  /// Cores of the host driving the device (paper era: dual Xeon E5-2620).
+  /// Host-side table work that parallelizes across rows (e.g. the
+  /// half-table expansion) is charged at its critical path over this many
+  /// workers, matching how per-stream appends are assumed to run on their
+  /// own cores.
+  int host_cores = 12;
+
   /// Peak single-precision FLOP/s implied by the model.
   [[nodiscard]] double peak_flops() const noexcept {
     return static_cast<double>(sm_count) * cores_per_sm * clock_ghz * 1e9 *

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/fault.hpp"
 #include "obs/trace.hpp"
 
@@ -30,6 +31,7 @@ namespace {
 Device::Device(DeviceConfig config, SimulationOptions options)
     : config_(config), options_(options), id_(next_device_id()) {
   executor_ = std::make_unique<hdbscan::ThreadPool>(options_.executor_threads);
+  pool_ = std::make_unique<BufferPool>(*this);
 }
 
 Device::~Device() = default;
@@ -232,6 +234,20 @@ void Device::record_sort(double modeled_seconds) {
 void Device::record_scan(double modeled_seconds) {
   std::lock_guard lock(mutex_);
   metrics_.scan_seconds += modeled_seconds;
+}
+
+void Device::record_pool(bool pinned, bool hit) {
+  std::lock_guard lock(mutex_);
+  if (pinned) {
+    hit ? ++metrics_.pool_pinned_hits : ++metrics_.pool_pinned_misses;
+  } else {
+    hit ? ++metrics_.pool_device_hits : ++metrics_.pool_device_misses;
+  }
+}
+
+void Device::record_pool_trim(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  metrics_.pool_trim_bytes += bytes;
 }
 
 void Device::blocking_transfer(void* dst, const void* src, std::size_t bytes,

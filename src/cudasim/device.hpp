@@ -13,6 +13,8 @@
 
 namespace cudasim {
 
+class BufferPool;
+
 /// A simulated CUDA device. Thread-safe. Buffers, streams, and kernel
 /// launches all reference a Device; it must outlive them.
 class Device {
@@ -48,6 +50,11 @@ class Device {
   /// Pool that executes kernel thread blocks ("the SMs").
   [[nodiscard]] hdbscan::ThreadPool& executor() noexcept { return *executor_; }
 
+  /// Per-device buffer pool for pinned staging and device scratch (see
+  /// cudasim/buffer_pool.hpp). Owned by the device so cached blocks share
+  /// its lifetime and capacity accounting.
+  [[nodiscard]] BufferPool& pool() noexcept { return *pool_; }
+
   [[nodiscard]] DeviceMetrics metrics() const;
   void reset_metrics();
 
@@ -68,6 +75,8 @@ class Device {
   void record_transfer(std::size_t bytes, bool to_device, double seconds);
   void record_sort(double modeled_seconds);
   void record_scan(double modeled_seconds);
+  void record_pool(bool pinned, bool hit);
+  void record_pool_trim(std::size_t bytes);
 
   /// Sleep `seconds` minus `already_spent` when throttling is enabled.
   void throttle_sleep(double seconds, double already_spent,
@@ -94,6 +103,9 @@ class Device {
   mutable std::mutex mutex_;
   std::size_t used_bytes_ = 0;
   DeviceMetrics metrics_;
+  // Declared last: destroyed first, returning cached blocks while the
+  // accounting members above are still alive.
+  std::unique_ptr<BufferPool> pool_;
 };
 
 }  // namespace cudasim

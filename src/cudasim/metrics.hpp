@@ -83,6 +83,13 @@ struct DeviceMetrics {
   std::size_t current_mem_bytes = 0;
   std::size_t peak_mem_bytes = 0;
 
+  // --- buffer-pool accounting (see cudasim/buffer_pool.hpp) ---
+  std::uint64_t pool_device_hits = 0;    ///< device checkouts served cached
+  std::uint64_t pool_device_misses = 0;  ///< device checkouts that allocated
+  std::uint64_t pool_pinned_hits = 0;    ///< pinned checkouts served cached
+  std::uint64_t pool_pinned_misses = 0;  ///< pinned checkouts that page-locked
+  std::uint64_t pool_trim_bytes = 0;     ///< device bytes freed by OOM trims
+
   // --- fault-injection accounting (zero unless a FaultInjector fired) ---
   std::uint64_t injected_oom_faults = 0;       ///< scripted alloc failures
   std::uint64_t injected_transient_faults = 0; ///< scripted launch faults

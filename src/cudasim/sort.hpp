@@ -16,9 +16,11 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/metrics.hpp"
 #include "obs/trace.hpp"
@@ -49,18 +51,21 @@ inline double modeled_pinned_alloc_seconds(const DeviceConfig& cfg,
 }
 
 /// Sorts `count` records of `buf` in place by the 32-bit key extracted by
-/// `key_of`. Runs synchronously on the calling thread (enqueue it on a
-/// Stream via host_fn/sort_by_key_async for stream-ordered execution).
-template <typename KV, typename KeyFn>
-void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
-                 KeyFn key_of) {
+/// `key_of`. Works on DeviceBuffer or PooledDeviceBuffer (anything with
+/// device_data()/size()). Runs synchronously on the calling thread
+/// (enqueue it on a Stream via host_fn for stream-ordered execution).
+/// The Thrust-style scratch allocation comes from the device's buffer
+/// pool, so repeated sorts stop churning device malloc/free.
+template <typename Buf, typename KeyFn>
+void sort_by_key(Device& device, Buf& buf, std::size_t count, KeyFn key_of) {
+  using KV = std::remove_reference_t<decltype(buf.device_data()[0])>;
   if (count > buf.size()) {
     throw SimError("sort_by_key: count exceeds buffer size");
   }
   device.fault_on_device_op();  // throws DeviceLost once the device is gone
   TRACE_SPAN("sort", "sort_by_key d%u n=%zu", device.id(), count);
   if (count > 1) {
-    DeviceBuffer<KV> temp(device, count);  // Thrust-style scratch allocation
+    PooledDeviceBuffer<KV> temp(device, count);  // pooled scratch
     KV* a = buf.device_data();
     KV* b = temp.device_data();
     std::array<std::uint32_t, 256> histogram{};
@@ -93,9 +98,9 @@ void sort_by_key(Device& device, DeviceBuffer<KV>& buf, std::size_t count,
 /// place: buf[i] becomes sum(buf[0..i)), and the grand total is returned.
 /// Runs synchronously on the calling thread, like sort_by_key; the modeled
 /// Blelloch-scan cost is recorded against the device (metrics.hpp).
-template <typename T>
-std::uint64_t exclusive_scan(Device& device, DeviceBuffer<T>& buf,
-                             std::size_t count) {
+template <typename Buf>
+std::uint64_t exclusive_scan(Device& device, Buf& buf, std::size_t count) {
+  using T = std::remove_reference_t<decltype(buf.device_data()[0])>;
   if (count > buf.size()) {
     throw SimError("exclusive_scan: count exceeds buffer size");
   }

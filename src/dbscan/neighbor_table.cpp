@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/timer.hpp"
+
 namespace hdbscan {
 
 void NeighborTable::append_sorted_batch(std::span<const NeighborPair> pairs) {
@@ -86,10 +88,139 @@ void NeighborTable::absorb_shard(NeighborTable&& shard) {
   values_.insert(values_.end(), shard.values_.begin(), shard.values_.end());
 }
 
+double NeighborTable::expand_half_table(unsigned num_threads) {
+  const std::size_t n = begin_.size();
+  if (n == 0) return 0.0;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Thread spawn overhead beats the work itself on small tables.
+  if (values_.size() < 1u << 15) num_threads = 1;
+  const unsigned W = num_threads;
+  const std::size_t chunk = (n + W - 1) / W;
+
+  // Worker boundaries. Pass 2a's work is uniform per row, but passes 1
+  // and 3 walk the values, so their chunks are balanced by *pair count* —
+  // on clustered data equal row counts leave one worker holding most of
+  // the values, and the critical path is the slowest worker.
+  std::vector<std::size_t> row_cuts(W + 1), pair_cuts(W + 1, n);
+  for (unsigned w = 0; w <= W; ++w) {
+    row_cuts[w] = std::min(n, static_cast<std::size_t>(w) * chunk);
+  }
+  pair_cuts[0] = 0;
+  {
+    const std::uint64_t total = values_.size();
+    std::uint64_t acc = 0;
+    unsigned w = 1;
+    for (std::size_t k = 0; k < n && w < W; ++k) {
+      acc += end_[k] - begin_[k];
+      while (w < W && acc * W >= total * w) pair_cuts[w++] = k + 1;
+    }
+  }
+
+  double critical_seconds = 0.0;
+  // Runs fn(w, cuts[w], cuts[w+1]) per worker and accumulates the slowest
+  // worker's CPU time — the pass's critical path on a host with a core
+  // per worker (this is what a performance model should charge; wall time
+  // here would measure this machine's core count, not the work).
+  auto parallel_rows = [&](const std::vector<std::size_t>& cuts, auto&& fn) {
+    if (W <= 1) {
+      ThreadCpuTimer timer;
+      fn(0u, std::size_t{0}, n);
+      critical_seconds += timer.seconds();
+      return;
+    }
+    std::vector<double> cpu(W, 0.0);
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < W; ++w) {
+      const std::size_t lo = cuts[w];
+      const std::size_t hi = cuts[w + 1];
+      if (lo >= hi) continue;
+      workers.emplace_back([&fn, &cpu, w, lo, hi] {
+        ThreadCpuTimer timer;
+        fn(w, lo, hi);
+        cpu[w] = timer.seconds();
+      });
+    }
+    for (auto& t : workers) t.join();
+    critical_seconds += *std::max_element(cpu.begin(), cpu.end());
+  };
+
+  // The expansion is a counting-sort transpose with per-worker histograms
+  // — no atomics anywhere, every cursor is thread-private.
+  //
+  // Pass 1: worker w histograms the back contributions of its row chunk
+  // into its private block back[w*n ...] (one entry per destination row).
+  std::vector<std::uint32_t> back(static_cast<std::size_t>(W) * n, 0);
+  parallel_rows(pair_cuts, [&](unsigned w, std::size_t lo, std::size_t hi) {
+    std::uint32_t* mine = back.data() + static_cast<std::size_t>(w) * n;
+    for (std::size_t k = lo; k < hi; ++k) {
+      for (std::uint32_t a = begin_[k]; a < end_[k]; ++a) {
+        const PointId v = values_[a];
+        if (v != static_cast<PointId>(k)) ++mine[v];
+      }
+    }
+  });
+
+  // Pass 2a: per destination row, turn the worker histograms into
+  // exclusive per-worker offsets and total the row's back contributions.
+  std::vector<std::uint32_t> row_extra(n);
+  parallel_rows(row_cuts, [&](unsigned, std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      std::uint32_t running = 0;
+      for (unsigned w = 0; w < W; ++w) {
+        std::uint32_t& slot = back[static_cast<std::size_t>(w) * n + v];
+        const std::uint32_t c = slot;
+        slot = running;
+        running += c;
+      }
+      row_extra[v] = running;
+    }
+  });
+
+  // Pass 2b: serial prefix sum into the new layout; fwd_base[v] is where
+  // row v's back contributions start (right after its forward segment).
+  ThreadCpuTimer serial_timer;
+  std::vector<std::uint32_t> new_begin(n), new_end(n), fwd_base(n);
+  std::uint64_t running = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t len = end_[k] - begin_[k];
+    new_begin[k] = static_cast<std::uint32_t>(running);
+    fwd_base[k] = static_cast<std::uint32_t>(running + len);
+    running += len + row_extra[k];
+    new_end[k] = static_cast<std::uint32_t>(running);
+  }
+  // ValueVector skips zero-fill: every slot is written below (forward
+  // copies fill [new_begin, fwd_base), the scatter fills the rest).
+  ValueVector new_values(running);
+  critical_seconds += serial_timer.seconds();
+
+  // Pass 3: copy each forward segment into place, and scatter the chunk's
+  // transposes through the worker's private cursors (back[w*n + v] now
+  // counts how many this worker has already placed for row v).
+  parallel_rows(pair_cuts, [&](unsigned w, std::size_t lo, std::size_t hi) {
+    std::uint32_t* mine = back.data() + static_cast<std::size_t>(w) * n;
+    for (std::size_t k = lo; k < hi; ++k) {
+      std::copy(values_.begin() + begin_[k], values_.begin() + end_[k],
+                new_values.begin() + new_begin[k]);
+      for (std::uint32_t a = begin_[k]; a < end_[k]; ++a) {
+        const PointId v = values_[a];
+        if (v == static_cast<PointId>(k)) continue;
+        new_values[fwd_base[v] + mine[v]++] = static_cast<PointId>(k);
+      }
+    }
+  });
+
+  begin_ = std::move(new_begin);
+  end_ = std::move(new_end);
+  values_ = std::move(new_values);
+  return critical_seconds;
+}
+
 void NeighborTable::canonicalize() {
   std::vector<std::uint32_t> new_begin(begin_.size(), 0);
   std::vector<std::uint32_t> new_end(end_.size(), 0);
-  std::vector<PointId> new_values;
+  ValueVector new_values;
   new_values.reserve(values_.size());
   for (std::size_t k = 0; k < begin_.size(); ++k) {
     const std::size_t run_begin = new_values.size();
@@ -107,7 +238,8 @@ void NeighborTable::canonicalize() {
 NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
                                                 float eps,
                                                 std::uint32_t first_key,
-                                                std::uint32_t key_stride) {
+                                                std::uint32_t key_stride,
+                                                ScanMode mode) {
   if (key_stride == 0) {
     throw std::invalid_argument("build_neighbor_table_host_strided: stride 0");
   }
@@ -116,7 +248,11 @@ NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
   std::vector<PointId> neighbors;
   std::vector<NeighborPair> pairs;
   for (std::uint64_t key = first_key; key < n; key += key_stride) {
-    grid_query(index, index.points[key], eps, neighbors);
+    if (mode == ScanMode::kHalf) {
+      grid_query_forward(index, static_cast<PointId>(key), eps, neighbors);
+    } else {
+      grid_query(index, index.points[key], eps, neighbors);
+    }
     pairs.clear();
     pairs.reserve(neighbors.size());
     for (const PointId v : neighbors) {

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/default_init.hpp"
 #include "common/types.hpp"
 #include "index/grid_index.hpp"
 
@@ -75,6 +76,22 @@ class NeighborTable {
     values_.reserve(expected_pairs);
   }
 
+  /// Expands a *forward half* table into the full symmetric table. The
+  /// batched ScanMode::kHalf pipelines ship only forward rows over PCIe —
+  /// row k holds the neighbors the kernel tested from k's side (self,
+  /// same-cell ids >= k, forward-stencil cells). Every cross pair (k, v)
+  /// appears in exactly one of the two rows, so the full table is the
+  /// forward rows plus the transpose of every cross pair: a count /
+  /// prefix-sum / copy / scatter pass, parallelized over rows with atomic
+  /// cursors. Call once, after all shards are merged. `num_threads` 0 =
+  /// hardware concurrency.
+  ///
+  /// Returns the expansion's critical-path CPU seconds: the serial passes
+  /// plus, per parallel pass, the slowest worker's thread CPU time. This
+  /// is the number a performance model should charge — it reflects the
+  /// work per core, not this machine's core count or scheduling noise.
+  double expand_half_table(unsigned num_threads = 0);
+
   /// Rewrites the table into its canonical form: values laid out in
   /// ascending key order with each neighbor list sorted. Any two tables
   /// holding the same neighborhood sets — whatever batch interleave, split
@@ -95,9 +112,13 @@ class NeighborTable {
   }
 
  private:
+  /// B grows by whole batches whose every slot is immediately written, so
+  /// the vector skips zero-fill on growth (DefaultInitAllocator).
+  using ValueVector = std::vector<PointId, DefaultInitAllocator<PointId>>;
+
   std::vector<std::uint32_t> begin_;  ///< Tmin per point (index into B)
   std::vector<std::uint32_t> end_;    ///< Tmax per point (one past last)
-  std::vector<PointId> values_;       ///< B
+  ValueVector values_;                ///< B
 };
 
 /// CPU-only construction of T straight from a grid index — the host
@@ -118,9 +139,11 @@ NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
 /// when every device is lost mid-build, the builder completes exactly the
 /// unfinished batches on the host and absorbs the shards, keeping all
 /// GPU-completed work. The shard is absorb_shard()-compatible.
-NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
-                                                float eps,
-                                                std::uint32_t first_key,
-                                                std::uint32_t key_stride);
+/// Under ScanMode::kHalf the shard holds *forward* rows (grid_query_forward)
+/// so it composes with device-built half shards; the builder expands the
+/// merged table once at the end.
+NeighborTable build_neighbor_table_host_strided(
+    const GridIndex& index, float eps, std::uint32_t first_key,
+    std::uint32_t key_stride, ScanMode mode = ScanMode::kFull);
 
 }  // namespace hdbscan

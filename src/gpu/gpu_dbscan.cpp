@@ -3,10 +3,12 @@
 #include <array>
 #include <atomic>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/kernel.hpp"
 #include "cudasim/sort.hpp"
 #include "cudasim/stream.hpp"
@@ -199,15 +201,22 @@ ClusterResult gpu_dbscan(cudasim::Device& device, const GridIndex& index,
       BorderKernel{view, eps2, core.device_data(), labels.device_data()});
   local.modeled_seconds += stats.modeled_seconds;
 
-  // Only the labels cross the bus.
-  std::vector<std::uint32_t> host_labels(n);
-  device.blocking_transfer(host_labels.data(), labels.device_data(),
+  // Only the labels cross the bus — through pooled pinned staging, so the
+  // transfer runs at the page-locked rate and the lock cost amortizes
+  // across calls on the same device.
+  cudasim::PooledPinnedBuffer<std::uint32_t> label_staging(device, n);
+  device.blocking_transfer(label_staging.data(), labels.device_data(),
                            n * sizeof(std::uint32_t), /*to_device=*/false,
-                           /*pinned_host=*/false);
+                           /*pinned_host=*/true);
+  const std::span<const std::uint32_t> host_labels = label_staging.span();
   local.d2h_bytes = n * sizeof(std::uint32_t);
   local.modeled_seconds +=
       cudasim::modeled_transfer_seconds(device.config(), local.d2h_bytes,
-                                        false);
+                                        true);
+  if (label_staging.fresh()) {
+    local.modeled_seconds += cudasim::modeled_pinned_alloc_seconds(
+        device.config(), local.d2h_bytes);
+  }
 
   // Host: renumber component representatives into dense cluster ids.
   ClusterResult result;

@@ -8,6 +8,58 @@ namespace hdbscan::gpu {
 
 namespace {
 
+/// Candidate traversal shared by the per-point kernel bodies. Calls
+/// `emit(candidate)` for every candidate within eps of `point`, charging
+/// the per-candidate reads (lookup id 4 B + point 8 B) and the 6-op
+/// squared-distance test.
+///
+/// kFull walks the whole 9-cell stencil — every qualifying pair (i, j) is
+/// tested from both sides. kHalf tests each pair exactly once: the own
+/// cell contributes only the suffix of candidates at/after the query's own
+/// lookup position (found by binary search over the cell's ascending slice
+/// of A — charged as log2 candidate-id reads), and only the forward half
+/// of the stencil is visited. Emissions are therefore forward rows only;
+/// symmetry is restored downstream (NeighborTable::expand_half_table).
+template <typename Emit>
+void for_each_neighbor(const GridView& view, ScanMode mode, PointId pid,
+                       const Point2& point, float eps2,
+                       cudasim::ThreadCtx& ctx, Emit&& emit) {
+  auto scan_range = [&](std::uint32_t begin, std::uint32_t end) {
+    const std::uint32_t candidates = end - begin;
+    ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
+                           (sizeof(PointId) + sizeof(Point2)));
+    ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
+    for (std::uint32_t a = begin; a < end; ++a) {
+      const PointId candidate = view.lookup[a];
+      if (dist2(point, view.points[candidate]) <= eps2) emit(candidate);
+    }
+  };
+
+  const std::uint32_t cell = view.params.linear_cell(point);
+  std::array<std::uint32_t, 9> cell_ids{};
+  unsigned ncells = 0;
+  if (mode == ScanMode::kHalf) {
+    const CellRange own = view.cells[cell];
+    ctx.count_global_bytes(sizeof(CellRange));
+    const PointId* first = view.lookup + own.begin;
+    const PointId* last = view.lookup + own.end;
+    const PointId* lo = std::lower_bound(first, last, pid);
+    unsigned probes = 0;
+    while ((1u << probes) < own.count()) ++probes;
+    ctx.count_global_bytes(static_cast<std::uint64_t>(probes) *
+                           sizeof(PointId));
+    scan_range(static_cast<std::uint32_t>(lo - view.lookup), own.end);
+    ncells = get_forward_neighbor_cells(view.params, cell, cell_ids);
+  } else {
+    ncells = get_neighbor_cells(view.params, cell, cell_ids);
+  }
+  for (unsigned c = 0; c < ncells; ++c) {
+    const CellRange range = view.cells[cell_ids[c]];
+    ctx.count_global_bytes(sizeof(CellRange));
+    scan_range(range.begin, range.end);
+  }
+}
+
 /// Per-thread body of GPUCalcGlobal (paper Alg. 2, with the batching
 /// transformation of §VI: the processed point is gid * n_b + l).
 struct GlobalKernelBody {
@@ -15,6 +67,7 @@ struct GlobalKernelBody {
   float eps2;
   BatchSpec batch;
   ResultSinkView sink;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
@@ -27,27 +80,10 @@ struct GlobalKernelBody {
     ctx.count_global_bytes(sizeof(Point2));
 
     StagedSink staged(sink);
-    std::array<std::uint32_t, 9> cell_ids{};
-    const unsigned ncells =
-        get_neighbor_cells(view.params, view.params.linear_cell(point),
-                           cell_ids);
-    for (unsigned c = 0; c < ncells; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange));
-      const std::uint32_t candidates = range.count();
-      // Per candidate: lookup id (4 B) + point (8 B) from global memory,
-      // and the 6-op squared-distance test.
-      ctx.count_global_bytes(
-          static_cast<std::uint64_t>(candidates) *
-          (sizeof(PointId) + sizeof(Point2)));
-      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        const PointId candidate = view.lookup[a];
-        if (dist2(point, view.points[candidate]) <= eps2) {
-          staged.push(NeighborPair{pid, candidate}, ctx);
-        }
-      }
-    }
+    for_each_neighbor(view, mode, pid, point, eps2, ctx,
+                      [&](PointId candidate) {
+                        staged.push(NeighborPair{pid, candidate}, ctx);
+                      });
     staged.flush(ctx);
   }
 };
@@ -57,6 +93,7 @@ struct SharedKernelParams {
   const std::uint32_t* schedule;
   float eps2;
   ResultSinkView sink;
+  ScanMode mode;
 };
 
 // Shared-memory arena layout for GPUCalcShared (block size B):
@@ -90,11 +127,25 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
   const std::uint32_t cell_to_proc = p.schedule[ctx.block_idx];
   ctx.count_global_bytes(sizeof(std::uint32_t));
 
-  // Thread 0 publishes the adjacent cell ids (Alg. 3 lines 8-10).
+  // Thread 0 publishes the comparison cell ids (Alg. 3 lines 8-10). In
+  // kHalf the list is the own cell first (compared under the id >= mine
+  // rule) followed by the forward stencil; every qualifying pair is then
+  // tested by exactly one block and emitted in both directions on the
+  // spot (push_dual), so this kernel's output is the full table with no
+  // host-side expansion step.
+  const bool half = p.mode == ScanMode::kHalf;
   if (tid == 0) {
     std::array<std::uint32_t, 9> tmp{};
-    const unsigned n = get_neighbor_cells(p.view.params, cell_to_proc, tmp);
-    for (unsigned c = 0; c < n; ++c) cell_ids[c] = tmp[c];
+    unsigned n = 0;
+    if (half) {
+      cell_ids[n++] = cell_to_proc;
+      const unsigned fwd =
+          get_forward_neighbor_cells(p.view.params, cell_to_proc, tmp);
+      for (unsigned c = 0; c < fwd; ++c) cell_ids[n++] = tmp[c];
+    } else {
+      n = get_neighbor_cells(p.view.params, cell_to_proc, tmp);
+      for (unsigned c = 0; c < n; ++c) cell_ids[c] = tmp[c];
+    }
     cell_count[0] = n;
     ctx.count_shared_bytes(4ull * n + 4);
   }
@@ -135,22 +186,39 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
         }
         co_await ctx.sync();
 
-        // Compare this thread's origin point against the whole tile
-        // (lines 19-22), everything served from shared memory.
+        // Compare this thread's origin point against the tile (lines
+        // 19-22), everything served from shared memory. In kHalf the
+        // own-cell tile (c == 0) only tests candidates with id >= mine —
+        // the ordering invariant's same-cell halving — and cross matches
+        // are emitted in both directions at once.
         if (has_origin) {
           const std::uint32_t tile =
               std::min<std::uint32_t>(bdim, comp_range.end - cbase);
           const Point2 mine = origin_pts[tid];
           const PointId my_id = origin_ids[tid];
-          ctx.count_shared_bytes(sizeof(Point2) + sizeof(PointId) +
-                                 static_cast<std::uint64_t>(tile) *
-                                     (sizeof(Point2) + sizeof(PointId)));
-          ctx.count_flops(static_cast<std::uint64_t>(tile) * 6);
+          const bool own_half = half && c == 0;
+          std::uint64_t tested = 0;
           for (std::uint32_t j = 0; j < tile; ++j) {
+            const PointId cand = comp_ids[j];
+            if (own_half && cand < my_id) continue;
+            ++tested;
             if (dist2(mine, comp_pts[j]) <= p.eps2) {
-              staged.push(NeighborPair{my_id, comp_ids[j]}, ctx);
+              if (!half) {
+                staged.push(NeighborPair{my_id, cand}, ctx);
+              } else if (cand == my_id) {
+                staged.push(NeighborPair{my_id, my_id}, ctx);
+              } else {
+                staged.push_dual(my_id, cand, ctx);
+              }
             }
           }
+          // Candidate ids are read for the whole tile (the filter needs
+          // them); points and the distance test only for tested ones.
+          ctx.count_shared_bytes(sizeof(Point2) + sizeof(PointId) +
+                                 static_cast<std::uint64_t>(tile) *
+                                     sizeof(PointId) +
+                                 tested * sizeof(Point2));
+          ctx.count_flops(tested * 6);
         }
         // Keep the tile stable until every thread is done comparing.
         co_await ctx.sync();
@@ -171,28 +239,20 @@ struct CountBatchKernelBody {
   float eps2;
   BatchSpec batch;
   std::uint32_t* counts;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
     if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2));
     std::uint32_t neighbors = 0;
-    std::array<std::uint32_t, 9> cell_ids{};
-    const unsigned ncells = get_neighbor_cells(
-        view.params, view.params.linear_cell(point), cell_ids);
-    for (unsigned c = 0; c < ncells; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange));
-      const std::uint32_t candidates = range.count();
-      ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
-                             (sizeof(PointId) + sizeof(Point2)));
-      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        neighbors += dist2(point, view.points[view.lookup[a]]) <= eps2;
-      }
-    }
+    // In kHalf the counts are *forward-row* lengths — no atomics on other
+    // rows; the host transpose restores the back rows after the merge.
+    for_each_neighbor(view, mode, pid, point, eps2, ctx,
+                      [&](PointId) { ++neighbors; });
     counts[gid] = neighbors;
     ctx.count_global_bytes(sizeof(std::uint32_t));
   }
@@ -209,32 +269,21 @@ struct FillCsrKernelBody {
   BatchSpec batch;
   const std::uint32_t* offsets;
   PointId* values;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
     if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2) + sizeof(std::uint32_t));
     PointId* out = values + offsets[gid];
-    std::array<std::uint32_t, 9> cell_ids{};
-    const unsigned ncells = get_neighbor_cells(
-        view.params, view.params.linear_cell(point), cell_ids);
-    for (unsigned c = 0; c < ncells; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange));
-      const std::uint32_t candidates = range.count();
-      ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
-                             (sizeof(PointId) + sizeof(Point2)));
-      ctx.count_flops(static_cast<std::uint64_t>(candidates) * 6);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        const PointId candidate = view.lookup[a];
-        if (dist2(point, view.points[candidate]) <= eps2) {
-          *out++ = candidate;
-          ctx.count_global_bytes(sizeof(PointId));
-        }
-      }
-    }
+    for_each_neighbor(view, mode, pid, point, eps2, ctx,
+                      [&](PointId candidate) {
+                        *out++ = candidate;
+                        ctx.count_global_bytes(sizeof(PointId));
+                      });
   }
 };
 
@@ -282,30 +331,30 @@ struct CountKernelBody {
 cudasim::KernelStats run_calc_global(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, ResultSinkView sink,
-                                     unsigned block_size) {
+                                     ScanMode mode, unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = grid_dim_for(points, block_size);
-  GlobalKernelBody body{view, eps * eps, batch, sink};
+  GlobalKernelBody body{view, eps * eps, batch, sink, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
 }
 
 void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
                          float eps, BatchSpec batch, ResultSinkView sink,
-                         cudasim::KernelStats* stats_out,
+                         ScanMode mode, cudasim::KernelStats* stats_out,
                          unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = grid_dim_for(points, block_size);
-  GlobalKernelBody body{view, eps * eps, batch, sink};
+  GlobalKernelBody body{view, eps * eps, batch, sink, mode};
   stream.launch(grid, block_size, body, stats_out);
 }
 
 cudasim::KernelStats run_count_batch(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, std::uint32_t* counts,
-                                     unsigned block_size) {
+                                     ScanMode mode, unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = grid_dim_for(points, block_size);
-  CountBatchKernelBody body{view, eps * eps, batch, counts};
+  CountBatchKernelBody body{view, eps * eps, batch, counts, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
 }
 
@@ -313,10 +362,11 @@ cudasim::KernelStats run_fill_csr(cudasim::Device& device,
                                   const GridView& view, float eps,
                                   BatchSpec batch,
                                   const std::uint32_t* offsets,
-                                  PointId* values, unsigned block_size) {
+                                  PointId* values, ScanMode mode,
+                                  unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = grid_dim_for(points, block_size);
-  FillCsrKernelBody body{view, eps * eps, batch, offsets, values};
+  FillCsrKernelBody body{view, eps * eps, batch, offsets, values, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
 }
 
@@ -330,9 +380,9 @@ cudasim::KernelStats run_calc_shared(cudasim::Device& device,
                                      const GridView& view,
                                      const std::uint32_t* schedule,
                                      std::uint32_t num_cells, float eps,
-                                     ResultSinkView sink,
+                                     ResultSinkView sink, ScanMode mode,
                                      unsigned block_size) {
-  SharedKernelParams params{view, schedule, eps * eps, sink};
+  SharedKernelParams params{view, schedule, eps * eps, sink, mode};
   auto gen = [params](cudasim::CoopCtx& ctx) {
     return shared_kernel_thread(ctx, params);
   };
@@ -342,10 +392,10 @@ cudasim::KernelStats run_calc_shared(cudasim::Device& device,
 
 void enqueue_calc_shared(cudasim::Stream& stream, const GridView& view,
                          const std::uint32_t* schedule, std::uint32_t num_cells,
-                         float eps, ResultSinkView sink,
+                         float eps, ResultSinkView sink, ScanMode mode,
                          cudasim::KernelStats* stats_out,
                          unsigned block_size) {
-  SharedKernelParams params{view, schedule, eps * eps, sink};
+  SharedKernelParams params{view, schedule, eps * eps, sink, mode};
   auto gen = [params](cudasim::CoopCtx& ctx) {
     return shared_kernel_thread(ctx, params);
   };

@@ -43,51 +43,65 @@ struct BatchSpec {
 };
 
 /// GPUCalcGlobal, synchronous (runs on the calling thread + executor pool).
+/// Under ScanMode::kHalf each candidate pair is tested once and only the
+/// *forward* rows are emitted (same-cell candidates at/after the query's
+/// lookup position plus the forward stencil); the caller restores symmetry
+/// afterwards via NeighborTable::expand_half_table.
 cudasim::KernelStats run_calc_global(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, ResultSinkView sink,
+                                     ScanMode mode = ScanMode::kFull,
                                      unsigned block_size = kDefaultBlockSize);
 
 /// GPUCalcGlobal, enqueued on a stream. `stats_out` (optional) is written
 /// when the launch completes.
 void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
                          float eps, BatchSpec batch, ResultSinkView sink,
+                         ScanMode mode = ScanMode::kFull,
                          cudasim::KernelStats* stats_out = nullptr,
                          unsigned block_size = kDefaultBlockSize);
 
 /// GPUCalcShared, synchronous. `schedule` maps each block to a (non-empty)
-/// cell id; `num_cells` is the grid dimension.
+/// cell id; `num_cells` is the grid dimension. Under ScanMode::kHalf each
+/// pair is tested once and emitted in both directions device-side
+/// (StagedSink::push_dual), so the output is already the full table.
 cudasim::KernelStats run_calc_shared(cudasim::Device& device,
                                      const GridView& view,
                                      const std::uint32_t* schedule,
                                      std::uint32_t num_cells, float eps,
                                      ResultSinkView sink,
+                                     ScanMode mode = ScanMode::kFull,
                                      unsigned block_size = kDefaultBlockSize);
 
 /// GPUCalcShared, enqueued on a stream.
 void enqueue_calc_shared(cudasim::Stream& stream, const GridView& view,
                          const std::uint32_t* schedule, std::uint32_t num_cells,
                          float eps, ResultSinkView sink,
+                         ScanMode mode = ScanMode::kFull,
                          cudasim::KernelStats* stats_out = nullptr,
                          unsigned block_size = kDefaultBlockSize);
 
 /// Two-pass CSR builder, pass 1: per-point neighbor counts for one batch.
 /// Thread g writes |N_eps(point g of the batch)| to counts[g]
 /// (counts must hold batch.points_in_batch(n) entries). No atomics.
+/// Under ScanMode::kHalf counts[g] is the *forward-row* length (still no
+/// atomics — the host transpose restores back rows after the merge).
 cudasim::KernelStats run_count_batch(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, std::uint32_t* counts,
+                                     ScanMode mode = ScanMode::kFull,
                                      unsigned block_size = kDefaultBlockSize);
 
 /// Two-pass CSR builder, pass 2: fills neighbor ids into exact CSR slots.
 /// `offsets` is the exclusive prefix scan of the pass-1 counts; thread g
 /// writes its neighbors at values[offsets[g]...]. No atomics, no sort
-/// needed afterwards.
+/// needed afterwards. `mode` must match the count pass.
 cudasim::KernelStats run_fill_csr(cudasim::Device& device,
                                   const GridView& view, float eps,
                                   BatchSpec batch,
                                   const std::uint32_t* offsets,
                                   PointId* values,
+                                  ScanMode mode = ScanMode::kFull,
                                   unsigned block_size = kDefaultBlockSize);
 
 /// Shared-memory bytes GPUCalcShared needs for a given block size (origin

@@ -1,5 +1,6 @@
 #include "gpu/kernels3.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 
@@ -7,35 +8,68 @@ namespace hdbscan::gpu {
 
 namespace {
 
+/// 3-D analog of the 2-D for_each_neighbor: kFull walks the 27-cell
+/// stencil, kHalf tests each pair once (own-cell suffix via binary search
+/// plus the forward 13-cell stencil) and emits forward rows only.
+template <typename Emit>
+void for_each_neighbor3(const GridView3& view, ScanMode mode, PointId pid,
+                        const Point3& point, float eps2,
+                        cudasim::ThreadCtx& ctx, Emit&& emit) {
+  auto scan_range = [&](std::uint32_t begin, std::uint32_t end) {
+    const std::uint32_t candidates = end - begin;
+    ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
+                           (sizeof(PointId) + sizeof(Point3)));
+    ctx.count_flops(static_cast<std::uint64_t>(candidates) * 9);
+    for (std::uint32_t a = begin; a < end; ++a) {
+      const PointId candidate = view.lookup[a];
+      if (dist2(point, view.points[candidate]) <= eps2) emit(candidate);
+    }
+  };
+
+  const std::uint32_t cell = view.params.linear_cell(point);
+  std::array<std::uint32_t, 27> cell_ids{};
+  unsigned ncells = 0;
+  if (mode == ScanMode::kHalf) {
+    const CellRange own = view.cells[cell];
+    ctx.count_global_bytes(sizeof(CellRange));
+    const PointId* first = view.lookup + own.begin;
+    const PointId* last = view.lookup + own.end;
+    const PointId* lo = std::lower_bound(first, last, pid);
+    unsigned probes = 0;
+    while ((1u << probes) < own.count()) ++probes;
+    ctx.count_global_bytes(static_cast<std::uint64_t>(probes) *
+                           sizeof(PointId));
+    scan_range(static_cast<std::uint32_t>(lo - view.lookup), own.end);
+    ncells = get_forward_neighbor_cells3(view.params, cell, cell_ids);
+  } else {
+    ncells = get_neighbor_cells3(view.params, cell, cell_ids);
+  }
+  for (unsigned c = 0; c < ncells; ++c) {
+    const CellRange range = view.cells[cell_ids[c]];
+    ctx.count_global_bytes(sizeof(CellRange));
+    scan_range(range.begin, range.end);
+  }
+}
+
 struct GlobalKernel3Body {
   GridView3 view;
   float eps2;
   BatchSpec batch;
   ResultSinkView sink;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
     if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
     const Point3 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point3));
     StagedSink staged(sink);
-    std::array<std::uint32_t, 27> cell_ids{};
-    const unsigned n = get_neighbor_cells3(
-        view.params, view.params.linear_cell(point), cell_ids);
-    for (unsigned c = 0; c < n; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange) +
-                             std::uint64_t(range.count()) *
-                                 (sizeof(PointId) + sizeof(Point3)));
-      ctx.count_flops(std::uint64_t(range.count()) * 9);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        const PointId candidate = view.lookup[a];
-        if (dist2(point, view.points[candidate]) <= eps2) {
-          staged.push({static_cast<PointId>(i), candidate}, ctx);
-        }
-      }
-    }
+    for_each_neighbor3(view, mode, pid, point, eps2, ctx,
+                       [&](PointId candidate) {
+                         staged.push(NeighborPair{pid, candidate}, ctx);
+                       });
     staged.flush(ctx);
   }
 };
@@ -47,27 +81,18 @@ struct CountBatch3Body {
   float eps2;
   BatchSpec batch;
   std::uint32_t* counts;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
     if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
     const Point3 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point3));
     std::uint32_t matches = 0;
-    std::array<std::uint32_t, 27> cell_ids{};
-    const unsigned n = get_neighbor_cells3(
-        view.params, view.params.linear_cell(point), cell_ids);
-    for (unsigned c = 0; c < n; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange) +
-                             std::uint64_t(range.count()) *
-                                 (sizeof(PointId) + sizeof(Point3)));
-      ctx.count_flops(std::uint64_t(range.count()) * 9);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        matches += dist2(point, view.points[view.lookup[a]]) <= eps2;
-      }
-    }
+    for_each_neighbor3(view, mode, pid, point, eps2, ctx,
+                       [&](PointId) { ++matches; });
     counts[gid] = matches;
     ctx.count_global_bytes(sizeof(std::uint32_t));
   }
@@ -81,31 +106,21 @@ struct FillCsr3Body {
   BatchSpec batch;
   const std::uint32_t* offsets;
   PointId* values;
+  ScanMode mode;
 
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
     if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
     const Point3 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point3) + sizeof(std::uint32_t));
     PointId* out = values + offsets[gid];
-    std::array<std::uint32_t, 27> cell_ids{};
-    const unsigned n = get_neighbor_cells3(
-        view.params, view.params.linear_cell(point), cell_ids);
-    for (unsigned c = 0; c < n; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
-      ctx.count_global_bytes(sizeof(CellRange) +
-                             std::uint64_t(range.count()) *
-                                 (sizeof(PointId) + sizeof(Point3)));
-      ctx.count_flops(std::uint64_t(range.count()) * 9);
-      for (std::uint32_t a = range.begin; a < range.end; ++a) {
-        const PointId candidate = view.lookup[a];
-        if (dist2(point, view.points[candidate]) <= eps2) {
-          *out++ = candidate;
-          ctx.count_global_bytes(sizeof(PointId));
-        }
-      }
-    }
+    for_each_neighbor3(view, mode, pid, point, eps2, ctx,
+                       [&](PointId candidate) {
+                         *out++ = candidate;
+                         ctx.count_global_bytes(sizeof(PointId));
+                       });
   }
 };
 
@@ -145,34 +160,36 @@ struct CountKernel3Body {
 cudasim::KernelStats run_calc_global3(cudasim::Device& device,
                                       const GridView3& view, float eps,
                                       BatchSpec batch, ResultSinkView sink,
-                                      unsigned block_size) {
+                                      ScanMode mode, unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = (points + block_size - 1) / block_size;
   return cudasim::run_flat_kernel(
-      device, grid, block_size, GlobalKernel3Body{view, eps * eps, batch, sink});
+      device, grid, block_size,
+      GlobalKernel3Body{view, eps * eps, batch, sink, mode});
 }
 
 cudasim::KernelStats run_count_batch3(cudasim::Device& device,
                                       const GridView3& view, float eps,
                                       BatchSpec batch, std::uint32_t* counts,
-                                      unsigned block_size) {
+                                      ScanMode mode, unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = (points + block_size - 1) / block_size;
   return cudasim::run_flat_kernel(
       device, grid, block_size,
-      CountBatch3Body{view, eps * eps, batch, counts});
+      CountBatch3Body{view, eps * eps, batch, counts, mode});
 }
 
 cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
                                    const GridView3& view, float eps,
                                    BatchSpec batch,
                                    const std::uint32_t* offsets,
-                                   PointId* values, unsigned block_size) {
+                                   PointId* values, ScanMode mode,
+                                   unsigned block_size) {
   const std::uint32_t points = batch.points_in_batch(view.num_points);
   const unsigned grid = (points + block_size - 1) / block_size;
   return cudasim::run_flat_kernel(
       device, grid, block_size,
-      FillCsr3Body{view, eps * eps, batch, offsets, values});
+      FillCsr3Body{view, eps * eps, batch, offsets, values, mode});
 }
 
 std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,

@@ -13,25 +13,30 @@
 namespace hdbscan::gpu {
 
 /// 3-D GPUCalcGlobal, synchronous; same strided batching as the 2-D kernel.
+/// ScanMode::kHalf tests each pair once and emits forward rows only (see
+/// run_calc_global).
 cudasim::KernelStats run_calc_global3(cudasim::Device& device,
                                       const GridView3& view, float eps,
                                       BatchSpec batch, ResultSinkView sink,
+                                      ScanMode mode = ScanMode::kFull,
                                       unsigned block_size = kDefaultBlockSize);
 
 /// 3-D two-pass CSR builder, pass 1: per-point neighbor counts (see the
-/// 2-D run_count_batch).
+/// 2-D run_count_batch). kHalf counts forward rows only.
 cudasim::KernelStats run_count_batch3(cudasim::Device& device,
                                       const GridView3& view, float eps,
                                       BatchSpec batch, std::uint32_t* counts,
+                                      ScanMode mode = ScanMode::kFull,
                                       unsigned block_size = kDefaultBlockSize);
 
 /// 3-D two-pass CSR builder, pass 2: fill into exact CSR slots (see the
-/// 2-D run_fill_csr).
+/// 2-D run_fill_csr). `mode` must match the count pass.
 cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
                                    const GridView3& view, float eps,
                                    BatchSpec batch,
                                    const std::uint32_t* offsets,
                                    PointId* values,
+                                   ScanMode mode = ScanMode::kFull,
                                    unsigned block_size = kDefaultBlockSize);
 
 /// 3-D neighbor-count kernel (estimator / exact census with stride 1).

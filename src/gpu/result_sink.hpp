@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/kernel.hpp"
 
 namespace hdbscan::gpu {
@@ -86,6 +87,15 @@ class StagedSink {
     if (count_ == kStageCapacity) flush(ctx);
   }
 
+  /// Dual-row append for ScanMode::kHalf: the pair was distance-tested
+  /// once but qualifies both rows, so emit (a, b) and its transpose
+  /// (b, a) together. Both land in the same staging buffer, so the
+  /// amortized cursor cost is unchanged.
+  void push_dual(PointId a, PointId b, cudasim::ThreadCtx& ctx) noexcept {
+    push(NeighborPair{a, b}, ctx);
+    push(NeighborPair{b, a}, ctx);
+  }
+
   void flush(cudasim::ThreadCtx& ctx) noexcept {
     if (count_ == 0) return;
     const std::uint64_t start = sink_.reserve(count_, ctx);
@@ -104,7 +114,9 @@ class StagedSink {
   std::size_t count_ = 0;
 };
 
-/// Owning device-side result buffer for one batch / stream.
+/// Owning device-side result buffer for one batch / stream. The backing
+/// storage is checked out of the device's buffer pool, so per-batch and
+/// per-variant construction stops paying device malloc/free.
 class ResultSetDevice {
  public:
   ResultSetDevice(cudasim::Device& device, std::uint64_t capacity)
@@ -140,7 +152,7 @@ class ResultSetDevice {
     return pairs_.size();
   }
 
-  [[nodiscard]] cudasim::DeviceBuffer<NeighborPair>& pairs() noexcept {
+  [[nodiscard]] cudasim::PooledDeviceBuffer<NeighborPair>& pairs() noexcept {
     return pairs_;
   }
 
@@ -151,7 +163,7 @@ class ResultSetDevice {
   }
 
  private:
-  cudasim::DeviceBuffer<NeighborPair> pairs_;
+  cudasim::PooledDeviceBuffer<NeighborPair> pairs_;
   std::atomic<std::uint64_t> cursor_{0};
   std::atomic<bool> overflow_{false};
 };

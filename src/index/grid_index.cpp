@@ -25,6 +25,24 @@ unsigned get_neighbor_cells(const GridParams& params, std::uint32_t cell,
   return n;
 }
 
+unsigned get_forward_neighbor_cells(
+    const GridParams& params, std::uint32_t cell,
+    std::array<std::uint32_t, 9>& out) noexcept {
+  const std::uint32_t cx = cell % params.cells_x;
+  const std::uint32_t cy = cell / params.cells_x;
+  unsigned n = 0;
+  // Row-major linearization: (+1, 0) and every dy = +1 cell have a larger
+  // linear id than `cell`; everything else is smaller.
+  if (cx + 1 < params.cells_x) out[n++] = cell + 1;
+  if (cy + 1 < params.cells_y) {
+    const std::uint32_t row = cell + params.cells_x;
+    if (cx > 0) out[n++] = row - 1;
+    out[n++] = row;
+    if (cx + 1 < params.cells_x) out[n++] = row + 1;
+  }
+  return n;
+}
+
 GridIndex build_grid_index(std::span<const Point2> input, float eps,
                            std::uint64_t max_cells) {
   if (input.empty()) throw std::invalid_argument("grid index: empty database");
@@ -104,6 +122,19 @@ GridIndex build_grid_index(std::span<const Point2> input, float eps,
     index.lookup[cursor[cell_of[i]]++] = static_cast<PointId>(i);
   }
 
+  // Ordering invariant: filling A in increasing point-index order with one
+  // cursor per cell leaves every cell's slice of A strictly ascending. The
+  // half-comparison kernels depend on this, so verify it here (one linear
+  // pass — noise next to the sorts above) rather than trusting it silently.
+  for (std::size_t a = 1; a < index.lookup.size(); ++a) {
+    if (cell_of[index.lookup[a - 1]] == cell_of[index.lookup[a]] &&
+        index.lookup[a - 1] >= index.lookup[a]) {
+      throw std::logic_error(
+          "grid index: lookup ids not ascending within a cell (ordering "
+          "invariant violated)");
+    }
+  }
+
   return index;
 }
 
@@ -119,6 +150,33 @@ void grid_query(const GridIndex& index, const Point2& q, float eps,
     for (std::uint32_t a = range.begin; a < range.end; ++a) {
       const PointId id = index.lookup[a];
       if (dist2(q, index.points[id]) <= eps2) out.push_back(id);
+    }
+  }
+}
+
+void grid_query_forward(const GridIndex& index, PointId query, float eps,
+                        std::vector<PointId>& out) {
+  out.clear();
+  const float eps2 = eps * eps;
+  const Point2 point = index.points[query];
+  const std::uint32_t cell = index.params.linear_cell(point);
+
+  // Same cell: the ordering invariant makes the slice of A ascending, so
+  // candidates with id >= query occupy a suffix starting at lower_bound.
+  const CellRange own = index.cells[cell];
+  const auto* first = index.lookup.data() + own.begin;
+  const auto* last = index.lookup.data() + own.end;
+  for (const auto* a = std::lower_bound(first, last, query); a != last; ++a) {
+    if (dist2(point, index.points[*a]) <= eps2) out.push_back(*a);
+  }
+
+  std::array<std::uint32_t, 9> cells{};
+  const unsigned n = get_forward_neighbor_cells(index.params, cell, cells);
+  for (unsigned c = 0; c < n; ++c) {
+    const CellRange range = index.cells[cells[c]];
+    for (std::uint32_t a = range.begin; a < range.end; ++a) {
+      const PointId id = index.lookup[a];
+      if (dist2(point, index.points[id]) <= eps2) out.push_back(id);
     }
   }
 }

@@ -70,6 +70,18 @@ struct GridParams {
 unsigned get_neighbor_cells(const GridParams& params, std::uint32_t cell,
                             std::array<std::uint32_t, 9>& out) noexcept;
 
+/// Forward half of the 9-cell stencil: the (at most 4) adjacent cells with
+/// linear id strictly greater than `cell` — (+1, 0) in the same row plus
+/// the whole dy = +1 row. Cell adjacency is symmetric, so every adjacent
+/// cell pair (a, b) with a != b appears in exactly one of the two forward
+/// stencils; a unidirectional scan (ScanMode::kHalf) therefore tests every
+/// cross-cell candidate pair exactly once. The cell itself is NOT included
+/// — same-cell pairs are halved by the ordering invariant instead (see
+/// build_grid_index).
+unsigned get_forward_neighbor_cells(const GridParams& params,
+                                    std::uint32_t cell,
+                                    std::array<std::uint32_t, 9>& out) noexcept;
+
 /// Host-resident grid index.
 struct GridIndex {
   GridParams params;
@@ -103,6 +115,15 @@ struct GridView {
 /// Throws std::invalid_argument for eps <= 0, an empty database, or a grid
 /// that would exceed `max_cells` (the same capacity concern a 5 GB GPU
 /// imposes on the cell array).
+///
+/// Ordering invariant (load-bearing for ScanMode::kHalf): within every
+/// cell's [begin, end) range the lookup array A stores point ids in
+/// strictly ascending order. The counting sort fills A by walking the
+/// (bin-sorted) database in index order with one cursor per cell, so ids
+/// land in each cell in increasing order by construction; the builder
+/// verifies this before returning. Half-comparison kernels rely on it to
+/// binary-search their own lookup position and scan only same-cell
+/// candidates with id >= their own.
 GridIndex build_grid_index(std::span<const Point2> input, float eps,
                            std::uint64_t max_cells = 1ull << 27);
 
@@ -110,5 +131,15 @@ GridIndex build_grid_index(std::span<const Point2> input, float eps,
 /// (into the index's reordered D) within eps of q.
 void grid_query(const GridIndex& index, const Point2& q, float eps,
                 std::vector<PointId>& out);
+
+/// Forward-only reference search mirroring the kernels' ScanMode::kHalf
+/// traversal for point id `query` (an id into the index's reordered D):
+/// same-cell candidates with id >= query (including query itself) plus all
+/// points of the forward-stencil cells, distance-filtered. The union of
+/// forward results over all queries, transposed, is the full neighbor
+/// table — the host-fallback shard builder and the equivalence tests use
+/// exactly this.
+void grid_query_forward(const GridIndex& index, PointId query, float eps,
+                        std::vector<PointId>& out);
 
 }  // namespace hdbscan

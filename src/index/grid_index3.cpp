@@ -38,6 +38,43 @@ unsigned get_neighbor_cells3(const GridParams3& params, std::uint32_t cell,
   return n;
 }
 
+unsigned get_forward_neighbor_cells3(
+    const GridParams3& params, std::uint32_t cell,
+    std::array<std::uint32_t, 27>& out) noexcept {
+  const std::uint32_t plane = params.cells_x * params.cells_y;
+  const std::uint32_t cz = cell / plane;
+  const std::uint32_t rem = cell % plane;
+  const std::uint32_t cy = rem / params.cells_x;
+  const std::uint32_t cx = rem % params.cells_x;
+  unsigned n = 0;
+  // dz = 0 plane: the 2-D forward stencil (+1, 0) plus the whole dy = +1 row.
+  if (cx + 1 < params.cells_x) out[n++] = cell + 1;
+  if (cy + 1 < params.cells_y) {
+    const std::uint32_t row = cell + params.cells_x;
+    if (cx > 0) out[n++] = row - 1;
+    out[n++] = row;
+    if (cx + 1 < params.cells_x) out[n++] = row + 1;
+  }
+  // dz = +1 plane: all 9 adjacent columns have a larger linear id.
+  if (cz + 1 < params.cells_z) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+      if (ny < 0 || ny >= static_cast<std::int64_t>(params.cells_y)) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        if (nx < 0 || nx >= static_cast<std::int64_t>(params.cells_x)) {
+          continue;
+        }
+        out[n++] = ((cz + 1) * params.cells_y +
+                    static_cast<std::uint32_t>(ny)) *
+                       params.cells_x +
+                   static_cast<std::uint32_t>(nx);
+      }
+    }
+  }
+  return n;
+}
+
 GridIndex3 build_grid_index3(std::span<const Point3> input, float eps,
                              std::uint64_t max_cells) {
   if (input.empty()) {
@@ -120,6 +157,17 @@ GridIndex3 build_grid_index3(std::span<const Point3> input, float eps,
   for (std::size_t i = 0; i < index.points.size(); ++i) {
     index.lookup[cursor[cell_of[i]]++] = static_cast<PointId>(i);
   }
+
+  // Same ordering invariant as the 2-D builder: each cell's slice of A is
+  // strictly ascending. ScanMode::kHalf depends on it, so verify.
+  for (std::size_t a = 1; a < index.lookup.size(); ++a) {
+    if (cell_of[index.lookup[a - 1]] == cell_of[index.lookup[a]] &&
+        index.lookup[a - 1] >= index.lookup[a]) {
+      throw std::logic_error(
+          "grid index 3d: lookup ids not ascending within a cell (ordering "
+          "invariant violated)");
+    }
+  }
   return index;
 }
 
@@ -135,6 +183,31 @@ void grid_query3(const GridIndex3& index, const Point3& q, float eps,
     for (std::uint32_t a = range.begin; a < range.end; ++a) {
       const PointId id = index.lookup[a];
       if (dist2(q, index.points[id]) <= eps2) out.push_back(id);
+    }
+  }
+}
+
+void grid_query3_forward(const GridIndex3& index, PointId query, float eps,
+                         std::vector<PointId>& out) {
+  out.clear();
+  const float eps2 = eps * eps;
+  const Point3 point = index.points[query];
+  const std::uint32_t cell = index.params.linear_cell(point);
+
+  const CellRange own = index.cells[cell];
+  const auto* first = index.lookup.data() + own.begin;
+  const auto* last = index.lookup.data() + own.end;
+  for (const auto* a = std::lower_bound(first, last, query); a != last; ++a) {
+    if (dist2(point, index.points[*a]) <= eps2) out.push_back(*a);
+  }
+
+  std::array<std::uint32_t, 27> cells{};
+  const unsigned n = get_forward_neighbor_cells3(index.params, cell, cells);
+  for (unsigned c = 0; c < n; ++c) {
+    const CellRange range = index.cells[cells[c]];
+    for (std::uint32_t a = range.begin; a < range.end; ++a) {
+      const PointId id = index.lookup[a];
+      if (dist2(point, index.points[id]) <= eps2) out.push_back(id);
     }
   }
 }

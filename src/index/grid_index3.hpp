@@ -48,6 +48,15 @@ struct GridParams3 {
 unsigned get_neighbor_cells3(const GridParams3& params, std::uint32_t cell,
                              std::array<std::uint32_t, 27>& out) noexcept;
 
+/// Forward half of the 27-cell stencil: the (at most 13) adjacent cells
+/// with linear id strictly greater than `cell` — the 2-D forward stencil
+/// in the dz = 0 plane plus the entire dz = +1 plane. Excludes `cell`
+/// itself; same-cell pairs are halved via the lookup ordering invariant,
+/// exactly as in 2-D (see build_grid_index).
+unsigned get_forward_neighbor_cells3(
+    const GridParams3& params, std::uint32_t cell,
+    std::array<std::uint32_t, 27>& out) noexcept;
+
 struct GridIndex3 {
   GridParams3 params;
   std::vector<Point3> points;
@@ -80,5 +89,11 @@ GridIndex3 build_grid_index3(std::span<const Point3> input, float eps,
 
 void grid_query3(const GridIndex3& index, const Point3& q, float eps,
                  std::vector<PointId>& out);
+
+/// Forward-only reference search mirroring ScanMode::kHalf in 3-D: same-cell
+/// candidates with id >= query plus all points of the forward 27-stencil
+/// cells, distance-filtered (see grid_query_forward in grid_index.hpp).
+void grid_query3_forward(const GridIndex3& index, PointId query, float eps,
+                         std::vector<PointId>& out);
 
 }  // namespace hdbscan

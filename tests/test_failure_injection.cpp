@@ -8,6 +8,7 @@
 #include "core/neighbor_table_builder.hpp"
 #include "core/pipeline.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "data/generators.hpp"
 #include "index/grid_index.hpp"
 
@@ -81,6 +82,7 @@ TEST(FailureInjection, OverflowBeyondSplitDepthThrowsNotCorrupts) {
   policy.estimated_total_override = 8;  // absurd: real total is 16M pairs
   NeighborTableBuilder builder(device, policy);
   EXPECT_THROW((void)builder.build(index, 0.5f), std::runtime_error);
+  device.pool().trim();  // drop pooled scratch before the leak check
   EXPECT_EQ(device.used_global_bytes(), 0u);
 }
 

@@ -272,7 +272,8 @@ TEST(SharedKernel, HandlesCellsLargerThanBlock) {
   const std::uint64_t expected_pairs = 300ull * 300ull;  // all within eps
   gpu::ResultSetDevice sink(dev, expected_pairs + 16);
   gpu::run_calc_shared(dev, GridView::of(index), index.nonempty_cells.data(),
-                       1, 0.5f, sink.view(), /*block_size=*/32);
+                       1, 0.5f, sink.view(), ScanMode::kFull,
+                       /*block_size=*/32);
   EXPECT_FALSE(sink.overflowed());
   EXPECT_EQ(sink.count(), expected_pairs);
 }

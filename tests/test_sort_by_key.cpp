@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "cudasim/buffer.hpp"
+#include "cudasim/buffer_pool.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/sort.hpp"
 
@@ -132,6 +133,9 @@ TEST(SortByKey, ScratchAllocationIsReleased) {
   const std::size_t before = dev.used_global_bytes();
   cudasim::sort_by_key(dev, buf, 1000,
                        [](const NeighborPair& p) { return p.key; });
+  // The scratch lives in the device's buffer pool between sorts; trimming
+  // must return the device to its pre-sort footprint.
+  dev.pool().trim();
   EXPECT_EQ(dev.used_global_bytes(), before);
   // But the peak shows the Thrust-style temp buffer.
   EXPECT_GE(dev.metrics().peak_mem_bytes, 2 * before);

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "cudasim/buffer_pool.hpp"
 #include "data/generators.hpp"
 #include "index/grid_index.hpp"
 
@@ -130,6 +131,9 @@ TEST(TableBuilder, DeviceMemoryFullyReleased) {
     NeighborTableBuilder builder(dev);
     builder.build(index, eps);
   }
+  // Scratch is cached in the device's pool across builds; after a trim the
+  // device must be back to an empty footprint.
+  dev.pool().trim();
   EXPECT_EQ(dev.used_global_bytes(), 0u);
 }
 
