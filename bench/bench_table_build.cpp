@@ -28,6 +28,8 @@
 
 #include "bench_common.hpp"
 #include "core/neighbor_table_builder.hpp"
+#include "dbscan/dbscan.hpp"
+#include "dbscan/streaming_dbscan.hpp"
 #include "index/grid_index.hpp"
 #include "obs/trace.hpp"
 #include "scenarios.hpp"
@@ -175,6 +177,97 @@ int main() {
     }
   }
 
+  // --- intra-variant streaming overlap (single variant) ---------------
+  // Serial: build T, then cluster it (build + DBSCAN, back to back).
+  // Streaming: a StreamingDbscan consumer unions core-core edges on the
+  // builder's stream threads while the GPU is still filling later
+  // batches; T is never materialized. The streamed wall time should land
+  // near max(build, union) plus a short resolution tail, with the
+  // consumer's peak footprint far below the table's.
+  struct StreamingCompare {
+    double serial_wall = 1e30;    ///< build + DBSCAN-over-T, min-of-N
+    double serial_modeled = 1e30; ///< modeled build + measured DBSCAN
+    double stream_wall = 1e30;
+    double stream_modeled = 1e30; ///< max(modeled build, union) + tail
+    double overlap_fraction = 0.0;
+    double streamed_fraction = 0.0;
+    std::uint64_t table_bytes = 0;        ///< serial high-water (T resident)
+    std::uint64_t consumer_peak_bytes = 0;  ///< streaming high-water
+  } scomp;
+  {
+    const auto points = bench::load("SW1");
+    const float eps = 0.3f;
+    const int minpts = 4;
+    const GridIndex index = build_grid_index(points, eps);
+    // The wall gap between the two modes is a few ms on a ~20 ms run;
+    // min-of-N needs more samples here than the build-only sections.
+    const int repeats = std::max(7, env_trials());
+
+    cudasim::Device serial_dev = bench::make_device();
+    NeighborTableBuilder serial_builder(serial_dev, {});
+    for (int t = 0; t < repeats; ++t) {
+      WallTimer timer;
+      BuildReport report;
+      const NeighborTable table = serial_builder.build(index, eps, &report);
+      const ClusterResult r = dbscan_neighbor_table(table, minpts);
+      (void)r;
+      WallTimer dbscan_timer;  // re-measure clustering alone for the model
+      (void)dbscan_neighbor_table(table, minpts);
+      const double dbscan_s = dbscan_timer.seconds();
+      scomp.serial_wall = std::min(scomp.serial_wall, timer.seconds());
+      scomp.serial_modeled = std::min(
+          scomp.serial_modeled, report.modeled_table_seconds + dbscan_s);
+      scomp.table_bytes =
+          table.total_pairs() * sizeof(PointId) +
+          table.num_points() * 2 * sizeof(std::uint32_t);
+    }
+
+    cudasim::Device stream_dev = bench::make_device();
+    NeighborTableBuilder stream_builder(stream_dev, {});
+    for (int t = 0; t < repeats; ++t) {
+      WallTimer timer;
+      StreamingDbscan consumer(index.size(), minpts);
+      BuildReport report;
+      stream_builder.build(index, eps, &report, &consumer,
+                           /*materialize_table=*/false);
+      const ClusterResult r = consumer.finalize();
+      (void)r;
+      const StreamingDbscan::Stats& st = consumer.stats();
+      const double wall = timer.seconds();
+      const double modeled =
+          std::max(report.modeled_table_seconds,
+                   st.max_thread_consume_seconds) +
+          st.finalize_seconds;
+      if (wall < scomp.stream_wall) {
+        scomp.stream_wall = wall;
+        scomp.stream_modeled = modeled;
+        scomp.overlap_fraction = st.overlap_fraction();
+        scomp.streamed_fraction = st.streamed_fraction();
+        scomp.consumer_peak_bytes = consumer.peak_memory_bytes();
+      }
+    }
+
+    std::printf("\n  single-variant streaming overlap (SW1, eps=%.2f,"
+                " minpts=%d):\n", eps, minpts);
+    std::printf("    serial (build + cluster): %.3f s wall, %.4f s modeled,"
+                " %llu B table\n",
+                scomp.serial_wall, scomp.serial_modeled,
+                static_cast<unsigned long long>(scomp.table_bytes));
+    std::printf("    streaming:                %.3f s wall, %.4f s modeled,"
+                " %llu B consumer peak\n",
+                scomp.stream_wall, scomp.stream_modeled,
+                static_cast<unsigned long long>(scomp.consumer_peak_bytes));
+    std::printf("    -> %.2fx wall, %.2fx modeled; overlap %.2f,"
+                " streamed %.2f, memory %.1fx smaller\n",
+                scomp.serial_wall / scomp.stream_wall,
+                scomp.serial_modeled / scomp.stream_modeled,
+                scomp.overlap_fraction, scomp.streamed_fraction,
+                static_cast<double>(scomp.table_bytes) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1,
+                                                scomp.consumer_peak_bytes)));
+  }
+
   // --- disabled-tracing overhead guard -------------------------------
   // (a) one traced SW1 build counts the TRACE sites it executes; (b) the
   // disabled fast path is microbenchmarked; (c) assert that sites x
@@ -230,7 +323,7 @@ int main() {
   }
   std::fprintf(out,
                "{\n  \"benchmark\": \"table_build\",\n"
-               "  \"schema_version\": 2,\n"
+               "  \"schema_version\": 3,\n"
                "  \"scenario\": {\n"
                "    \"scale\": %.4f,\n"
                "    \"trials\": %d,\n"
@@ -283,8 +376,23 @@ int main() {
                  static_cast<unsigned long long>(sweep[v].pinned_misses),
                  v + 1 < sweep.size() ? "," : "");
   }
+  std::fprintf(
+      out,
+      "  ],\n  \"streaming_single_variant\": {\"dataset\": \"SW1\", "
+      "\"eps\": 0.300, \"minpts\": 4,\n"
+      "    \"serial_wall_seconds\": %.6f, "
+      "\"serial_modeled_seconds\": %.6f,\n"
+      "    \"streaming_wall_seconds\": %.6f, "
+      "\"streaming_modeled_seconds\": %.6f,\n"
+      "    \"overlap_fraction\": %.4f, \"streamed_fraction\": %.4f,\n"
+      "    \"serial_table_bytes\": %llu, "
+      "\"streaming_peak_bytes\": %llu},\n",
+      scomp.serial_wall, scomp.serial_modeled, scomp.stream_wall,
+      scomp.stream_modeled, scomp.overlap_fraction, scomp.streamed_fraction,
+      static_cast<unsigned long long>(scomp.table_bytes),
+      static_cast<unsigned long long>(scomp.consumer_peak_bytes));
   std::fprintf(out,
-               "  ],\n  \"trace_overhead_guard\": {\"sites\": %zu, "
+               "  \"trace_overhead_guard\": {\"sites\": %zu, "
                "\"per_site_ns\": %.2f, \"overhead_percent\": %.4f, "
                "\"limit_percent\": 2.0, \"pass\": %s}\n}\n",
                guard_sites, guard_per_site_ns, guard_overhead_pct,

@@ -1,5 +1,7 @@
 #include "core/hybrid_dbscan.hpp"
 
+#include <algorithm>
+
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -13,13 +15,14 @@ ClusterResult unmap_labels(const ClusterResult& indexed,
   for (std::size_t i = 0; i < indexed.labels.size(); ++i) {
     out.labels[original_ids[i]] = indexed.labels[i];
   }
+  out.finalize_noise_count();
   return out;
 }
 
 ClusterResult hybrid_dbscan(cudasim::Device& device,
                             std::span<const Point2> points, float eps,
                             int minpts, HybridTimings* timings,
-                            const BatchPolicy& policy) {
+                            const BatchPolicy& policy, ClusterMode mode) {
   HybridTimings local;
   WallTimer total_timer;
 
@@ -29,6 +32,47 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
     return build_grid_index(points, eps);
   }();
   local.index_seconds = phase_timer.seconds();
+
+  if (mode == ClusterMode::kStreaming &&
+      policy.build_mode == TableBuildMode::kCsrTwoPass) {
+    // Streaming fast path: the union-find consumer ingests every CSR
+    // batch on the builder's stream threads, so the host clustering work
+    // runs while the GPU is still filling later batches — and T is never
+    // materialized (no shard merge, no half-table expansion, no table
+    // memory).
+    phase_timer.reset();
+    StreamingDbscan consumer(index.size(), minpts);
+    NeighborTableBuilder builder(device, policy);
+    builder.build(index, eps, &local.build_report, &consumer,
+                  /*materialize_table=*/false);
+    local.gpu_table_seconds = phase_timer.seconds();
+
+    phase_timer.reset();
+    const ClusterResult indexed = consumer.finalize();
+    local.dbscan_seconds = phase_timer.seconds();
+
+    const StreamingDbscan::Stats& st = consumer.stats();
+    local.streamed = true;
+    local.consume_seconds = st.consume_seconds;
+    local.finalize_seconds = st.finalize_seconds;
+    local.overlap_fraction = st.overlap_fraction();
+    local.streamed_edge_fraction = st.streamed_fraction();
+    local.peak_consumer_bytes = consumer.peak_memory_bytes();
+    local.total_seconds = total_timer.seconds();
+    local.modeled_gpu_table_seconds =
+        local.build_report.modeled_table_seconds;
+    // On the reference host the consumers drain completed staging buffers
+    // on their own cores (one per builder stream), so the union work adds
+    // its slowest thread — not the summed CPU time — to the critical
+    // path: response time is max(build, slowest union thread) + tail.
+    local.modeled_total_seconds =
+        local.index_seconds +
+        std::max(local.modeled_gpu_table_seconds,
+                 st.max_thread_consume_seconds) +
+        st.finalize_seconds;
+    if (timings != nullptr) *timings = local;
+    return unmap_labels(indexed, index.original_ids);
+  }
 
   phase_timer.reset();
   NeighborTableBuilder builder(device, policy);

@@ -9,6 +9,7 @@
 #include "cudasim/device.hpp"
 #include "dbscan/cluster_result.hpp"
 #include "dbscan/dbscan.hpp"
+#include "dbscan/streaming_dbscan.hpp"
 
 namespace hdbscan {
 
@@ -25,18 +26,32 @@ struct HybridTimings {
   /// CPU time, not GPU time. See BuildReport::modeled_table_seconds.
   double modeled_gpu_table_seconds = 0.0;
   /// index build + modeled T construction + host DBSCAN: the response
-  /// time a machine with the paper's GPU would see.
+  /// time a machine with the paper's GPU would see. In streaming mode the
+  /// union work overlaps the build on the reference host, so this is
+  /// index + max(modeled build, host union) + the resolution tail.
   double modeled_total_seconds = 0.0;
   BuildReport build_report;
+
+  // --- streaming mode (ClusterMode::kStreaming) ---
+  bool streamed = false;
+  double consume_seconds = 0.0;   ///< union work hidden under the build
+  double finalize_seconds = 0.0;  ///< post-build resolution tail
+  double overlap_fraction = 0.0;  ///< consume / (consume + finalize)
+  double streamed_edge_fraction = 0.0;  ///< edges settled mid-build
+  std::size_t peak_consumer_bytes = 0;  ///< replaces the table footprint
 };
 
 /// Runs HYBRID-DBSCAN for a single (eps, minpts). The returned labels are
 /// in the order of `points` (the grid index's internal reordering is
-/// unmapped before returning).
+/// unmapped before returning). ClusterMode::kStreaming clusters the CSR
+/// batches as the GPU produces them and never materializes T (it falls
+/// back to the batch path under TableBuildMode::kPairSort, which has no
+/// streaming delivery).
 ClusterResult hybrid_dbscan(cudasim::Device& device,
                             std::span<const Point2> points, float eps,
                             int minpts, HybridTimings* timings = nullptr,
-                            const BatchPolicy& policy = {});
+                            const BatchPolicy& policy = {},
+                            ClusterMode mode = ClusterMode::kBatchTable);
 
 /// Remaps labels from the grid index's point order back to input order.
 ClusterResult unmap_labels(const ClusterResult& indexed,

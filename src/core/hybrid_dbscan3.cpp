@@ -121,6 +121,7 @@ ClusterResult hybrid_dbscan3(cudasim::Device& device,
   for (std::size_t i = 0; i < indexed.labels.size(); ++i) {
     out.labels[index.original_ids[i]] = indexed.labels[i];
   }
+  out.finalize_noise_count();
   return out;
 }
 

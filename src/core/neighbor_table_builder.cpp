@@ -86,8 +86,16 @@ struct StreamContext {
   std::optional<cudasim::PooledPinnedBuffer<std::uint32_t>> offsets_staging;
   std::optional<cudasim::PooledPinnedBuffer<PointId>> values_staging;
 
+  // --- streaming delivery state (CSR + sink builds) ---
+  /// Host scratch for reconstructing pass-1 counts from the scanned
+  /// offsets (counts[g] = offsets[g+1] - offsets[g]); reused per batch.
+  std::vector<std::uint32_t> counts_scratch;
+
   // --- context-private tallies (harvested after synchronize) ---
   double device_model = 0.0;    ///< modeled device seconds on this timeline
+  double consume_seconds = 0.0; ///< measured host CPU inside sink callbacks
+  std::uint64_t sink_batches = 0;
+  std::uint64_t sink_count_batches = 0;
   double append_seconds = 0.0;  ///< measured host CPU time appending into T
   double kernel_modeled = 0.0;
   double sort_modeled = 0.0;
@@ -111,6 +119,12 @@ struct WorkItem {
   unsigned depth = 0;              ///< overflow/shrink splits applied
   unsigned transient_retries = 0;  ///< TransientKernelFault retries so far
   unsigned alloc_retries = 0;      ///< OOM shrink-splits along this lineage
+  /// The sink already received this lineage's pass-1 counts. The flag
+  /// rides through retries, OOM splits and failover (push_halves and the
+  /// orphan pool copy the item), which is what makes count delivery
+  /// exactly-once: a split half or a retried launch re-runs its kernels
+  /// but never re-adds degrees the parent item already delivered.
+  bool counts_delivered = false;
 };
 
 /// Mutex-protected batch queue shared by every context's pump. Each
@@ -242,7 +256,7 @@ void push_halves(WorkQueue& queue, std::size_t ctx, const WorkItem& item,
 /// the pairs sort, ship and append; the builder transposes the merged
 /// table once at the end.
 void process_batch_pairs(StreamContext& sc, ScanMode scan, float eps,
-                         const WorkItem& item, unsigned block_size,
+                         WorkItem& item, unsigned block_size,
                          WorkQueue& queue, unsigned max_split_depth) {
   const gpu::BatchSpec spec = item.spec;
   if (spec.points_in_batch(sc.view.num_points) == 0) return;
@@ -296,14 +310,17 @@ void process_batch_pairs(StreamContext& sc, ScanMode scan, float eps,
 }
 
 /// Two-pass CSR pipeline: count kernel -> exclusive scan (exact batch
-/// size) -> fill kernel into exact slots -> D2H offsets + values -> shard
-/// append. A batch whose exact size exceeds the value buffer splits
-/// *before* any fill work runs. Under ScanMode::kHalf both passes walk
-/// only the forward half of the stencil (counts stay atomic-free) and the
-/// CSR rows that cross PCIe are forward rows.
+/// size) -> D2H offsets (+ count delivery to the sink) -> fill kernel into
+/// exact slots -> D2H values -> shard append -> row delivery to the sink.
+/// A batch whose exact size exceeds the value buffer splits *before* any
+/// fill work runs — and before anything is delivered, so split halves
+/// deliver themselves. Under ScanMode::kHalf both passes walk only the
+/// forward half of the stencil (counts stay atomic-free) and the CSR rows
+/// that cross PCIe are forward rows.
 void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
-                       const WorkItem& item, unsigned block_size,
-                       WorkQueue& queue, unsigned max_split_depth) {
+                       WorkItem& item, unsigned block_size,
+                       WorkQueue& queue, unsigned max_split_depth,
+                       BatchSink* sink, bool materialize) {
   const gpu::BatchSpec spec = item.spec;
   const std::uint32_t pts = spec.points_in_batch(sc.view.num_points);
   if (pts == 0) return;
@@ -339,6 +356,38 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
     return;
   }
 
+  // Ship the scanned offsets now — they are final before the fill pass
+  // runs (the fill kernel reads them as const), and shipping them early
+  // lets a streaming sink resolve per-key degrees (hence core flags)
+  // while the fill kernel is still distance-testing. Same bytes as the
+  // old post-fill offsets transfer, just earlier on the timeline.
+  const std::uint64_t offset_bytes = pts * sizeof(std::uint32_t);
+  sc.device.blocking_transfer(sc.offsets_staging->data(),
+                              sc.counts->device_data(), offset_bytes,
+                              /*to_device=*/false, /*pinned_host=*/true);
+  sc.device_model += cudasim::modeled_transfer_seconds(
+      sc.device.config(), offset_bytes, /*pinned=*/true);
+  sc.d2h_bytes += offset_bytes;
+
+  if (sink != nullptr && !item.counts_delivered) {
+    // Exclusive offsets + the exact total reconstruct the pass-1 counts
+    // without a second transfer: counts[g] = offsets[g+1] - offsets[g].
+    sc.counts_scratch.resize(pts);
+    const std::uint32_t* offs = sc.offsets_staging->data();
+    for (std::uint32_t g = 0; g + 1 < pts; ++g) {
+      sc.counts_scratch[g] = offs[g + 1] - offs[g];
+    }
+    sc.counts_scratch[pts - 1] =
+        static_cast<std::uint32_t>(total) - offs[pts - 1];
+    hdbscan::ThreadCpuTimer consume_timer;
+    sink->consume_counts(CountDelivery{
+        spec.batch, spec.num_batches, scan,
+        {sc.counts_scratch.data(), pts}});
+    sc.consume_seconds += consume_timer.seconds();
+    ++sc.sink_count_batches;
+    item.counts_delivered = true;
+  }
+
   const cudasim::KernelStats fill_stats = gpu::run_fill_csr(
       sc.device, sc.view, eps, spec, sc.counts->device_data(),
       sc.values->device_data(), scan, block_size);
@@ -348,41 +397,49 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
   sc.kernel_flops += fill_stats.work.flops;
   sc.kernel_global_bytes += fill_stats.work.global_bytes;
 
-  // D2H: per-point offsets (tiny) + bare values — no NeighborPair keys on
-  // the wire, so about half the bytes of the pair pipeline.
-  const std::uint64_t offset_bytes = pts * sizeof(std::uint32_t);
+  // D2H: bare values only — the per-point offsets are already host-side
+  // and no NeighborPair keys cross the wire, so about half the bytes of
+  // the pair pipeline.
   const std::uint64_t value_bytes = total * sizeof(PointId);
-  sc.device.blocking_transfer(sc.offsets_staging->data(),
-                              sc.counts->device_data(), offset_bytes,
-                              /*to_device=*/false, /*pinned_host=*/true);
   sc.device.blocking_transfer(sc.values_staging->data(),
                               sc.values->device_data(), value_bytes,
                               /*to_device=*/false, /*pinned_host=*/true);
-  sc.device_model +=
-      cudasim::modeled_transfer_seconds(sc.device.config(), offset_bytes,
-                                        /*pinned=*/true) +
-      cudasim::modeled_transfer_seconds(sc.device.config(), value_bytes,
-                                        /*pinned=*/true);
-  sc.d2h_bytes += offset_bytes + value_bytes;
+  sc.device_model += cudasim::modeled_transfer_seconds(
+      sc.device.config(), value_bytes, /*pinned=*/true);
+  sc.d2h_bytes += value_bytes;
 
-  hdbscan::ThreadCpuTimer append_timer;
-  sc.shard.append_csr_batch(spec.batch, spec.num_batches,
-                            {sc.offsets_staging->data(), pts},
-                            {sc.values_staging->data(), total});
-  sc.append_seconds += append_timer.seconds();
+  if (materialize) {
+    hdbscan::ThreadCpuTimer append_timer;
+    sc.shard.append_csr_batch(spec.batch, spec.num_batches,
+                              {sc.offsets_staging->data(), pts},
+                              {sc.values_staging->data(), total});
+    sc.append_seconds += append_timer.seconds();
+  }
+  if (sink != nullptr) {
+    // Row delivery is the batch's last step: any fault before this point
+    // re-runs the item without the sink ever having seen these rows.
+    hdbscan::ThreadCpuTimer consume_timer;
+    sink->consume(BatchDelivery{spec.batch, spec.num_batches, scan,
+                                item.counts_delivered,
+                                {sc.offsets_staging->data(), pts},
+                                {sc.values_staging->data(), total}});
+    sc.consume_seconds += consume_timer.seconds();
+    ++sc.sink_batches;
+  }
   sc.total_pairs += total;
   sc.max_batch_pairs = std::max(sc.max_batch_pairs, total);
 }
 
 void process_item(StreamContext& sc, TableBuildMode mode, ScanMode scan,
-                  float eps, const WorkItem& item, unsigned block_size,
-                  WorkQueue& queue, unsigned max_split_depth) {
+                  float eps, WorkItem& item, unsigned block_size,
+                  WorkQueue& queue, unsigned max_split_depth,
+                  BatchSink* sink, bool materialize) {
   if (mode == TableBuildMode::kPairSort) {
     process_batch_pairs(sc, scan, eps, item, block_size, queue,
                         max_split_depth);
   } else {
     process_batch_csr(sc, scan, eps, item, block_size, queue,
-                      max_split_depth);
+                      max_split_depth, sink, materialize);
   }
 }
 
@@ -399,7 +456,8 @@ void process_item(StreamContext& sc, TableBuildMode mode, ScanMode scan,
 /// and build() rethrows only after all streams have drained.
 void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
           TableBuildMode mode, ScanMode scan, float eps, unsigned block_size,
-          const ResiliencePolicy& res, unsigned max_split_depth) {
+          const ResiliencePolicy& res, unsigned max_split_depth,
+          BatchSink* sink, bool materialize) {
   const std::size_t ctx = sc.timeline_id;
   WorkItem item;
   while (queue.pop(ctx, item)) {
@@ -409,7 +467,7 @@ void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
     }
     try {
       process_item(sc, mode, scan, eps, item, block_size, queue,
-                   max_split_depth);
+                   max_split_depth, sink, materialize);
     } catch (const cudasim::TransientKernelFault&) {
       if (item.transient_retries < res.max_transient_retries) {
         ++item.transient_retries;
@@ -477,13 +535,28 @@ NeighborTableBuilder::NeighborTableBuilder(
 }
 
 NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
-                                          BuildReport* report) {
+                                          BuildReport* report,
+                                          BatchSink* sink,
+                                          bool materialize_table) {
   TRACE_SPAN("build", "table_build n=%zu", index.size());
+  if (sink != nullptr && policy_.build_mode == TableBuildMode::kPairSort) {
+    throw std::invalid_argument(
+        "NeighborTableBuilder: streaming delivery (BatchSink) requires "
+        "TableBuildMode::kCsrTwoPass");
+  }
+  if (!materialize_table && sink == nullptr) {
+    throw std::invalid_argument(
+        "NeighborTableBuilder: materialize_table=false without a sink "
+        "would discard the build");
+  }
+  const bool materialize = materialize_table;
   WallTimer total_timer;
   BuildReport local_report;
   local_report.used_shared_kernel = policy_.use_shared_kernel;
   local_report.build_mode = policy_.build_mode;
   local_report.scan_mode = policy_.scan_mode;
+  local_report.streamed = sink != nullptr;
+  local_report.table_materialized = materialize;
   const ResiliencePolicy& res = policy_.resilience;
 
   // When every rung of the ladder above it has failed (or every device
@@ -496,9 +569,23 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     local_report.scan_mode = ScanMode::kFull;
     NeighborTable t = build_neighbor_table_host_parallel(index, eps);
     local_report.total_pairs = t.total_pairs();
+    if (sink != nullptr) {
+      // This rung only fires before any batch ran, so the sink has seen
+      // nothing: deliver the whole table, one (symmetric) row per key.
+      hdbscan::ThreadCpuTimer consume_timer;
+      const std::uint32_t zero = 0;
+      for (std::uint32_t k = 0; k < t.num_points(); ++k) {
+        sink->consume(BatchDelivery{k, /*key_stride=*/1, ScanMode::kFull,
+                                    /*counts_delivered=*/false,
+                                    {&zero, 1}, t.neighbors(k)});
+      }
+      local_report.sink_consume_seconds += consume_timer.seconds();
+      local_report.sink_batches += t.num_points();
+    }
     local_report.table_seconds = total_timer.seconds();
     publish_build_report(local_report);
     if (report != nullptr) *report = local_report;
+    if (!materialize) return NeighborTable(index.size());
     return t;
   };
 
@@ -658,42 +745,45 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   double slowest_stream = 0.0;
   double append_total = 0.0;
 
-  if (policy_.use_shared_kernel && local_report.plan.num_batches == 1) {
+  if (policy_.use_shared_kernel && local_report.plan.num_batches == 1 &&
+      sink == nullptr) {
     // GPUCalcShared path (single batch only: the block-per-cell mapping is
     // incompatible with the strided batch assignment). First surviving
     // device only; always the pair pipeline — the block-per-cell schedule
-    // has no per-thread point to count for CSR slots. This legacy path has
-    // no degradation ladder: a fault here propagates to the caller.
+    // has no per-thread point to count for CSR slots, and for the same
+    // reason it cannot feed a streaming sink (a non-null sink falls
+    // through to the batched CSR pipeline). This legacy path has no
+    // degradation ladder: a fault here propagates to the caller.
     const BatchPlan& plan = local_report.plan;
     local_report.build_mode = TableBuildMode::kPairSort;
     const gpu::GridDeviceIndex& dev_index = *slots.front().dev_index;
     const GridView first_view = dev_index.view();
-    gpu::ResultSetDevice sink(first_device, plan.buffer_pairs);
+    gpu::ResultSetDevice result_sink(first_device, plan.buffer_pairs);
     // kHalf here halves the distance tests but the kernel push_dual's both
     // directions device-side (the result set never crosses PCIe per-batch
     // in this single-batch path), so the sink already holds the full table.
     const cudasim::KernelStats stats = gpu::run_calc_shared(
         first_device, first_view, dev_index.schedule(),
-        dev_index.num_nonempty_cells(), eps, sink.view(), policy_.scan_mode,
+        dev_index.num_nonempty_cells(), eps, result_sink.view(), policy_.scan_mode,
         policy_.block_size);
     local_report.batches_run = 1;
     local_report.kernel_modeled_seconds = stats.modeled_seconds;
     local_report.atomic_ops += stats.work.atomic_ops;
     local_report.kernel_flops += stats.work.flops;
     local_report.kernel_global_bytes += stats.work.global_bytes;
-    if (sink.overflowed()) {
+    if (result_sink.overflowed()) {
       throw std::runtime_error(
           "neighbor table build (shared kernel): batch 0/1 overflowed the "
           "result buffer of " + std::to_string(plan.buffer_pairs) +
           " pairs; the single-batch shared kernel cannot split — use the "
           "batched pipeline for this density");
     }
-    const std::uint64_t pairs = sink.stored();
+    const std::uint64_t pairs = result_sink.stored();
     const std::uint64_t bytes = pairs * sizeof(NeighborPair);
-    cudasim::sort_by_key(first_device, sink.pairs(), pairs,
+    cudasim::sort_by_key(first_device, result_sink.pairs(), pairs,
                          [](const NeighborPair& p) { return p.key; });
     cudasim::PooledPinnedBuffer<NeighborPair> staging(first_device, pairs);
-    first_device.blocking_transfer(staging.data(), sink.pairs().device_data(),
+    first_device.blocking_transfer(staging.data(), result_sink.pairs().device_data(),
                                    bytes, false, true);
     hdbscan::ThreadCpuTimer append_timer;
     table.reserve_values(pairs);
@@ -795,8 +885,10 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
         StreamContext* scp = sc.get();
         sc->stream.host_fn([scp, &queue, &state, mode, scan, eps,
                             block = policy_.block_size, &res,
-                            depth_max = policy_.max_split_depth] {
-          pump(*scp, queue, state, mode, scan, eps, block, res, depth_max);
+                            depth_max = policy_.max_split_depth, sink,
+                            materialize] {
+          pump(*scp, queue, state, mode, scan, eps, block, res, depth_max,
+               sink, materialize);
         });
       }
       if (!any_live) break;
@@ -846,21 +938,46 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
             policy_.scan_mode));
         ++local_report.host_fallback_batches;
         local_report.total_pairs += host_shards.back().total_pairs();
+        if (sink != nullptr) {
+          // Deliver the host-built rows one key at a time (the shard's
+          // value layout is private). An item whose counts already went
+          // out on a device that died later keeps its flag, so the sink
+          // derives degrees from the rows only when it must.
+          hdbscan::ThreadCpuTimer consume_timer;
+          const NeighborTable& shard = host_shards.back();
+          const std::uint32_t zero = 0;
+          const auto n = static_cast<std::uint32_t>(index.size());
+          for (std::uint32_t k = item.spec.batch; k < n;
+               k += item.spec.num_batches) {
+            sink->consume(BatchDelivery{k, /*key_stride=*/1,
+                                        policy_.scan_mode,
+                                        item.counts_delivered,
+                                        {&zero, 1}, shard.neighbors(k)});
+            ++local_report.sink_batches;
+          }
+          local_report.sink_consume_seconds += consume_timer.seconds();
+        }
       }
     }
 
     // Merge the per-stream shards into T exactly once (deterministic
-    // order), and harvest the context-private tallies.
-    TRACE_SPAN("build", "shard_merge");
-    table.reserve_values(plan.estimated_total_pairs);
-    hdbscan::ThreadCpuTimer merge_timer;
-    for (auto& sc : contexts) {
-      table.absorb_shard(std::move(sc->shard));
+    // order), and harvest the context-private tallies. A streaming-only
+    // build (materialize_table=false) skips the merge entirely: the sink
+    // already consumed every row, so T is never assembled and the shard
+    // memory is simply dropped.
+    double merge_seconds = 0.0;
+    if (materialize) {
+      TRACE_SPAN("build", "shard_merge");
+      table.reserve_values(plan.estimated_total_pairs);
+      hdbscan::ThreadCpuTimer merge_timer;
+      for (auto& sc : contexts) {
+        table.absorb_shard(std::move(sc->shard));
+      }
+      for (auto& shard : host_shards) {
+        table.absorb_shard(std::move(shard));
+      }
+      merge_seconds = merge_timer.seconds();
     }
-    for (auto& shard : host_shards) {
-      table.absorb_shard(std::move(shard));
-    }
-    const double merge_seconds = merge_timer.seconds();
     for (const auto& sc : contexts) {
       local_report.total_pairs += sc->total_pairs;
       local_report.max_batch_pairs =
@@ -874,6 +991,9 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       local_report.d2h_bytes += sc->d2h_bytes;
       local_report.kernel_flops += sc->kernel_flops;
       local_report.kernel_global_bytes += sc->kernel_global_bytes;
+      local_report.sink_batches += sc->sink_batches;
+      local_report.sink_count_batches += sc->sink_count_batches;
+      local_report.sink_consume_seconds += sc->consume_seconds;
       append_total += sc->append_seconds;
       slowest_stream = std::max(slowest_stream,
                                 sc->device_model + sc->append_seconds);
@@ -886,8 +1006,10 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     // the back rows and makes the table identical to a full-scan build.
     // Like the merge it runs after the streams drain, but it parallelizes
     // across rows, so the model charges its critical path over the
-    // reference host's cores rather than this machine's.
-    if (policy_.scan_mode == ScanMode::kHalf) {
+    // reference host's cores rather than this machine's. A streaming sink
+    // consumed forward rows directly (it unions both directions as rows
+    // arrive), so a non-materialized build never pays the transpose.
+    if (policy_.scan_mode == ScanMode::kHalf && materialize) {
       TRACE_SPAN("build", "expand_half");
       local_report.expand_seconds = table.expand_half_table(
           static_cast<unsigned>(std::max(1, cfg.host_cores)));

@@ -37,6 +37,7 @@
 #include "core/batch_planner.hpp"
 #include "core/estimator.hpp"
 #include "cudasim/device.hpp"
+#include "dbscan/batch_sink.hpp"
 #include "dbscan/neighbor_table.hpp"
 #include "index/grid_index.hpp"
 
@@ -59,6 +60,18 @@ struct BuildReport {
   std::uint64_t kernel_flops = 0;      ///< distance-test FLOPs (batch kernels)
   std::uint64_t kernel_global_bytes = 0;  ///< global-memory traffic of same
   double expand_seconds = 0.0;  ///< host transpose restoring back rows (kHalf)
+
+  // --- streaming delivery (BatchSink) ---
+  bool streamed = false;           ///< a sink consumed batches in-flight
+  bool table_materialized = true;  ///< false: labels-only build, T skipped
+  std::uint64_t sink_batches = 0;        ///< exactly-once CSR row deliveries
+  std::uint64_t sink_count_batches = 0;  ///< pass-1 degree deliveries
+  /// Host CPU spent inside sink callbacks across all stream threads — the
+  /// clustering work that overlapped the device build instead of running
+  /// after it. Not part of modeled_table_seconds: on the reference host the
+  /// consumer drains completed staging buffers on its own cores.
+  double sink_consume_seconds = 0.0;
+
   bool used_shared_kernel = false;
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
   ScanMode scan_mode = ScanMode::kHalf;  ///< pair-evaluation mode that ran
@@ -103,7 +116,21 @@ class NeighborTableBuilder {
   /// Thread-safe for concurrent calls with distinct indexes (each call
   /// creates its own streams and buffers).
   NeighborTable build(const GridIndex& index, float eps,
-                      BuildReport* report = nullptr);
+                      BuildReport* report = nullptr) {
+    return build(index, eps, report, /*sink=*/nullptr,
+                 /*materialize_table=*/true);
+  }
+
+  /// Streaming build: every batch's pass-1 counts and CSR rows are handed
+  /// to `sink` the moment they land (see dbscan/batch_sink.hpp for the
+  /// exactly-once contract under the degradation ladder). Requires
+  /// TableBuildMode::kCsrTwoPass; a non-null sink disables the
+  /// single-batch shared-kernel fast path. With `materialize_table` false
+  /// the shard appends, final merge and half-table expansion are all
+  /// skipped and the returned table is empty — labels-only callers save
+  /// the transpose and the host table memory entirely.
+  NeighborTable build(const GridIndex& index, float eps, BuildReport* report,
+                      BatchSink* sink, bool materialize_table);
 
   [[nodiscard]] const BatchPolicy& policy() const noexcept { return policy_; }
   [[nodiscard]] std::size_t num_devices() const noexcept {

@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -17,21 +19,40 @@ namespace hdbscan {
 
 namespace {
 
-/// Work item flowing from the table producer to the DBSCAN consumers.
+/// Work item flowing from the table producer to the DBSCAN consumers:
+/// either a materialized table (batch mode) or an already-streamed
+/// clusterer awaiting its resolution tail (streaming mode).
 struct TableItem {
   std::size_t variant_index = 0;
   NeighborTable table;
   std::vector<PointId> original_ids;
+  /// Streaming mode: the consumer that ingested this variant's batches
+  /// during its build; the pipeline consumer only runs finalize().
+  std::unique_ptr<StreamingDbscan> streaming;
+  /// Host bytes this item holds in flight (table payload, or the
+  /// streaming consumer's resident footprint).
+  std::uint64_t payload_bytes = 0;
 };
 
-/// Minimal bounded MPMC queue (single producer here).
+/// Minimal bounded MPMC queue (single producer here). Bounds the number
+/// of in-flight items and, when `bytes_budget` is non-zero, their summed
+/// payload bytes — with a one-item minimum: an empty queue admits any
+/// item, so a single over-budget table stalls the producer only until the
+/// consumers catch up, never forever.
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(std::size_t capacity, std::uint64_t bytes_budget)
+      : capacity_(capacity), bytes_budget_(bytes_budget) {}
 
   void push(TableItem item) {
+    const std::uint64_t bytes = item.payload_bytes;
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    not_full_.wait(lock, [&] {
+      if (queue_.size() >= capacity_) return false;
+      if (bytes_budget_ == 0 || queue_.empty()) return true;
+      return bytes_in_flight_ + bytes <= bytes_budget_;
+    });
+    bytes_in_flight_ += bytes;
     queue_.push_back(std::move(item));
     not_empty_.notify_one();
   }
@@ -43,7 +64,8 @@ class BoundedQueue {
     if (queue_.empty()) return std::nullopt;
     TableItem item = std::move(queue_.front());
     queue_.pop_front();
-    not_full_.notify_one();
+    bytes_in_flight_ -= item.payload_bytes;
+    not_full_.notify_all();
     return item;
   }
 
@@ -55,12 +77,19 @@ class BoundedQueue {
 
  private:
   std::size_t capacity_;
+  std::uint64_t bytes_budget_;
+  std::uint64_t bytes_in_flight_ = 0;
   std::deque<TableItem> queue_;
   std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   bool closed_ = false;
 };
+
+[[nodiscard]] std::uint64_t table_payload_bytes(const NeighborTable& t) {
+  return t.total_pairs() * sizeof(PointId) +
+         t.num_points() * 2 * sizeof(std::uint32_t);
+}
 
 /// what() of the in-flight exception; call only from a catch block.
 std::string describe_current_exception() {
@@ -117,7 +146,8 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           HybridTimings t;
           ClusterResult r =
               hybrid_dbscan(device, points, variants[i].eps,
-                            variants[i].minpts, &t, options.policy);
+                            variants[i].minpts, &t, options.policy,
+                            options.cluster_mode);
           report.variants[i].table_seconds =
               t.index_seconds + t.gpu_table_seconds;
           report.variants[i].modeled_table_seconds =
@@ -125,6 +155,8 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           report.variants[i].dbscan_seconds = t.dbscan_seconds;
           report.variants[i].num_clusters = r.num_clusters;
           report.variants[i].noise_count = r.noise_count();
+          report.variants[i].streamed = t.streamed;
+          report.variants[i].overlap_fraction = t.overlap_fraction;
           if (options.keep_results) report.results[i] = std::move(r);
         }
       } catch (...) {
@@ -141,7 +173,8 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
     return report;
   }
 
-  BoundedQueue queue(std::max(1u, options.queue_capacity));
+  BoundedQueue queue(std::max(1u, options.queue_capacity),
+                     options.queue_bytes_budget);
   std::mutex report_mutex;
   std::exception_ptr first_error;
   std::size_t failed_variants = 0;  // guarded by report_mutex
@@ -158,6 +191,12 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   // are still clustering v_i. A variant whose build fails is recorded and
   // skipped — its siblings keep flowing. Once the device is lost the
   // remaining variants' tables are built host-side instead.
+  // Streaming requires the CSR pipeline's delivery surface; a pair-sort
+  // policy silently falls back to batch-table consumption.
+  const bool streaming =
+      options.cluster_mode == ClusterMode::kStreaming &&
+      options.policy.build_mode == TableBuildMode::kCsrTwoPass;
+
   std::thread producer([&] {
     obs::set_thread_track(obs::kHostPid, "producer");
     NeighborTableBuilder builder(device, options.policy);
@@ -169,16 +208,34 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
         WallTimer index_timer;
         GridIndex index = build_grid_index(points, variants[i].eps);
         const double index_s = index_timer.seconds();
-        NeighborTable table(0);
+        TableItem item;
+        item.variant_index = i;
         const bool host = device.lost();
         double modeled_s = 0.0;
         if (host) {
-          table = build_neighbor_table_host_parallel(index, variants[i].eps);
+          item.table =
+              build_neighbor_table_host_parallel(index, variants[i].eps);
+          item.payload_bytes = table_payload_bytes(item.table);
+        } else if (streaming) {
+          // This variant's core-core unions run on the builder's stream
+          // threads *during* this build — intra-variant overlap on top of
+          // the inter-variant producer/consumer overlap. The consumers
+          // only run the resolution tail.
+          auto clusterer = std::make_unique<StreamingDbscan>(
+              index.size(), variants[i].minpts);
+          BuildReport build_report;
+          builder.build(index, variants[i].eps, &build_report,
+                        clusterer.get(), /*materialize_table=*/false);
+          modeled_s = index_s + build_report.modeled_table_seconds;
+          item.payload_bytes = clusterer->memory_bytes();
+          item.streaming = std::move(clusterer);
         } else {
           BuildReport build_report;
-          table = builder.build(index, variants[i].eps, &build_report);
+          item.table = builder.build(index, variants[i].eps, &build_report);
           modeled_s = index_s + build_report.modeled_table_seconds;
+          item.payload_bytes = table_payload_bytes(item.table);
         }
+        item.original_ids = std::move(index.original_ids);
         {
           std::lock_guard lock(report_mutex);
           report.variants[i].table_seconds = t.seconds();
@@ -186,8 +243,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
               host ? t.seconds() : modeled_s;
           report.variants[i].outcome.host_fallback = host;
         }
-        queue.push(TableItem{i, std::move(table),
-                             std::move(index.original_ids)});
+        queue.push(std::move(item));
       } catch (...) {
         record_failure(i);
       }
@@ -207,7 +263,9 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
                      variants[i].minpts);
           WallTimer t;
           ClusterResult indexed =
-              dbscan_neighbor_table(item->table, variants[i].minpts);
+              item->streaming
+                  ? item->streaming->finalize()
+                  : dbscan_neighbor_table(item->table, variants[i].minpts);
           const double dbscan_s = t.seconds();
           ClusterResult result = options.keep_results
                                      ? unmap_labels(indexed, item->original_ids)
@@ -216,6 +274,11 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           report.variants[i].dbscan_seconds = dbscan_s;
           report.variants[i].num_clusters = result.num_clusters;
           report.variants[i].noise_count = result.noise_count();
+          if (item->streaming) {
+            report.variants[i].streamed = true;
+            report.variants[i].overlap_fraction =
+                item->streaming->stats().overlap_fraction();
+          }
           if (options.keep_results) report.results[i] = std::move(result);
         } catch (...) {
           record_failure(i);

@@ -16,6 +16,7 @@
 #include "core/batch_planner.hpp"
 #include "cudasim/device.hpp"
 #include "dbscan/cluster_result.hpp"
+#include "dbscan/streaming_dbscan.hpp"
 
 namespace hdbscan {
 
@@ -45,15 +46,28 @@ struct VariantTiming {
   double modeled_table_seconds = 0.0;
   std::int32_t num_clusters = 0;
   std::size_t noise_count = 0;
+  /// Streaming mode: this variant's unions ran during its own build.
+  bool streamed = false;
+  double overlap_fraction = 0.0;  ///< consume / (consume + finalize)
   VariantOutcome outcome;
 };
 
 struct PipelineOptions {
   bool pipelined = true;
   unsigned num_consumers = 3;    ///< paper: "up to 3 threads consume T"
-  unsigned queue_capacity = 3;   ///< bounds memory held in flight
+  unsigned queue_capacity = 3;   ///< bounds in-flight *table count*
+  /// Additionally bounds the in-flight payload *bytes* (0 = legacy
+  /// count-only). A large-eps sweep's multi-GB tables stop admitting once
+  /// the budget is reached — but an empty queue always admits one item,
+  /// whatever its size, so an over-budget single table can never
+  /// deadlock the producer.
+  std::uint64_t queue_bytes_budget = 0;
   BatchPolicy policy;
   bool keep_results = false;     ///< retain labels (costs memory)
+  /// kStreaming: each variant's core-core unions run on the builder's
+  /// stream threads during its own build and T is never materialized —
+  /// intra-variant overlap on top of the paper's inter-variant pipeline.
+  ClusterMode cluster_mode = ClusterMode::kBatchTable;
 };
 
 struct PipelineReport {

@@ -66,6 +66,16 @@ void publish_build_report(const BuildReport& report) {
   r.counter("build_failover_batches").add(report.failover_batches);
   r.counter("build_host_fallback_batches").add(report.host_fallback_batches);
   if (report.used_host_fallback) r.counter("build_host_fallbacks").add(1);
+  if (report.streamed) {
+    r.counter("build_streamed_builds").add(1);
+    r.counter("build_sink_batches").add(report.sink_batches);
+    r.counter("build_sink_count_batches").add(report.sink_count_batches);
+    r.histogram("build_sink_consume_seconds")
+        .observe(report.sink_consume_seconds);
+  }
+  if (!report.table_materialized) {
+    r.counter("build_tables_skipped").add(1);
+  }
   r.histogram("build_table_seconds").observe(report.table_seconds);
   r.histogram("build_modeled_table_seconds")
       .observe(report.modeled_table_seconds);

@@ -23,6 +23,11 @@ struct ReuseReport {
   double modeled_table_seconds = 0.0;
   double dbscan_wall_seconds = 0.0;  ///< concurrent clustering phase
   double total_seconds = 0.0;
+  /// Streaming mode: all minpts consumers ingested the build's batches
+  /// concurrently; phase 2 only ran their resolution tails.
+  bool streamed = false;
+  /// Mean per-consumer consume / (consume + finalize) in streaming mode.
+  double overlap_fraction = 0.0;
   /// Measured per-variant sequential durations (indexed like the minpts
   /// input); feed these to makespan_seconds() to model k-core scaling.
   std::vector<double> variant_seconds;
@@ -35,12 +40,17 @@ struct ReuseReport {
 
 /// Builds T once for `eps`, then clusters every minpts value using
 /// `num_threads` concurrent workers. Labels (input order) are written to
-/// `results` when non-null.
+/// `results` when non-null. ClusterMode::kStreaming fans every CSR batch
+/// out to one union-find consumer per minpts value during the single
+/// build (T itself is never materialized); phase 2 then only runs each
+/// consumer's resolution tail. Falls back to the batch path under
+/// TableBuildMode::kPairSort.
 ReuseReport cluster_minpts_sweep(cudasim::Device& device,
                                  std::span<const Point2> points, float eps,
                                  std::span<const int> minpts_values,
                                  unsigned num_threads,
                                  const BatchPolicy& policy = {},
-                                 std::vector<ClusterResult>* results = nullptr);
+                                 std::vector<ClusterResult>* results = nullptr,
+                                 ClusterMode mode = ClusterMode::kBatchTable);
 
 }  // namespace hdbscan

@@ -1,0 +1,93 @@
+// Streaming delivery surface of the batched neighbor-table builder.
+//
+// The two-pass CSR pipeline knows two things long before the merged table
+// exists: after pass 1 (count kernel + scan) it has *exact* per-key
+// neighbor counts, and after each fill pass it holds one batch's CSR rows
+// in pinned staging. A BatchSink receives both the moment they land, so a
+// consumer (dbscan/streaming_dbscan.hpp) can resolve core flags and union
+// core-core edges while the GPU is still filling later batches — instead
+// of waiting for shard merge + half-table expansion + a full table scan.
+//
+// Delivery contract (what the builder guarantees):
+//  * Callbacks run on the builder's stream threads, concurrently across
+//    streams and devices. Implementations must be thread-safe.
+//  * The spans point into the builder's staging buffers and are valid only
+//    for the duration of the call.
+//  * Exactly-once per key: whatever the degradation ladder does — transient
+//    retries, OOM shrink-splits, overflow splits, failover to a surviving
+//    device, host-fallback completion — every key's row is delivered
+//    exactly once, and every key's count contribution is delivered exactly
+//    once (`BatchDelivery::counts_delivered` says whether the count arrived
+//    separately or must be derived from the row itself).
+//  * Under ScanMode::kHalf rows are *forward* rows: row k holds self,
+//    same-cell ids >= k and the forward stencil half, and every cross pair
+//    (k, v) appears in exactly one of its two rows. Counts are forward
+//    counts. Under ScanMode::kFull rows are symmetric and each cross pair
+//    is delivered twice (once per direction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hdbscan {
+
+/// Exact pass-1 neighbor counts for one batch's strided key set: key
+/// first_key + g * key_stride has counts[g] neighbors (forward neighbors
+/// under kHalf), self included.
+struct CountDelivery {
+  std::uint32_t first_key = 0;
+  std::uint32_t key_stride = 1;
+  ScanMode scan_mode = ScanMode::kFull;
+  std::span<const std::uint32_t> counts;
+};
+
+/// One batch's CSR rows: key first_key + g * key_stride owns the values in
+/// [offsets[g], offsets[g + 1]) — the last key runs to values.size().
+/// `offsets` is the exclusive prefix scan the device produced.
+struct BatchDelivery {
+  std::uint32_t first_key = 0;
+  std::uint32_t key_stride = 1;
+  ScanMode scan_mode = ScanMode::kFull;
+  /// True when these keys' counts already arrived via consume_counts();
+  /// false (host-fallback rungs) means degrees must be derived from the
+  /// row lengths in this delivery.
+  bool counts_delivered = false;
+  std::span<const std::uint32_t> offsets;
+  std::span<const PointId> values;
+};
+
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+
+  /// Pass-1 counts for a batch — fires before that batch's fill kernel
+  /// runs, so degrees accumulate ahead of the rows. Optional.
+  virtual void consume_counts(const CountDelivery& /*delivery*/) {}
+
+  /// One completed batch's CSR rows, straight from pinned staging.
+  virtual void consume(const BatchDelivery& delivery) = 0;
+};
+
+/// Replicates every delivery to each registered sink — the data-reuse
+/// scheduler feeds one streaming clusterer per minpts value from a single
+/// build this way.
+class FanoutSink final : public BatchSink {
+ public:
+  void add(BatchSink* sink) { sinks_.push_back(sink); }
+  [[nodiscard]] bool empty() const noexcept { return sinks_.empty(); }
+
+  void consume_counts(const CountDelivery& delivery) override {
+    for (BatchSink* s : sinks_) s->consume_counts(delivery);
+  }
+  void consume(const BatchDelivery& delivery) override {
+    for (BatchSink* s : sinks_) s->consume(delivery);
+  }
+
+ private:
+  std::vector<BatchSink*> sinks_;
+};
+
+}  // namespace hdbscan

@@ -19,6 +19,7 @@ ClusterResult canonicalize(const ClusterResult& result) {
     out.labels[i] = m;
   }
   out.num_clusters = next;
+  out.finalize_noise_count();
   return out;
 }
 

@@ -16,10 +16,29 @@ struct ClusterResult {
   std::vector<std::int32_t> labels;  ///< one entry per input point
   std::int32_t num_clusters = 0;
 
+  /// Number of noise points. O(1) once a producer called
+  /// finalize_noise_count(); otherwise an O(n) scan per call — the
+  /// clustering entry points all finalize, so reporting paths
+  /// (VariantTiming, CLI summaries) hit the cached value.
   [[nodiscard]] std::size_t noise_count() const noexcept {
+    if (cached_noise_ >= 0) return static_cast<std::size_t>(cached_noise_);
     std::size_t n = 0;
     for (const std::int32_t l : labels) n += (l == kNoise);
     return n;
+  }
+
+  /// Computes and caches noise_count(). Call once, where labels become
+  /// final; mutate `labels` afterwards only via invalidate_noise_cache().
+  void finalize_noise_count() noexcept {
+    std::size_t n = 0;
+    for (const std::int32_t l : labels) n += (l == kNoise);
+    cached_noise_ = static_cast<std::int64_t>(n);
+  }
+
+  void invalidate_noise_cache() noexcept { cached_noise_ = -1; }
+
+  [[nodiscard]] bool noise_count_cached() const noexcept {
+    return cached_noise_ >= 0;
   }
 
   [[nodiscard]] std::size_t clustered_count() const noexcept {
@@ -34,6 +53,9 @@ struct ClusterResult {
     }
     return sizes;
   }
+
+ private:
+  std::int64_t cached_noise_ = -1;  ///< < 0: not computed yet
 };
 
 /// Renumbers cluster ids by order of first appearance so structurally

@@ -57,6 +57,7 @@ ClusterResult dbscan_impl(std::size_t n, int minpts, SearchFn&& search) {
     ++cluster;
   }
   result.num_clusters = cluster;
+  result.finalize_noise_count();
   return result;
 }
 
@@ -128,6 +129,7 @@ ClusterResult dbscan_neighbor_table(const NeighborTable& table, int minpts) {
     ++cluster;
   }
   result.num_clusters = cluster;
+  result.finalize_noise_count();
   return result;
 }
 

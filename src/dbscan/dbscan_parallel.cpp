@@ -96,6 +96,7 @@ ClusterResult dbscan_parallel(const NeighborTable& table, int minpts,
       }
     }
   });
+  result.finalize_noise_count();
   return result;
 }
 

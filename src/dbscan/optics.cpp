@@ -115,6 +115,7 @@ ClusterResult extract_dbscan_clustering(const OpticsResult& result,
     }
   }
   out.num_clusters = cluster + 1;
+  out.finalize_noise_count();
   return out;
 }
 

@@ -1,0 +1,278 @@
+#include "dbscan/streaming_dbscan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hdbscan {
+
+namespace {
+
+/// Static range split of [0, n) across `workers` threads.
+template <typename F>
+void run_partitioned(std::size_t n, unsigned workers, F&& body) {
+  if (workers <= 1 || n < 2048) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void atomic_min(std::atomic<std::uint32_t>& slot, std::uint32_t v) noexcept {
+  std::uint32_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+StreamingDbscan::StreamingDbscan(std::size_t num_points, int minpts)
+    : n_(num_points),
+      required_(0),
+      degree_(std::make_unique<std::atomic<std::uint32_t>[]>(num_points)),
+      uf_(num_points) {
+  if (minpts < 1) {
+    throw std::invalid_argument("StreamingDbscan: minpts must be >= 1");
+  }
+  required_ = static_cast<std::uint32_t>(minpts);
+  for (std::size_t i = 0; i < n_; ++i) {
+    degree_[i].store(0, std::memory_order_relaxed);
+  }
+  // Degrees + union-find parents are the fixed footprint.
+  peak_memory_bytes_ = 2 * sizeof(std::uint32_t) * n_;
+}
+
+void StreamingDbscan::consume_counts(const CountDelivery& d) {
+  ThreadCpuTimer timer;
+  const std::size_t keys = d.counts.size();
+  for (std::size_t g = 0; g < keys; ++g) {
+    const auto key = d.first_key + static_cast<std::uint32_t>(g) *
+                                       d.key_stride;
+    degree_[key].fetch_add(d.counts[g], std::memory_order_relaxed);
+  }
+  const double seconds = timer.seconds();
+  std::lock_guard lock(deferred_mutex_);
+  ++stats_.count_batches;
+  stats_.consume_seconds += seconds;
+  add_thread_seconds_locked(seconds);
+}
+
+void StreamingDbscan::add_thread_seconds_locked(double seconds) {
+  const std::thread::id self = std::this_thread::get_id();
+  for (auto& [id, total] : thread_consume_) {
+    if (id == self) {
+      total += seconds;
+      stats_.max_thread_consume_seconds =
+          std::max(stats_.max_thread_consume_seconds, total);
+      return;
+    }
+  }
+  thread_consume_.emplace_back(self, seconds);
+  stats_.max_thread_consume_seconds =
+      std::max(stats_.max_thread_consume_seconds, seconds);
+}
+
+void StreamingDbscan::consume(const BatchDelivery& d) {
+  ThreadCpuTimer timer;
+  TRACE_SPAN("stream", "stream_consume %u/%u", d.first_key, d.key_stride);
+  const std::size_t keys = d.offsets.size();
+  std::vector<NeighborPair> local_deferred;
+  std::uint64_t edges = 0;
+  std::uint64_t streamed = 0;
+  for (std::size_t g = 0; g < keys; ++g) {
+    const auto key = d.first_key + static_cast<std::uint32_t>(g) *
+                                       d.key_stride;
+    const std::size_t row_begin = d.offsets[g];
+    const std::size_t row_end =
+        g + 1 < keys ? d.offsets[g + 1] : d.values.size();
+    if (!d.counts_delivered) {
+      // No separate count delivery for these keys (host-fallback rows):
+      // the row length *is* the pass-1 count (self included; forward
+      // count under kHalf).
+      degree_[key].fetch_add(static_cast<std::uint32_t>(row_end - row_begin),
+                             std::memory_order_relaxed);
+    }
+    for (std::size_t idx = row_begin; idx < row_end; ++idx) {
+      const PointId v = d.values[idx];
+      if (v == key) continue;  // self pair: degree only, never an edge
+      if (d.scan_mode == ScanMode::kHalf) {
+        // Forward rows carry each cross pair once; the back direction's
+        // degree contribution lands here, value by value — the streaming
+        // equivalent of expand_half_table's counting pass.
+        degree_[v].fetch_add(1, std::memory_order_relaxed);
+      } else if (v < key) {
+        // Full rows deliver each cross pair twice; keep the (key < v)
+        // copy so every edge is considered exactly once.
+        continue;
+      }
+      ++edges;
+      // Core status is monotone (degrees only grow), so a both-core edge
+      // can be settled right now, on the builder's stream thread.
+      if (is_core(key) && is_core(v)) {
+        uf_.unite(key, v);
+        ++streamed;
+      } else {
+        local_deferred.push_back(NeighborPair{key, v});
+      }
+    }
+  }
+  const double seconds = timer.seconds();
+  std::lock_guard lock(deferred_mutex_);
+  deferred_.insert(deferred_.end(), local_deferred.begin(),
+                   local_deferred.end());
+  if (deferred_.size() >= compact_threshold_) compact_deferred_locked();
+  stats_.deferred_peak =
+      std::max<std::uint64_t>(stats_.deferred_peak, deferred_.size());
+  peak_memory_bytes_ = std::max(
+      peak_memory_bytes_, 2 * sizeof(std::uint32_t) * n_ +
+                              deferred_.capacity() * sizeof(NeighborPair));
+  ++stats_.row_batches;
+  stats_.edges_seen += edges;
+  stats_.edges_streamed += streamed;
+  stats_.consume_seconds += seconds;
+  add_thread_seconds_locked(seconds);
+}
+
+void StreamingDbscan::compact_deferred_locked() {
+  // Points keep resolving as core while batches land; edges parked early
+  // often become decidable later in the stream. Settling them here keeps
+  // the parked-edge high-water near the truly undecidable residue.
+  std::size_t kept = 0;
+  for (const NeighborPair& e : deferred_) {
+    if (is_core(e.key) && is_core(e.value)) {
+      uf_.unite(e.key, e.value);
+      ++stats_.edges_streamed;
+    } else {
+      deferred_[kept++] = e;
+    }
+  }
+  deferred_.resize(kept);
+  compact_threshold_ = std::max<std::size_t>(std::size_t{1} << 15, kept * 2);
+}
+
+std::size_t StreamingDbscan::memory_bytes() const {
+  std::lock_guard lock(deferred_mutex_);
+  return 2 * sizeof(std::uint32_t) * n_ +
+         deferred_.capacity() * sizeof(NeighborPair);
+}
+
+ClusterResult StreamingDbscan::finalize(unsigned num_threads) {
+  if (finalized_) {
+    throw std::logic_error("StreamingDbscan::finalize called twice");
+  }
+  finalized_ = true;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  TRACE_SPAN("stream", "stream_finalize n=%zu", n_);
+  WallTimer tail_timer;
+
+  stats_.edges_deferred = deferred_.size();
+  stats_.deferred_peak =
+      std::max<std::uint64_t>(stats_.deferred_peak, deferred_.size());
+
+  // Degrees are exact now — the build delivered every contribution
+  // exactly once — so the core mask is final.
+  std::vector<std::uint8_t> core(n_);
+  run_partitioned(n_, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      core[i] = is_core(static_cast<std::uint32_t>(i));
+    }
+  });
+
+  // Settle the parked edges that turned out core-core (their endpoints
+  // resolved after the edge was parked).
+  run_partitioned(deferred_.size(), num_threads,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t e = begin; e < end; ++e) {
+                      const NeighborPair& edge = deferred_[e];
+                      if (core[edge.key] && core[edge.value]) {
+                        uf_.unite(edge.key, edge.value);
+                      }
+                    }
+                  });
+
+  // Dense renumbering of core roots in ascending id order — identical to
+  // dbscan_parallel phase 3a, so cluster numbering is deterministic.
+  ClusterResult result;
+  result.labels.assign(n_, kNoise);
+  std::vector<std::int32_t> root_label(n_, -1);
+  std::int32_t next_cluster = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!core[i]) continue;
+    const std::uint32_t root = uf_.find(static_cast<std::uint32_t>(i));
+    if (root_label[root] < 0) root_label[root] = next_cluster++;
+    result.labels[i] = root_label[root];
+  }
+  result.num_clusters = next_cluster;
+
+  // Borders — the deterministic smallest-root rule of dbscan_parallel,
+  // evaluated over the parked edges. The adjacency needed here is
+  // complete: only both-core edges were ever removed from the buffer, so
+  // every core/non-core pair is still present.
+  auto best_root = std::make_unique<std::atomic<std::uint32_t>[]>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    best_root[i].store(std::numeric_limits<std::uint32_t>::max(),
+                       std::memory_order_relaxed);
+  }
+  run_partitioned(deferred_.size(), num_threads,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t e = begin; e < end; ++e) {
+                      const NeighborPair& edge = deferred_[e];
+                      const bool ck = core[edge.key];
+                      const bool cv = core[edge.value];
+                      if (ck == cv) continue;
+                      const std::uint32_t border = ck ? edge.value : edge.key;
+                      const std::uint32_t c = ck ? edge.key : edge.value;
+                      atomic_min(best_root[border], uf_.find(c));
+                    }
+                  });
+  run_partitioned(n_, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (core[i]) continue;
+      const std::uint32_t best =
+          best_root[i].load(std::memory_order_relaxed);
+      if (best != std::numeric_limits<std::uint32_t>::max()) {
+        result.labels[i] = root_label[best];
+      }
+    }
+  });
+  result.finalize_noise_count();
+
+  stats_.finalize_seconds = tail_timer.seconds();
+  peak_memory_bytes_ = std::max(
+      peak_memory_bytes_,
+      2 * sizeof(std::uint32_t) * n_ +
+          deferred_.capacity() * sizeof(NeighborPair) +
+          n_ * (sizeof(std::uint8_t) + sizeof(std::int32_t) +
+                sizeof(std::uint32_t) + sizeof(std::int32_t)));
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("stream_row_batches").add(stats_.row_batches);
+  reg.counter("stream_edges_seen").add(stats_.edges_seen);
+  reg.counter("stream_edges_streamed").add(stats_.edges_streamed);
+  reg.counter("stream_edges_deferred").add(stats_.edges_deferred);
+  reg.gauge("stream_overlap_fraction").set(stats_.overlap_fraction());
+  reg.gauge("stream_streamed_fraction").set(stats_.streamed_fraction());
+  reg.gauge("stream_peak_memory_bytes")
+      .set(static_cast<double>(peak_memory_bytes_));
+  reg.histogram("stream_finalize_seconds").observe(stats_.finalize_seconds);
+  return result;
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,154 @@
+// Streaming PDSDBSCAN: union-find clustering that consumes the batched
+// builder's CSR deliveries *while the GPU is still filling later batches*,
+// instead of waiting for the merged (and, under ScanMode::kHalf, expanded)
+// neighbor table.
+//
+// Why this is possible:
+//  * Pass 1 of the two-pass CSR builder yields exact per-key degrees
+//    before any values cross PCIe, and degrees only grow as contributions
+//    land — so "degree >= minpts" (core status) is monotone: once a point
+//    resolves as core mid-stream it stays core.
+//  * Disjoint-set DBSCAN (Patwary et al., the basis of dbscan_parallel) is
+//    order-independent over core-core edges: edges can be unioned in any
+//    arrival order, from any thread.
+// So each delivered row is scanned once, on the builder's stream thread:
+// edges whose endpoints are both already core are unioned immediately;
+// edges that cannot be decided yet (either endpoint still below minpts)
+// are parked in a deferred buffer. Under kHalf every cross pair arrives
+// exactly once (forward rows) and is unioned in both directions, so the
+// clustering path never needs expand_half_table. finalize() settles the
+// tail: final core flags, the remaining deferred unions, dense cluster
+// renumbering (id order, identical to dbscan_parallel) and the
+// deterministic smallest-root border rule. The result is
+// compare_clusterings-equivalent to dbscan_parallel over the full table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dbscan/atomic_union_find.hpp"
+#include "dbscan/batch_sink.hpp"
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan {
+
+/// How the orchestration layers (hybrid_dbscan / pipeline / reuse) turn a
+/// neighbor-table build into labels.
+enum class ClusterMode {
+  /// Materialize T, then run DBSCAN over it (paper Alg. 4). Required when
+  /// the caller wants the table itself (reuse across calls, OPTICS, ...).
+  kBatchTable,
+  /// Union CSR batches as they arrive; T is never materialized. Labels
+  /// only — single-variant wall time approaches max(GPU build, host
+  /// union) plus a short resolution tail.
+  kStreaming,
+};
+
+class StreamingDbscan final : public BatchSink {
+ public:
+  /// `num_points` fixes the id space (the grid index's point order).
+  StreamingDbscan(std::size_t num_points, int minpts);
+
+  // BatchSink: called concurrently from the builder's stream threads.
+  void consume_counts(const CountDelivery& delivery) override;
+  void consume(const BatchDelivery& delivery) override;
+
+  /// Settles everything the stream could not decide: final core flags,
+  /// deferred unions, dense renumbering, borders, noise. Call exactly
+  /// once, after the build returned (no concurrent consume calls).
+  /// `num_threads` 0 = hardware concurrency. Labels are in the id order
+  /// the deliveries used (the grid index's order).
+  ClusterResult finalize(unsigned num_threads = 0);
+
+  struct Stats {
+    std::uint64_t count_batches = 0;  ///< CountDelivery calls
+    std::uint64_t row_batches = 0;    ///< BatchDelivery calls
+    std::uint64_t edges_seen = 0;     ///< distinct cross edges ingested
+    std::uint64_t edges_streamed = 0; ///< unioned during the build
+    std::uint64_t edges_deferred = 0; ///< parked for finalize
+    std::uint64_t deferred_peak = 0;  ///< high-water of parked edges
+    double consume_seconds = 0.0;     ///< host CPU inside consume*(), summed
+                                      ///< across all delivering threads
+    /// Largest per-thread share of consume_seconds. Deliveries run
+    /// concurrently (one per builder stream), so this — not the sum — is
+    /// the union work's contribution to the critical path when each
+    /// stream thread has its own core.
+    double max_thread_consume_seconds = 0.0;
+    double finalize_seconds = 0.0;    ///< wall time of the resolution tail
+
+    /// Share of ingested edges that were settled while the GPU was still
+    /// building.
+    [[nodiscard]] double streamed_fraction() const noexcept {
+      return edges_seen == 0
+                 ? 0.0
+                 : static_cast<double>(edges_streamed) /
+                       static_cast<double>(edges_seen);
+    }
+    /// Share of the host clustering work that overlapped the build:
+    /// consume / (consume + finalize).
+    [[nodiscard]] double overlap_fraction() const noexcept {
+      const double total = consume_seconds + finalize_seconds;
+      return total <= 0.0 ? 0.0 : consume_seconds / total;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Final degree of point i (self included; full degree, both directions
+  /// under kHalf). Exact once the build has returned — the exactly-once
+  /// test hook: any dropped or doubled delivery shows up here.
+  [[nodiscard]] std::uint32_t degree(PointId i) const noexcept {
+    return degree_[i].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t num_points() const noexcept { return n_; }
+  [[nodiscard]] int minpts() const noexcept {
+    return static_cast<int>(required_);
+  }
+
+  /// Current resident bytes of the consumer (degrees + union-find parents
+  /// + parked edges). The streaming replacement for holding T in memory.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// High-water bytes across the whole run, including finalize's
+  /// temporary arrays — the number to compare against the materialized
+  /// table's footprint.
+  [[nodiscard]] std::size_t peak_memory_bytes() const noexcept {
+    return peak_memory_bytes_;
+  }
+
+ private:
+  [[nodiscard]] bool is_core(std::uint32_t i) const noexcept {
+    return degree_[i].load(std::memory_order_relaxed) >= required_;
+  }
+
+  /// Unites parked both-core edges and drops them; keeps the rest. Called
+  /// under deferred_mutex_ when the buffer doubles, bounding its
+  /// high-water to roughly the undecidable edges of the moment.
+  void compact_deferred_locked();
+
+  std::size_t n_;
+  std::uint32_t required_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> degree_;
+  AtomicUnionFind uf_;
+
+  /// Accumulates consume CPU time per delivering thread (a handful of
+  /// builder stream threads); guarded by deferred_mutex_.
+  void add_thread_seconds_locked(double seconds);
+
+  mutable std::mutex deferred_mutex_;
+  std::vector<NeighborPair> deferred_;
+  std::size_t compact_threshold_ = 1 << 15;
+  std::vector<std::pair<std::thread::id, double>> thread_consume_;
+
+  Stats stats_;  ///< guarded by deferred_mutex_ until finalize
+  std::size_t peak_memory_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace hdbscan

@@ -233,6 +233,7 @@ ClusterResult gpu_dbscan(cudasim::Device& device, const GridIndex& index,
   }
   result.num_clusters = next_cluster;
 
+  result.finalize_noise_count();
   local.wall_seconds = wall.seconds();
   if (report != nullptr) *report = local;
   return result;

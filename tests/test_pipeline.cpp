@@ -124,6 +124,52 @@ TEST(Pipeline, ProducerErrorPropagates) {
                std::invalid_argument);
 }
 
+TEST(Pipeline, ByteBudgetAdmitsAsymmetricTables) {
+  // Two-variant sweep with very different table sizes: eps=0.15 yields a
+  // small table, eps=0.7 a much larger one. A budget well below the large
+  // table's payload must still admit it (one-item minimum) and the sweep
+  // must finish with the same labels as the unbudgeted run.
+  const auto points = data::generate_space_weather(
+      2000, 78, {.width = 10.0f, .height = 10.0f});
+  const std::vector<Variant> variants{{0.15f, 4}, {0.7f, 4}};
+  cudasim::Device dev_a({}, fast_options());
+  cudasim::Device dev_b({}, fast_options());
+
+  PipelineOptions unbudgeted;
+  unbudgeted.keep_results = true;
+  const PipelineReport want =
+      run_multi_clustering(dev_a, points, variants, unbudgeted);
+
+  PipelineOptions budgeted;
+  budgeted.keep_results = true;
+  budgeted.queue_capacity = 4;
+  budgeted.queue_bytes_budget = 1024;  // below either table's payload
+  const PipelineReport got =
+      run_multi_clustering(dev_b, points, variants, budgeted);
+
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_TRUE(got.variants[i].outcome.ok) << got.variants[i].outcome.error;
+    const NeighborTable oracle = input_order_table(points, variants[i].eps);
+    const auto outcome = compare_clusterings(
+        got.results[i], want.results[i], oracle, variants[i].minpts);
+    EXPECT_TRUE(outcome.equivalent)
+        << "variant " << i << ": " << outcome.diagnostic;
+  }
+}
+
+TEST(Pipeline, ByteBudgetZeroIsLegacyCountOnly) {
+  const auto points = data::generate_uniform(1200, 79, 8.0f, 8.0f);
+  cudasim::Device dev({}, fast_options());
+  PipelineOptions opts;
+  opts.queue_bytes_budget = 0;  // legacy: only queue_capacity bounds
+  const PipelineReport report =
+      run_multi_clustering(dev, points, test_variants(), opts);
+  for (const auto& t : report.variants) {
+    EXPECT_TRUE(t.outcome.ok) << t.outcome.error;
+    EXPECT_GT(t.dbscan_seconds, 0.0);
+  }
+}
+
 TEST(Pipeline, ClusterCountsMonotoneInMinpts) {
   // Same eps, rising minpts: noise can only grow.
   const auto points = data::generate_sky_survey(

@@ -2,11 +2,13 @@
 //
 //   hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out.{csv,bin}>
 //   hdbscan_cli cluster <in.{csv,bin}> <eps> <minpts> [labels_out] [--map]
+//                       [--streaming]
 //   hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>
 //   hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]
 //   hdbscan_cli table <in> <eps> <table_out.bin>
 //   hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>
 //   hdbscan_cli chaos <SW1|...|uniform> <n> <seed> [devices]
+//   hdbscan_cli stream-smoke [n]
 //   hdbscan_cli profile <SW1|...|uniform> <n> <variants> [--faults=SEED]
 //                       [--selftest]
 //
@@ -50,8 +52,11 @@
 #include "data/datasets.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
+#include "dbscan/cluster_compare.hpp"
 #include "dbscan/dbscan.hpp"
+#include "dbscan/dbscan_parallel.hpp"
 #include "dbscan/optics.hpp"
+#include "dbscan/streaming_dbscan.hpp"
 #include "dbscan/table_io.hpp"
 #include "index/grid_index.hpp"
 #include "obs/export.hpp"
@@ -109,7 +114,8 @@ int usage() {
       stderr,
       "usage:\n"
       "  hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out>\n"
-      "  hdbscan_cli cluster <in> <eps> <minpts> [labels_out] [--map]\n"
+      "  hdbscan_cli cluster <in> <eps> <minpts> [labels_out] [--map]"
+      " [--streaming]\n"
       "  hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>\n"
       "  hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]\n"
       "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
@@ -117,6 +123,7 @@ int usage() {
       "  hdbscan_cli chaos <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <seed>"
       " [devices]\n"
       "  hdbscan_cli perf-smoke [n]\n"
+      "  hdbscan_cli stream-smoke [n]\n"
       "  hdbscan_cli profile <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n>"
       " <variants> [--faults=SEED] [--selftest]\n"
       "global flags (any subcommand):\n"
@@ -147,6 +154,18 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_cluster(int argc, char** argv) {
+  // Strip --streaming wherever it appears so the positional args keep
+  // their places.
+  bool streaming = false;
+  for (int i = 2; i < argc;) {
+    if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else {
+      ++i;
+    }
+  }
   if (argc < 5) return usage();
   const auto points = load_points(argv[2]);
   const float eps = std::strtof(argv[3], nullptr);
@@ -155,13 +174,20 @@ int cmd_cluster(int argc, char** argv) {
 
   cudasim::Device device;
   HybridTimings timings;
-  const ClusterResult result =
-      hybrid_dbscan(device, points, eps, minpts, &timings);
+  const ClusterResult result = hybrid_dbscan(
+      device, points, eps, minpts, &timings, {},
+      streaming ? ClusterMode::kStreaming : ClusterMode::kBatchTable);
   std::printf("%zu points, eps=%g minpts=%d -> %d clusters, %zu noise"
               " (%.3f s, modeled %.3f s)\n",
               points.size(), eps, minpts, result.num_clusters,
               result.noise_count(), timings.total_seconds,
               timings.modeled_total_seconds);
+  if (timings.streamed) {
+    std::printf("streaming: %.0f%% of the union work overlapped the build"
+                " (%.3f s hidden, %.3f s tail), consumer peak %zu bytes\n",
+                100.0 * timings.overlap_fraction, timings.consume_seconds,
+                timings.finalize_seconds, timings.peak_consumer_bytes);
+  }
 
   const auto stats = analysis::compute_cluster_stats(points, result);
   for (std::size_t i = 0; i < stats.size() && i < 10; ++i) {
@@ -403,6 +429,97 @@ int cmd_chaos(int argc, char** argv) {
   return 0;
 }
 
+// Streaming overlap gate (the stream_smoke CTest target): builds one
+// variant in ClusterMode::kStreaming and checks (1) per-point degrees
+// match the host oracle — any dropped or doubled batch delivery on the
+// retry/split/failover ladder skews one — (2) the streamed labels are
+// DBSCAN-equivalent to batch DBSCAN over the oracle table, and (3) a
+// nonzero share of the union work actually overlapped the build. Also run
+// under the thread-sanitizer config: consume() executes concurrently on
+// the builder's stream threads.
+int cmd_stream_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 8000;
+  const float eps = 0.35f;
+  const int minpts = 4;
+  const auto points = data::generate_space_weather(
+      n, 9, {.width = 10.0f, .height = 10.0f});
+  const GridIndex index = build_grid_index(points, eps);
+  const NeighborTable oracle = build_neighbor_table_host_parallel(index, eps);
+
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+
+  // Many small batches so deliveries genuinely interleave with the fill.
+  BatchPolicy policy;
+  policy.estimated_total_override =
+      std::max<std::uint64_t>(1, oracle.total_pairs());
+  policy.static_threshold_pairs = 1;
+  policy.static_buffer_pairs =
+      std::max<std::uint64_t>(1, oracle.total_pairs() / 16);
+
+  cudasim::Device device({}, opt);
+  StreamingDbscan consumer(index.size(), minpts);
+  NeighborTableBuilder builder(device, policy);
+  BuildReport report;
+  builder.build(index, eps, &report, &consumer,
+                /*materialize_table=*/false);
+
+  int violations = 0;
+  for (PointId i = 0; i < index.size(); ++i) {
+    if (consumer.degree(i) != oracle.neighbor_count(i)) {
+      std::fprintf(stderr,
+                   "stream_smoke FAILED: degree mismatch at point %u"
+                   " (%u vs oracle %u) — batch delivered twice or lost\n",
+                   i, consumer.degree(i), oracle.neighbor_count(i));
+      ++violations;
+      break;
+    }
+  }
+
+  const ClusterResult streamed = consumer.finalize();
+  const ClusterResult batch = dbscan_parallel(oracle, minpts);
+  const auto outcome = compare_clusterings(streamed, batch, oracle, minpts);
+  if (!outcome.equivalent) {
+    std::fprintf(stderr, "stream_smoke FAILED: %s\n",
+                 outcome.diagnostic.c_str());
+    ++violations;
+  }
+
+  const StreamingDbscan::Stats& st = consumer.stats();
+  const std::uint64_t table_bytes =
+      oracle.total_pairs() * sizeof(PointId) +
+      oracle.num_points() * 2 * sizeof(std::uint32_t);
+  std::printf("stream_smoke: n=%zu batches=%llu edges=%llu streamed=%.3f"
+              " overlap=%.3f consume=%.6fs tail=%.6fs peak=%zuB"
+              " (table would be %lluB)\n",
+              points.size(),
+              static_cast<unsigned long long>(report.sink_batches),
+              static_cast<unsigned long long>(st.edges_seen),
+              st.streamed_fraction(), st.overlap_fraction(),
+              st.consume_seconds, st.finalize_seconds,
+              consumer.peak_memory_bytes(),
+              static_cast<unsigned long long>(table_bytes));
+  if (report.sink_batches == 0) {
+    std::fprintf(stderr, "stream_smoke FAILED: no batch was delivered\n");
+    ++violations;
+  }
+  if (!(st.overlap_fraction() > 0.0)) {
+    std::fprintf(stderr,
+                 "stream_smoke FAILED: no union work overlapped the build"
+                 " (overlap fraction %.3f)\n",
+                 st.overlap_fraction());
+    ++violations;
+  }
+  if (report.table_materialized) {
+    std::fprintf(stderr,
+                 "stream_smoke FAILED: the table was materialized anyway\n");
+    ++violations;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 // Perf regression gate (the perf_smoke CTest target): a tiny A/B build of
 // the same index under ScanMode::kFull and ScanMode::kHalf. The half scan
 // must produce the same table while spending at most 0.6x the distance-test
@@ -634,6 +751,7 @@ int main(int argc, char** argv) {
     else if (cmd == "optics") rc = cmd_optics(argc, argv);
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
     else if (cmd == "perf-smoke") rc = cmd_perf_smoke(argc, argv);
+    else if (cmd == "stream-smoke") rc = cmd_stream_smoke(argc, argv);
     else if (cmd == "profile") return cmd_profile(argc, argv, obs_opts);
     else return usage();
   } catch (const std::exception& e) {
