@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -89,6 +90,17 @@ struct BatchPolicy {
   unsigned max_split_depth = 10;
   /// Fault-degradation behavior (see ResiliencePolicy).
   ResiliencePolicy resilience;
+  /// Under kHalf with a materialized table, expand the merged forward rows
+  /// into the full symmetric table at the end of build(). The sharded
+  /// orchestrator turns this off: shard tables hold *local* ids whose
+  /// ghost-key back rows would collide across shards, so expansion must
+  /// run once, globally, after every shard is translated and absorbed.
+  bool expand_half = true;
+  /// Extra metric labels ("key=value,key=value") for this builder's
+  /// published build counters/gauges — the sharded orchestrator tags each
+  /// shard's report "shard=<i>" so concurrent builds don't overwrite one
+  /// another's gauges. Empty = unlabeled (the fleet-level series).
+  std::string metrics_labels;
 };
 
 struct BatchPlan {

@@ -92,4 +92,69 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
   return unmap_labels(indexed, index.original_ids);
 }
 
+ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
+                            std::span<const Point2> points, float eps,
+                            int minpts, HybridTimings* timings,
+                            const ShardedBuildOptions& options,
+                            ClusterMode mode) {
+  HybridTimings local;
+  WallTimer total_timer;
+
+  WallTimer phase_timer;
+  const GridIndex index = [&] {
+    TRACE_SPAN("index", "grid_index n=%zu", points.size());
+    return build_grid_index(points, eps);
+  }();
+  local.index_seconds = phase_timer.seconds();
+
+  if (mode == ClusterMode::kStreaming &&
+      options.policy.build_mode == TableBuildMode::kCsrTwoPass) {
+    phase_timer.reset();
+    StreamingDbscan consumer(index.size(), minpts);
+    build_sharded_neighbor_table(devices, index, eps, options,
+                                 &local.build_report, &consumer,
+                                 /*materialize_table=*/false);
+    local.gpu_table_seconds = phase_timer.seconds();
+
+    phase_timer.reset();
+    const ClusterResult indexed = consumer.finalize();
+    local.dbscan_seconds = phase_timer.seconds();
+
+    const StreamingDbscan::Stats& st = consumer.stats();
+    local.streamed = true;
+    local.consume_seconds = st.consume_seconds;
+    local.finalize_seconds = st.finalize_seconds;
+    local.overlap_fraction = st.overlap_fraction();
+    local.streamed_edge_fraction = st.streamed_fraction();
+    local.peak_consumer_bytes = consumer.peak_memory_bytes();
+    local.total_seconds = total_timer.seconds();
+    local.modeled_gpu_table_seconds =
+        local.build_report.modeled_table_seconds;
+    local.modeled_total_seconds =
+        local.index_seconds +
+        std::max(local.modeled_gpu_table_seconds,
+                 st.max_thread_consume_seconds) +
+        st.finalize_seconds;
+    if (timings != nullptr) *timings = local;
+    return unmap_labels(indexed, index.original_ids);
+  }
+
+  phase_timer.reset();
+  const NeighborTable table = build_sharded_neighbor_table(
+      devices, index, eps, options, &local.build_report);
+  local.gpu_table_seconds = phase_timer.seconds();
+
+  phase_timer.reset();
+  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+  local.dbscan_seconds = phase_timer.seconds();
+
+  local.total_seconds = total_timer.seconds();
+  local.modeled_gpu_table_seconds = local.build_report.modeled_table_seconds;
+  local.modeled_total_seconds = local.index_seconds +
+                                local.modeled_gpu_table_seconds +
+                                local.dbscan_seconds;
+  if (timings != nullptr) *timings = local;
+  return unmap_labels(indexed, index.original_ids);
+}
+
 }  // namespace hdbscan

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/batch_planner.hpp"
 #include "core/neighbor_table_builder.hpp"
+#include "core/sharded_build.hpp"
 #include "cudasim/device.hpp"
 #include "dbscan/cluster_result.hpp"
 #include "dbscan/dbscan.hpp"
@@ -51,6 +53,18 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
                             std::span<const Point2> points, float eps,
                             int minpts, HybridTimings* timings = nullptr,
                             const BatchPolicy& policy = {},
+                            ClusterMode mode = ClusterMode::kBatchTable);
+
+/// Multi-device HYBRID-DBSCAN: T is built sharded across `devices` (one
+/// grid slab plus its eps-halo per shard; see core/sharded_build.hpp) and
+/// the labels are bit-identical to the single-device run. In streaming
+/// mode the cross-shard core-core unions flow through the same
+/// StreamingDbscan consumer the single-device path uses, fed global keys
+/// by the shard translation layer.
+ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
+                            std::span<const Point2> points, float eps,
+                            int minpts, HybridTimings* timings = nullptr,
+                            const ShardedBuildOptions& options = {},
                             ClusterMode mode = ClusterMode::kBatchTable);
 
 /// Remaps labels from the grid index's point order back to input order.

@@ -259,7 +259,7 @@ void process_batch_pairs(StreamContext& sc, ScanMode scan, float eps,
                          WorkItem& item, unsigned block_size,
                          WorkQueue& queue, unsigned max_split_depth) {
   const gpu::BatchSpec spec = item.spec;
-  if (spec.points_in_batch(sc.view.num_points) == 0) return;
+  if (spec.points_in_batch(sc.view.query_count()) == 0) return;
   TRACE_SPAN("batch", "batch %u/%u d%u", spec.batch, spec.num_batches,
              sc.device.id());
 
@@ -322,7 +322,9 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
                        WorkQueue& queue, unsigned max_split_depth,
                        BatchSink* sink, bool materialize) {
   const gpu::BatchSpec spec = item.spec;
-  const std::uint32_t pts = spec.points_in_batch(sc.view.num_points);
+  // Query domain, not resident count: on a shard slab the ghost points
+  // hold no batch slots (the kernels never write counts for them).
+  const std::uint32_t pts = spec.points_in_batch(sc.view.query_count());
   if (pts == 0) return;
   TRACE_SPAN("batch", "batch %u/%u d%u", spec.batch, spec.num_batches,
              sc.device.id());
@@ -382,7 +384,7 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
     hdbscan::ThreadCpuTimer consume_timer;
     sink->consume_counts(CountDelivery{
         spec.batch, spec.num_batches, scan,
-        {sc.counts_scratch.data(), pts}});
+        {sc.counts_scratch.data(), pts}, {}});
     sc.consume_seconds += consume_timer.seconds();
     ++sc.sink_count_batches;
     item.counts_delivered = true;
@@ -422,7 +424,7 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
     sink->consume(BatchDelivery{spec.batch, spec.num_batches, scan,
                                 item.counts_delivered,
                                 {sc.offsets_staging->data(), pts},
-                                {sc.values_staging->data(), total}});
+                                {sc.values_staging->data(), total}, {}});
     sc.consume_seconds += consume_timer.seconds();
     ++sc.sink_batches;
   }
@@ -574,16 +576,17 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       // nothing: deliver the whole table, one (symmetric) row per key.
       hdbscan::ThreadCpuTimer consume_timer;
       const std::uint32_t zero = 0;
-      for (std::uint32_t k = 0; k < t.num_points(); ++k) {
+      const auto nq = static_cast<std::uint32_t>(index.query_count());
+      for (std::uint32_t k = 0; k < nq; ++k) {
         sink->consume(BatchDelivery{k, /*key_stride=*/1, ScanMode::kFull,
                                     /*counts_delivered=*/false,
-                                    {&zero, 1}, t.neighbors(k)});
+                                    {&zero, 1}, t.neighbors(k), {}});
       }
       local_report.sink_consume_seconds += consume_timer.seconds();
-      local_report.sink_batches += t.num_points();
+      local_report.sink_batches += nq;
     }
     local_report.table_seconds = total_timer.seconds();
-    publish_build_report(local_report);
+    publish_build_report(local_report, policy_.metrics_labels);
     if (report != nullptr) *report = local_report;
     if (!materialize) return NeighborTable(index.size());
     return t;
@@ -737,7 +740,8 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       index.points.size() * sizeof(Point2) +
       index.cells.size() * sizeof(CellRange) +
       index.lookup.size() * sizeof(PointId) +
-      index.nonempty_cells.size() * sizeof(std::uint32_t);
+      index.nonempty_cells.size() * sizeof(std::uint32_t) +
+      index.emit_ids.size() * sizeof(PointId);
   double modeled_fixed =
       cudasim::modeled_transfer_seconds(cfg, upload_bytes, /*pinned=*/false) +
       local_report.estimate.kernel_stats.modeled_seconds;
@@ -946,13 +950,13 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
           hdbscan::ThreadCpuTimer consume_timer;
           const NeighborTable& shard = host_shards.back();
           const std::uint32_t zero = 0;
-          const auto n = static_cast<std::uint32_t>(index.size());
+          const auto n = static_cast<std::uint32_t>(index.query_count());
           for (std::uint32_t k = item.spec.batch; k < n;
                k += item.spec.num_batches) {
             sink->consume(BatchDelivery{k, /*key_stride=*/1,
                                         policy_.scan_mode,
                                         item.counts_delivered,
-                                        {&zero, 1}, shard.neighbors(k)});
+                                        {&zero, 1}, shard.neighbors(k), {}});
             ++local_report.sink_batches;
           }
           local_report.sink_consume_seconds += consume_timer.seconds();
@@ -961,22 +965,29 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     }
 
     // Merge the per-stream shards into T exactly once (deterministic
-    // order), and harvest the context-private tallies. A streaming-only
-    // build (materialize_table=false) skips the merge entirely: the sink
-    // already consumed every row, so T is never assembled and the shard
-    // memory is simply dropped.
+    // order), and harvest the context-private tallies. The fan-in is
+    // parallel (absorb_shards: disjoint value regions + key ranges, one
+    // exact allocation) and skips the collision sweep — the strided
+    // batch assignment makes the contexts' and host shards' key sets
+    // disjoint by construction, splits and failover included, and the
+    // property tests compare the result against serial absorption. A
+    // streaming-only build (materialize_table=false) skips the merge
+    // entirely: the sink already consumed every row, so T is never
+    // assembled and the shard memory is simply dropped.
     double merge_seconds = 0.0;
     if (materialize) {
       TRACE_SPAN("build", "shard_merge");
-      table.reserve_values(plan.estimated_total_pairs);
-      hdbscan::ThreadCpuTimer merge_timer;
+      std::vector<NeighborTable> parts;
+      parts.reserve(contexts.size() + host_shards.size());
       for (auto& sc : contexts) {
-        table.absorb_shard(std::move(sc->shard));
+        parts.push_back(std::move(sc->shard));
       }
       for (auto& shard : host_shards) {
-        table.absorb_shard(std::move(shard));
+        parts.push_back(std::move(shard));
       }
-      merge_seconds = merge_timer.seconds();
+      merge_seconds = table.absorb_shards(
+          std::move(parts), static_cast<unsigned>(std::max(1, cfg.host_cores)),
+          /*check_collisions=*/false);
     }
     for (const auto& sc : contexts) {
       local_report.total_pairs += sc->total_pairs;
@@ -998,7 +1009,9 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       slowest_stream = std::max(slowest_stream,
                                 sc->device_model + sc->append_seconds);
     }
-    // The single final merge is serial host work after the streams drain.
+    // The final merge runs after the streams drain; like expand_half it
+    // parallelizes on the reference host, so the model charges its
+    // critical path (absorb_shards' slowest worker), not its CPU sum.
     modeled_fixed += merge_seconds;
     append_total += merge_seconds;
 
@@ -1009,7 +1022,8 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
     // reference host's cores rather than this machine's. A streaming sink
     // consumed forward rows directly (it unions both directions as rows
     // arrive), so a non-materialized build never pays the transpose.
-    if (policy_.scan_mode == ScanMode::kHalf && materialize) {
+    if (policy_.scan_mode == ScanMode::kHalf && materialize &&
+        policy_.expand_half) {
       TRACE_SPAN("build", "expand_half");
       local_report.expand_seconds = table.expand_half_table(
           static_cast<unsigned>(std::max(1, cfg.host_cores)));
@@ -1028,9 +1042,11 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   // Compose the modeled build time: fixed costs plus the slowest context's
   // timeline (device work + that context's host-side shard appends, which
   // run on its own core on the reference host).
+  local_report.shard_fixed_seconds = modeled_fixed;
+  local_report.shard_stream_seconds = slowest_stream;
   local_report.modeled_table_seconds = modeled_fixed + slowest_stream;
   local_report.table_seconds = total_timer.seconds();
-  publish_build_report(local_report);
+  publish_build_report(local_report, policy_.metrics_labels);
   if (report != nullptr) *report = local_report;
   return table;
 }

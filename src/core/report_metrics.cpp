@@ -6,12 +6,14 @@
 
 namespace hdbscan {
 
-void publish_device_metrics(std::uint32_t device_id,
-                            const cudasim::DeviceMetrics& m) {
+namespace {
+
+/// Mirrors one DeviceMetrics snapshot under the given label set. Gauges,
+/// not counters: the values are themselves cumulative snapshots, so
+/// re-publishing must overwrite, not add.
+void publish_device_metrics_labeled(const std::string& labels,
+                                    const cudasim::DeviceMetrics& m) {
   obs::Registry& r = obs::Registry::global();
-  const std::string labels = "device=" + std::to_string(device_id);
-  // Gauges, not counters: DeviceMetrics values are themselves cumulative
-  // snapshots, so re-publishing must overwrite, not add.
   r.gauge("cudasim_kernel_launches", labels)
       .set(static_cast<double>(m.kernel_launches));
   r.gauge("cudasim_kernel_modeled_seconds", labels)
@@ -47,41 +49,96 @@ void publish_device_metrics(std::uint32_t device_id,
       .set(static_cast<double>(m.pool_trim_bytes));
 }
 
-void publish_build_report(const BuildReport& report) {
-  obs::Registry& r = obs::Registry::global();
-  r.counter("build_batches_run").add(report.batches_run);
-  r.counter("build_overflow_splits").add(report.overflow_splits);
-  r.counter("build_total_pairs").add(report.total_pairs);
-  r.counter("build_d2h_bytes").add(report.d2h_bytes);
-  r.counter("build_atomic_ops").add(report.atomic_ops);
-  r.counter("build_kernel_flops").add(report.kernel_flops);
-  r.counter("build_kernel_global_bytes").add(report.kernel_global_bytes);
-  if (report.scan_mode == ScanMode::kHalf) {
-    r.counter("build_half_scan_builds").add(1);
-    r.histogram("build_expand_seconds").observe(report.expand_seconds);
+}  // namespace
+
+void publish_device_metrics(std::uint32_t device_id,
+                            const cudasim::DeviceMetrics& m) {
+  publish_device_metrics_labeled("device=" + std::to_string(device_id), m);
+}
+
+void publish_fleet_metrics(std::span<const cudasim::DeviceMetrics> devices) {
+  cudasim::DeviceMetrics sum;
+  for (const cudasim::DeviceMetrics& m : devices) {
+    sum.kernel_launches += m.kernel_launches;
+    sum.kernel_modeled_seconds += m.kernel_modeled_seconds;
+    sum.kernel_wall_seconds += m.kernel_wall_seconds;
+    sum.h2d_bytes += m.h2d_bytes;
+    sum.d2h_bytes += m.d2h_bytes;
+    sum.transfer_seconds += m.transfer_seconds;
+    sum.pinned_alloc_seconds += m.pinned_alloc_seconds;
+    sum.sort_seconds += m.sort_seconds;
+    sum.scan_seconds += m.scan_seconds;
+    sum.current_mem_bytes += m.current_mem_bytes;
+    sum.peak_mem_bytes += m.peak_mem_bytes;  // upper bound: peaks may not align
+    sum.pool_device_hits += m.pool_device_hits;
+    sum.pool_device_misses += m.pool_device_misses;
+    sum.pool_pinned_hits += m.pool_pinned_hits;
+    sum.pool_pinned_misses += m.pool_pinned_misses;
+    sum.pool_trim_bytes += m.pool_trim_bytes;
+    sum.injected_oom_faults += m.injected_oom_faults;
+    sum.injected_transient_faults += m.injected_transient_faults;
+    sum.degraded_transfers += m.degraded_transfers;
+    sum.refused_ops += m.refused_ops;
+    sum.device_lost = sum.device_lost || m.device_lost;
   }
-  r.counter("build_transient_retries").add(report.transient_retries);
-  r.counter("build_alloc_retries").add(report.alloc_retries);
-  r.counter("build_devices_lost").add(report.devices_lost);
-  r.counter("build_failover_batches").add(report.failover_batches);
-  r.counter("build_host_fallback_batches").add(report.host_fallback_batches);
-  if (report.used_host_fallback) r.counter("build_host_fallbacks").add(1);
+  publish_device_metrics_labeled("device=fleet", sum);
+  obs::Registry::global()
+      .gauge("cudasim_fleet_devices", "device=fleet")
+      .set(static_cast<double>(devices.size()));
+}
+
+void publish_build_report(const BuildReport& report,
+                          const std::string& labels) {
+  obs::Registry& r = obs::Registry::global();
+  r.counter("build_batches_run", labels).add(report.batches_run);
+  r.counter("build_overflow_splits", labels).add(report.overflow_splits);
+  r.counter("build_total_pairs", labels).add(report.total_pairs);
+  r.counter("build_d2h_bytes", labels).add(report.d2h_bytes);
+  r.counter("build_atomic_ops", labels).add(report.atomic_ops);
+  r.counter("build_kernel_flops", labels).add(report.kernel_flops);
+  r.counter("build_kernel_global_bytes", labels)
+      .add(report.kernel_global_bytes);
+  if (report.scan_mode == ScanMode::kHalf) {
+    r.counter("build_half_scan_builds", labels).add(1);
+    r.histogram("build_expand_seconds", labels)
+        .observe(report.expand_seconds);
+  }
+  r.counter("build_transient_retries", labels).add(report.transient_retries);
+  r.counter("build_alloc_retries", labels).add(report.alloc_retries);
+  r.counter("build_devices_lost", labels).add(report.devices_lost);
+  r.counter("build_failover_batches", labels).add(report.failover_batches);
+  r.counter("build_host_fallback_batches", labels)
+      .add(report.host_fallback_batches);
+  if (report.used_host_fallback) {
+    r.counter("build_host_fallbacks", labels).add(1);
+  }
   if (report.streamed) {
-    r.counter("build_streamed_builds").add(1);
-    r.counter("build_sink_batches").add(report.sink_batches);
-    r.counter("build_sink_count_batches").add(report.sink_count_batches);
-    r.histogram("build_sink_consume_seconds")
+    r.counter("build_streamed_builds", labels).add(1);
+    r.counter("build_sink_batches", labels).add(report.sink_batches);
+    r.counter("build_sink_count_batches", labels)
+        .add(report.sink_count_batches);
+    r.histogram("build_sink_consume_seconds", labels)
         .observe(report.sink_consume_seconds);
   }
   if (!report.table_materialized) {
-    r.counter("build_tables_skipped").add(1);
+    r.counter("build_tables_skipped", labels).add(1);
   }
-  r.histogram("build_table_seconds").observe(report.table_seconds);
-  r.histogram("build_modeled_table_seconds")
+  if (report.shards != 0) {
+    r.counter("build_sharded_builds", labels).add(1);
+    r.counter("build_shards", labels).add(report.shards);
+    r.counter("build_shard_repartitions", labels)
+        .add(report.shard_repartitions);
+    r.counter("build_halo_ghost_points", labels)
+        .add(report.halo_ghost_points);
+    r.counter("build_cross_shard_pairs", labels)
+        .add(report.cross_shard_pairs);
+  }
+  r.histogram("build_table_seconds", labels).observe(report.table_seconds);
+  r.histogram("build_modeled_table_seconds", labels)
       .observe(report.modeled_table_seconds);
-  r.gauge("build_last_estimate_pairs")
+  r.gauge("build_last_estimate_pairs", labels)
       .set(static_cast<double>(report.estimate.estimated_total));
-  r.gauge("build_last_num_batches")
+  r.gauge("build_last_num_batches", labels)
       .set(static_cast<double>(report.plan.num_batches));
 }
 

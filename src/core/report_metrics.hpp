@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 
 #include "core/neighbor_table_builder.hpp"
 #include "cudasim/metrics.hpp"
@@ -16,9 +18,18 @@ namespace hdbscan {
 void publish_device_metrics(std::uint32_t device_id,
                             const cudasim::DeviceMetrics& m);
 
-/// Publishes a build report's counters and timings (no labels; callers
-/// running several builds get cumulative counters, which is the registry
-/// contract).
-void publish_build_report(const BuildReport& report);
+/// Publishes the element-wise sum of several devices' metrics under labels
+/// "device=fleet" — the multi-device roll-up that per-device gauges alone
+/// can't provide without the reader re-summing label sets.
+void publish_fleet_metrics(std::span<const cudasim::DeviceMetrics> devices);
+
+/// Publishes a build report's counters and timings. `labels` scopes every
+/// series ("key=value,key=value"; empty = the unlabeled fleet-level
+/// series). Concurrent builders must use distinct labels — the sharded
+/// orchestrator tags each shard "shard=<i>" — or their last-value gauges
+/// silently overwrite each other. Counters stay cumulative per label set,
+/// which is the registry contract.
+void publish_build_report(const BuildReport& report,
+                          const std::string& labels = std::string());
 
 }  // namespace hdbscan

@@ -36,17 +36,28 @@ namespace hdbscan {
 
 /// Exact pass-1 neighbor counts for one batch's strided key set: key
 /// first_key + g * key_stride has counts[g] neighbors (forward neighbors
-/// under kHalf), self included.
+/// under kHalf), self included. When `keys` is non-empty it overrides the
+/// arithmetic key set: entry g belongs to keys[g] — the sharded build
+/// delivers scattered *global* ids this way (a shard's strided local keys
+/// translate to an arbitrary global subset).
 struct CountDelivery {
   std::uint32_t first_key = 0;
   std::uint32_t key_stride = 1;
   ScanMode scan_mode = ScanMode::kFull;
   std::span<const std::uint32_t> counts;
+  std::span<const PointId> keys;  ///< explicit keys; empty = strided
+
+  [[nodiscard]] PointId key_at(std::size_t g) const noexcept {
+    return keys.empty() ? first_key + static_cast<std::uint32_t>(g) *
+                                          key_stride
+                        : keys[g];
+  }
 };
 
 /// One batch's CSR rows: key first_key + g * key_stride owns the values in
 /// [offsets[g], offsets[g + 1]) — the last key runs to values.size().
-/// `offsets` is the exclusive prefix scan the device produced.
+/// `offsets` is the exclusive prefix scan the device produced. A non-empty
+/// `keys` span overrides the arithmetic key set (see CountDelivery).
 struct BatchDelivery {
   std::uint32_t first_key = 0;
   std::uint32_t key_stride = 1;
@@ -57,6 +68,13 @@ struct BatchDelivery {
   bool counts_delivered = false;
   std::span<const std::uint32_t> offsets;
   std::span<const PointId> values;
+  std::span<const PointId> keys;  ///< explicit keys; empty = strided
+
+  [[nodiscard]] PointId key_at(std::size_t g) const noexcept {
+    return keys.empty() ? first_key + static_cast<std::uint32_t>(g) *
+                                          key_stride
+                        : keys[g];
+  }
 };
 
 class BatchSink {

@@ -88,6 +88,120 @@ void NeighborTable::absorb_shard(NeighborTable&& shard) {
   values_.insert(values_.end(), shard.values_.begin(), shard.values_.end());
 }
 
+NeighborTable NeighborTable::translate(std::span<const PointId> to_global,
+                                       std::uint32_t num_owned,
+                                       std::size_t num_global) && {
+  if (to_global.size() != num_points()) {
+    throw std::invalid_argument("NeighborTable: translate map size mismatch");
+  }
+  if (num_owned > to_global.size()) {
+    throw std::invalid_argument("NeighborTable: num_owned exceeds residents");
+  }
+  NeighborTable out(num_global);
+  // Values were emitted through the slab's emission map and are already
+  // global; only the row keys move. The value storage is handed over
+  // wholesale (offsets are position-based and survive).
+  for (std::uint32_t l = 0; l < num_owned; ++l) {
+    const PointId g = to_global[l];
+    if (g >= num_global) {
+      throw std::out_of_range("NeighborTable: global key out of range");
+    }
+    out.begin_[g] = begin_[l];
+    out.end_[g] = end_[l];
+  }
+  out.values_ = std::move(values_);
+  begin_.clear();
+  end_.clear();
+  return out;
+}
+
+double NeighborTable::absorb_shards(std::vector<NeighborTable>&& shards,
+                                    unsigned num_threads,
+                                    bool check_collisions) {
+  if (!values_.empty()) {
+    throw std::invalid_argument("NeighborTable: absorb_shards target not empty");
+  }
+  for (const NeighborTable& s : shards) {
+    if (s.num_points() != num_points()) {
+      throw std::invalid_argument("NeighborTable: shard size mismatch");
+    }
+  }
+  if (shards.empty()) return 0.0;
+  if (shards.size() == 1) {  // steal the storage wholesale
+    ThreadCpuTimer timer;
+    begin_ = std::move(shards[0].begin_);
+    end_ = std::move(shards[0].end_);
+    values_ = std::move(shards[0].values_);
+    return timer.seconds();
+  }
+
+  // Region layout: shard s's values land at [region[s], region[s + 1]),
+  // same order a serial absorb loop would produce.
+  std::vector<std::size_t> region(shards.size() + 1, 0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    region[s + 1] = region[s] + shards[s].values_.size();
+  }
+  ValueVector merged(region.back());  // skips zero-fill; fully overwritten
+
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned W = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, shards.size()));
+
+  // Key-collision detection needs cross-shard visibility, so it cannot
+  // ride the parallel pass without atomics on every row; one serial O(n·k)
+  // sweep over the range arrays (no pair data) keeps absorb_shard's strict
+  // contract. Internal callers whose disjointness is structural skip it
+  // (see the header) — the sweep would otherwise sit on the modeled
+  // critical path of every build.
+  double critical_seconds = 0.0;
+  const std::size_t n = begin_.size();
+  if (check_collisions) {
+    ThreadCpuTimer serial_timer;
+    for (std::size_t k = 0; k < n; ++k) {
+      bool taken = false;
+      for (const NeighborTable& s : shards) {
+        if (s.end_[k] == s.begin_[k]) continue;
+        if (taken) {
+          throw std::logic_error("NeighborTable: key appears in two shards");
+        }
+        taken = true;
+      }
+    }
+    critical_seconds = serial_timer.seconds();
+  }
+
+  // Parallel fan-in: worker w owns shards w, w + W, ... — each copies its
+  // shards' values into their disjoint regions and rebases their disjoint
+  // key ranges. Nothing is shared; the pass is bandwidth-bound.
+  std::vector<double> cpu(W, 0.0);
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < W; ++w) {
+    workers.emplace_back([&, w] {
+      ThreadCpuTimer timer;
+      for (std::size_t s = w; s < shards.size(); s += W) {
+        NeighborTable& shard = shards[s];
+        std::copy(shard.values_.begin(), shard.values_.end(),
+                  merged.begin() + region[s]);
+        const auto base = static_cast<std::uint32_t>(region[s]);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (shard.end_[k] == shard.begin_[k]) continue;
+          begin_[k] = base + shard.begin_[k];
+          end_[k] = base + shard.end_[k];
+        }
+      }
+      cpu[w] = timer.seconds();
+    });
+  }
+  for (auto& t : workers) t.join();
+  critical_seconds += *std::max_element(cpu.begin(), cpu.end());
+
+  values_ = std::move(merged);
+  shards.clear();
+  return critical_seconds;
+}
+
 double NeighborTable::expand_half_table(unsigned num_threads) {
   const std::size_t n = begin_.size();
   if (n == 0) return 0.0;
@@ -243,8 +357,10 @@ NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
   if (key_stride == 0) {
     throw std::invalid_argument("build_neighbor_table_host_strided: stride 0");
   }
-  const std::size_t n = index.size();
-  NeighborTable shard(n);
+  NeighborTable shard(index.size());
+  // Only owned points are queried: a shard sub-index's ghost rows stay
+  // empty, exactly like the device pipeline's batch domain.
+  const std::size_t n = index.query_count();
   std::vector<PointId> neighbors;
   std::vector<NeighborPair> pairs;
   for (std::uint64_t key = first_key; key < n; key += key_stride) {
@@ -255,8 +371,10 @@ NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
     }
     pairs.clear();
     pairs.reserve(neighbors.size());
+    // Values pass through the index's emission map, matching the device
+    // kernels (shard slabs emit global ids; full indexes are identity).
     for (const PointId v : neighbors) {
-      pairs.push_back({static_cast<PointId>(key), v});
+      pairs.push_back({static_cast<PointId>(key), index.emit(v)});
     }
     shard.append_sorted_batch(pairs);
   }
@@ -269,8 +387,8 @@ NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  const std::size_t n = index.size();
-  NeighborTable table(n);
+  NeighborTable table(index.size());
+  const std::size_t n = index.query_count();
 
   // Each worker searches a contiguous id range and stages its pairs;
   // appends are serialized (ranges have disjoint keys, so order between
@@ -304,7 +422,7 @@ NeighborTable build_neighbor_table_host(const GridIndex& index, float eps) {
   NeighborTable table(index.size());
   std::vector<PointId> neighbors;
   std::vector<NeighborPair> pairs;
-  for (PointId i = 0; i < index.size(); ++i) {
+  for (PointId i = 0; i < index.query_count(); ++i) {
     grid_query(index, index.points[i], eps, neighbors);
     pairs.clear();
     pairs.reserve(neighbors.size());

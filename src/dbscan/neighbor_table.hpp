@@ -71,6 +71,41 @@ class NeighborTable {
   /// merge happens once, at the end of the build.
   void absorb_shard(NeighborTable&& shard);
 
+  /// Rebases a shard-local table into the global key space. Local row l
+  /// (owned rows only: l < num_owned; ghost rows are never filled) becomes
+  /// global row to_global[l]; the VALUES move untouched — shard kernels
+  /// emit them through the slab's emission map (GridIndex::emit_ids), so
+  /// they are already global. O(num_owned) plus the storage handoff: no
+  /// per-pair work. The result has num_global rows and is
+  /// absorb_shard()-compatible — shards own disjoint global key sets, so
+  /// translated shards merge without collision. Consumes this table.
+  [[nodiscard]] NeighborTable translate(std::span<const PointId> to_global,
+                                        std::uint32_t num_owned,
+                                        std::size_t num_global) &&;
+
+  /// Merges k translated shards with pairwise-disjoint key sets into this
+  /// (empty) table in one shot: one exact-size allocation, then each
+  /// shard's values are copied into its precomputed region and its rows
+  /// rebased concurrently — regions and key sets are disjoint, so the
+  /// workers share nothing. Layout equals absorbing the shards in their
+  /// given order. Throws std::logic_error if a key appears in two shards
+  /// and std::invalid_argument on size mismatch or a non-empty target.
+  ///
+  /// `check_collisions` controls the strictness sweep — a serial
+  /// O(n * k) pass over the shards' range arrays before any data moves.
+  /// Both builder merges pass false: their key disjointness is
+  /// structural (strided batch assignment / row-homogeneous slab
+  /// ownership) and property-tested, and the sweep would land on the
+  /// modeled critical path of every build. With the check off a
+  /// colliding key silently keeps the last shard's row — callers must
+  /// guarantee disjointness by construction.
+  ///
+  /// Returns the merge's critical-path CPU seconds (slowest worker), the
+  /// number a performance model should charge for the fan-in.
+  double absorb_shards(std::vector<NeighborTable>&& shards,
+                       unsigned num_threads = 0,
+                       bool check_collisions = true);
+
   /// Reserve capacity for the expected total pair count.
   void reserve_values(std::size_t expected_pairs) {
     values_.reserve(expected_pairs);

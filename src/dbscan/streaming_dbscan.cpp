@@ -61,9 +61,7 @@ void StreamingDbscan::consume_counts(const CountDelivery& d) {
   ThreadCpuTimer timer;
   const std::size_t keys = d.counts.size();
   for (std::size_t g = 0; g < keys; ++g) {
-    const auto key = d.first_key + static_cast<std::uint32_t>(g) *
-                                       d.key_stride;
-    degree_[key].fetch_add(d.counts[g], std::memory_order_relaxed);
+    degree_[d.key_at(g)].fetch_add(d.counts[g], std::memory_order_relaxed);
   }
   const double seconds = timer.seconds();
   std::lock_guard lock(deferred_mutex_);
@@ -95,8 +93,7 @@ void StreamingDbscan::consume(const BatchDelivery& d) {
   std::uint64_t edges = 0;
   std::uint64_t streamed = 0;
   for (std::size_t g = 0; g < keys; ++g) {
-    const auto key = d.first_key + static_cast<std::uint32_t>(g) *
-                                       d.key_stride;
+    const PointId key = d.key_at(g);
     const std::size_t row_begin = d.offsets[g];
     const std::size_t row_end =
         g + 1 < keys ? d.offsets[g + 1] : d.values.size();

@@ -18,6 +18,8 @@ class GridDeviceIndex {
                   const GridIndex& host_index)
       : params_(host_index.params),
         num_points_(static_cast<std::uint32_t>(host_index.points.size())),
+        cell_base_(host_index.cell_base),
+        num_query_(host_index.num_query),
         num_nonempty_(
             static_cast<std::uint32_t>(host_index.nonempty_cells.size())),
         max_cell_occupancy_(host_index.max_cell_occupancy),
@@ -33,11 +35,25 @@ class GridDeviceIndex {
                             host_index.lookup.size());
     stream.memcpy_to_device(schedule_, host_index.nonempty_cells.data(),
                             host_index.nonempty_cells.size());
+    // No allocation at all without a map — a zero-byte buffer would still
+    // consume a fault-injection op and shift scripted plans.
+    if (!host_index.emit_ids.empty()) {
+      emit_ = cudasim::DeviceBuffer<PointId>(device,
+                                             host_index.emit_ids.size());
+      stream.memcpy_to_device(emit_, host_index.emit_ids.data(),
+                              host_index.emit_ids.size());
+    }
   }
 
   [[nodiscard]] GridView view() const noexcept {
-    return GridView{params_, points_.device_data(), num_points_,
-                    cells_.device_data(), lookup_.device_data()};
+    return GridView{params_,
+                    points_.device_data(),
+                    num_points_,
+                    cells_.device_data(),
+                    lookup_.device_data(),
+                    cell_base_,
+                    num_query_,
+                    emit_.empty() ? nullptr : emit_.device_data()};
   }
 
   [[nodiscard]] const std::uint32_t* schedule() const noexcept {
@@ -59,12 +75,15 @@ class GridDeviceIndex {
  private:
   GridParams params_;
   std::uint32_t num_points_;
+  std::uint32_t cell_base_;
+  std::uint32_t num_query_;
   std::uint32_t num_nonempty_;
   std::uint32_t max_cell_occupancy_;
   cudasim::DeviceBuffer<Point2> points_;
   cudasim::DeviceBuffer<CellRange> cells_;
   cudasim::DeviceBuffer<PointId> lookup_;
   cudasim::DeviceBuffer<std::uint32_t> schedule_;
+  cudasim::DeviceBuffer<PointId> emit_;  ///< value-emission map (may be empty)
 };
 
 }  // namespace hdbscan::gpu

@@ -35,11 +35,15 @@ void for_each_neighbor(const GridView& view, ScanMode mode, PointId pid,
     }
   };
 
+  // `params` keeps the global geometry even on a shard slab, so cell ids
+  // are global; the slab's cells array is indexed relative to cell_base.
+  // Owned points' whole stencils lie inside the slab by construction
+  // (shard_planner includes the epsilon-halo rows), so no bound check.
   const std::uint32_t cell = view.params.linear_cell(point);
   std::array<std::uint32_t, 9> cell_ids{};
   unsigned ncells = 0;
   if (mode == ScanMode::kHalf) {
-    const CellRange own = view.cells[cell];
+    const CellRange own = view.cells[cell - view.cell_base];
     ctx.count_global_bytes(sizeof(CellRange));
     const PointId* first = view.lookup + own.begin;
     const PointId* last = view.lookup + own.end;
@@ -54,7 +58,7 @@ void for_each_neighbor(const GridView& view, ScanMode mode, PointId pid,
     ncells = get_neighbor_cells(view.params, cell, cell_ids);
   }
   for (unsigned c = 0; c < ncells; ++c) {
-    const CellRange range = view.cells[cell_ids[c]];
+    const CellRange range = view.cells[cell_ids[c] - view.cell_base];
     ctx.count_global_bytes(sizeof(CellRange));
     scan_range(range.begin, range.end);
   }
@@ -73,16 +77,23 @@ struct GlobalKernelBody {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i =
         gid * batch.num_batches + batch.batch;  // strided assignment
-    if (i >= view.num_points) return;
+    if (i >= view.query_count()) return;
 
     const auto pid = static_cast<PointId>(i);
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2));
 
     StagedSink staged(sink);
+    // Values go out through the emission map (identity on the full index;
+    // local->global on shard slabs): one extra 4 B read per emitted pair,
+    // which buys the merge freedom from ever touching individual pairs.
     for_each_neighbor(view, mode, pid, point, eps2, ctx,
                       [&](PointId candidate) {
-                        staged.push(NeighborPair{pid, candidate}, ctx);
+                        if (view.emit_ids != nullptr) {
+                          ctx.count_global_bytes(sizeof(PointId));
+                        }
+                        staged.push(NeighborPair{pid, view.emit(candidate)},
+                                    ctx);
                       });
     staged.flush(ctx);
   }
@@ -107,6 +118,12 @@ constexpr std::size_t kSmemHeader = 40;
 
 /// One logical thread of GPUCalcShared (paper Alg. 3) as a coroutine;
 /// co_await ctx.sync() is the simulator's __syncthreads().
+///
+/// No emission map here: push_dual emits each matched id as a key in one
+/// direction and a value in the other, and keys must stay in resident-id
+/// space (they index the CSR/staging rows). Shard builds — the only users
+/// of emit_ids — disable the shared kernel for exactly this class of
+/// reason (ghost-key rows), so the map being ignored is unreachable.
 cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
                                          SharedKernelParams p) {
   const unsigned tid = ctx.thread_idx;
@@ -151,7 +168,7 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
   }
   co_await ctx.sync();
 
-  const CellRange origin_range = p.view.cells[cell_to_proc];
+  const CellRange origin_range = p.view.cells[cell_to_proc - p.view.cell_base];
   ctx.count_global_bytes(sizeof(CellRange));
 
   // Outer tiling loop: needed when the origin cell holds more points than
@@ -171,7 +188,7 @@ cudasim::KernelTask shared_kernel_thread(cudasim::CoopCtx& ctx,
 
     const unsigned ncells = cell_count[0];
     for (unsigned c = 0; c < ncells; ++c) {
-      const CellRange comp_range = p.view.cells[cell_ids[c]];
+      const CellRange comp_range = p.view.cells[cell_ids[c] - p.view.cell_base];
       ctx.count_global_bytes(sizeof(CellRange));
       for (std::uint32_t cbase = comp_range.begin; cbase < comp_range.end;
            cbase += bdim) {
@@ -244,7 +261,7 @@ struct CountBatchKernelBody {
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
-    if (i >= view.num_points) return;
+    if (i >= view.query_count()) return;
     const auto pid = static_cast<PointId>(i);
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2));
@@ -274,15 +291,19 @@ struct FillCsrKernelBody {
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t gid = ctx.global_id();
     const std::uint64_t i = gid * batch.num_batches + batch.batch;
-    if (i >= view.num_points) return;
+    if (i >= view.query_count()) return;
     const auto pid = static_cast<PointId>(i);
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2) + sizeof(std::uint32_t));
     PointId* out = values + offsets[gid];
+    // Emission-mapped values (see GlobalKernelBody): the CSR slots receive
+    // globally addressed neighbor ids on shard slabs.
     for_each_neighbor(view, mode, pid, point, eps2, ctx,
                       [&](PointId candidate) {
-                        *out++ = candidate;
-                        ctx.count_global_bytes(sizeof(PointId));
+                        *out++ = view.emit(candidate);
+                        ctx.count_global_bytes(
+                            view.emit_ids != nullptr ? 2 * sizeof(PointId)
+                                                     : sizeof(PointId));
                       });
   }
 };
@@ -298,7 +319,7 @@ struct CountKernelBody {
   void operator()(cudasim::ThreadCtx& ctx) const {
     const std::uint64_t i =
         static_cast<std::uint64_t>(ctx.global_id()) * stride;
-    if (i >= view.num_points) return;
+    if (i >= view.query_count()) return;
     const Point2 point = view.points[i];
     ctx.count_global_bytes(sizeof(Point2));
     std::uint64_t neighbors = 0;
@@ -306,7 +327,7 @@ struct CountKernelBody {
     const unsigned ncells = get_neighbor_cells(
         view.params, view.params.linear_cell(point), cell_ids);
     for (unsigned c = 0; c < ncells; ++c) {
-      const CellRange range = view.cells[cell_ids[c]];
+      const CellRange range = view.cells[cell_ids[c] - view.cell_base];
       ctx.count_global_bytes(sizeof(CellRange));
       const std::uint32_t candidates = range.count();
       ctx.count_global_bytes(static_cast<std::uint64_t>(candidates) *
@@ -332,7 +353,7 @@ cudasim::KernelStats run_calc_global(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, ResultSinkView sink,
                                      ScanMode mode, unsigned block_size) {
-  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
   const unsigned grid = grid_dim_for(points, block_size);
   GlobalKernelBody body{view, eps * eps, batch, sink, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
@@ -342,7 +363,7 @@ void enqueue_calc_global(cudasim::Stream& stream, const GridView& view,
                          float eps, BatchSpec batch, ResultSinkView sink,
                          ScanMode mode, cudasim::KernelStats* stats_out,
                          unsigned block_size) {
-  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
   const unsigned grid = grid_dim_for(points, block_size);
   GlobalKernelBody body{view, eps * eps, batch, sink, mode};
   stream.launch(grid, block_size, body, stats_out);
@@ -352,7 +373,7 @@ cudasim::KernelStats run_count_batch(cudasim::Device& device,
                                      const GridView& view, float eps,
                                      BatchSpec batch, std::uint32_t* counts,
                                      ScanMode mode, unsigned block_size) {
-  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
   const unsigned grid = grid_dim_for(points, block_size);
   CountBatchKernelBody body{view, eps * eps, batch, counts, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
@@ -364,7 +385,7 @@ cudasim::KernelStats run_fill_csr(cudasim::Device& device,
                                   const std::uint32_t* offsets,
                                   PointId* values, ScanMode mode,
                                   unsigned block_size) {
-  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
   const unsigned grid = grid_dim_for(points, block_size);
   FillCsrKernelBody body{view, eps * eps, batch, offsets, values, mode};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
@@ -410,7 +431,7 @@ std::uint64_t run_count_kernel(cudasim::Device& device, const GridView& view,
   if (sample_stride == 0) sample_stride = 1;
   std::atomic<std::uint64_t> total{0};
   const std::uint64_t samples =
-      (view.num_points + sample_stride - 1) / sample_stride;
+      (view.query_count() + sample_stride - 1) / sample_stride;
   const unsigned grid = grid_dim_for(samples, block_size);
   CountKernelBody body{view, eps * eps, sample_stride, &total};
   const cudasim::KernelStats stats =

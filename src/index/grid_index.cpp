@@ -146,7 +146,13 @@ void grid_query(const GridIndex& index, const Point2& q, float eps,
   std::array<std::uint32_t, 9> neighbors{};
   const unsigned n = get_neighbor_cells(index.params, cell, neighbors);
   for (unsigned c = 0; c < n; ++c) {
-    const CellRange range = index.cells[neighbors[c]];
+    // Shard sub-indexes hold a slab: global cell h lives at h - cell_base.
+    // Queries for owned points never leave the slab; the bound check only
+    // guards direct queries of ghost/outside points (unsigned wrap covers
+    // cells below the base).
+    const std::uint32_t local = neighbors[c] - index.cell_base;
+    if (local >= index.cells.size()) continue;
+    const CellRange range = index.cells[local];
     for (std::uint32_t a = range.begin; a < range.end; ++a) {
       const PointId id = index.lookup[a];
       if (dist2(q, index.points[id]) <= eps2) out.push_back(id);
@@ -163,7 +169,7 @@ void grid_query_forward(const GridIndex& index, PointId query, float eps,
 
   // Same cell: the ordering invariant makes the slice of A ascending, so
   // candidates with id >= query occupy a suffix starting at lower_bound.
-  const CellRange own = index.cells[cell];
+  const CellRange own = index.cells[cell - index.cell_base];
   const auto* first = index.lookup.data() + own.begin;
   const auto* last = index.lookup.data() + own.end;
   for (const auto* a = std::lower_bound(first, last, query); a != last; ++a) {
@@ -173,7 +179,9 @@ void grid_query_forward(const GridIndex& index, PointId query, float eps,
   std::array<std::uint32_t, 9> cells{};
   const unsigned n = get_forward_neighbor_cells(index.params, cell, cells);
   for (unsigned c = 0; c < n; ++c) {
-    const CellRange range = index.cells[cells[c]];
+    const std::uint32_t local = cells[c] - index.cell_base;
+    if (local >= index.cells.size()) continue;
+    const CellRange range = index.cells[local];
     for (std::uint32_t a = range.begin; a < range.end; ++a) {
       const PointId id = index.lookup[a];
       if (dist2(point, index.points[id]) <= eps2) out.push_back(id);

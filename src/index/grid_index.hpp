@@ -83,6 +83,16 @@ unsigned get_forward_neighbor_cells(const GridParams& params,
                                     std::array<std::uint32_t, 9>& out) noexcept;
 
 /// Host-resident grid index.
+///
+/// A *shard sub-index* (core/shard_planner.hpp) reuses this struct for a
+/// contiguous slab of grid-cell rows: `params` keeps the GLOBAL geometry
+/// (so every point hashes to the same cell id it has in the full index),
+/// `cells` holds only the slab — cells[h - cell_base] is global cell h —
+/// and `points`/`lookup` hold the slab's residents in *owned-first* order:
+/// the first `num_query` points are the ones this shard owns (ascending
+/// global id), followed by the epsilon-halo ghosts (ascending global id).
+/// Kernels and host queries only ever query owned points, whose full
+/// 9-cell stencil lies inside the slab by construction.
 struct GridIndex {
   GridParams params;
   std::vector<Point2> points;          ///< D, bin-sorted
@@ -91,8 +101,27 @@ struct GridIndex {
   std::vector<PointId> lookup;         ///< A
   std::vector<std::uint32_t> nonempty_cells;  ///< S
   std::uint32_t max_cell_occupancy = 0;
+  /// Linear id of cells[0] (nonzero only for shard sub-indexes).
+  std::uint32_t cell_base = 0;
+  /// Number of query (owned) points; 0 means every point is owned. A
+  /// shard's ghost points are resident for distance tests but never
+  /// queried, counted, or assigned to batches.
+  std::uint32_t num_query = 0;
+  /// Value-emission map: neighbor candidates are emitted as emit_ids[c]
+  /// instead of their resident id c. Empty means identity. Shard
+  /// sub-indexes set this to local->global so kernels produce globally
+  /// addressed neighbor values directly — the merge then never touches
+  /// individual pairs. Comparisons (the half-scan ordering rule) stay in
+  /// resident-id space; only the emitted value is mapped.
+  std::vector<PointId> emit_ids;
 
   [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+  [[nodiscard]] std::size_t query_count() const noexcept {
+    return num_query != 0 ? num_query : points.size();
+  }
+  [[nodiscard]] PointId emit(PointId c) const noexcept {
+    return emit_ids.empty() ? c : emit_ids[c];
+  }
 };
 
 /// Non-owning view of the index data; what kernels receive. The pointers
@@ -100,14 +129,32 @@ struct GridIndex {
 struct GridView {
   GridParams params;
   const Point2* points = nullptr;
-  std::uint32_t num_points = 0;
+  std::uint32_t num_points = 0;  ///< resident points (extent of the arrays)
   const CellRange* cells = nullptr;
   const PointId* lookup = nullptr;
+  std::uint32_t cell_base = 0;  ///< linear id of cells[0] (shard slabs)
+  std::uint32_t num_query = 0;  ///< owned prefix; 0 = num_points
+  /// Optional value-emission map (GridIndex::emit_ids); null = identity.
+  const PointId* emit_ids = nullptr;
+
+  /// The batch/query domain: kernels iterate points [0, query_count()).
+  [[nodiscard]] std::uint32_t query_count() const noexcept {
+    return num_query != 0 ? num_query : num_points;
+  }
+
+  [[nodiscard]] PointId emit(PointId c) const noexcept {
+    return emit_ids == nullptr ? c : emit_ids[c];
+  }
 
   [[nodiscard]] static GridView of(const GridIndex& g) noexcept {
-    return GridView{g.params, g.points.data(),
+    return GridView{g.params,
+                    g.points.data(),
                     static_cast<std::uint32_t>(g.points.size()),
-                    g.cells.data(), g.lookup.data()};
+                    g.cells.data(),
+                    g.lookup.data(),
+                    g.cell_base,
+                    g.num_query,
+                    g.emit_ids.empty() ? nullptr : g.emit_ids.data()};
   }
 };
 

@@ -3,6 +3,7 @@
 // direction, the paper's citation [7]).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -80,18 +81,25 @@ TEST(MultiDeviceBuilder, ModeledTimeImprovesWithDevices) {
   const float eps = 0.4f;
   const GridIndex index = build_grid_index(points, eps);
 
+  // Min of three trials per device count: the model folds in measured
+  // host CPU (staging appends), so a descheduled thread on a loaded CI
+  // host can inflate any single trial.
   auto modeled_with = [&](int num_devices) {
-    std::vector<std::unique_ptr<cudasim::Device>> devices;
-    std::vector<cudasim::Device*> ptrs;
-    for (int d = 0; d < num_devices; ++d) {
-      devices.push_back(std::make_unique<cudasim::Device>(
-          cudasim::DeviceConfig{}, fast_options()));
-      ptrs.push_back(devices.back().get());
+    double best = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<std::unique_ptr<cudasim::Device>> devices;
+      std::vector<cudasim::Device*> ptrs;
+      for (int d = 0; d < num_devices; ++d) {
+        devices.push_back(std::make_unique<cudasim::Device>(
+            cudasim::DeviceConfig{}, fast_options()));
+        ptrs.push_back(devices.back().get());
+      }
+      NeighborTableBuilder builder(ptrs);
+      BuildReport report;
+      (void)builder.build(index, eps, &report);
+      best = std::min(best, report.modeled_table_seconds);
     }
-    NeighborTableBuilder builder(ptrs);
-    BuildReport report;
-    (void)builder.build(index, eps, &report);
-    return report.modeled_table_seconds;
+    return best;
   };
 
   const double one = modeled_with(1);

@@ -2,13 +2,14 @@
 //
 //   hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out.{csv,bin}>
 //   hdbscan_cli cluster <in.{csv,bin}> <eps> <minpts> [labels_out] [--map]
-//                       [--streaming]
+//                       [--streaming] [--shards k]
 //   hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>
 //   hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]
 //   hdbscan_cli table <in> <eps> <table_out.bin>
 //   hdbscan_cli optics <in> <eps> <minpts> <eps',eps',...>
 //   hdbscan_cli chaos <SW1|...|uniform> <n> <seed> [devices]
 //   hdbscan_cli stream-smoke [n]
+//   hdbscan_cli shard-smoke [n]
 //   hdbscan_cli profile <SW1|...|uniform> <n> <variants> [--faults=SEED]
 //                       [--selftest]
 //
@@ -46,6 +47,7 @@
 #include "core/pipeline.hpp"
 #include "core/report_metrics.hpp"
 #include "core/reuse.hpp"
+#include "core/sharded_build.hpp"
 #include "cudasim/buffer_pool.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/fault.hpp"
@@ -115,7 +117,7 @@ int usage() {
       "usage:\n"
       "  hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out>\n"
       "  hdbscan_cli cluster <in> <eps> <minpts> [labels_out] [--map]"
-      " [--streaming]\n"
+      " [--streaming] [--shards k]\n"
       "  hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>\n"
       "  hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]\n"
       "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
@@ -124,6 +126,7 @@ int usage() {
       " [devices]\n"
       "  hdbscan_cli perf-smoke [n]\n"
       "  hdbscan_cli stream-smoke [n]\n"
+      "  hdbscan_cli shard-smoke [n]\n"
       "  hdbscan_cli profile <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n>"
       " <variants> [--faults=SEED] [--selftest]\n"
       "global flags (any subcommand):\n"
@@ -154,29 +157,64 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_cluster(int argc, char** argv) {
-  // Strip --streaming wherever it appears so the positional args keep
-  // their places.
+  // Strip --streaming and --shards wherever they appear so the positional
+  // args keep their places.
   bool streaming = false;
+  unsigned shards = 0;
   for (int i = 2; i < argc;) {
+    int consumed = 0;
     if (std::strcmp(argv[i], "--streaming") == 0) {
       streaming = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-    } else {
-      ++i;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
+      consumed = 2;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 9)));
+      consumed = 1;
     }
+    if (consumed == 0) {
+      ++i;
+      continue;
+    }
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
   }
   if (argc < 5) return usage();
   const auto points = load_points(argv[2]);
   const float eps = std::strtof(argv[3], nullptr);
   const int minpts = std::atoi(argv[4]);
   const bool want_map = argc > 5 && std::string(argv[argc - 1]) == "--map";
+  const ClusterMode mode =
+      streaming ? ClusterMode::kStreaming : ClusterMode::kBatchTable;
 
-  cudasim::Device device;
   HybridTimings timings;
-  const ClusterResult result = hybrid_dbscan(
-      device, points, eps, minpts, &timings, {},
-      streaming ? ClusterMode::kStreaming : ClusterMode::kBatchTable);
+  ClusterResult result;
+  if (shards > 1) {
+    // One simulated device per shard: the spatially sharded build path.
+    std::vector<std::unique_ptr<cudasim::Device>> fleet;
+    std::vector<cudasim::Device*> fleet_ptrs;
+    for (unsigned d = 0; d < shards; ++d) {
+      fleet.push_back(std::make_unique<cudasim::Device>());
+      fleet_ptrs.push_back(fleet.back().get());
+    }
+    ShardedBuildOptions options;
+    options.num_shards = shards;
+    result = hybrid_dbscan(fleet_ptrs, points, eps, minpts, &timings,
+                           options, mode);
+    const BuildReport& br = timings.build_report;
+    std::printf("sharded build: %u shards on %u devices, %llu halo ghosts"
+                " (%.1f%% of points), %llu cross-shard pairs\n",
+                br.shards, shards,
+                static_cast<unsigned long long>(br.halo_ghost_points),
+                100.0 * static_cast<double>(br.halo_ghost_points) /
+                    static_cast<double>(std::max<std::size_t>(1,
+                                                              points.size())),
+                static_cast<unsigned long long>(br.cross_shard_pairs));
+  } else {
+    cudasim::Device device;
+    result = hybrid_dbscan(device, points, eps, minpts, &timings, {}, mode);
+  }
   std::printf("%zu points, eps=%g minpts=%d -> %d clusters, %zu noise"
               " (%.3f s, modeled %.3f s)\n",
               points.size(), eps, minpts, result.num_clusters,
@@ -520,6 +558,123 @@ int cmd_stream_smoke(int argc, char** argv) {
   return violations == 0 ? 0 : 1;
 }
 
+// Sharded-build gate (the shard_smoke CTest target): k=3 spatial shards on
+// three devices, one of which is scripted to die mid-build, with a
+// streaming consumer attached AND the table materialized. Checks that the
+// re-partition rung put every slab somewhere (exact table vs the host
+// oracle, exact per-point degrees through the dedup ledger), that the
+// report accounts the loss, and that no survivor leaks device memory.
+// Also run under the thread-sanitizer config: shard builds run
+// concurrently on their own host threads and share the ledger and the
+// downstream consumer.
+int cmd_shard_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 6000;
+  const float eps = 0.35f;
+  const int minpts = 4;
+  const auto points = data::generate_space_weather(
+      n, 13, {.width = 10.0f, .height = 10.0f});
+  const GridIndex index = build_grid_index(points, eps);
+  NeighborTable oracle = build_neighbor_table_host_parallel(index, eps);
+
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  std::vector<cudasim::Device*> device_ptrs;
+  for (unsigned d = 0; d < 3; ++d) {
+    cudasim::SimulationOptions dev_opt = opt;
+    if (d == 1) {
+      cudasim::FaultPlan lost;
+      lost.lost_at_op = 40;  // dies with its shard mid-build
+      dev_opt.fault = std::make_shared<cudasim::FaultInjector>(lost);
+    }
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, dev_opt));
+    device_ptrs.push_back(devices.back().get());
+  }
+
+  ShardedBuildOptions options;
+  options.num_shards = 3;
+  options.policy.estimated_total_override =
+      std::max<std::uint64_t>(1, oracle.total_pairs());
+  options.policy.static_threshold_pairs = 1;
+  options.policy.static_buffer_pairs =
+      std::max<std::uint64_t>(1, oracle.total_pairs() / 24);
+
+  StreamingDbscan consumer(index.size(), minpts);
+  BuildReport report;
+  NeighborTable table = build_sharded_neighbor_table(
+      device_ptrs, index, eps, options, &report, &consumer,
+      /*materialize_table=*/true);
+
+  std::printf("shard_smoke: n=%zu shards=%u repartitions=%u lost=%u"
+              " ghosts=%llu cross=%llu modeled=%.6fs\n",
+              points.size(), report.shards, report.shard_repartitions,
+              report.devices_lost,
+              static_cast<unsigned long long>(report.halo_ghost_points),
+              static_cast<unsigned long long>(report.cross_shard_pairs),
+              report.modeled_table_seconds);
+
+  int violations = 0;
+  table.canonicalize();
+  oracle.canonicalize();
+  if (!table.identical_to(oracle)) {
+    std::fprintf(stderr,
+                 "shard_smoke FAILED: merged table differs from the host"
+                 " oracle (%zu vs %zu pairs)\n",
+                 table.total_pairs(), oracle.total_pairs());
+    ++violations;
+  }
+  for (PointId i = 0; i < index.size(); ++i) {
+    if (consumer.degree(i) != oracle.neighbor_count(i)) {
+      std::fprintf(stderr,
+                   "shard_smoke FAILED: degree mismatch at point %u"
+                   " (%u vs oracle %u) — cross-shard edge delivered twice"
+                   " or lost\n",
+                   i, consumer.degree(i), oracle.neighbor_count(i));
+      ++violations;
+      break;
+    }
+  }
+  const ClusterResult streamed = consumer.finalize();
+  const ClusterResult batch = dbscan_parallel(oracle, minpts);
+  const auto outcome = compare_clusterings(streamed, batch, oracle, minpts);
+  if (!outcome.equivalent) {
+    std::fprintf(stderr, "shard_smoke FAILED: %s\n",
+                 outcome.diagnostic.c_str());
+    ++violations;
+  }
+  if (report.devices_lost != 1) {
+    std::fprintf(stderr,
+                 "shard_smoke FAILED: expected exactly one device loss,"
+                 " report says %u\n",
+                 report.devices_lost);
+    ++violations;
+  }
+  if (report.shard_repartitions == 0) {
+    std::fprintf(stderr,
+                 "shard_smoke FAILED: the dead shard was never"
+                 " re-partitioned\n");
+    ++violations;
+  }
+  for (unsigned d = 0; d < devices.size(); ++d) {
+    if (devices[d]->lost()) continue;
+    devices[d]->pool().trim();  // cached pool scratch is not a leak
+    if (devices[d]->used_global_bytes() != 0) {
+      std::fprintf(stderr,
+                   "shard_smoke FAILED: device %u leaks %zu bytes\n", d,
+                   devices[d]->used_global_bytes());
+      ++violations;
+    }
+  }
+  if (violations == 0) {
+    std::printf("shard_smoke: all invariants held (1 device lost, labels"
+                " and table exact)\n");
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 // Perf regression gate (the perf_smoke CTest target): a tiny A/B build of
 // the same index under ScanMode::kFull and ScanMode::kHalf. The half scan
 // must produce the same table while spending at most 0.6x the distance-test
@@ -752,6 +907,7 @@ int main(int argc, char** argv) {
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
     else if (cmd == "perf-smoke") rc = cmd_perf_smoke(argc, argv);
     else if (cmd == "stream-smoke") rc = cmd_stream_smoke(argc, argv);
+    else if (cmd == "shard-smoke") rc = cmd_shard_smoke(argc, argv);
     else if (cmd == "profile") return cmd_profile(argc, argv, obs_opts);
     else return usage();
   } catch (const std::exception& e) {
