@@ -43,6 +43,8 @@
 #include "index/grid_index.hpp"
 #include "obs/trace.hpp"
 #include "scenarios.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
 
 namespace {
 
@@ -406,6 +408,88 @@ int main() {
       "  k=4 modeled speedup >= 3.2x on some workload (either mode): %s\n",
       shard_ok ? "PASS" : "FAIL");
 
+  // --- service front-end: skewed workload vs naive baseline ----------
+  // The same Zipf-over-eps multi-tenant workload served three ways on a
+  // two-device fleet: naive (every job builds its own table), cache-only,
+  // and cache+coalescing. The reuse machinery must beat the naive
+  // baseline on modeled makespan — that gate is the point of schema 5.
+  struct ServeResult {
+    std::string config;
+    double makespan = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double throughput = 0.0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t coalesced_jobs = 0;
+  };
+  std::vector<ServeResult> serve_results;
+  bool serve_ok = false;
+  {
+    const auto serve_points = data::make_dataset("SW1");
+    service::WorkloadSpec wl;
+    wl.num_jobs = 32;
+    wl.seed = 4242;
+    const std::vector<service::JobSpec> jobs = service::make_zipf_workload(wl);
+
+    struct Config {
+      const char* name;
+      bool cache;
+      bool coalesce;
+    };
+    for (const Config cfg : {Config{"naive", false, false},
+                             Config{"cache", true, false},
+                             Config{"cache+coalesce", true, true}}) {
+      cudasim::SimulationOptions sopt;
+      sopt.throttle_transfers = false;
+      sopt.throttle_pinned_alloc = false;
+      cudasim::Device d0({}, sopt), d1({}, sopt);
+      service::ServiceOptions opt;
+      opt.num_workers = 2;
+      opt.cache_bytes_budget = cfg.cache ? (512ull << 20) : 0;
+      opt.coalesce = cfg.coalesce;
+      service::ClusterService svc({&d0, &d1}, opt);
+      svc.register_dataset("default", serve_points, 0.9f);
+      const std::vector<service::JobResult> results = svc.replay(jobs);
+      const service::ServiceStats stats = svc.stats();
+
+      ServeResult r;
+      r.config = cfg.name;
+      r.makespan = stats.modeled_makespan_seconds;
+      std::vector<double> lat;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].state == service::JobState::kCompleted) {
+          lat.push_back(
+              results[i].modeled_latency_seconds(jobs[i].arrival_seconds));
+        }
+      }
+      std::sort(lat.begin(), lat.end());
+      if (!lat.empty()) {
+        r.p50 = lat[lat.size() / 2];
+        r.p99 = lat[std::min(lat.size() - 1,
+                             static_cast<std::size_t>(
+                                 static_cast<double>(lat.size() - 1) * 0.99))];
+      }
+      r.throughput = r.makespan > 0.0
+                         ? static_cast<double>(stats.completed) / r.makespan
+                         : 0.0;
+      r.cache_hits = stats.cache_hits;
+      r.coalesced_jobs = stats.coalesced_jobs;
+      serve_results.push_back(std::move(r));
+    }
+    serve_ok = serve_results.back().makespan <= serve_results.front().makespan;
+    std::printf("\n  service front-end, %u-job Zipf workload (SW1, 2"
+                " devices):\n", wl.num_jobs);
+    for (const ServeResult& r : serve_results) {
+      std::printf("    %-15s makespan %.4fs  p50 %.4fs  p99 %.4fs  %6.1f"
+                  " jobs/s  (%llu cache hits, %llu coalesced)\n",
+                  r.config.c_str(), r.makespan, r.p50, r.p99, r.throughput,
+                  static_cast<unsigned long long>(r.cache_hits),
+                  static_cast<unsigned long long>(r.coalesced_jobs));
+    }
+    std::printf("  cache+coalescing beats naive on modeled makespan: %s\n",
+                serve_ok ? "PASS" : "FAIL");
+  }
+
   // --- disabled-tracing overhead guard -------------------------------
   // (a) one traced SW1 build counts the TRACE sites it executes; (b) the
   // disabled fast path is microbenchmarked; (c) assert that sites x
@@ -461,7 +545,7 @@ int main() {
   }
   std::fprintf(out,
                "{\n  \"benchmark\": \"table_build\",\n"
-               "  \"schema_version\": 4,\n"
+               "  \"schema_version\": 5,\n"
                "  \"scenario\": {\n"
                "    \"scale\": %.4f,\n"
                "    \"trials\": %d,\n"
@@ -562,6 +646,28 @@ int main() {
                "\"pass\": %s},\n",
                shard_ok ? "true" : "false");
   std::fprintf(out,
+               "  \"service\": {\"dataset\": \"SW1\", \"jobs\": 32, "
+               "\"tenants\": 4, \"zipf_s\": 1.2, \"devices\": 2,\n"
+               "    \"configs\": [\n");
+  for (std::size_t i = 0; i < serve_results.size(); ++i) {
+    const ServeResult& r = serve_results[i];
+    std::fprintf(out,
+                 "      {\"config\": \"%s\", "
+                 "\"modeled_makespan_seconds\": %.6f, "
+                 "\"modeled_p50_seconds\": %.6f, "
+                 "\"modeled_p99_seconds\": %.6f, "
+                 "\"modeled_jobs_per_second\": %.3f, "
+                 "\"cache_hits\": %llu, \"coalesced_jobs\": %llu}%s\n",
+                 r.config.c_str(), r.makespan, r.p50, r.p99, r.throughput,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.coalesced_jobs),
+                 i + 1 < serve_results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n    \"reuse_beats_naive_gate\": {\"metric\": "
+               "\"modeled_makespan_seconds\", \"pass\": %s}},\n",
+               serve_ok ? "true" : "false");
+  std::fprintf(out,
                "  \"trace_overhead_guard\": {\"sites\": %zu, "
                "\"per_site_ns\": %.2f, \"overhead_percent\": %.4f, "
                "\"limit_percent\": 2.0, \"pass\": %s}\n}\n",
@@ -569,5 +675,5 @@ int main() {
                guard_ok ? "true" : "false");
   std::fclose(out);
   std::printf("\nwrote BENCH_table_build.json\n");
-  return guard_ok && shard_ok ? 0 : 1;
+  return guard_ok && shard_ok && serve_ok ? 0 : 1;
 }

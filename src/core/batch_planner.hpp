@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.hpp"
 #include "common/types.hpp"
 
 namespace hdbscan {
@@ -101,6 +102,12 @@ struct BatchPolicy {
   /// shard's report "shard=<i>" so concurrent builds don't overwrite one
   /// another's gauges. Empty = unlabeled (the fleet-level series).
   std::string metrics_labels;
+  /// Optional cooperative-cancellation hook (not owned; must outlive the
+  /// build). Workers poll it at batch granularity; a cancelled token turns
+  /// into OperationCancelled riding the hard-error unwind, so pooled
+  /// buffers and device queues are released promptly. nullptr = never
+  /// cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct BatchPlan {

@@ -1,0 +1,46 @@
+#include "core/failure.hpp"
+
+#include "common/cancel.hpp"
+#include "cudasim/error.hpp"
+
+namespace hdbscan {
+
+const char* failure_reason_name(FailureReason reason) noexcept {
+  switch (reason) {
+    case FailureReason::kNone:
+      return "none";
+    case FailureReason::kTransientExhausted:
+      return "transient_exhausted";
+    case FailureReason::kOutOfMemory:
+      return "out_of_memory";
+    case FailureReason::kDeviceLost:
+      return "device_lost";
+    case FailureReason::kCancelled:
+      return "cancelled";
+    case FailureReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case FailureReason::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+FailureReason classify_current_exception() noexcept {
+  try {
+    throw;
+  } catch (const OperationCancelled& e) {
+    return e.reason() == CancelReason::kDeadline
+               ? FailureReason::kDeadlineExceeded
+               : FailureReason::kCancelled;
+  } catch (const cudasim::TransientKernelFault&) {
+    return FailureReason::kTransientExhausted;
+  } catch (const cudasim::DeviceOutOfMemory&) {
+    return FailureReason::kOutOfMemory;
+  } catch (const cudasim::DeviceLost&) {
+    return FailureReason::kDeviceLost;
+  } catch (...) {
+    return FailureReason::kOther;
+  }
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,27 @@
+// Structured failure taxonomy for builds, pipeline variants, and service
+// requests. The degradation ladder used to report failures as free-text
+// `what()` strings; callers that need to branch on the cause (chaos CLI,
+// the service circuit breaker, bench accounting) get a stable enum instead.
+#pragma once
+
+namespace hdbscan {
+
+/// Why a build or pipeline variant failed. kNone means "did not fail".
+enum class FailureReason : int {
+  kNone = 0,
+  kTransientExhausted,  ///< transient faults outlived max_transient_retries
+  kOutOfMemory,         ///< allocation failed after every shrink/split rung
+  kDeviceLost,          ///< permanent device loss with no surviving fallback
+  kCancelled,           ///< a CancelToken was cancelled mid-build
+  kDeadlineExceeded,    ///< a CancelToken deadline expired mid-build
+  kOther,               ///< anything else (bad input, logic error, ...)
+};
+
+/// Stable lower-snake name for logs, CLI output, and metric labels.
+const char* failure_reason_name(FailureReason reason) noexcept;
+
+/// Classifies the in-flight exception (callable only inside a catch block).
+/// Unwinds the usual suspects in most-specific-first order; never throws.
+FailureReason classify_current_exception() noexcept;
+
+}  // namespace hdbscan

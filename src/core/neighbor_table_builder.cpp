@@ -459,12 +459,22 @@ void process_item(StreamContext& sc, TableBuildMode mode, ScanMode scan,
 void pump(StreamContext& sc, WorkQueue& queue, SharedBuildState& state,
           TableBuildMode mode, ScanMode scan, float eps, unsigned block_size,
           const ResiliencePolicy& res, unsigned max_split_depth,
-          BatchSink* sink, bool materialize) {
+          BatchSink* sink, bool materialize, const CancelToken* cancel) {
   const std::size_t ctx = sc.timeline_id;
   WorkItem item;
   while (queue.pop(ctx, item)) {
     if (state.has_hard_error()) {
       queue.push(ctx, item);
+      return;
+    }
+    // Cooperative cancellation, polled once per batch: becomes a hard
+    // error so every pump winds down, streams drain, and the unwind
+    // returns the pooled buffers. The item goes back so the unfinished
+    // count in diagnostics stays truthful.
+    if (cancel != nullptr && cancel->cancelled()) {
+      queue.push(ctx, item);
+      state.set_hard_error(
+          std::make_exception_ptr(OperationCancelled(cancel->reason())));
       return;
     }
     try {
@@ -540,6 +550,21 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
                                           BuildReport* report,
                                           BatchSink* sink,
                                           bool materialize_table) {
+  try {
+    return build_impl(index, eps, report, sink, materialize_table);
+  } catch (...) {
+    // Stamp the structured cause for callers that isolate the failure
+    // (pipeline variants, the chaos CLI, the service) before they lose the
+    // exception's type to a catch-all.
+    if (report != nullptr) report->failure = classify_current_exception();
+    throw;
+  }
+}
+
+NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
+                                               float eps, BuildReport* report,
+                                               BatchSink* sink,
+                                               bool materialize_table) {
   TRACE_SPAN("build", "table_build n=%zu", index.size());
   if (sink != nullptr && policy_.build_mode == TableBuildMode::kPairSort) {
     throw std::invalid_argument(
@@ -552,6 +577,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
         "would discard the build");
   }
   const bool materialize = materialize_table;
+  check_cancel(policy_.cancel);  // cheapest point to abandon: no device work yet
   WallTimer total_timer;
   BuildReport local_report;
   local_report.used_shared_kernel = policy_.use_shared_kernel;
@@ -565,6 +591,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
   // failed setup), the whole table is built host-side in one go.
   auto full_host_fallback = [&]() -> NeighborTable {
     TRACE_SPAN("host", "host_fallback_full");
+    check_cancel(policy_.cancel);
     local_report.used_host_fallback = true;
     // The parallel host builder queries full neighborhoods directly, so
     // no half-table expansion applies on this rung.
@@ -644,6 +671,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       if (slot.device->lost()) continue;
       unsigned retries = 0;
       while (!estimated) {
+        check_cancel(policy_.cancel);
         try {
           local_report.estimate = estimate_result_size(
               *slot.device, slot.dev_index->view(), eps,
@@ -890,9 +918,9 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
         sc->stream.host_fn([scp, &queue, &state, mode, scan, eps,
                             block = policy_.block_size, &res,
                             depth_max = policy_.max_split_depth, sink,
-                            materialize] {
+                            materialize, cancel = policy_.cancel] {
           pump(*scp, queue, state, mode, scan, eps, block, res, depth_max,
-               sink, materialize);
+               sink, materialize, cancel);
         });
       }
       if (!any_live) break;
@@ -935,6 +963,7 @@ NeighborTable NeighborTableBuilder::build(const GridIndex& index, float eps,
       }
       local_report.used_host_fallback = true;
       for (const WorkItem& item : queue.drain()) {
+        check_cancel(policy_.cancel);  // host batches are slow; poll each one
         TRACE_SPAN("host", "host_fallback %u/%u", item.spec.batch,
                    item.spec.num_batches);
         host_shards.push_back(build_neighbor_table_host_strided(

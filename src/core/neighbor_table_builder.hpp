@@ -36,6 +36,7 @@
 
 #include "core/batch_planner.hpp"
 #include "core/estimator.hpp"
+#include "core/failure.hpp"
 #include "cudasim/device.hpp"
 #include "dbscan/batch_sink.hpp"
 #include "dbscan/neighbor_table.hpp"
@@ -108,6 +109,12 @@ struct BuildReport {
   double shard_fixed_seconds = 0.0;
   double shard_stream_seconds = 0.0;
 
+  /// Structured cause when build() threw (kNone on success). Filled by the
+  /// classifying wrapper around build_impl, so even callers that swallow
+  /// the exception (pipeline variants, chaos CLI, the service) see why the
+  /// ladder ran out of rungs.
+  FailureReason failure = FailureReason::kNone;
+
   /// True when any rung of the degradation ladder fired.
   [[nodiscard]] bool degraded() const noexcept {
     return transient_retries != 0 || alloc_retries != 0 ||
@@ -154,6 +161,12 @@ class NeighborTableBuilder {
   }
 
  private:
+  /// The actual build; the public build() wraps it to stamp
+  /// report->failure with the classified cause when it throws.
+  NeighborTable build_impl(const GridIndex& index, float eps,
+                           BuildReport* report, BatchSink* sink,
+                           bool materialize_table);
+
   std::vector<cudasim::Device*> devices_;
   BatchPolicy policy_;
 };

@@ -162,6 +162,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
       } catch (...) {
         report.variants[i].outcome.ok = false;
         report.variants[i].outcome.error = describe_current_exception();
+        report.variants[i].outcome.failure = classify_current_exception();
         ++failed;
         if (!first_error) first_error = std::current_exception();
       }
@@ -183,6 +184,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
     std::lock_guard lock(report_mutex);
     report.variants[i].outcome.ok = false;
     report.variants[i].outcome.error = describe_current_exception();
+    report.variants[i].outcome.failure = classify_current_exception();
     ++failed_variants;
     if (!first_error) first_error = std::current_exception();
   };
@@ -223,6 +225,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           // only run the resolution tail.
           auto clusterer = std::make_unique<StreamingDbscan>(
               index.size(), variants[i].minpts);
+          clusterer->set_cancel_token(options.policy.cancel);
           BuildReport build_report;
           builder.build(index, variants[i].eps, &build_report,
                         clusterer.get(), /*materialize_table=*/false);
@@ -241,6 +244,210 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           report.variants[i].table_seconds = t.seconds();
           report.variants[i].modeled_table_seconds =
               host ? t.seconds() : modeled_s;
+          report.variants[i].outcome.host_fallback = host;
+        }
+        queue.push(std::move(item));
+      } catch (...) {
+        record_failure(i);
+      }
+    }
+    queue.close();
+  });
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(std::max(1u, options.num_consumers));
+  for (unsigned c = 0; c < std::max(1u, options.num_consumers); ++c) {
+    consumers.emplace_back([&] {
+      obs::set_thread_track(obs::kHostPid, "consumer");
+      while (auto item = queue.pop()) {
+        const std::size_t i = item->variant_index;
+        try {
+          TRACE_SPAN("pipeline", "consume v%zu minpts=%u", i,
+                     variants[i].minpts);
+          WallTimer t;
+          ClusterResult indexed =
+              item->streaming
+                  ? item->streaming->finalize()
+                  : dbscan_neighbor_table(item->table, variants[i].minpts);
+          const double dbscan_s = t.seconds();
+          ClusterResult result = options.keep_results
+                                     ? unmap_labels(indexed, item->original_ids)
+                                     : std::move(indexed);
+          std::lock_guard lock(report_mutex);
+          report.variants[i].dbscan_seconds = dbscan_s;
+          report.variants[i].num_clusters = result.num_clusters;
+          report.variants[i].noise_count = result.noise_count();
+          if (item->streaming) {
+            report.variants[i].streamed = true;
+            report.variants[i].overlap_fraction =
+                item->streaming->stats().overlap_fraction();
+          }
+          if (options.keep_results) report.results[i] = std::move(result);
+        } catch (...) {
+          record_failure(i);
+        }
+      }
+    });
+  }
+
+  producer.join();
+  for (auto& c : consumers) c.join();
+  if (!variants.empty() && failed_variants == variants.size()) {
+    std::rethrow_exception(first_error);
+  }
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
+PipelineReport run_multi_clustering(
+    const std::vector<cudasim::Device*>& devices,
+    std::span<const Point2> points, std::span<const Variant> variants,
+    const PipelineOptions& options) {
+  std::vector<cudasim::Device*> fleet;
+  for (cudasim::Device* d : devices) {
+    if (d != nullptr) fleet.push_back(d);
+  }
+  if (fleet.empty()) {
+    throw std::invalid_argument("run_multi_clustering: no devices");
+  }
+  if (fleet.size() == 1 && options.num_shards <= 1) {
+    return run_multi_clustering(*fleet.front(), points, variants, options);
+  }
+
+  PipelineReport report;
+  report.variants.resize(variants.size());
+  if (options.keep_results) report.results.resize(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    report.variants[i].variant = variants[i];
+  }
+  WallTimer total_timer;
+
+  const bool streaming =
+      options.cluster_mode == ClusterMode::kStreaming &&
+      options.policy.build_mode == TableBuildMode::kCsrTwoPass;
+  const auto any_live = [&fleet] {
+    for (const cudasim::Device* d : fleet) {
+      if (!d->lost()) return true;
+    }
+    return false;
+  };
+  ShardedBuildOptions sopts;
+  sopts.num_shards = options.num_shards;
+  sopts.policy = options.policy;
+
+  // Builds one variant's table (or streams its unions) across the fleet
+  // and packages it for the consumers — the fleet analogue of the
+  // single-device producer body. Returns the item plus its timing split.
+  auto produce_item = [&](std::size_t i, double& wall_s, double& modeled_s,
+                          bool& host) -> TableItem {
+    WallTimer t;
+    WallTimer index_timer;
+    GridIndex index = build_grid_index(points, variants[i].eps);
+    const double index_s = index_timer.seconds();
+    TableItem item;
+    item.variant_index = i;
+    host = !any_live();
+    modeled_s = 0.0;
+    if (host) {
+      item.table = build_neighbor_table_host_parallel(index, variants[i].eps);
+      item.payload_bytes = table_payload_bytes(item.table);
+    } else if (streaming) {
+      auto clusterer = std::make_unique<StreamingDbscan>(index.size(),
+                                                         variants[i].minpts);
+      clusterer->set_cancel_token(options.policy.cancel);
+      BuildReport build_report;
+      build_sharded_neighbor_table(fleet, index, variants[i].eps, sopts,
+                                   &build_report, clusterer.get(),
+                                   /*materialize_table=*/false);
+      modeled_s = index_s + build_report.modeled_table_seconds;
+      item.payload_bytes = clusterer->memory_bytes();
+      item.streaming = std::move(clusterer);
+    } else {
+      BuildReport build_report;
+      item.table = build_sharded_neighbor_table(fleet, index, variants[i].eps,
+                                                sopts, &build_report);
+      modeled_s = index_s + build_report.modeled_table_seconds;
+      item.payload_bytes = table_payload_bytes(item.table);
+    }
+    item.original_ids = std::move(index.original_ids);
+    wall_s = t.seconds();
+    if (host) modeled_s = wall_s;
+    return item;
+  };
+
+  if (!options.pipelined) {
+    std::exception_ptr first_error;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      try {
+        TRACE_SPAN("pipeline", "variant v%zu eps=%.3f", i,
+                   static_cast<double>(variants[i].eps));
+        double wall_s = 0.0;
+        double modeled_s = 0.0;
+        bool host = false;
+        TableItem item = produce_item(i, wall_s, modeled_s, host);
+        WallTimer dbscan_timer;
+        ClusterResult indexed =
+            item.streaming
+                ? item.streaming->finalize()
+                : dbscan_neighbor_table(item.table, variants[i].minpts);
+        ClusterResult result = unmap_labels(indexed, item.original_ids);
+        report.variants[i].table_seconds = wall_s;
+        report.variants[i].modeled_table_seconds = modeled_s;
+        report.variants[i].dbscan_seconds = dbscan_timer.seconds();
+        report.variants[i].num_clusters = result.num_clusters;
+        report.variants[i].noise_count = result.noise_count();
+        report.variants[i].outcome.host_fallback = host;
+        if (item.streaming) {
+          report.variants[i].streamed = true;
+          report.variants[i].overlap_fraction =
+              item.streaming->stats().overlap_fraction();
+        }
+        if (options.keep_results) report.results[i] = std::move(result);
+      } catch (...) {
+        report.variants[i].outcome.ok = false;
+        report.variants[i].outcome.error = describe_current_exception();
+        report.variants[i].outcome.failure = classify_current_exception();
+        ++failed;
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (!variants.empty() && failed == variants.size()) {
+      std::rethrow_exception(first_error);
+    }
+    report.total_seconds = total_timer.seconds();
+    return report;
+  }
+
+  BoundedQueue queue(std::max(1u, options.queue_capacity),
+                     options.queue_bytes_budget);
+  std::mutex report_mutex;
+  std::exception_ptr first_error;
+  std::size_t failed_variants = 0;  // guarded by report_mutex
+
+  auto record_failure = [&](std::size_t i) {
+    std::lock_guard lock(report_mutex);
+    report.variants[i].outcome.ok = false;
+    report.variants[i].outcome.error = describe_current_exception();
+    report.variants[i].outcome.failure = classify_current_exception();
+    ++failed_variants;
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  std::thread producer([&] {
+    obs::set_thread_track(obs::kHostPid, "producer");
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      try {
+        TRACE_SPAN("pipeline", "produce v%zu eps=%.3f", i,
+                   static_cast<double>(variants[i].eps));
+        double wall_s = 0.0;
+        double modeled_s = 0.0;
+        bool host = false;
+        TableItem item = produce_item(i, wall_s, modeled_s, host);
+        {
+          std::lock_guard lock(report_mutex);
+          report.variants[i].table_seconds = wall_s;
+          report.variants[i].modeled_table_seconds = modeled_s;
           report.variants[i].outcome.host_fallback = host;
         }
         queue.push(std::move(item));

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/batch_planner.hpp"
+#include "core/failure.hpp"
+#include "core/sharded_build.hpp"
 #include "cudasim/device.hpp"
 #include "dbscan/cluster_result.hpp"
 #include "dbscan/streaming_dbscan.hpp"
@@ -36,6 +38,9 @@ struct VariantOutcome {
   /// already lost when its turn came.
   bool host_fallback = false;
   std::string error;  ///< what() of the failure; empty when ok
+  /// Structured cause of the failure (kNone when ok) — what callers
+  /// branch on instead of parsing `error`.
+  FailureReason failure = FailureReason::kNone;
 };
 
 struct VariantTiming {
@@ -68,6 +73,10 @@ struct PipelineOptions {
   /// stream threads during its own build and T is never materialized —
   /// intra-variant overlap on top of the paper's inter-variant pipeline.
   ClusterMode cluster_mode = ClusterMode::kBatchTable;
+  /// Fleet overload only: shards per variant's table build (0 = one shard
+  /// per live device, the sharded orchestrator's default). The
+  /// single-device overload ignores it.
+  unsigned num_shards = 0;
 };
 
 struct PipelineReport {
@@ -82,5 +91,17 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
                                     std::span<const Point2> points,
                                     std::span<const Variant> variants,
                                     const PipelineOptions& options = {});
+
+/// Fleet overload: each variant's neighbor table is built across all
+/// (surviving) devices via the sharded orchestrator — eps-halo row slabs,
+/// re-partitioning on device loss, the whole §12 ladder — while the
+/// producer/consumer overlap and the bounded queue (count + byte budget,
+/// one-item minimum) work exactly as in the single-device pipeline. With
+/// one device and num_shards <= 1 this degenerates to the single-device
+/// overload.
+PipelineReport run_multi_clustering(
+    const std::vector<cudasim::Device*>& devices,
+    std::span<const Point2> points, std::span<const Variant> variants,
+    const PipelineOptions& options = {});
 
 }  // namespace hdbscan

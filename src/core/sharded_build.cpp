@@ -14,7 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/timer.hpp"
+#include "core/failure.hpp"
 #include "core/report_metrics.hpp"
 #include "core/shard_planner.hpp"
 #include "cudasim/error.hpp"
@@ -240,9 +242,7 @@ struct ShardOutcome {
   std::uint32_t fail_row_end = 0;
 };
 
-}  // namespace
-
-NeighborTable build_sharded_neighbor_table(
+NeighborTable build_sharded_impl(
     const std::vector<cudasim::Device*>& devices, const GridIndex& index,
     float eps, const ShardedBuildOptions& options, BuildReport* report,
     BatchSink* sink, bool materialize_table) {
@@ -328,6 +328,9 @@ NeighborTable build_sharded_neighbor_table(
   std::unordered_map<cudasim::Device*, unsigned> oom_strikes;
 
   while (!pending.empty() && !live.empty()) {
+    // Cancellation between rounds; mid-round polls happen inside each
+    // shard's builder (the token rides options.policy into every build).
+    check_cancel(options.policy.cancel);
     const std::size_t ndev = live.size();
     std::vector<std::vector<GridShard>> assigned(ndev);
     {
@@ -505,6 +508,7 @@ NeighborTable build_sharded_neighbor_table(
     ThreadCpuTimer host_timer;
     const std::uint32_t zero = 0;
     for (GridShard& shard : pending) {
+      check_cancel(options.policy.cancel);
       NeighborTable local = build_neighbor_table_host_strided(
           shard.index, eps, 0, 1, options.policy.scan_mode);
       ++agg.host_fallback_batches;
@@ -567,6 +571,21 @@ NeighborTable build_sharded_neighbor_table(
   if (report != nullptr) *report = agg;
   if (!materialize_table) return NeighborTable(index.size());
   return table;
+}
+
+}  // namespace
+
+NeighborTable build_sharded_neighbor_table(
+    const std::vector<cudasim::Device*>& devices, const GridIndex& index,
+    float eps, const ShardedBuildOptions& options, BuildReport* report,
+    BatchSink* sink, bool materialize_table) {
+  try {
+    return build_sharded_impl(devices, index, eps, options, report, sink,
+                              materialize_table);
+  } catch (...) {
+    if (report != nullptr) report->failure = classify_current_exception();
+    throw;
+  }
 }
 
 }  // namespace hdbscan

@@ -86,6 +86,9 @@ void StreamingDbscan::add_thread_seconds_locked(double seconds) {
 }
 
 void StreamingDbscan::consume(const BatchDelivery& d) {
+  // Cancellation escapes through the builder's delivery callback: it
+  // becomes the build's hard error, streams drain, buffers return.
+  check_cancel(cancel_);
   ThreadCpuTimer timer;
   TRACE_SPAN("stream", "stream_consume %u/%u", d.first_key, d.key_stride);
   const std::size_t keys = d.offsets.size();
@@ -172,6 +175,7 @@ ClusterResult StreamingDbscan::finalize(unsigned num_threads) {
   if (finalized_) {
     throw std::logic_error("StreamingDbscan::finalize called twice");
   }
+  check_cancel(cancel_);  // a cancelled job never pays the resolution tail
   finalized_ = true;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/types.hpp"
 #include "dbscan/atomic_union_find.hpp"
 #include "dbscan/batch_sink.hpp"
@@ -99,6 +100,15 @@ class StreamingDbscan final : public BatchSink {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Optional cooperative-cancellation hook (not owned; must outlive this
+  /// consumer). consume() and finalize() poll it: a cancelled token throws
+  /// OperationCancelled out of the delivery callback, which the builder
+  /// treats as a hard error — streams drain, pooled buffers return, and
+  /// the abandoned clustering never reaches finalize.
+  void set_cancel_token(const CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
   /// Final degree of point i (self included; full degree, both directions
   /// under kHalf). Exact once the build has returned — the exactly-once
   /// test hook: any dropped or doubled delivery shows up here.
@@ -149,6 +159,7 @@ class StreamingDbscan final : public BatchSink {
   Stats stats_;  ///< guarded by deferred_mutex_ until finalize
   std::size_t peak_memory_bytes_ = 0;
   bool finalized_ = false;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace hdbscan

@@ -1,0 +1,107 @@
+// Per-device circuit breaker + service-level retry budget, layered on the
+// builder's ResiliencePolicy ladder (DESIGN.md §13).
+//
+// The ladder retries *within* one build; the breaker decides whether a
+// device should receive builds at all. A device that keeps failing builds
+// (transient faults past the retry cap, repeated OOM, eventual loss)
+// flips its breaker open, and dispatch routes around it instead of
+// feeding every new request into the same failure. Cooldown is counted in
+// fleet-wide dispatch attempts — not wall time — so behavior is
+// deterministic under test and independent of host speed. After the
+// cooldown the breaker goes half-open and admits exactly one probe build:
+// success closes it, failure re-opens it for another cooldown.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hdbscan::service {
+
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// `failure_threshold` consecutive failures open a device's breaker;
+  /// `cooldown_dispatches` fleet-wide dispatch attempts must pass before
+  /// it half-opens.
+  CircuitBreaker(std::size_t num_devices, unsigned failure_threshold,
+                 unsigned cooldown_dispatches)
+      : failure_threshold_(failure_threshold == 0 ? 1 : failure_threshold),
+        cooldown_dispatches_(cooldown_dispatches),
+        slots_(num_devices) {}
+
+  /// One dispatch attempt asks whether device `d` may run a build. Counts
+  /// the attempt (advancing every open breaker's cooldown) and, for an
+  /// open breaker whose cooldown elapsed, transitions to half-open and
+  /// admits the probe.
+  [[nodiscard]] bool allow(std::size_t d) {
+    std::lock_guard lock(mutex_);
+    ++dispatches_;
+    Slot& s = slots_.at(d);
+    switch (s.state) {
+      case State::kClosed:
+        return true;
+      case State::kHalfOpen:
+        // One probe at a time: further builds wait for its verdict.
+        if (s.probe_in_flight) return false;
+        s.probe_in_flight = true;
+        return true;
+      case State::kOpen:
+        if (dispatches_ - s.opened_at_dispatch > cooldown_dispatches_) {
+          s.state = State::kHalfOpen;
+          s.probe_in_flight = true;
+          return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+  void record_success(std::size_t d) {
+    std::lock_guard lock(mutex_);
+    Slot& s = slots_.at(d);
+    s.consecutive_failures = 0;
+    s.probe_in_flight = false;
+    s.state = State::kClosed;
+  }
+
+  void record_failure(std::size_t d) {
+    std::lock_guard lock(mutex_);
+    Slot& s = slots_.at(d);
+    s.probe_in_flight = false;
+    ++s.consecutive_failures;
+    if (s.state == State::kHalfOpen ||
+        s.consecutive_failures >= failure_threshold_) {
+      s.state = State::kOpen;
+      s.opened_at_dispatch = dispatches_;
+      ++opens_;
+    }
+  }
+
+  [[nodiscard]] State state(std::size_t d) const {
+    std::lock_guard lock(mutex_);
+    return slots_.at(d).state;
+  }
+  [[nodiscard]] std::uint64_t opens() const {
+    std::lock_guard lock(mutex_);
+    return opens_;
+  }
+
+ private:
+  struct Slot {
+    State state = State::kClosed;
+    unsigned consecutive_failures = 0;
+    std::uint64_t opened_at_dispatch = 0;
+    bool probe_in_flight = false;
+  };
+
+  unsigned failure_threshold_;
+  unsigned cooldown_dispatches_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::uint64_t dispatches_ = 0;  ///< fleet-wide attempt counter
+  std::uint64_t opens_ = 0;
+};
+
+}  // namespace hdbscan::service

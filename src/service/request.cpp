@@ -1,0 +1,39 @@
+#include "service/request.hpp"
+
+namespace hdbscan::service {
+
+const char* priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "normal";
+}
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kShed:
+      return "shed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+}  // namespace hdbscan::service

@@ -1,0 +1,105 @@
+// Request model for the clustering service front-end (DESIGN.md §13).
+//
+// A job is one (dataset, eps, minpts) clustering request from a tenant.
+// Every submitted job ends in exactly one terminal state — the
+// RequestOutcome taxonomy below — and the service publishes one obs
+// counter per terminal state, so overload behavior is observable without
+// parsing logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/failure.hpp"
+
+namespace hdbscan::service {
+
+/// Scheduling class. Higher values preempt queue space from lower ones:
+/// under byte/depth pressure an arriving interactive job sheds queued
+/// batch jobs, never the other way around.
+enum class Priority : int {
+  kBatch = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+const char* priority_name(Priority p) noexcept;
+
+/// One clustering request.
+struct JobSpec {
+  std::string tenant = "default";
+  std::string dataset;           ///< must be register_dataset()-ed
+  float eps = 0.5f;
+  int minpts = 4;
+  Priority priority = Priority::kNormal;
+  /// Modeled-clock deadline (seconds from serve start; 0 = none). A job
+  /// whose dispatch-time modeled clock is already past it is terminated
+  /// as deadline-exceeded without touching a device.
+  double deadline_seconds = 0.0;
+  /// Wall-clock deadline armed on the job's CancelToken at dispatch
+  /// (seconds; 0 = none). Expiry mid-build aborts the build cooperatively
+  /// and returns its pooled buffers.
+  double wall_deadline_seconds = 0.0;
+  /// Modeled arrival time (seconds from serve start); a job's modeled
+  /// latency is finish - arrival.
+  double arrival_seconds = 0.0;
+  /// Client hung up before serving began: the job's token is cancelled at
+  /// submit, so dispatch terminates it without device work.
+  bool abandoned = false;
+};
+
+/// Terminal (and transient) states of a request. Every job ends in one of
+/// the states at kCompleted or beyond.
+enum class JobState : int {
+  kQueued = 0,           ///< admitted, waiting for a worker
+  kRunning,              ///< on a worker
+  kCompleted,            ///< labels produced
+  kRejected,             ///< admission refused (see reject_reason)
+  kShed,                 ///< evicted from the queue by a higher-priority
+                         ///< arrival under overload
+  kCancelled,            ///< client abandoned (token cancelled)
+  kDeadlineExceeded,     ///< modeled or wall deadline expired
+  kFailed,               ///< build failed after the ladder + retry budget
+};
+
+const char* job_state_name(JobState s) noexcept;
+
+[[nodiscard]] inline bool is_terminal(JobState s) noexcept {
+  return s >= JobState::kCompleted;
+}
+
+/// Everything the service reports back for one job.
+struct JobResult {
+  JobState state = JobState::kQueued;
+  std::string reject_reason;  ///< human-readable cause for kRejected/kShed
+  FailureReason failure = FailureReason::kNone;  ///< cause for kFailed &c.
+
+  bool cache_hit = false;   ///< served from the eps-keyed table cache
+  bool coalesced = false;   ///< shared another job's build (FanoutSink or
+                            ///< shared materialized table)
+  bool host_fallback = false;  ///< clustered host-side (no live device)
+  unsigned retries = 0;        ///< service-level re-dispatches
+  int device_id = -1;          ///< device that ran the build; -1 = none
+
+  /// Admission price (from the estimator's reference calibration).
+  std::uint64_t priced_pairs = 0;
+  std::uint64_t priced_bytes = 0;
+
+  /// Modeled timeline (reference-hardware seconds from serve start).
+  double modeled_start_seconds = 0.0;
+  double modeled_finish_seconds = 0.0;
+  /// Modeled device seconds this job's build consumed (0 for jobs that
+  /// never reached a device: rejected, shed, abandoned, overdue).
+  double modeled_device_seconds = 0.0;
+
+  std::int32_t num_clusters = 0;
+  std::size_t noise_count = 0;
+  std::vector<std::int32_t> labels;  ///< only when keep_labels
+
+  [[nodiscard]] double modeled_latency_seconds(double arrival) const noexcept {
+    return modeled_finish_seconds - arrival;
+  }
+};
+
+}  // namespace hdbscan::service

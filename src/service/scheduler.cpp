@@ -1,0 +1,675 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "core/estimator.hpp"
+#include "core/neighbor_table_builder.hpp"
+#include "dbscan/batch_sink.hpp"
+#include "dbscan/dbscan.hpp"
+#include "dbscan/streaming_dbscan.hpp"
+#include "index/grid_index.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hdbscan::service {
+
+namespace {
+
+std::uint32_t eps_bits(float eps) noexcept {
+  std::uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(eps));
+  std::memcpy(&bits, &eps, sizeof(bits));
+  return bits;
+}
+
+void publish_outcome(JobState state) {
+  obs::Registry::global()
+      .counter("service_requests",
+               std::string("outcome=") + job_state_name(state))
+      .add(1);
+}
+
+/// Remaps index-order labels back to input order (the service returns
+/// labels the caller can line up with the registered points).
+std::vector<std::int32_t> unmap(const std::vector<std::int32_t>& indexed,
+                                const std::vector<PointId>& original_ids) {
+  std::vector<std::int32_t> out(indexed.size());
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    out[original_ids[i]] = indexed[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterService::ClusterService(std::vector<cudasim::Device*> devices,
+                               ServiceOptions options)
+    : devices_(std::move(devices)),
+      options_(options),
+      cache_(options.cache_bytes_budget),
+      breaker_(devices_.size(), options.breaker_failure_threshold,
+               options.breaker_cooldown_dispatches) {
+  for (cudasim::Device* d : devices_) {
+    if (d == nullptr) {
+      throw std::invalid_argument("ClusterService: null device");
+    }
+  }
+}
+
+void ClusterService::register_dataset(const std::string& name,
+                                      std::vector<Point2> points,
+                                      float reference_eps) {
+  if (points.empty()) {
+    throw std::invalid_argument("register_dataset: empty dataset");
+  }
+  if (reference_eps <= 0.0f) {
+    throw std::invalid_argument("register_dataset: reference_eps must be > 0");
+  }
+  Dataset ds;
+  ds.points = std::move(points);
+  ds.ref_eps = reference_eps;
+  GridIndex index = build_grid_index(ds.points, reference_eps);
+  // Calibrate with the estimation kernel over the host-resident view (no
+  // index upload): one cheap device op per dataset, at registration — the
+  // admission decision itself is pure arithmetic afterwards.
+  for (cudasim::Device* d : devices_) {
+    if (d->lost()) continue;
+    try {
+      const ResultSizeEstimate est = estimate_result_size(
+          *d, GridView::of(index), reference_eps,
+          options_.policy.sample_fraction, options_.policy.block_size);
+      ds.ref_pairs = est.estimated_total;
+      break;
+    } catch (const cudasim::SimError&) {
+      // Faulted during calibration; try the next device or fall through.
+    }
+  }
+  if (ds.ref_pairs == 0) {
+    // No device could run the kernel: a 1-in-16 strided host sample of
+    // the same grid gives the reference figure.
+    const NeighborTable sample = build_neighbor_table_host_strided(
+        index, reference_eps, 0, 16, ScanMode::kFull);
+    ds.ref_pairs = std::max<std::uint64_t>(1, sample.total_pairs() * 16);
+  }
+  std::lock_guard lock(mutex_);
+  datasets_[name] = std::move(ds);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ClusterService::price(
+    const std::string& dataset, float eps) const {
+  const auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) return {0, 0};
+  const Dataset& ds = it->second;
+  // Expected pairs scale with the neighborhood area: (eps / eps_ref)^2.
+  const double ratio = static_cast<double>(eps) / ds.ref_eps;
+  const auto pairs = static_cast<std::uint64_t>(std::max(
+      1.0, static_cast<double>(ds.ref_pairs) * ratio * ratio));
+  const std::uint64_t bytes =
+      pairs * sizeof(PointId) +
+      ds.points.size() * 2 * sizeof(std::uint32_t);
+  return {pairs, bytes};
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+void ClusterService::enqueue_locked(PendingPtr job) {
+  const auto cls = static_cast<std::size_t>(job->spec.priority);
+  auto& tenant_q = queues_[cls][job->spec.tenant];
+  if (tenant_q.empty() &&
+      std::find(rr_order_[cls].begin(), rr_order_[cls].end(),
+                job->spec.tenant) == rr_order_[cls].end()) {
+    rr_order_[cls].push_back(job->spec.tenant);
+  }
+  queued_bytes_ += job->priced_bytes;
+  ++queued_count_;
+  tenant_q.push_back(std::move(job));
+}
+
+void ClusterService::remove_queued_locked(const Pending& job) {
+  queued_bytes_ -= job.priced_bytes;
+  --queued_count_;
+}
+
+bool ClusterService::shed_for_locked(Priority arriving,
+                                     std::uint64_t needed_bytes,
+                                     ReplayState& rs) {
+  // Evict the most recently queued job of the lowest class strictly below
+  // the arrival's — newest-first so long-waiting work keeps its place.
+  for (std::size_t cls = 0; cls < static_cast<std::size_t>(arriving); ++cls) {
+    std::deque<PendingPtr>* victim_q = nullptr;
+    for (auto& [tenant, q] : queues_[cls]) {
+      if (q.empty()) continue;
+      if (victim_q == nullptr ||
+          q.back()->index > victim_q->back()->index) {
+        victim_q = &q;
+      }
+    }
+    if (victim_q == nullptr) continue;
+    PendingPtr victim = victim_q->back();
+    victim_q->pop_back();
+    remove_queued_locked(*victim);
+    JobResult r;
+    r.reject_reason = "shed by higher-priority arrival under " +
+                      std::string(needed_bytes != 0 ? "byte budget"
+                                                    : "queue depth") +
+                      " pressure";
+    record_terminal(*victim, rs, JobState::kShed, std::move(r));
+    return true;
+  }
+  return false;
+}
+
+void ClusterService::submit_locked(PendingPtr job, ReplayState& rs) {
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  const auto ds = datasets_.find(job->spec.dataset);
+  if (ds == datasets_.end()) {
+    JobResult r;
+    r.reject_reason = "unknown dataset '" + job->spec.dataset + "'";
+    record_terminal(*job, rs, JobState::kRejected, std::move(r));
+    return;
+  }
+  const auto [pairs, bytes] = price(job->spec.dataset, job->spec.eps);
+  job->priced_pairs = pairs;
+  job->priced_bytes = bytes;
+  rs.results[job->index].priced_pairs = pairs;
+  rs.results[job->index].priced_bytes = bytes;
+
+  // One-item minimum: an empty queue admits anything — a single
+  // over-budget job must stall admission behind it, never deadlock it.
+  if (queued_count_ != 0) {
+    while (queued_count_ + 1 > options_.queue_depth_limit) {
+      if (!shed_for_locked(job->spec.priority, 0, rs)) {
+        JobResult r;
+        r.reject_reason =
+            "queue depth limit (" +
+            std::to_string(options_.queue_depth_limit) + ") reached";
+        record_terminal(*job, rs, JobState::kRejected, std::move(r));
+        return;
+      }
+    }
+    while (options_.queue_bytes_budget != 0 &&
+           queued_bytes_ + bytes > options_.queue_bytes_budget) {
+      if (!shed_for_locked(job->spec.priority, bytes, rs)) {
+        JobResult r;
+        r.reject_reason =
+            "queue byte budget (" +
+            std::to_string(options_.queue_bytes_budget) +
+            " B) would be exceeded by priced " + std::to_string(bytes) +
+            " B";
+        record_terminal(*job, rs, JobState::kRejected, std::move(r));
+        return;
+      }
+    }
+  }
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.admitted;
+  }
+  obs::Registry::global()
+      .counter("service_requests", "outcome=admitted")
+      .add(1);
+  enqueue_locked(std::move(job));
+  work_available_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+ClusterService::PendingPtr ClusterService::pop_group(
+    std::vector<PendingPtr>& members) {
+  std::unique_lock lock(mutex_);
+  work_available_.wait(lock, [&] {
+    return queued_count_ != 0 || (closed_ && in_flight_groups_ == 0);
+  });
+  if (queued_count_ == 0) return nullptr;
+
+  PendingPtr leader;
+  for (std::size_t cls = kNumClasses; cls-- > 0;) {
+    auto& order = rr_order_[cls];
+    if (order.empty()) continue;
+    for (std::size_t step = 0; step < order.size(); ++step) {
+      const std::size_t at = (rr_cursor_[cls] + step) % order.size();
+      auto& q = queues_[cls][order[at]];
+      if (q.empty()) continue;
+      leader = q.front();
+      q.pop_front();
+      remove_queued_locked(*leader);
+      rr_cursor_[cls] = (at + 1) % order.size();
+      break;
+    }
+    if (leader != nullptr) break;
+  }
+  if (leader == nullptr) return nullptr;  // unreachable; defensive
+
+  if (options_.coalesce) {
+    // Same-(dataset, eps) jobs ride along with the leader's build —
+    // whatever their tenant or class, they cost no extra device time.
+    for (auto& per_class : queues_) {
+      for (auto& [tenant, q] : per_class) {
+        for (auto it = q.begin(); it != q.end();) {
+          if ((*it)->spec.dataset == leader->spec.dataset &&
+              eps_bits((*it)->spec.eps) == eps_bits(leader->spec.eps)) {
+            remove_queued_locked(**it);
+            members.push_back(std::move(*it));
+            it = q.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+  ++in_flight_groups_;
+  return leader;
+}
+
+void ClusterService::requeue_front(std::vector<PendingPtr> group) {
+  std::lock_guard lock(mutex_);
+  for (auto& job : group) {
+    const auto cls = static_cast<std::size_t>(job->spec.priority);
+    auto& tenant_q = queues_[cls][job->spec.tenant];
+    if (std::find(rr_order_[cls].begin(), rr_order_[cls].end(),
+                  job->spec.tenant) == rr_order_[cls].end()) {
+      rr_order_[cls].push_back(job->spec.tenant);
+    }
+    queued_bytes_ += job->priced_bytes;
+    ++queued_count_;
+    tenant_q.push_front(std::move(job));
+  }
+  work_available_.notify_all();
+}
+
+int ClusterService::pick_device() {
+  const std::size_t k = devices_.size();
+  const std::size_t start = dispatch_rr_.fetch_add(1) % k;
+  int fallback = -1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t d = (start + i) % k;
+    if (devices_[d]->lost()) continue;
+    if (fallback < 0) fallback = static_cast<int>(d);
+    if (breaker_.allow(d)) return static_cast<int>(d);
+  }
+  // Every live device's breaker is open: route to the first live one
+  // anyway (an open breaker sheds load onto alternatives; when there is
+  // no alternative it must not starve the queue).
+  return fallback;
+}
+
+void ClusterService::record_terminal(const Pending& job, ReplayState& rs,
+                                     JobState state, JobResult&& partial) {
+  partial.state = state;
+  partial.retries = job.retries;
+  {
+    std::lock_guard lock(rs.results_mutex);
+    // Preserve admission pricing stamped at submit.
+    partial.priced_pairs = rs.results[job.index].priced_pairs;
+    partial.priced_bytes = rs.results[job.index].priced_bytes;
+    rs.results[job.index] = std::move(partial);
+  }
+  publish_outcome(state);
+  std::lock_guard slock(stats_mutex_);
+  switch (state) {
+    case JobState::kCompleted:
+      ++stats_.completed;
+      break;
+    case JobState::kRejected:
+      ++stats_.rejected;
+      break;
+    case JobState::kShed:
+      ++stats_.shed;
+      break;
+    case JobState::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case JobState::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      break;
+    case JobState::kFailed:
+      ++stats_.failed;
+      break;
+    default:
+      break;
+  }
+}
+
+void ClusterService::worker_loop(unsigned worker_id, ReplayState& rs) {
+  obs::set_thread_track(obs::kHostPid, "service_worker");
+  for (;;) {
+    std::vector<PendingPtr> members;
+    PendingPtr leader = pop_group(members);
+    if (leader == nullptr) {
+      work_available_.notify_all();  // wake siblings so they can exit too
+      return;
+    }
+    process_group(std::move(leader), std::move(members), worker_id, rs);
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_groups_;
+    }
+    work_available_.notify_all();
+  }
+}
+
+void ClusterService::process_group(PendingPtr leader,
+                                   std::vector<PendingPtr> members,
+                                   unsigned worker_id, ReplayState& rs) {
+  std::vector<PendingPtr> group;
+  group.push_back(std::move(leader));
+  for (auto& m : members) group.push_back(std::move(m));
+
+  double& clock = rs.worker_clocks[worker_id];
+
+  // Terminal filters that never touch a device: client abandoned, and
+  // modeled deadline already missed while queued.
+  std::vector<PendingPtr> runnable;
+  for (auto& job : group) {
+    if (job->token->cancelled()) {
+      JobResult r;
+      r.failure = job->token->reason() == CancelReason::kDeadline
+                      ? FailureReason::kDeadlineExceeded
+                      : FailureReason::kCancelled;
+      const JobState state = r.failure == FailureReason::kDeadlineExceeded
+                                 ? JobState::kDeadlineExceeded
+                                 : JobState::kCancelled;
+      r.modeled_start_seconds = clock;
+      r.modeled_finish_seconds = clock;
+      record_terminal(*job, rs, state, std::move(r));
+      continue;
+    }
+    if (job->spec.deadline_seconds > 0.0 &&
+        std::max(clock, job->spec.arrival_seconds) >
+            job->spec.deadline_seconds) {
+      JobResult r;
+      r.failure = FailureReason::kDeadlineExceeded;
+      r.modeled_start_seconds = clock;
+      r.modeled_finish_seconds = clock;
+      record_terminal(*job, rs, JobState::kDeadlineExceeded, std::move(r));
+      continue;
+    }
+    runnable.push_back(std::move(job));
+  }
+  if (runnable.empty()) return;
+
+  const JobSpec& lead = runnable.front()->spec;
+  const Dataset& ds = datasets_.at(lead.dataset);
+  const TableCache::Key key{lead.dataset, eps_bits(lead.eps)};
+  const bool coalesced_build = runnable.size() > 1;
+  if (coalesced_build) {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.coalesced_builds;
+    stats_.coalesced_jobs += runnable.size() - 1;
+  }
+
+  // Completes one job from a table (cache hit or freshly built+shared):
+  // host DBSCAN over the table, measured wall time advancing the modeled
+  // clock (host work is real work on this machine).
+  auto finish_from_table = [&](Pending& job, const CachedTable& entry,
+                               bool cache_hit, double device_share,
+                               int device_id, bool host_fb) {
+    const double start = std::max(clock, job.spec.arrival_seconds);
+    WallTimer t;
+    const ClusterResult labels =
+        dbscan_neighbor_table(entry.table, job.spec.minpts);
+    clock = start + device_share + t.seconds();
+    JobResult r;
+    r.cache_hit = cache_hit;
+    r.coalesced = coalesced_build;
+    r.host_fallback = host_fb;
+    r.device_id = device_id;
+    r.modeled_start_seconds = start;
+    r.modeled_finish_seconds = clock;
+    r.modeled_device_seconds = device_share;
+    r.num_clusters = labels.num_clusters;
+    r.noise_count = labels.noise_count();
+    if (options_.keep_labels) {
+      r.labels = unmap(labels.labels, entry.original_ids);
+    }
+    record_terminal(job, rs, JobState::kCompleted, std::move(r));
+  };
+
+  // --- Cache hit: no device at all. ---
+  if (TableCache::Handle hit = cache_.find(key)) {
+    for (auto& job : runnable) {
+      finish_from_table(*job, *hit.get(), /*cache_hit=*/true,
+                        /*device_share=*/0.0, /*device_id=*/-1,
+                        /*host_fb=*/false);
+    }
+    return;
+  }
+
+  // --- Fresh build. ---
+  const int dev = pick_device();
+  if (dev < 0) {
+    // Fleet gone. Finish host-side (still a completed request) or fail.
+    if (!options_.host_fallback) {
+      for (auto& job : runnable) {
+        JobResult r;
+        r.failure = FailureReason::kDeviceLost;
+        record_terminal(*job, rs, JobState::kFailed, std::move(r));
+      }
+      return;
+    }
+    WallTimer t;
+    GridIndex index = build_grid_index(ds.points, lead.eps);
+    CachedTable entry;
+    entry.table = build_neighbor_table_host_parallel(index, lead.eps);
+    entry.table.canonicalize();
+    entry.original_ids = std::move(index.original_ids);
+    entry.bytes = CachedTable::payload_bytes(entry.table);
+    const double host_build = t.seconds();
+    {
+      std::lock_guard slock(stats_mutex_);
+      stats_.host_fallback_jobs += runnable.size();
+    }
+    bool first = true;
+    for (auto& job : runnable) {
+      finish_from_table(*job, entry, /*cache_hit=*/false,
+                        first ? host_build : 0.0, /*device_id=*/-1,
+                        /*host_fb=*/true);
+      first = false;
+    }
+    if (cache_.enabled()) cache_.insert(key, std::move(entry));
+    return;
+  }
+
+  cudasim::Device& device = *devices_[static_cast<std::size_t>(dev)];
+  BatchPolicy bp = options_.policy;
+  bp.metrics_labels = "service=1";
+  CancelToken* token = nullptr;
+  if (runnable.size() == 1) {
+    // Singleton builds propagate the job's own token into the ladder; a
+    // coalesced build serves several clients, so one client's cancel
+    // must not abort the others' work.
+    token = runnable.front()->token.get();
+    if (runnable.front()->spec.wall_deadline_seconds > 0.0) {
+      token->set_deadline_after(runnable.front()->spec.wall_deadline_seconds);
+    }
+    bp.cancel = token;
+  }
+
+  try {
+    WallTimer index_timer;
+    GridIndex index = build_grid_index(ds.points, lead.eps);
+    const double index_wall = index_timer.seconds();
+    NeighborTableBuilder builder(device, bp);
+    BuildReport report;
+
+    if (cache_.enabled()) {
+      // Materialized path: one build, labels for every group job via the
+      // same dbscan_neighbor_table a later cache hit will use — so
+      // cache-hit labels are bit-identical to fresh-build labels.
+      CachedTable entry;
+      entry.table = builder.build(index, lead.eps, &report);
+      entry.table.canonicalize();
+      entry.original_ids = std::move(index.original_ids);
+      entry.bytes = CachedTable::payload_bytes(entry.table);
+      TableCache::Handle pinned = cache_.insert(key, std::move(entry));
+      breaker_.record_success(static_cast<std::size_t>(dev));
+      const double build_model = index_wall + report.modeled_table_seconds;
+      bool first = true;
+      for (auto& job : runnable) {
+        finish_from_table(*job, *pinned.get(), /*cache_hit=*/false,
+                          first ? build_model : 0.0, dev,
+                          report.used_host_fallback);
+        first = false;
+      }
+      return;
+    }
+
+    // Cache off: labels-only streaming build — one StreamingDbscan per
+    // group job fed through a FanoutSink, T never materialized.
+    std::vector<std::unique_ptr<StreamingDbscan>> clusterers;
+    FanoutSink fanout;
+    for (auto& job : runnable) {
+      clusterers.push_back(std::make_unique<StreamingDbscan>(
+          index.size(), job->spec.minpts));
+      if (token != nullptr) clusterers.back()->set_cancel_token(token);
+      fanout.add(clusterers.back().get());
+    }
+    builder.build(index, lead.eps, &report, &fanout,
+                  /*materialize_table=*/false);
+    breaker_.record_success(static_cast<std::size_t>(dev));
+    const double build_model = index_wall + report.modeled_table_seconds;
+    for (std::size_t j = 0; j < runnable.size(); ++j) {
+      Pending& job = *runnable[j];
+      const double start = std::max(clock, job.spec.arrival_seconds);
+      WallTimer t;
+      const ClusterResult labels =
+          clusterers[j]->finalize(options_.dbscan_threads);
+      clock = start + (j == 0 ? build_model : 0.0) + t.seconds();
+      JobResult r;
+      r.coalesced = coalesced_build;
+      r.host_fallback = report.used_host_fallback;
+      r.device_id = dev;
+      r.modeled_start_seconds = start;
+      r.modeled_finish_seconds = clock;
+      r.modeled_device_seconds = j == 0 ? build_model : 0.0;
+      r.num_clusters = labels.num_clusters;
+      r.noise_count = labels.noise_count();
+      if (options_.keep_labels) {
+        r.labels = unmap(labels.labels, index.original_ids);
+      }
+      record_terminal(job, rs, JobState::kCompleted, std::move(r));
+    }
+    return;
+  } catch (...) {
+    const FailureReason fr = classify_current_exception();
+    if (fr == FailureReason::kCancelled ||
+        fr == FailureReason::kDeadlineExceeded) {
+      // Only singleton builds carry a token, so the group is one job. The
+      // unwind already returned its pooled buffers.
+      Pending& job = *runnable.front();
+      JobResult r;
+      r.failure = fr;
+      r.device_id = dev;
+      r.modeled_start_seconds = clock;
+      r.modeled_finish_seconds = clock;
+      record_terminal(job, rs,
+                      fr == FailureReason::kCancelled
+                          ? JobState::kCancelled
+                          : JobState::kDeadlineExceeded,
+                      std::move(r));
+      return;
+    }
+    breaker_.record_failure(static_cast<std::size_t>(dev));
+    bool retry = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (retry_budget_left_ != 0) {
+        --retry_budget_left_;
+        retry = true;
+      }
+    }
+    if (retry) {
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.retries;
+      }
+      obs::Registry::global().counter("service_retries").add(1);
+      for (auto& job : runnable) ++job->retries;
+      requeue_front(std::move(runnable));
+      return;
+    }
+    for (auto& job : runnable) {
+      JobResult r;
+      r.failure = fr;
+      r.device_id = dev;
+      r.modeled_start_seconds = clock;
+      r.modeled_finish_seconds = clock;
+      record_terminal(*job, rs, JobState::kFailed, std::move(r));
+    }
+    return;
+  }
+}
+
+std::vector<JobResult> ClusterService::replay(
+    const std::vector<JobSpec>& jobs) {
+  ReplayState rs;
+  rs.results.resize(jobs.size());
+  rs.worker_clocks.assign(std::max(1u, options_.num_workers), 0.0);
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = false;
+    retry_budget_left_ = options_.retry_budget;
+  }
+
+  // Admission pass, in arrival order. replay is the whole "network": all
+  // jobs are on the doorstep before serving starts, which makes admission
+  // decisions deterministic for a given job list.
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      auto job = std::make_shared<Pending>();
+      job->spec = jobs[i];
+      job->index = i;
+      job->token = std::make_shared<CancelToken>();
+      if (job->spec.abandoned) job->token->cancel();
+      submit_locked(std::move(job), rs);
+    }
+    closed_ = true;
+  }
+  work_available_.notify_all();
+
+  std::vector<std::thread> workers;
+  const unsigned n_workers = std::max(1u, options_.num_workers);
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    workers.emplace_back([this, w, &rs] { worker_loop(w, rs); });
+  }
+  for (auto& w : workers) w.join();
+
+  double makespan = 0.0;
+  for (double c : rs.worker_clocks) makespan = std::max(makespan, c);
+  {
+    std::lock_guard slock(stats_mutex_);
+    stats_.modeled_makespan_seconds =
+        std::max(stats_.modeled_makespan_seconds, makespan);
+    stats_.cache_hits = cache_.hits();
+    stats_.cache_misses = cache_.misses();
+    stats_.cache_evictions = cache_.evictions();
+    stats_.breaker_opens = breaker_.opens();
+  }
+  obs::Registry::global()
+      .gauge("service_modeled_makespan_seconds")
+      .set(makespan);
+  return std::move(rs.results);
+}
+
+ServiceStats ClusterService::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace hdbscan::service

@@ -1,0 +1,184 @@
+// The clustering service front-end (DESIGN.md §13): request scheduler,
+// admission control, eps-keyed table cache, job coalescing, deadline /
+// cancellation propagation, and a per-device circuit breaker — the layer
+// that turns the one-shot pipeline into a resilient request server.
+//
+// Serving model (no network): replay() admits a job list in arrival
+// order — admission control prices each job via the estimator's
+// reference calibration and rejects-with-reason or sheds lower-priority
+// queued work when the byte budget or depth limit would be exceeded —
+// then a small pool of worker threads drains the per-tenant fair queues
+// to completion. Every job ends in exactly one terminal RequestOutcome,
+// published to the obs registry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/types.hpp"
+#include "core/batch_planner.hpp"
+#include "cudasim/device.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/request.hpp"
+#include "service/table_cache.hpp"
+
+namespace hdbscan::service {
+
+struct ServiceOptions {
+  unsigned num_workers = 2;
+  /// Admission: max queued jobs (the depth limit). One-item minimum: an
+  /// empty queue always admits the next job, whatever its price.
+  std::size_t queue_depth_limit = 64;
+  /// Admission: max summed priced bytes across queued jobs (0 = off).
+  std::uint64_t queue_bytes_budget = 0;
+  /// Table-cache byte budget (0 = cache off).
+  std::uint64_t cache_bytes_budget = 0;
+  /// Coalesce queued same-(dataset, eps) jobs into one build.
+  bool coalesce = true;
+  /// Per-build policy — the ResiliencePolicy ladder runs *inside* each
+  /// build; the breaker + retry budget below decide what happens when a
+  /// whole build still fails.
+  BatchPolicy policy;
+  unsigned breaker_failure_threshold = 2;
+  unsigned breaker_cooldown_dispatches = 6;
+  /// Service-wide budget of whole-build re-dispatches after classified
+  /// failures (transient-exhausted / OOM / device-lost).
+  unsigned retry_budget = 4;
+  /// When every device is gone, complete admitted jobs host-side instead
+  /// of failing them.
+  bool host_fallback = true;
+  bool keep_labels = false;
+  /// Threads for the host-side DBSCAN over (cached) tables; 0 = one.
+  unsigned dbscan_threads = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t coalesced_jobs = 0;    ///< jobs that shared another's build
+  std::uint64_t coalesced_builds = 0;  ///< builds serving > 1 job
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t host_fallback_jobs = 0;
+  /// Slowest worker's modeled clock when the queue drained — the modeled
+  /// wall time of serving the whole workload.
+  double modeled_makespan_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t terminal_total() const noexcept {
+    return completed + rejected + shed + cancelled + deadline_exceeded +
+           failed;
+  }
+};
+
+class ClusterService {
+ public:
+  ClusterService(std::vector<cudasim::Device*> devices,
+                 ServiceOptions options);
+
+  /// Registers a dataset and calibrates its admission price: one
+  /// estimator run at `reference_eps` (host-resident grid view — no index
+  /// upload), from which any eps is priced as ref_pairs * (eps/ref)^2.
+  /// Falls back to a strided host sample when no device can run the
+  /// estimation kernel.
+  void register_dataset(const std::string& name, std::vector<Point2> points,
+                        float reference_eps);
+
+  /// Serves a job list: admission in input order, then the worker pool
+  /// drains the queues to completion. Returns one JobResult per input
+  /// job, in input order; every result is terminal.
+  std::vector<JobResult> replay(const std::vector<JobSpec>& jobs);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] TableCache& cache() noexcept { return cache_; }
+  [[nodiscard]] CircuitBreaker& breaker() noexcept { return breaker_; }
+
+  /// Admission price of (dataset, eps) in pairs/bytes (test hook).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> price(
+      const std::string& dataset, float eps) const;
+
+ private:
+  struct Dataset {
+    std::vector<Point2> points;
+    float ref_eps = 0.0f;
+    std::uint64_t ref_pairs = 0;
+  };
+
+  struct Pending {
+    JobSpec spec;
+    std::size_t index = 0;  ///< slot in the results vector
+    std::uint64_t priced_pairs = 0;
+    std::uint64_t priced_bytes = 0;
+    unsigned retries = 0;
+    std::shared_ptr<CancelToken> token;
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+  static constexpr std::size_t kNumClasses = 3;
+
+  struct ReplayState {
+    std::vector<JobResult> results;
+    std::mutex results_mutex;
+    std::vector<double> worker_clocks;
+  };
+
+  // Admission (mutex_ held).
+  void submit_locked(PendingPtr job, ReplayState& rs);
+  bool shed_for_locked(Priority arriving, std::uint64_t needed_bytes,
+                       ReplayState& rs);
+  void enqueue_locked(PendingPtr job);
+  void remove_queued_locked(const Pending& job);
+
+  // Dispatch.
+  PendingPtr pop_group(std::vector<PendingPtr>& members);
+  void requeue_front(std::vector<PendingPtr> group);
+  void worker_loop(unsigned worker_id, ReplayState& rs);
+  void process_group(PendingPtr leader, std::vector<PendingPtr> members,
+                     unsigned worker_id, ReplayState& rs);
+  int pick_device();
+
+  void record_terminal(const Pending& job, ReplayState& rs, JobState state,
+                       JobResult&& partial);
+
+  std::vector<cudasim::Device*> devices_;
+  ServiceOptions options_;
+  TableCache cache_;
+  CircuitBreaker breaker_;
+  std::atomic<std::size_t> dispatch_rr_{0};  ///< round-robin device cursor
+
+  std::map<std::string, Dataset> datasets_;  ///< immutable during replay
+
+  mutable std::mutex mutex_;  ///< queues + counters below
+  std::condition_variable work_available_;
+  std::array<std::map<std::string, std::deque<PendingPtr>>, kNumClasses>
+      queues_;
+  std::array<std::vector<std::string>, kNumClasses> rr_order_;
+  std::array<std::size_t, kNumClasses> rr_cursor_{};
+  std::size_t queued_count_ = 0;
+  std::uint64_t queued_bytes_ = 0;
+  std::size_t in_flight_groups_ = 0;
+  bool closed_ = false;
+  unsigned retry_budget_left_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace hdbscan::service

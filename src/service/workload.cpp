@@ -1,0 +1,105 @@
+#include "service/workload.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace hdbscan::service {
+
+std::vector<JobSpec> make_zipf_workload(const WorkloadSpec& spec) {
+  if (spec.eps_choices.empty() || spec.minpts_choices.empty()) {
+    throw std::invalid_argument("make_zipf_workload: empty choice lists");
+  }
+  // Zipf CDF over the eps menu, hot ranks first.
+  std::vector<double> cdf(spec.eps_choices.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < cdf.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+    cdf[r] = total;
+  }
+  Xoshiro256 rng(spec.seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(spec.num_jobs);
+  for (unsigned i = 0; i < spec.num_jobs; ++i) {
+    JobSpec job;
+    job.tenant =
+        "tenant" + std::to_string(rng.below(std::max(1u, spec.num_tenants)));
+    job.dataset = spec.dataset;
+    const double u = rng.uniform() * total;
+    std::size_t rank = 0;
+    while (rank + 1 < cdf.size() && u > cdf[rank]) ++rank;
+    job.eps = spec.eps_choices[rank];
+    job.minpts = spec.minpts_choices[rng.below(
+        static_cast<std::uint64_t>(spec.minpts_choices.size()))];
+    const double pclass = rng.uniform();
+    if (pclass < spec.interactive_fraction) {
+      job.priority = Priority::kInteractive;
+    } else if (pclass < spec.interactive_fraction + spec.batch_fraction) {
+      job.priority = Priority::kBatch;
+    }
+    job.abandoned = rng.uniform() < spec.abandoned_fraction;
+    if (rng.uniform() < spec.deadline_fraction) {
+      job.deadline_seconds =
+          spec.deadline_min_seconds +
+          rng.uniform() *
+              (spec.deadline_max_seconds - spec.deadline_min_seconds);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+namespace {
+
+Priority parse_priority(const std::string& word, std::size_t line_no) {
+  if (word == "batch") return Priority::kBatch;
+  if (word == "normal") return Priority::kNormal;
+  if (word == "interactive") return Priority::kInteractive;
+  throw std::runtime_error("jobs file line " + std::to_string(line_no) +
+                           ": unknown priority '" + word + "'");
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_jobs(const std::string& text) {
+  std::vector<JobSpec> jobs;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    JobSpec job;
+    if (!(fields >> job.tenant)) continue;  // blank / comment-only line
+    std::string priority_word;
+    if (!(fields >> job.dataset >> job.eps >> job.minpts)) {
+      throw std::runtime_error("jobs file line " + std::to_string(line_no) +
+                               ": expected <tenant> <dataset> <eps> <minpts>");
+    }
+    if (fields >> priority_word) {
+      job.priority = parse_priority(priority_word, line_no);
+      double v = 0.0;
+      if (fields >> v) job.deadline_seconds = v;
+      if (fields >> v) job.wall_deadline_seconds = v;
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> load_jobs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open jobs file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_jobs(buf.str());
+}
+
+}  // namespace hdbscan::service

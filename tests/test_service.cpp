@@ -1,0 +1,495 @@
+// Clustering service front-end: cancellation plumbing, the structured
+// failure taxonomy, the eps-keyed table cache, admission control /
+// shedding, the circuit breaker, and the cache-hit == fresh-build
+// bit-identity invariant.
+#include "service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "core/failure.hpp"
+#include "cudasim/buffer_pool.hpp"
+#include "cudasim/error.hpp"
+#include "data/generators.hpp"
+#include "obs/registry.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/table_cache.hpp"
+#include "service/workload.hpp"
+
+namespace hdbscan {
+namespace {
+
+using service::ClusterService;
+using service::JobResult;
+using service::JobSpec;
+using service::JobState;
+using service::Priority;
+using service::ServiceOptions;
+using service::TableCache;
+
+cudasim::SimulationOptions fast_options() {
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 2;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+TEST(CancelToken, CancelLatchesAndCheckThrowsWithReason) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+  try {
+    token.check();
+    FAIL() << "check() must throw after cancel()";
+  } catch (const OperationCancelled& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+  }
+}
+
+TEST(CancelToken, ExpiredDeadlineLatchesDeadlineReason) {
+  CancelToken token;
+  token.set_deadline_after(0.0);  // already expired
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_THROW(token.check(), OperationCancelled);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotFirePrematurely) {
+  CancelToken token;
+  token.set_deadline_after(3600.0);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, FirstReasonWins) {
+  CancelToken token;
+  token.cancel();
+  token.set_deadline_after(0.0);
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+}
+
+TEST(CancelToken, CheckCancelHelperToleratesNull) {
+  EXPECT_NO_THROW(check_cancel(nullptr));
+  CancelToken token;
+  token.cancel();
+  EXPECT_THROW(check_cancel(&token), OperationCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// FailureReason classification
+// ---------------------------------------------------------------------------
+
+FailureReason classify(std::exception_ptr ep) {
+  try {
+    std::rethrow_exception(std::move(ep));
+  } catch (...) {
+    return classify_current_exception();
+  }
+}
+
+TEST(FailureReason, ClassifiesTheExceptionTaxonomy) {
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                OperationCancelled(CancelReason::kCancelled))),
+            FailureReason::kCancelled);
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                OperationCancelled(CancelReason::kDeadline))),
+            FailureReason::kDeadlineExceeded);
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                cudasim::TransientKernelFault("kernel fault"))),
+            FailureReason::kTransientExhausted);
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                cudasim::DeviceOutOfMemory(64, 0, 32))),
+            FailureReason::kOutOfMemory);
+  EXPECT_EQ(
+      classify(std::make_exception_ptr(cudasim::DeviceLost("device lost"))),
+      FailureReason::kDeviceLost);
+  EXPECT_EQ(classify(std::make_exception_ptr(std::runtime_error("misc"))),
+            FailureReason::kOther);
+}
+
+TEST(FailureReason, NamesAreStable) {
+  EXPECT_STREQ(failure_reason_name(FailureReason::kNone), "none");
+  EXPECT_STREQ(failure_reason_name(FailureReason::kDeviceLost),
+               "device_lost");
+  EXPECT_STREQ(failure_reason_name(FailureReason::kDeadlineExceeded),
+               "deadline_exceeded");
+}
+
+// ---------------------------------------------------------------------------
+// TableCache
+// ---------------------------------------------------------------------------
+
+service::CachedTable make_entry(std::size_t n, std::size_t bytes) {
+  service::CachedTable e;
+  e.table = NeighborTable(n);
+  e.original_ids.resize(n);
+  for (std::size_t i = 0; i < n; ++i) e.original_ids[i] = PointId(i);
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(TableCacheTest, DisabledCacheNeverStores) {
+  TableCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.insert({"d", 1}, make_entry(4, 100)));
+  EXPECT_FALSE(cache.find({"d", 1}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TableCacheTest, LruEvictionUnderByteBudget) {
+  TableCache cache(250);
+  { auto h = cache.insert({"d", 1}, make_entry(4, 100)); }
+  { auto h = cache.insert({"d", 2}, make_entry(4, 100)); }
+  EXPECT_EQ(cache.resident_bytes(), 200u);
+  // Touch key 1 so key 2 is the LRU victim.
+  { auto h = cache.find({"d", 1}); EXPECT_TRUE(h); }
+  { auto h = cache.insert({"d", 3}, make_entry(4, 100)); }
+  EXPECT_TRUE(cache.contains({"d", 1}));
+  EXPECT_FALSE(cache.contains({"d", 2}));
+  EXPECT_TRUE(cache.contains({"d", 3}));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.resident_bytes(), 250u);
+}
+
+TEST(TableCacheTest, PinnedEntryIsNeverEvictedWhileInFlight) {
+  TableCache cache(150);
+  // The in-flight coalesced build holds its handle across the insert of
+  // a competing over-budget entry.
+  TableCache::Handle pinned = cache.insert({"d", 1}, make_entry(4, 100));
+  ASSERT_TRUE(pinned);
+  TableCache::Handle second = cache.insert({"d", 2}, make_entry(4, 100));
+  // Both pinned: budget exceeded but nothing evictable.
+  EXPECT_TRUE(cache.contains({"d", 1}));
+  EXPECT_TRUE(cache.contains({"d", 2}));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.resident_bytes(), 150u);
+  // Releasing the older pin lets the budget reassert itself.
+  pinned = TableCache::Handle();
+  EXPECT_FALSE(cache.contains({"d", 1}));
+  EXPECT_TRUE(cache.contains({"d", 2}));
+  EXPECT_LE(cache.resident_bytes(), 150u);
+}
+
+TEST(TableCacheTest, RacingInsertAdoptsThePinnedIncumbent) {
+  TableCache cache(1000);
+  TableCache::Handle first = cache.insert({"d", 1}, make_entry(4, 100));
+  TableCache::Handle racer = cache.insert({"d", 1}, make_entry(4, 100));
+  // Same storage: the second group adopted the incumbent entry.
+  EXPECT_EQ(first.get(), racer.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndProbesAfterCooldown) {
+  service::CircuitBreaker breaker(1, /*failure_threshold=*/2,
+                                  /*cooldown_dispatches=*/3);
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(0);  // second consecutive -> open
+  EXPECT_EQ(breaker.state(0), service::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // Cooldown counted in dispatch attempts.
+  EXPECT_FALSE(breaker.allow(0));
+  EXPECT_FALSE(breaker.allow(0));
+  EXPECT_FALSE(breaker.allow(0));
+  // Cooldown elapsed: half-open, exactly one probe.
+  EXPECT_TRUE(breaker.allow(0));
+  EXPECT_EQ(breaker.state(0), service::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(0));  // probe already in flight
+  breaker.record_success(0);
+  EXPECT_EQ(breaker.state(0), service::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(0));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  service::CircuitBreaker breaker(1, 1, 1);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(0), service::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(0));
+  EXPECT_TRUE(breaker.allow(0));  // probe
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(0), service::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Workload sources
+// ---------------------------------------------------------------------------
+
+TEST(Workload, ZipfGenerationIsDeterministicAndSkewed) {
+  service::WorkloadSpec spec;
+  spec.num_jobs = 200;
+  const auto a = service::make_zipf_workload(spec);
+  const auto b = service::make_zipf_workload(spec);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].eps, b[i].eps);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+  }
+  // Zipf skew: the hottest eps must dominate the coldest.
+  std::size_t hot = 0, cold = 0;
+  for (const JobSpec& j : a) {
+    if (j.eps == spec.eps_choices.front()) ++hot;
+    if (j.eps == spec.eps_choices.back()) ++cold;
+  }
+  EXPECT_GT(hot, cold * 2);
+}
+
+TEST(Workload, ParsesJobLinesAndRejectsMalformedOnes) {
+  const auto jobs = service::parse_jobs(
+      "# comment\n"
+      "t0 sky 0.4 4\n"
+      "\n"
+      "t1 sky 0.6 8 interactive 0.25 1.5\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].tenant, "t0");
+  EXPECT_EQ(jobs[0].priority, Priority::kNormal);
+  EXPECT_EQ(jobs[1].priority, Priority::kInteractive);
+  EXPECT_DOUBLE_EQ(jobs[1].deadline_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(jobs[1].wall_deadline_seconds, 1.5);
+  EXPECT_THROW(service::parse_jobs("t0 sky 0.4\n"), std::runtime_error);
+  EXPECT_THROW(service::parse_jobs("t0 sky 0.4 4 urgent\n"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterService
+// ---------------------------------------------------------------------------
+
+struct ServiceFixture {
+  std::unique_ptr<cudasim::Device> device =
+      std::make_unique<cudasim::Device>(cudasim::DeviceConfig{},
+                                        fast_options());
+  std::vector<Point2> points =
+      data::generate_uniform(1500, 5, 12.0f, 12.0f);
+
+  std::unique_ptr<ClusterService> make(ServiceOptions opt) {
+    auto svc = std::make_unique<ClusterService>(
+        std::vector<cudasim::Device*>{device.get()}, opt);
+    svc->register_dataset("sky", points, 0.8f);
+    return svc;
+  }
+};
+
+JobSpec job(float eps, int minpts = 4, Priority prio = Priority::kNormal,
+            const std::string& tenant = "t0") {
+  JobSpec j;
+  j.tenant = tenant;
+  j.dataset = "sky";
+  j.eps = eps;
+  j.minpts = minpts;
+  j.priority = prio;
+  return j;
+}
+
+TEST(ClusterServiceTest, UnknownDatasetIsRejectedWithReason) {
+  ServiceFixture f;
+  auto svc = f.make({});
+  JobSpec bad = job(0.4f);
+  bad.dataset = "nope";
+  const auto results = svc->replay({bad});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].state, JobState::kRejected);
+  EXPECT_NE(results[0].reject_reason.find("nope"), std::string::npos);
+  EXPECT_EQ(svc->stats().rejected, 1u);
+}
+
+TEST(ClusterServiceTest, PricingScalesQuadraticallyWithEps) {
+  ServiceFixture f;
+  auto svc = f.make({});
+  const auto [pairs_small, bytes_small] = svc->price("sky", 0.4f);
+  const auto [pairs_large, bytes_large] = svc->price("sky", 0.8f);
+  EXPECT_GT(pairs_small, 0u);
+  // (0.8/0.4)^2 = 4x, exact by construction of the pricing formula.
+  EXPECT_EQ(pairs_large, pairs_small * 4);
+  EXPECT_GT(bytes_large, bytes_small);
+  EXPECT_EQ(svc->price("nope", 0.4f).first, 0u);
+}
+
+TEST(ClusterServiceTest, OneItemMinimumAdmitsExactlyOneOverBudgetJob) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.queue_bytes_budget = 1;  // every job is over budget
+  opt.num_workers = 1;
+  auto svc = f.make(opt);
+  const auto results =
+      svc->replay({job(0.4f), job(0.5f), job(0.6f)});
+  ASSERT_EQ(results.size(), 3u);
+  // The empty queue admits the first job whatever its price; with no
+  // lower class to shed, the rest are rejected.
+  EXPECT_EQ(results[0].state, JobState::kCompleted);
+  EXPECT_EQ(results[1].state, JobState::kRejected);
+  EXPECT_EQ(results[2].state, JobState::kRejected);
+  EXPECT_EQ(svc->stats().admitted, 1u);
+}
+
+TEST(ClusterServiceTest, HigherPriorityArrivalShedsQueuedLowerClass) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.queue_depth_limit = 2;
+  opt.num_workers = 1;
+  auto svc = f.make(opt);
+  const auto results = svc->replay({
+      job(0.4f, 4, Priority::kBatch),
+      job(0.5f, 4, Priority::kBatch),
+      job(0.6f, 4, Priority::kInteractive),
+  });
+  ASSERT_EQ(results.size(), 3u);
+  // The interactive arrival evicts the most recently queued batch job.
+  EXPECT_EQ(results[0].state, JobState::kCompleted);
+  EXPECT_EQ(results[1].state, JobState::kShed);
+  EXPECT_FALSE(results[1].reject_reason.empty());
+  EXPECT_EQ(results[2].state, JobState::kCompleted);
+  EXPECT_EQ(svc->stats().shed, 1u);
+  // Shed work never touched a device.
+  EXPECT_EQ(results[1].modeled_device_seconds, 0.0);
+  EXPECT_EQ(results[1].device_id, -1);
+}
+
+TEST(ClusterServiceTest, AbandonedJobIsCancelledWithoutDeviceTime) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  auto svc = f.make(opt);
+  JobSpec gone = job(0.4f);
+  gone.abandoned = true;
+  const auto results = svc->replay({gone});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].state, JobState::kCancelled);
+  EXPECT_EQ(results[0].failure, FailureReason::kCancelled);
+  EXPECT_EQ(results[0].modeled_device_seconds, 0.0);
+  EXPECT_EQ(results[0].device_id, -1);
+}
+
+TEST(ClusterServiceTest, ExpiredWallDeadlineCancelsMidBuildAndFreesPool) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.cache_bytes_budget = 64ull << 20;
+  auto svc = f.make(opt);
+  JobSpec late = job(0.5f);
+  late.wall_deadline_seconds = 1e-9;
+  const auto results = svc->replay({late});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(results[0].failure, FailureReason::kDeadlineExceeded);
+  // The cooperative unwind returned every pooled buffer.
+  f.device->pool().trim();
+  EXPECT_EQ(f.device->used_global_bytes(), 0u);
+  // And the aborted build never populated the cache.
+  EXPECT_EQ(svc->cache().size(), 0u);
+}
+
+TEST(ClusterServiceTest, ModeledDeadlineAlreadyMissedSkipsTheDevice) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  auto svc = f.make(opt);
+  JobSpec overdue = job(0.4f);
+  overdue.deadline_seconds = 1e-12;
+  overdue.arrival_seconds = 1.0;  // arrived after its own deadline
+  const auto results = svc->replay({overdue});
+  EXPECT_EQ(results[0].state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(results[0].modeled_device_seconds, 0.0);
+}
+
+/// Cache-hit labels must be byte-identical to the fresh build's, across
+/// scan modes and minpts — the canonicalize property carried through the
+/// service: both servings run the same host DBSCAN over byte-identical
+/// tables.
+TEST(ClusterServiceTest, CacheHitLabelsBitIdenticalAcrossScanModesAndMinpts) {
+  ServiceFixture f;
+  std::vector<std::vector<std::int32_t>> label_sets;
+  for (const ScanMode scan : {ScanMode::kHalf, ScanMode::kFull}) {
+    ServiceOptions opt;
+    opt.num_workers = 1;
+    opt.cache_bytes_budget = 256ull << 20;
+    opt.coalesce = false;  // force the second same-eps job to hit the cache
+    opt.keep_labels = true;
+    opt.policy.scan_mode = scan;
+    auto svc = f.make(opt);
+    const auto results = svc->replay({
+        job(0.5f, 4),   // fresh build
+        job(0.5f, 4),   // cache hit, same minpts
+        job(0.5f, 12),  // cache hit, different minpts
+    });
+    ASSERT_EQ(results.size(), 3u);
+    for (const JobResult& r : results) {
+      ASSERT_EQ(r.state, JobState::kCompleted);
+    }
+    EXPECT_FALSE(results[0].cache_hit);
+    EXPECT_TRUE(results[1].cache_hit);
+    EXPECT_TRUE(results[2].cache_hit);
+    EXPECT_EQ(svc->stats().cache_hits, 2u);
+    // Same (eps, minpts): bit-identical labels.
+    EXPECT_EQ(results[0].labels, results[1].labels);
+    // Different minpts: a different clustering of the same table.
+    EXPECT_FALSE(results[2].labels.empty());
+    label_sets.push_back(results[0].labels);
+    label_sets.push_back(results[2].labels);
+  }
+  // Across scan modes the canonicalized tables are byte-identical, so the
+  // labels must be too (kHalf run vs kFull run, matched by minpts).
+  ASSERT_EQ(label_sets.size(), 4u);
+  EXPECT_EQ(label_sets[0], label_sets[2]);  // minpts 4
+  EXPECT_EQ(label_sets[1], label_sets[3]);  // minpts 12
+}
+
+TEST(ClusterServiceTest, CoalescedGroupSharesOneBuild) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.cache_bytes_budget = 0;  // FanoutSink streaming path
+  opt.keep_labels = true;
+  auto svc = f.make(opt);
+  const auto results = svc->replay({
+      job(0.5f, 4, Priority::kNormal, "t0"),
+      job(0.5f, 8, Priority::kNormal, "t1"),
+      job(0.5f, 4, Priority::kBatch, "t2"),
+  });
+  ASSERT_EQ(results.size(), 3u);
+  const service::ServiceStats s = svc->stats();
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.coalesced_builds, 1u);
+  EXPECT_EQ(s.coalesced_jobs, 2u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.state, JobState::kCompleted);
+    EXPECT_TRUE(r.coalesced);
+  }
+  // Same minpts across the fanout: identical labels from one build.
+  EXPECT_EQ(results[0].labels, results[2].labels);
+}
+
+TEST(ClusterServiceTest, PublishesRequestOutcomeCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset_values();
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.queue_bytes_budget = 1;
+  opt.num_workers = 1;
+  auto svc = f.make(opt);
+  (void)svc->replay({job(0.4f), job(0.5f)});
+  EXPECT_EQ(reg.counter("service_requests", "outcome=completed").value(), 1u);
+  EXPECT_EQ(reg.counter("service_requests", "outcome=rejected").value(), 1u);
+  EXPECT_EQ(reg.counter("service_requests", "outcome=admitted").value(), 1u);
+}
+
+}  // namespace
+}  // namespace hdbscan

@@ -4,6 +4,8 @@
 // including under injected device loss (the shard re-partition rung).
 #include "core/sharded_build.hpp"
 
+#include "core/pipeline.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -583,6 +585,54 @@ TEST(ShardedBuildMetrics, PublishesPerShardAndFleetSeries) {
     per_device += static_cast<double>(dev->metrics().kernel_launches);
   }
   EXPECT_EQ(fleet_launches, per_device);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet pipeline: the byte-budget one-item minimum under k>1 shard builds
+// ---------------------------------------------------------------------------
+
+// Regression: a queue_bytes_budget smaller than any single table must
+// still drain a multi-variant fleet pipeline when each table is built
+// across k>1 shards. The empty-queue one-item minimum is what prevents
+// the sharded producer (which holds the fleet's worker threads) from
+// deadlocking against consumers that cannot admit an over-budget table.
+TEST(ShardedBuildPipeline, ByteBudgetOneItemMinimumDrainsShardedBuilds) {
+  const Scenario s = make_scenario(3000, 0.35f, 31);
+  const std::vector<Variant> variants = {
+      {0.35f, 4}, {0.35f, 8}, {0.35f, 12}, {0.35f, 16}};
+
+  PipelineOptions want_opts;
+  want_opts.pipelined = false;
+  want_opts.keep_results = true;
+  want_opts.policy = many_batch_policy(s, ScanMode::kHalf);
+  cudasim::Device single({}, fast_options());
+  const PipelineReport want =
+      run_multi_clustering(single, s.points, variants, want_opts);
+
+  Fleet fleet = make_fleet(2);
+  PipelineOptions opts;
+  opts.pipelined = true;
+  opts.keep_results = true;
+  opts.num_shards = 2;
+  opts.queue_capacity = 3;
+  opts.queue_bytes_budget = 1;  // every table is over budget
+  opts.policy = many_batch_policy(s, ScanMode::kHalf);
+  const PipelineReport got =
+      run_multi_clustering(fleet.ptrs, s.points, variants, opts);
+
+  ASSERT_EQ(got.variants.size(), variants.size());
+  ASSERT_EQ(got.results.size(), variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_TRUE(got.variants[i].outcome.ok) << got.variants[i].outcome.error;
+    EXPECT_EQ(got.variants[i].outcome.failure, FailureReason::kNone);
+    EXPECT_EQ(got.results[i].labels, want.results[i].labels)
+        << "variant " << i << " labels diverge under byte-budget 1";
+  }
+  // The budget pressure must not leak device memory on either shard.
+  for (const auto& dev : fleet.owned) {
+    dev->pool().trim();
+    EXPECT_EQ(dev->used_global_bytes(), 0u);
+  }
 }
 
 }  // namespace

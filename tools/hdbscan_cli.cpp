@@ -37,8 +37,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/cluster_analysis.hpp"
@@ -64,6 +66,8 @@
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
 
 namespace {
 
@@ -129,6 +133,13 @@ int usage() {
       "  hdbscan_cli shard-smoke [n]\n"
       "  hdbscan_cli profile <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n>"
       " <variants> [--faults=SEED] [--selftest]\n"
+      "  hdbscan_cli serve <SW1|...|uniform> <n> <jobs> [devices]"
+      " [--workers=W] [--no-cache] [--no-coalesce] [--depth=D]"
+      " [--budget-mb=M] [--seed=S]\n"
+      "  hdbscan_cli replay <jobs_file> <name>=<points_file> [...]"
+      " [--eps-ref=E] [serve flags]\n"
+      "  hdbscan_cli serve-smoke [n]\n"
+      "  hdbscan_cli overload-smoke [n]\n"
       "global flags (any subcommand):\n"
       "  --trace-out=FILE     enable tracing, write Perfetto trace JSON\n"
       "  --metrics-out=FILE   write the metrics registry as JSON\n");
@@ -401,16 +412,27 @@ int cmd_chaos(int argc, char** argv) {
 
   NeighborTableBuilder builder(device_ptrs, policy);
   BuildReport report;
-  NeighborTable table = builder.build(index, eps, &report);
+  NeighborTable table;
+  try {
+    table = builder.build(index, eps, &report);
+  } catch (const std::exception& e) {
+    // The wrapper classified the escape into the structured taxonomy
+    // before rethrowing — print it so a dead chaos run is diagnosable
+    // from the one-line summary alone.
+    std::fprintf(stderr, "chaos: build failed [%s]: %s\n",
+                 failure_reason_name(report.failure), e.what());
+    return 1;
+  }
   std::printf(
       "build survived: %u batches, %llu pairs | retries: %u transient,"
       " %u alloc | %u devices lost, %u batches failed over, %u finished"
-      " on host%s\n",
+      " on host%s | failure=%s\n",
       report.batches_run,
       static_cast<unsigned long long>(report.total_pairs),
       report.transient_retries, report.alloc_retries, report.devices_lost,
       report.failover_batches, report.host_fallback_batches,
-      report.used_host_fallback ? " (host fallback)" : "");
+      report.used_host_fallback ? " (host fallback)" : "",
+      failure_reason_name(report.failure));
 
   // Roll the per-device end state into the metrics registry (exported via
   // --metrics-out) and summarize what the tracer saw of the fault storm.
@@ -871,6 +893,426 @@ int cmd_profile(int argc, char** argv, const ObsOptions& obs_opts) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Service front-end: serve / replay / serve-smoke / overload-smoke
+// ---------------------------------------------------------------------------
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Shared serve/replay flags, parsed (and stripped) from argv.
+struct ServeFlags {
+  service::ServiceOptions options;
+  std::uint64_t seed = 42;
+  float eps_ref = 0.9f;
+
+  static ServeFlags parse(int& argc, char** argv) {
+    ServeFlags f;
+    f.options.cache_bytes_budget = 256ull << 20;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--no-cache") {
+        f.options.cache_bytes_budget = 0;
+      } else if (arg == "--no-coalesce") {
+        f.options.coalesce = false;
+      } else if (arg.rfind("--workers=", 0) == 0) {
+        f.options.num_workers =
+            static_cast<unsigned>(std::max(1, std::atoi(arg.c_str() + 10)));
+      } else if (arg.rfind("--depth=", 0) == 0) {
+        f.options.queue_depth_limit =
+            static_cast<std::size_t>(std::max(1, std::atoi(arg.c_str() + 8)));
+      } else if (arg.rfind("--budget-mb=", 0) == 0) {
+        f.options.queue_bytes_budget =
+            static_cast<std::uint64_t>(std::atoll(arg.c_str() + 12)) << 20;
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        f.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+      } else if (arg.rfind("--eps-ref=", 0) == 0) {
+        f.eps_ref = std::strtof(arg.c_str() + 10, nullptr);
+      } else {
+        argv[w++] = argv[i];
+        continue;
+      }
+    }
+    argc = w;
+    return f;
+  }
+};
+
+void print_service_summary(const service::ClusterService& svc,
+                           const std::vector<service::JobSpec>& jobs,
+                           const std::vector<service::JobResult>& results) {
+  const service::ServiceStats s = svc.stats();
+  std::printf(
+      "served %llu jobs: %llu completed, %llu rejected, %llu shed,"
+      " %llu cancelled, %llu deadline-exceeded, %llu failed\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.failed));
+  std::printf(
+      "cache: %llu hits, %llu misses, %llu evictions | coalesced: %llu jobs"
+      " across %llu shared builds | retries %llu, breaker opens %llu, host"
+      " fallback jobs %llu\n",
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_evictions),
+      static_cast<unsigned long long>(s.coalesced_jobs),
+      static_cast<unsigned long long>(s.coalesced_builds),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.breaker_opens),
+      static_cast<unsigned long long>(s.host_fallback_jobs));
+  std::vector<double> latencies;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].state == service::JobState::kCompleted) {
+      latencies.push_back(
+          results[i].modeled_latency_seconds(jobs[i].arrival_seconds));
+    }
+  }
+  if (!latencies.empty()) {
+    std::printf(
+        "modeled latency: p50 %.4fs, p99 %.4fs | modeled makespan %.4fs |"
+        " throughput %.1f jobs/s\n",
+        percentile(latencies, 0.5), percentile(latencies, 0.99),
+        s.modeled_makespan_seconds,
+        s.modeled_makespan_seconds > 0.0
+            ? static_cast<double>(s.completed) / s.modeled_makespan_seconds
+            : 0.0);
+  }
+}
+
+std::vector<std::unique_ptr<cudasim::Device>> make_clean_devices(unsigned k) {
+  cudasim::SimulationOptions sim;
+  sim.throttle_transfers = false;
+  sim.throttle_pinned_alloc = false;
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  for (unsigned d = 0; d < k; ++d) {
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, sim));
+  }
+  return devices;
+}
+
+int cmd_serve(int argc, char** argv) {
+  ServeFlags flags = ServeFlags::parse(argc, argv);
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+  const auto num_jobs = static_cast<unsigned>(std::max(1, std::atoi(argv[4])));
+  const unsigned num_devices =
+      argc > 5 ? static_cast<unsigned>(std::max(1, std::atoi(argv[5]))) : 2u;
+
+  std::vector<Point2> points =
+      kind == "uniform" ? data::generate_uniform(n, flags.seed, 35.0f, 35.0f)
+                        : data::make_dataset(kind, n);
+
+  auto devices = make_clean_devices(num_devices);
+  std::vector<cudasim::Device*> device_ptrs;
+  for (auto& d : devices) device_ptrs.push_back(d.get());
+
+  service::WorkloadSpec wl;
+  wl.num_jobs = num_jobs;
+  wl.seed = flags.seed;
+  wl.abandoned_fraction = 0.05;
+  wl.deadline_fraction = 0.1;
+  const std::vector<service::JobSpec> jobs = service::make_zipf_workload(wl);
+
+  service::ClusterService svc(device_ptrs, flags.options);
+  svc.register_dataset("default", std::move(points), flags.eps_ref);
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  print_service_summary(svc, jobs, results);
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  ServeFlags flags = ServeFlags::parse(argc, argv);
+  if (argc < 4) return usage();
+  const std::vector<service::JobSpec> jobs = service::load_jobs_file(argv[2]);
+
+  auto devices = make_clean_devices(2);
+  std::vector<cudasim::Device*> device_ptrs;
+  for (auto& d : devices) device_ptrs.push_back(d.get());
+
+  service::ClusterService svc(device_ptrs, flags.options);
+  for (int i = 3; i < argc; ++i) {
+    const std::string binding = argv[i];
+    const auto eq = binding.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "replay: expected <name>=<points_file>, got %s\n",
+                   binding.c_str());
+      return 2;
+    }
+    svc.register_dataset(binding.substr(0, eq),
+                         load_points(binding.substr(eq + 1)), flags.eps_ref);
+  }
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  print_service_summary(svc, jobs, results);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const service::JobResult& r = results[i];
+    std::printf("job %zu [%s %s eps=%.3g minpts=%d]: %s%s%s%s\n", i,
+                jobs[i].tenant.c_str(), jobs[i].dataset.c_str(),
+                static_cast<double>(jobs[i].eps), jobs[i].minpts,
+                service::job_state_name(r.state),
+                r.cache_hit ? " (cache hit)" : "",
+                r.coalesced ? " (coalesced)" : "",
+                r.reject_reason.empty() ? ""
+                                        : (": " + r.reject_reason).c_str());
+  }
+  return 0;
+}
+
+/// serve_smoke CTest target: a Zipf multi-tenant workload on clean
+/// devices with cache + coalescing on. Exits nonzero unless every job is
+/// terminal, reuse actually happened, every same-(eps, minpts) label
+/// vector is bit-identical (the cache-hit == fresh-build invariant), and
+/// the devices end leak-free.
+int cmd_serve_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4000;
+  const std::vector<Point2> points =
+      data::generate_uniform(n, 7, 35.0f, 35.0f);
+
+  auto devices = make_clean_devices(2);
+  std::vector<cudasim::Device*> device_ptrs;
+  for (auto& d : devices) device_ptrs.push_back(d.get());
+
+  service::ServiceOptions opt;
+  opt.num_workers = 3;
+  opt.cache_bytes_budget = 256ull << 20;
+  opt.keep_labels = true;
+  service::WorkloadSpec wl;
+  wl.num_jobs = 24;
+  wl.abandoned_fraction = 0.1;
+  wl.deadline_fraction = 0.15;
+  wl.seed = 99;
+  const std::vector<service::JobSpec> jobs = service::make_zipf_workload(wl);
+
+  service::ClusterService svc(device_ptrs, opt);
+  svc.register_dataset("default", points, 0.9f);
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  print_service_summary(svc, jobs, results);
+
+  int violations = 0;
+  const service::ServiceStats s = svc.stats();
+  if (results.size() != jobs.size()) {
+    std::fprintf(stderr, "SMOKE FAIL: %zu results for %zu jobs\n",
+                 results.size(), jobs.size());
+    ++violations;
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!service::is_terminal(results[i].state)) {
+      std::fprintf(stderr, "SMOKE FAIL: job %zu not terminal (%s)\n", i,
+                   service::job_state_name(results[i].state));
+      ++violations;
+    }
+  }
+  if (s.terminal_total() != s.submitted) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: %llu terminal outcomes for %llu submitted\n",
+                 static_cast<unsigned long long>(s.terminal_total()),
+                 static_cast<unsigned long long>(s.submitted));
+    ++violations;
+  }
+  if (s.cache_hits + s.coalesced_jobs == 0) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: a 24-job Zipf workload over 4 eps values"
+                 " produced no reuse at all\n");
+    ++violations;
+  }
+  // Bit-identity: all completed jobs with the same (eps, minpts) must
+  // carry byte-identical label vectors, however they were served (fresh
+  // build, coalesced member, cache hit).
+  std::map<std::pair<float, int>, const std::vector<std::int32_t>*> canon;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].state != service::JobState::kCompleted) continue;
+    const auto key = std::make_pair(jobs[i].eps, jobs[i].minpts);
+    const auto it = canon.find(key);
+    if (it == canon.end()) {
+      canon.emplace(key, &results[i].labels);
+    } else if (*it->second != results[i].labels) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: labels for eps=%.3g minpts=%d diverge"
+                   " between servings of the same request\n",
+                   static_cast<double>(jobs[i].eps), jobs[i].minpts);
+      ++violations;
+    }
+  }
+  for (unsigned d = 0; d < devices.size(); ++d) {
+    devices[d]->pool().trim();
+    if (devices[d]->used_global_bytes() != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: device %u leaks %zu bytes\n", d,
+                   devices[d]->used_global_bytes());
+      ++violations;
+    }
+  }
+  if (violations != 0) return 1;
+  std::printf("serve-smoke: all invariants held (%zu jobs, cache %llu hits,"
+              " %llu coalesced)\n",
+              jobs.size(), static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.coalesced_jobs));
+  return 0;
+}
+
+/// overload_smoke CTest target: 4x the admission byte budget plus one
+/// device scripted to die mid-serve. Exits nonzero unless the service
+/// drains without deadlock, every job lands in exactly one terminal
+/// state, rejected/shed/abandoned jobs consumed zero device time, a
+/// wall-deadline job cancelled mid-build returned its pooled buffers, and
+/// the surviving device ends leak-free.
+int cmd_overload_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4000;
+  const std::vector<Point2> points =
+      data::generate_uniform(n, 11, 35.0f, 35.0f);
+
+  cudasim::SimulationOptions sim;
+  sim.throttle_transfers = false;
+  sim.throttle_pinned_alloc = false;
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  devices.push_back(
+      std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, sim));
+  {
+    // Device 1 dies mid-serve: after 25 global ops it refuses everything,
+    // so the first build dispatched to it dies mid-flight and must be
+    // re-dispatched (retry budget) while the breaker opens.
+    cudasim::FaultPlan plan;
+    plan.lost_at_op = 25;
+    cudasim::SimulationOptions faulty = sim;
+    faulty.fault = std::make_shared<cudasim::FaultInjector>(plan);
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, faulty));
+  }
+  std::vector<cudasim::Device*> device_ptrs;
+  for (auto& d : devices) device_ptrs.push_back(d.get());
+
+  service::WorkloadSpec wl;
+  wl.num_jobs = 48;
+  wl.abandoned_fraction = 0.15;
+  wl.seed = 1234;
+  std::vector<service::JobSpec> jobs = service::make_zipf_workload(wl);
+  // One guaranteed-singleton job (unique eps) with an already-expired
+  // wall deadline: its build must be cancelled cooperatively at dispatch
+  // and release every pooled buffer it touched.
+  jobs[5].eps = 1.1f;
+  jobs[5].wall_deadline_seconds = 1e-9;
+  jobs[5].abandoned = false;
+  // Top class: admission may reject it outright but never sheds it once
+  // queued, so it deterministically reaches dispatch.
+  jobs[5].priority = service::Priority::kInteractive;
+  // One guaranteed client hang-up that survives admission: must end
+  // cancelled, with zero device time billed.
+  jobs[7].abandoned = true;
+  jobs[7].priority = service::Priority::kInteractive;
+
+  service::ServiceOptions opt;
+  opt.num_workers = 3;
+  opt.cache_bytes_budget = 64ull << 20;
+  opt.queue_depth_limit = 256;
+
+  // Price the workload, then admit only a quarter of it: a 4x overload.
+  std::uint64_t total_priced = 0;
+  {
+    service::ClusterService pricer({device_ptrs[0]}, opt);
+    pricer.register_dataset("default", points, 0.9f);
+    for (const service::JobSpec& j : jobs) {
+      total_priced += pricer.price("default", j.eps).second;
+    }
+  }
+  opt.queue_bytes_budget = std::max<std::uint64_t>(1, total_priced / 4);
+
+  service::ClusterService svc(device_ptrs, opt);
+  svc.register_dataset("default", points, 0.9f);
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  print_service_summary(svc, jobs, results);
+
+  int violations = 0;
+  const service::ServiceStats s = svc.stats();
+  if (s.terminal_total() != s.submitted ||
+      results.size() != jobs.size()) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: %llu terminal outcomes for %llu submitted\n",
+                 static_cast<unsigned long long>(s.terminal_total()),
+                 static_cast<unsigned long long>(s.submitted));
+    ++violations;
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const service::JobResult& r = results[i];
+    if (!service::is_terminal(r.state)) {
+      std::fprintf(stderr, "SMOKE FAIL: job %zu not terminal (%s)\n", i,
+                   service::job_state_name(r.state));
+      ++violations;
+    }
+    const bool never_ran = r.state == service::JobState::kRejected ||
+                           r.state == service::JobState::kShed ||
+                           r.state == service::JobState::kCancelled;
+    if (never_ran &&
+        (r.modeled_device_seconds != 0.0 || r.device_id != -1)) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: %s job %zu consumed device time\n",
+                   service::job_state_name(r.state), i);
+      ++violations;
+    }
+  }
+  if (s.rejected + s.shed == 0) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: a 4x-overloaded queue rejected nothing\n");
+    ++violations;
+  }
+  if (results[5].state != service::JobState::kDeadlineExceeded) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: expired wall-deadline job ended %s, expected"
+                 " deadline-exceeded\n",
+                 service::job_state_name(results[5].state));
+    ++violations;
+  }
+  if (results[7].state != service::JobState::kCancelled) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: abandoned job ended %s, expected cancelled\n",
+                 service::job_state_name(results[7].state));
+    ++violations;
+  }
+  // The scripted device death must be visible as resilience activity:
+  // either a whole-build re-dispatch or an opened breaker.
+  if (s.retries + s.breaker_opens == 0) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: device died mid-serve but no retry or"
+                 " breaker open was recorded\n");
+    ++violations;
+  }
+  // Buffer-accounting balance: whatever mix of completions, failovers,
+  // and cancellations ran, no live device may hold builder memory.
+  for (unsigned d = 0; d < devices.size(); ++d) {
+    if (devices[d]->lost()) continue;
+    devices[d]->pool().trim();
+    if (devices[d]->used_global_bytes() != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: device %u leaks %zu bytes\n", d,
+                   devices[d]->used_global_bytes());
+      ++violations;
+    }
+  }
+  if (violations != 0) return 1;
+  std::printf(
+      "overload-smoke: all invariants held (%llu rejected+shed, %llu"
+      " cancelled, %llu deadline-exceeded, %llu retries, breaker opened"
+      " %llu times)\n",
+      static_cast<unsigned long long>(s.rejected + s.shed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.breaker_opens));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -908,6 +1350,10 @@ int main(int argc, char** argv) {
     else if (cmd == "perf-smoke") rc = cmd_perf_smoke(argc, argv);
     else if (cmd == "stream-smoke") rc = cmd_stream_smoke(argc, argv);
     else if (cmd == "shard-smoke") rc = cmd_shard_smoke(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
+    else if (cmd == "replay") rc = cmd_replay(argc, argv);
+    else if (cmd == "serve-smoke") rc = cmd_serve_smoke(argc, argv);
+    else if (cmd == "overload-smoke") rc = cmd_overload_smoke(argc, argv);
     else if (cmd == "profile") return cmd_profile(argc, argv, obs_opts);
     else return usage();
   } catch (const std::exception& e) {
