@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/request_context.hpp"
+
 namespace hdbscan {
 
 class ThreadPool {
@@ -28,7 +30,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result. The submitter's
+  /// RequestContext is captured here and re-installed on the worker for
+  /// the task's duration, so request attribution survives the pool hop
+  /// (parallel_for inherits this through its submit calls).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -38,7 +43,10 @@ class ThreadPool {
     {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-      queue_.emplace_back([task]() mutable { (*task)(); });
+      queue_.emplace_back([task, ctx = current_request_context()]() mutable {
+        RequestScope scope(ctx);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;

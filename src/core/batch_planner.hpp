@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/cancel.hpp"
+#include "common/request_context.hpp"
 #include "common/types.hpp"
 
 namespace hdbscan {
@@ -108,6 +109,11 @@ struct BatchPolicy {
   /// buffers and device queues are released promptly. nullptr = never
   /// cancelled.
   const CancelToken* cancel = nullptr;
+  /// Request attribution installed on every thread that works for this
+  /// build (stream pumps, shard workers, host-builder threads), so their
+  /// spans carry the request id the service minted (DESIGN.md §14).
+  /// Default-constructed = unattributed.
+  RequestContext trace;
 };
 
 struct BatchPlan {

@@ -918,7 +918,11 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
         sc->stream.host_fn([scp, &queue, &state, mode, scan, eps,
                             block = policy_.block_size, &res,
                             depth_max = policy_.max_split_depth, sink,
-                            materialize, cancel = policy_.cancel] {
+                            materialize, cancel = policy_.cancel,
+                            ctx = policy_.trace] {
+          // Stream threads outlive any one build; attribute this pump's
+          // spans to the request the build serves.
+          RequestScope scope(ctx);
           pump(*scp, queue, state, mode, scan, eps, block, res, depth_max,
                sink, materialize, cancel);
         });

@@ -351,7 +351,8 @@ NeighborTable build_sharded_impl(
     std::vector<std::thread> workers;
     for (std::size_t d = 0; d < ndev; ++d) {
       if (assigned[d].empty()) continue;
-      workers.emplace_back([&, d] {
+      workers.emplace_back([&, d, ctx = current_request_context()] {
+        RequestScope scope(ctx);
         auto& mine = assigned[d];
         for (std::size_t s = 0; s < mine.size(); ++s) {
           GridShard& shard = mine[s];

@@ -10,13 +10,20 @@
 #include "common/timer.hpp"
 #include "cudasim/buffer_pool.hpp"
 #include "cudasim/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace cudasim {
 
 namespace {
 
-[[noreturn]] void throw_device_lost() {
+[[noreturn]] void throw_device_lost(std::uint32_t device_id) {
+  // Device loss is the flight recorder's marquee trigger: note which
+  // request was on the device and dump a post-mortem before unwinding.
+  hdbscan::obs::FlightRecorder& fr = hdbscan::obs::FlightRecorder::global();
+  fr.note("device", hdbscan::current_request_context().request_id,
+          "device %u lost", device_id);
+  fr.dump("device_lost");
   throw DeviceLost("device lost: a scripted device-loss fault fired; all "
                    "subsequent operations on this device fail");
 }
@@ -56,7 +63,7 @@ void Device::fault_gate_alloc(std::size_t bytes) {
         metrics_.device_lost = true;
         ++metrics_.refused_ops;
       }
-      throw_device_lost();
+      throw_device_lost(id_);
     }
   }
 }
@@ -73,7 +80,7 @@ double Device::fault_gate_transfer() {
       metrics_.device_lost = true;
       ++metrics_.refused_ops;
     }
-    throw_device_lost();
+    throw_device_lost(id_);
   }
   if (slowdown > 1.0) {
     TRACE_INSTANT("fault", "pcie_degraded d%u x%.1f", id_, slowdown);
@@ -106,7 +113,7 @@ void Device::fault_on_kernel_launch() {
         metrics_.device_lost = true;
         ++metrics_.refused_ops;
       }
-      throw_device_lost();
+      throw_device_lost(id_);
     }
   }
 }
@@ -121,7 +128,7 @@ void Device::fault_on_device_op() {
       metrics_.device_lost = true;
       ++metrics_.refused_ops;
     }
-    throw_device_lost();
+    throw_device_lost(id_);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/request_context.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -24,10 +25,17 @@ Stream::~Stream() {
 }
 
 void Stream::enqueue(std::function<void()> op) {
+  // Capture the enqueuer's request context: the op runs on the stream's
+  // worker thread, and the spans it records (kernels, transfers, sorts)
+  // must attribute to the request that queued the work.
   {
     std::lock_guard lock(mutex_);
     if (stopping_) throw SimError("Stream: enqueue after destruction began");
-    queue_.push_back(std::move(op));
+    queue_.push_back([op = std::move(op),
+                      ctx = hdbscan::current_request_context()] {
+      hdbscan::RequestScope scope(ctx);
+      op();
+    });
   }
   cv_.notify_one();
 }

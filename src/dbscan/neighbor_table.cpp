@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/request_context.hpp"
 #include "common/timer.hpp"
 
 namespace hdbscan {
@@ -178,7 +179,8 @@ double NeighborTable::absorb_shards(std::vector<NeighborTable>&& shards,
   std::vector<double> cpu(W, 0.0);
   std::vector<std::thread> workers;
   for (unsigned w = 0; w < W; ++w) {
-    workers.emplace_back([&, w] {
+    workers.emplace_back([&, w, ctx = current_request_context()] {
+      RequestScope scope(ctx);
       ThreadCpuTimer timer;
       for (std::size_t s = w; s < shards.size(); s += W) {
         NeighborTable& shard = shards[s];
@@ -250,7 +252,9 @@ double NeighborTable::expand_half_table(unsigned num_threads) {
       const std::size_t lo = cuts[w];
       const std::size_t hi = cuts[w + 1];
       if (lo >= hi) continue;
-      workers.emplace_back([&fn, &cpu, w, lo, hi] {
+      workers.emplace_back([&fn, &cpu, w, lo, hi,
+                            ctx = current_request_context()] {
+        RequestScope scope(ctx);
         ThreadCpuTimer timer;
         fn(w, lo, hi);
         cpu[w] = timer.seconds();
@@ -401,7 +405,8 @@ NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
     const std::size_t begin = static_cast<std::size_t>(w) * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&, begin, end] {
+    workers.emplace_back([&, begin, end, ctx = current_request_context()] {
+      RequestScope scope(ctx);
       std::vector<PointId> neighbors;
       std::vector<NeighborPair> pairs;
       for (std::size_t i = begin; i < end; ++i) {

@@ -27,7 +27,11 @@ void run_partitioned(std::size_t n, unsigned workers, F&& body) {
     const std::size_t begin = static_cast<std::size_t>(w) * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([&body, begin, end] { body(begin, end); });
+    threads.emplace_back(
+        [&body, begin, end, ctx = hdbscan::current_request_context()] {
+          hdbscan::RequestScope scope(ctx);
+          body(begin, end);
+        });
   }
   for (auto& t : threads) t.join();
 }

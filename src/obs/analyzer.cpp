@@ -1,0 +1,135 @@
+#include "obs/analyzer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+namespace hdbscan::obs {
+
+namespace {
+
+StageAttribution& slot(std::vector<StageAttribution>& v,
+                       const std::string& name) {
+  for (StageAttribution& s : v) {
+    if (s.name == name) return s;
+  }
+  v.push_back(StageAttribution{name, 0.0, 0.0, 0});
+  return v.back();
+}
+
+[[nodiscard]] double rank_latency(const std::vector<double>& sorted,
+                                  double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+RequestAnalysis analyze_request_trace(const std::vector<TraceEvent>& events) {
+  RequestAnalysis out;
+  std::map<std::uint64_t, RequestProfile> profiles;
+
+  for (const TraceEvent& e : events) {
+    if (e.type == EventType::kInstant &&
+        std::strcmp(e.category, "link") == 0 && e.request_id != 0 &&
+        e.link_id != 0) {
+      RequestProfile& p = profiles[e.request_id];
+      p.request_id = e.request_id;
+      if (p.tenant.empty()) p.tenant = e.tenant;
+      if (std::find(p.linked_to.begin(), p.linked_to.end(), e.link_id) ==
+          p.linked_to.end()) {
+        p.linked_to.push_back(e.link_id);
+      }
+      continue;
+    }
+    if (e.type != EventType::kSpan) continue;
+    if (e.request_id == 0) {
+      ++out.unattributed_spans;
+      continue;
+    }
+    RequestProfile& p = profiles[e.request_id];
+    p.request_id = e.request_id;
+    if (p.tenant.empty()) p.tenant = e.tenant;
+
+    // Wall/modeled split: a span on a modeled mirror pid is the cost
+    // model's view of a wall span already counted (trace files), so it
+    // contributes modeled time only; wall spans carry their own inline
+    // modeled duration (in-process snapshots).
+    const bool modeled_mirror = e.pid >= kModeledPidOffset;
+    const double wall = modeled_mirror ? 0.0 : e.dur_us * 1e-6;
+    double modeled = modeled_mirror ? e.dur_us * 1e-6 : 0.0;
+    if (!modeled_mirror && e.model_dur_us >= 0.0) {
+      modeled = e.model_dur_us * 1e-6;
+    }
+
+    const bool is_stage = std::strcmp(e.category, "stage") == 0;
+    StageAttribution& a =
+        is_stage ? slot(p.stages, e.name) : slot(p.categories, e.category);
+    a.wall_seconds += wall;
+    a.modeled_seconds += modeled;
+    if (!modeled_mirror) {
+      ++a.spans;
+      ++p.span_count;
+      if (p.span_count == 1 || e.ts_us < p.begin_us) p.begin_us = e.ts_us;
+      if (p.span_count == 1 || e.end_us() > p.end_us) p.end_us = e.end_us();
+    }
+  }
+
+  for (auto& [id, p] : profiles) {
+    double stage_total = 0.0;
+    for (const StageAttribution& s : p.stages) {
+      stage_total += s.wall_seconds;
+      p.modeled_seconds += s.modeled_seconds;
+      if (s.wall_seconds > p.dominant_seconds) {
+        p.dominant_seconds = s.wall_seconds;
+        p.dominant_stage = s.name;
+      }
+    }
+    p.latency_seconds =
+        !p.stages.empty() ? stage_total : (p.end_us - p.begin_us) * 1e-6;
+    auto by_wall = [](const StageAttribution& a, const StageAttribution& b) {
+      return a.wall_seconds > b.wall_seconds;
+    };
+    std::sort(p.stages.begin(), p.stages.end(), by_wall);
+    std::sort(p.categories.begin(), p.categories.end(), by_wall);
+    out.requests.push_back(std::move(p));
+  }
+  std::sort(out.requests.begin(), out.requests.end(),
+            [](const RequestProfile& a, const RequestProfile& b) {
+              return a.latency_seconds > b.latency_seconds;
+            });
+
+  std::vector<double> latencies;
+  latencies.reserve(out.requests.size());
+  for (const RequestProfile& p : out.requests) {
+    latencies.push_back(p.latency_seconds);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_seconds = rank_latency(latencies, 0.5);
+  out.p99_seconds = rank_latency(latencies, 0.99);
+
+  // The p99's dominant stage: of the requests at or above the p99
+  // latency, the stage that soaks up the most summed wall time.
+  std::map<std::string, double> tail_stages;
+  for (const RequestProfile& p : out.requests) {
+    if (p.latency_seconds + 1e-12 < out.p99_seconds) continue;
+    for (const StageAttribution& s : p.stages) {
+      tail_stages[s.name] += s.wall_seconds;
+    }
+  }
+  double best = -1.0;
+  for (const auto& [name, secs] : tail_stages) {
+    if (secs > best) {
+      best = secs;
+      out.p99_dominant_stage = name;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdbscan::obs

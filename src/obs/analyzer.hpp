@@ -1,0 +1,68 @@
+// Critical-path analyzer over a request-attributed trace (DESIGN.md §14).
+//
+// Groups a trace snapshot (or a re-loaded trace file) by request id and
+// attributes each request's time two ways: by *stage* — the synthetic
+// "stage" spans the service records per job (queue_wait, admission,
+// cache, build, stream_union, finalize), which partition a request's
+// latency — and by *category* (build, kernel, transfer, ...), the
+// instrumentation spans that explain what the dominant stage actually
+// did. Powers `hdbscan_cli explain`: top-k slowest requests, per-stage
+// wall + modeled breakdown, which stage dominated the p99, and the span
+// links showing which requests borrowed another's build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hdbscan::obs {
+
+/// One stage's (or category's) share of a request's time.
+struct StageAttribution {
+  std::string name;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  std::size_t spans = 0;
+};
+
+/// Everything the analyzer knows about one request.
+struct RequestProfile {
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  double begin_us = 0.0;  ///< earliest attributed span begin
+  double end_us = 0.0;    ///< latest attributed span end
+  /// Sum of the request's stage spans (its attributed latency); falls
+  /// back to the span-interval extent when no stage spans were recorded.
+  double latency_seconds = 0.0;
+  double modeled_seconds = 0.0;      ///< summed modeled stage durations
+  std::vector<StageAttribution> stages;      ///< "stage" spans, by name
+  std::vector<StageAttribution> categories;  ///< other spans, by category
+  /// Requests whose build this one rode (from "link" instants): the
+  /// coalesce leader or the request that populated the cache entry.
+  std::vector<std::uint64_t> linked_to;
+  std::string dominant_stage;  ///< stage with the largest wall share
+  double dominant_seconds = 0.0;
+  std::size_t span_count = 0;
+};
+
+struct RequestAnalysis {
+  /// Per-request profiles, slowest first (by latency_seconds).
+  std::vector<RequestProfile> requests;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  /// Dominant stage of the request at the p99 latency rank — "which
+  /// stage do we optimize to move the tail".
+  std::string p99_dominant_stage;
+  std::size_t unattributed_spans = 0;  ///< spans with no request id
+};
+
+/// Analyzes a snapshot (Tracer::snapshot()) or loaded trace file
+/// (read_trace_file()). Spans on modeled mirror pids contribute modeled
+/// time only; wall-pid spans contribute wall time plus their inline
+/// modeled duration when present, so both sources agree.
+[[nodiscard]] RequestAnalysis analyze_request_trace(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace hdbscan::obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -273,6 +274,18 @@ class JsonParser {
                                                               : fallback;
 }
 
+/// Serialized request-attribution args for one event: `"request": N,
+/// "tenant": "...", "link": M` — empty when the event is unattributed.
+[[nodiscard]] std::string request_args_body(const TraceEvent& e) {
+  if (e.request_id == 0 && e.link_id == 0) return {};
+  std::string out = "\"request\": " + std::to_string(e.request_id);
+  if (e.tenant[0] != '\0') {
+    out += ", \"tenant\": \"" + json_escape(e.tenant) + "\"";
+  }
+  if (e.link_id != 0) out += ", \"link\": " + std::to_string(e.link_id);
+  return out;
+}
+
 bool write_text_file(const std::string& path, const std::string& body,
                      std::string* error) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -333,6 +346,8 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
   // Metadata lines above end with ",\n" unconditionally; the first real
   // event glues straight on.
   for (const TraceEvent& e : events) {
+    const std::string req = request_args_body(e);
+    const std::string req_args = req.empty() ? "" : ", \"args\": {" + req + "}";
     switch (e.type) {
       case EventType::kSpan:
         begin_event();
@@ -341,7 +356,7 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                "\", \"pid\": " + std::to_string(e.pid) +
                ", \"tid\": " + std::to_string(e.tid) +
                ", \"ts\": " + format_us(e.ts_us) +
-               ", \"dur\": " + format_us(e.dur_us) + "}";
+               ", \"dur\": " + format_us(e.dur_us) + req_args + "}";
         if (e.model_dur_us >= 0.0) {
           begin_event();
           out += "  {\"ph\": \"X\", \"name\": \"" + json_escape(e.name) +
@@ -349,7 +364,7 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                  "\", \"pid\": " + std::to_string(e.pid + kModeledPidOffset) +
                  ", \"tid\": " + std::to_string(e.tid) +
                  ", \"ts\": " + format_us(e.model_ts_us) +
-                 ", \"dur\": " + format_us(e.model_dur_us) + "}";
+                 ", \"dur\": " + format_us(e.model_dur_us) + req_args + "}";
         }
         break;
       case EventType::kInstant:
@@ -358,7 +373,7 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                json_escape(e.name) + "\", \"cat\": \"" +
                json_escape(e.category) + "\", \"pid\": " +
                std::to_string(e.pid) + ", \"tid\": " + std::to_string(e.tid) +
-               ", \"ts\": " + format_us(e.ts_us) + "}";
+               ", \"ts\": " + format_us(e.ts_us) + req_args + "}";
         break;
       case EventType::kCounter:
         begin_event();
@@ -366,7 +381,8 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                "\", \"cat\": \"" + json_escape(e.category) +
                "\", \"pid\": " + std::to_string(e.pid) +
                ", \"ts\": " + format_us(e.ts_us) +
-               ", \"args\": {\"value\": " + format_us(e.value) + "}}";
+               ", \"args\": {\"value\": " + format_us(e.value) +
+               (req.empty() ? "" : ", " + req) + "}}";
         break;
     }
   }
@@ -407,17 +423,28 @@ TraceValidation validate_trace_file(const std::string& path) {
 
   std::set<std::uint32_t> device_pids;
   std::set<std::uint64_t> device_span_tracks;
+  std::set<std::uint64_t> request_ids;
   for (const JsonNode& e : trace_events->array) {
     const std::string ph = get_string(e, "ph");
     if (ph == "M") continue;  // metadata
     ++v.events;
     const auto pid = static_cast<std::uint32_t>(get_number(e, "pid"));
     const auto tid = static_cast<std::uint32_t>(get_number(e, "tid"));
+    const JsonNode* args = find(e, "args");
+    const double request = args != nullptr ? get_number(*args, "request") : 0;
+    if (request > 0) {
+      request_ids.insert(static_cast<std::uint64_t>(request));
+    }
     if (ph == "X") {
       ++v.complete_spans;
       if (find(e, "ts") == nullptr || find(e, "dur") == nullptr) {
         v.error = "complete span without ts/dur";
         return v;
+      }
+      if (request > 0) {
+        ++v.spans_with_request;
+      } else {
+        ++v.spans_without_request;
       }
       if (pid >= kModeledPidOffset) {
         ++v.modeled_span_events;
@@ -430,15 +457,89 @@ TraceValidation validate_trace_file(const std::string& path) {
       }
     } else if (ph == "i" || ph == "I") {
       ++v.instants;
-      if (get_string(e, "cat") == "fault") v.has_fault_instant = true;
+      const std::string cat = get_string(e, "cat");
+      if (cat == "fault") v.has_fault_instant = true;
+      if (cat == "link") {
+        if (request <= 0 || args == nullptr ||
+            get_number(*args, "link") <= 0) {
+          v.error = "link instant without request/link args";
+          return v;
+        }
+        ++v.link_events;
+      }
     } else if (ph == "C") {
       ++v.counters;
     }
   }
   v.device_pids.assign(device_pids.begin(), device_pids.end());
   v.device_span_tracks = device_span_tracks.size();
+  v.distinct_request_ids = request_ids.size();
   v.ok = true;
   return v;
+}
+
+bool read_trace_file(const std::string& path, std::vector<TraceEvent>* events,
+                     std::string* error) {
+  events->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonNode root;
+  JsonParser parser(text);
+  std::string parse_error;
+  if (!parser.parse(root, parse_error)) {
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  const JsonNode* trace_events = find(root, "traceEvents");
+  if (trace_events == nullptr ||
+      trace_events->type != JsonNode::Type::kArray) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return false;
+  }
+
+  // TraceEvent::category is a `const char*` with static-storage contract;
+  // loaded categories are interned in a process-lifetime pool.
+  static std::mutex pool_mutex;
+  static std::set<std::string>& category_pool = *new std::set<std::string>;
+
+  for (const JsonNode& n : trace_events->array) {
+    const std::string ph = get_string(n, "ph");
+    TraceEvent e;
+    if (ph == "X") {
+      e.type = EventType::kSpan;
+    } else if (ph == "i" || ph == "I") {
+      e.type = EventType::kInstant;
+    } else if (ph == "C") {
+      e.type = EventType::kCounter;
+    } else {
+      continue;  // metadata and anything the analyzer does not consume
+    }
+    std::snprintf(e.name, sizeof(e.name), "%s", get_string(n, "name").c_str());
+    {
+      std::lock_guard lock(pool_mutex);
+      e.category = category_pool.insert(get_string(n, "cat")).first->c_str();
+    }
+    e.pid = static_cast<std::uint32_t>(get_number(n, "pid"));
+    e.tid = static_cast<std::uint32_t>(get_number(n, "tid"));
+    e.ts_us = get_number(n, "ts");
+    e.dur_us = get_number(n, "dur");
+    if (const JsonNode* args = find(n, "args")) {
+      e.request_id = static_cast<std::uint64_t>(get_number(*args, "request"));
+      e.link_id = static_cast<std::uint64_t>(get_number(*args, "link"));
+      std::snprintf(e.tenant, sizeof(e.tenant), "%s",
+                    get_string(*args, "tenant").c_str());
+      e.value = get_number(*args, "value");
+    }
+    events->push_back(e);
+  }
+  return true;
 }
 
 TraceProfile profile_trace(const std::vector<TraceEvent>& events) {

@@ -51,10 +51,27 @@ struct TraceValidation {
   std::size_t modeled_span_events = 0;  ///< spans on modeled mirror pids
   std::size_t host_spans = 0;           ///< spans on the host process
   bool has_fault_instant = false;       ///< any instant in category "fault"
+  /// Request attribution (DESIGN.md §14): spans carrying / missing a
+  /// "request" arg, span-link instants (category "link"), and the number
+  /// of distinct request ids seen across all events.
+  std::size_t spans_with_request = 0;
+  std::size_t spans_without_request = 0;
+  std::size_t link_events = 0;
+  std::size_t distinct_request_ids = 0;
 };
 
 /// Parses `path` as trace_event JSON and checks structural invariants.
 [[nodiscard]] TraceValidation validate_trace_file(const std::string& path);
+
+/// Re-loads an emitted trace_event JSON file as TraceEvents so the
+/// critical-path analyzer (obs/analyzer.hpp) can run on saved traces.
+/// Spans on modeled mirror pids come back as spans on those pids with
+/// model_dur_us unset — analyze_request_trace() treats them as
+/// modeled-only time, matching the exporter's wall/modeled split.
+/// Category strings are interned in a process-lifetime pool (TraceEvent
+/// stores `const char*` with static storage).
+bool read_trace_file(const std::string& path, std::vector<TraceEvent>* events,
+                     std::string* error = nullptr);
 
 /// Per-category timing rollup of one snapshot (wall clock).
 struct PhaseStat {

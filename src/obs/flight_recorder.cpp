@@ -1,0 +1,186 @@
+#include "obs/flight_recorder.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hdbscan::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t clock_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string format_us(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+/// How many of the tracer's newest events ride along in a post-mortem.
+constexpr std::size_t kTraceTail = 64;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : epoch_ns_(clock_ns()) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::note(const char* category, std::uint64_t request_id,
+                          const char* fmt, ...) {
+  FlightNote n;
+  n.wall_us = static_cast<double>(clock_ns() - epoch_ns_) * 1e-3;
+  n.request_id = request_id;
+  std::snprintf(n.category, sizeof(n.category), "%s", category);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(n.message, sizeof(n.message), fmt, args);
+  va_end(args);
+  std::lock_guard lock(mutex_);
+  while (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(n);
+}
+
+void FlightRecorder::arm(std::string dir, unsigned max_dumps) {
+  std::lock_guard lock(mutex_);
+  dir_ = std::move(dir);
+  if (max_dumps != 0) max_dumps_ = max_dumps;
+  paths_.clear();
+  dumps_ = 0;
+}
+
+void FlightRecorder::set_capacity(std::size_t notes) {
+  std::lock_guard lock(mutex_);
+  capacity_ = notes == 0 ? 1 : notes;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::string FlightRecorder::render_json_locked(const char* reason) const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"reason\": \"";
+  out += json_escape(reason);
+  out += "\",\n  \"trigger\": " + std::to_string(triggers_);
+  out += ",\n  \"wall_us\": " +
+         format_us(static_cast<double>(clock_ns() - epoch_ns_) * 1e-3);
+  out += ",\n  \"notes\": [\n";
+  bool first = true;
+  for (const FlightNote& n : ring_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"wall_us\": " + format_us(n.wall_us) +
+           ", \"request\": " + std::to_string(n.request_id) +
+           ", \"category\": \"" + json_escape(n.category) +
+           "\", \"message\": \"" + json_escape(n.message) + "\"}";
+  }
+  out += "\n  ],\n  \"metrics\": ";
+  // The registry JSON carries the RequestOutcome taxonomy
+  // (service_requests{outcome=...}) plus device/build counters.
+  out += Registry::global().json();
+  // Tail of the trace ring: the newest events leading up to the trigger.
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+  const std::size_t begin =
+      events.size() > kTraceTail ? events.size() - kTraceTail : 0;
+  out += ",\n  \"trace\": {\"events\": " + std::to_string(events.size()) +
+         ", \"dropped\": " + std::to_string(Tracer::global().dropped()) +
+         ", \"recent\": [\n";
+  first = true;
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (!first) out += ",\n";
+    first = false;
+    const char* type = e.type == EventType::kSpan      ? "span"
+                       : e.type == EventType::kInstant ? "instant"
+                                                       : "counter";
+    out += "    {\"type\": \"" + std::string(type) + "\", \"cat\": \"" +
+           json_escape(e.category) + "\", \"name\": \"" +
+           json_escape(e.name) + "\", \"pid\": " + std::to_string(e.pid) +
+           ", \"ts\": " + format_us(e.ts_us) +
+           ", \"dur\": " + format_us(e.dur_us) +
+           ", \"request\": " + std::to_string(e.request_id) + "}";
+  }
+  out += "\n  ]}\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::dump(const char* reason) {
+  std::string path;
+  std::string body;
+  {
+    std::lock_guard lock(mutex_);
+    ++triggers_;
+    if (dir_.empty() || dumps_ >= max_dumps_) return {};
+    ++dumps_;
+    path = dir_ + "/postmortem_" + reason + "_" +
+           std::to_string(dumps_) + ".json";
+    body = render_json_locked(reason);
+    paths_.push_back(path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return {};
+  out << body;
+  out.flush();
+  return out ? path : std::string{};
+}
+
+std::vector<FlightNote> FlightRecorder::notes() const {
+  std::lock_guard lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t FlightRecorder::triggers() const {
+  std::lock_guard lock(mutex_);
+  return triggers_;
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  std::lock_guard lock(mutex_);
+  return dumps_;
+}
+
+std::vector<std::string> FlightRecorder::dump_paths() const {
+  std::lock_guard lock(mutex_);
+  return paths_;
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  triggers_ = 0;
+  dumps_ = 0;
+  paths_.clear();
+}
+
+}  // namespace hdbscan::obs

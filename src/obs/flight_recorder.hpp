@@ -1,0 +1,85 @@
+// Always-on bounded flight recorder (DESIGN.md §14).
+//
+// A small mutex-guarded ring of structured notes (category + request id +
+// formatted message, wall-stamped) that the service and the simulator
+// append to whether or not tracing is enabled — the cost is one short
+// critical section per note, and the ring overwrites its oldest entries,
+// so it is safe to leave on in production paths. When something goes
+// wrong — a job ends `failed`, a circuit breaker opens, chaos kills a
+// device — dump() writes a post-mortem JSON file combining the ring, the
+// metrics registry (which carries the RequestOutcome taxonomy as
+// service_requests counters), and the tail of the tracer's events, so
+// the state around the failure survives the process.
+//
+// Dumping is armed by setting a directory (serve/replay/chaos do); while
+// unarmed, notes still accumulate but triggers only count. A per-process
+// dump cap keeps a crash loop from flooding the disk.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hdbscan::obs {
+
+struct FlightNote {
+  double wall_us = 0.0;  ///< microseconds since the recorder was created
+  std::uint64_t request_id = 0;
+  char category[16] = {};
+  char message[112] = {};
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// Appends one note (printf-formatted, truncated to the note's fixed
+  /// buffer). `request_id` 0 = not request-specific.
+  __attribute__((format(printf, 4, 5)))
+  void note(const char* category, std::uint64_t request_id, const char* fmt,
+            ...);
+
+  /// Arms post-mortem dumping into `dir` ("" disarms). `max_dumps` caps
+  /// files written per process arm (0 keeps the current cap).
+  void arm(std::string dir, unsigned max_dumps = 0);
+
+  /// Records a trigger (reason e.g. "job_failed", "breaker_open",
+  /// "device_lost") and, when armed and under the cap, writes
+  /// `<dir>/postmortem_<reason>_<n>.json`. Returns the path written, or
+  /// "" when no file was produced.
+  std::string dump(const char* reason);
+
+  /// Ring capacity in notes (default 256); applies immediately, keeping
+  /// the newest notes.
+  void set_capacity(std::size_t notes);
+
+  [[nodiscard]] std::vector<FlightNote> notes() const;
+  [[nodiscard]] std::uint64_t triggers() const;  ///< dump() calls
+  [[nodiscard]] std::uint64_t dumps() const;     ///< files written
+  /// Paths written since the last arm() (newest last).
+  [[nodiscard]] std::vector<std::string> dump_paths() const;
+
+  /// Test hook: clears notes, trigger/dump counts, and recorded paths
+  /// (arming state is kept).
+  void reset();
+
+ private:
+  FlightRecorder();
+
+  [[nodiscard]] std::string render_json_locked(const char* reason) const;
+
+  mutable std::mutex mutex_;
+  std::deque<FlightNote> ring_;
+  std::size_t capacity_ = 256;
+  std::string dir_;
+  unsigned max_dumps_ = 8;
+  std::uint64_t triggers_ = 0;
+  std::uint64_t dumps_ = 0;
+  std::vector<std::string> paths_;
+  std::int64_t epoch_ns_ = 0;
+};
+
+}  // namespace hdbscan::obs

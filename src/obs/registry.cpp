@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -85,6 +86,31 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.sum = sum_.load(std::memory_order_relaxed);
   s.count = count_.load(std::memory_order_relaxed);
   return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (counts[i] == 0 || static_cast<double>(cum) < rank) continue;
+    if (i >= bounds.size()) {
+      // +inf bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double within =
+        (rank - static_cast<double>(cum - counts[i])) /
+        static_cast<double>(counts[i]);
+    return lo + (bounds[i] - lo) * std::min(1.0, std::max(0.0, within));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::quantile(double q) const noexcept {
+  return snapshot().quantile(q);
 }
 
 void Histogram::reset() noexcept {

@@ -73,8 +73,16 @@ class Histogram {
     std::vector<std::uint64_t> counts; ///< per-bucket (bounds.size() + 1)
     double sum = 0.0;
     std::uint64_t count = 0;
+
+    /// Quantile estimate with linear interpolation inside the covering
+    /// bucket (Prometheus histogram_quantile semantics). q is clamped to
+    /// [0, 1]; an empty histogram reports 0; mass in the +inf bucket is
+    /// clamped to the last finite bound.
+    [[nodiscard]] double quantile(double q) const noexcept;
   };
   [[nodiscard]] Snapshot snapshot() const;
+  /// Convenience: snapshot().quantile(q).
+  [[nodiscard]] double quantile(double q) const noexcept;
   void reset() noexcept;
 
   /// Default bounds for durations in seconds (10 us .. 60 s).

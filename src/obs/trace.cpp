@@ -149,6 +149,20 @@ void Tracer::record(EventType type, const char* category, const char* name,
   e.model_ts_us = model_ts_us;
   e.model_dur_us = model_dur_us;
   e.value = value;
+  const RequestContext& ctx = current_request_context();
+  e.request_id = ctx.request_id;
+  e.link_id = ctx.link_id;
+  std::snprintf(e.tenant, sizeof(e.tenant), "%s", ctx.tenant);
+}
+
+void Tracer::record_link(const char* name, std::uint64_t from,
+                         const char* from_tenant, std::uint64_t to) {
+  RequestContext ctx;
+  ctx.request_id = from;
+  ctx.link_id = to;
+  ctx.set_tenant(from_tenant);
+  RequestScope scope(ctx);
+  record(EventType::kInstant, "link", name, now_us(), 0.0, 0.0, -1.0, 0.0);
 }
 
 double Tracer::now_us() const noexcept {

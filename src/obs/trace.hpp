@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/request_context.hpp"
+
 namespace hdbscan::obs {
 
 /// Track (process) ids of the exported timeline. The host is one Perfetto
@@ -65,6 +67,13 @@ struct TraceEvent {
   double model_ts_us = 0.0;  ///< modeled-clock begin (spans)
   double model_dur_us = -1.0;  ///< < 0: no modeled-time mirror
   double value = 0.0;          ///< counters only
+  /// Request attribution, stamped from the recording thread's
+  /// RequestContext (DESIGN.md §14). 0 = unattributed.
+  std::uint64_t request_id = 0;
+  /// For "link" instants (and any event recorded under a borrowed-work
+  /// scope): the request whose spans did this request's work.
+  std::uint64_t link_id = 0;
+  char tenant[24] = {};
 
   [[nodiscard]] double end_us() const noexcept { return ts_us + dur_us; }
 };
@@ -102,9 +111,17 @@ class Tracer {
   void set_thread_track(std::uint32_t pid, const char* name);
 
   /// Appends one event on the calling thread's track. `name` is copied.
+  /// The calling thread's RequestContext is stamped onto the event.
   void record(EventType type, const char* category, const char* name,
               double ts_us, double dur_us, double model_ts_us,
               double model_dur_us, double value);
+
+  /// Records a span-link instant: request `from` (tenant `from_tenant`)
+  /// was served by work attributed to request `to` (a coalesced leader's
+  /// build or the build that populated a cache entry). Exported with
+  /// explicit request/link args regardless of the calling thread's scope.
+  void record_link(const char* name, std::uint64_t from,
+                   const char* from_tenant, std::uint64_t to);
 
   /// Wall microseconds since the epoch set by the last enable().
   [[nodiscard]] double now_us() const noexcept;
@@ -150,6 +167,8 @@ class Span {
 
 inline void instant(const char*, const char*, ...) noexcept {}
 inline void counter(const char*, const char*, double) noexcept {}
+inline void link(const char*, std::uint64_t, const char*,
+                 std::uint64_t) noexcept {}
 inline void set_thread_track(std::uint32_t, const char*) noexcept {}
 inline void modeled_advance(double) noexcept {}
 [[nodiscard]] inline bool tracing_enabled() noexcept { return false; }
@@ -237,6 +256,14 @@ inline void counter(const char* category, const char* name,
   if (!t.enabled()) return;
   t.record(EventType::kCounter, category, name, t.now_us(), 0.0, 0.0, -1.0,
            value);
+}
+
+/// Records a span link (see Tracer::record_link); no-op when disabled.
+inline void link(const char* name, std::uint64_t from,
+                 const char* from_tenant, std::uint64_t to) noexcept {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  t.record_link(name, from, from_tenant, to);
 }
 
 #define HDBSCAN_TRACE_CONCAT_(a, b) a##b

@@ -66,17 +66,22 @@ class CircuitBreaker {
     s.state = State::kClosed;
   }
 
-  void record_failure(std::size_t d) {
+  /// Returns true when this failure flipped the breaker open (closed or
+  /// half-open → open) — the caller's hook for post-mortem capture.
+  bool record_failure(std::size_t d) {
     std::lock_guard lock(mutex_);
     Slot& s = slots_.at(d);
     s.probe_in_flight = false;
     ++s.consecutive_failures;
     if (s.state == State::kHalfOpen ||
         s.consecutive_failures >= failure_threshold_) {
+      const bool opened_now = s.state != State::kOpen;
       s.state = State::kOpen;
       s.opened_at_dispatch = dispatches_;
       ++opens_;
+      return opened_now;
     }
+    return false;
   }
 
   [[nodiscard]] State state(std::size_t d) const {

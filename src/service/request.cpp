@@ -36,4 +36,22 @@ const char* job_state_name(JobState s) noexcept {
   return "failed";
 }
 
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kCache:
+      return "cache";
+    case Stage::kBuild:
+      return "build";
+    case Stage::kStreamUnion:
+      return "stream_union";
+    case Stage::kFinalize:
+      return "finalize";
+  }
+  return "finalize";
+}
+
 }  // namespace hdbscan::service

@@ -7,6 +7,7 @@
 // parsing logs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,6 +70,50 @@ const char* job_state_name(JobState s) noexcept;
   return s >= JobState::kCompleted;
 }
 
+/// Pipeline stages a request's latency is attributed to. Every wall
+/// microsecond between submit and terminal lands in exactly one stage, so
+/// per-stage sums reconstruct end-to-end latency (DESIGN.md §14).
+enum class Stage : int {
+  kQueueWait = 0,  ///< admitted → picked up by a worker
+  kAdmission,      ///< pricing + admission control at submit
+  kCache,          ///< TableCache probe + clustering from a cached table
+  kBuild,          ///< neighbor-table build (device or host fallback)
+  kStreamUnion,    ///< streaming consume + finalize (when not folded into
+                   ///< the build's overlap window)
+  kFinalize,       ///< result assembly + terminal bookkeeping
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+const char* stage_name(Stage s) noexcept;
+
+/// Wall + modeled seconds a request spent in each Stage.
+struct StageBreakdown {
+  std::array<double, kNumStages> wall_seconds{};
+  std::array<double, kNumStages> modeled_seconds{};
+
+  void add(Stage s, double wall, double modeled = 0.0) noexcept {
+    wall_seconds[static_cast<std::size_t>(s)] += wall;
+    modeled_seconds[static_cast<std::size_t>(s)] += modeled;
+  }
+  [[nodiscard]] double wall(Stage s) const noexcept {
+    return wall_seconds[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double total_wall_seconds() const noexcept {
+    double t = 0.0;
+    for (double v : wall_seconds) t += v;
+    return t;
+  }
+  /// Stage holding the largest share of wall time.
+  [[nodiscard]] Stage dominant() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kNumStages; ++i) {
+      if (wall_seconds[i] > wall_seconds[best]) best = i;
+    }
+    return static_cast<Stage>(best);
+  }
+};
+
 /// Everything the service reports back for one job.
 struct JobResult {
   JobState state = JobState::kQueued;
@@ -96,6 +141,14 @@ struct JobResult {
   std::int32_t num_clusters = 0;
   std::size_t noise_count = 0;
   std::vector<std::int32_t> labels;  ///< only when keep_labels
+
+  /// Request id minted at admission; every trace span recorded while this
+  /// job was being served carries it (0 = never admitted).
+  std::uint64_t request_id = 0;
+  /// Leader's request id when this job coalesced onto another build.
+  std::uint64_t linked_request_id = 0;
+  /// Wall/modeled latency attribution per pipeline stage.
+  StageBreakdown stages;
 
   [[nodiscard]] double modeled_latency_seconds(double arrival) const noexcept {
     return modeled_finish_seconds - arrival;

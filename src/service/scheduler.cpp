@@ -14,6 +14,7 @@
 #include "dbscan/dbscan.hpp"
 #include "dbscan/streaming_dbscan.hpp"
 #include "index/grid_index.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +34,36 @@ void publish_outcome(JobState state) {
       .counter("service_requests",
                std::string("outcome=") + job_state_name(state))
       .add(1);
+}
+
+/// Chronological order stage timelines are laid out in (the enum orders
+/// by attribution bucket, not time).
+constexpr std::array<Stage, kNumStages> kStageTimeline = {
+    Stage::kAdmission, Stage::kQueueWait,   Stage::kCache,
+    Stage::kBuild,     Stage::kStreamUnion, Stage::kFinalize};
+
+/// Emits one synthetic "stage" span per non-empty stage, laid end to end
+/// from the request's submit stamp, under the request's context — the
+/// trace-side twin of JobResult::stages that `hdbscan_cli explain` reads.
+void emit_stage_spans(const RequestContext& ctx, double submit_us,
+                      const StageBreakdown& stages) {
+  obs::Tracer& t = obs::Tracer::global();
+  if (!obs::kTraceCompiled || !t.enabled()) return;
+  RequestScope scope(ctx);
+  double at_us = submit_us;
+  double model_at_us = 0.0;
+  for (Stage s : kStageTimeline) {
+    const double wall = stages.wall(s);
+    const double modeled =
+        stages.modeled_seconds[static_cast<std::size_t>(s)];
+    if (wall <= 0.0 && modeled <= 0.0) continue;
+    const double dur_us = wall * 1e6;
+    const double model_dur_us = modeled * 1e6;
+    t.record(obs::EventType::kSpan, "stage", stage_name(s), at_us, dur_us,
+             model_at_us, model_dur_us > 0.0 ? model_dur_us : -1.0, 0.0);
+    at_us += dur_us;
+    model_at_us += model_dur_us;
+  }
 }
 
 /// Remaps index-order labels back to input order (the service returns
@@ -71,6 +102,13 @@ void ClusterService::register_dataset(const std::string& name,
   if (reference_eps <= 0.0f) {
     throw std::invalid_argument("register_dataset: reference_eps must be > 0");
   }
+  // Calibration runs outside any client request; give it a request id of
+  // its own (tenant "system") so even registration-time spans are
+  // attributable — no span in a service run should be anonymous.
+  RequestContext reg_ctx;
+  reg_ctx.request_id = mint_request_id();
+  reg_ctx.set_tenant("system");
+  RequestScope reg_scope(reg_ctx);
   Dataset ds;
   ds.points = std::move(points);
   ds.ref_eps = reference_eps;
@@ -168,14 +206,22 @@ bool ClusterService::shed_for_locked(Priority arriving,
 }
 
 void ClusterService::submit_locked(PendingPtr job, ReplayState& rs) {
+  // Admission is where a request becomes traceable: mint its id here so
+  // even a reject-with-reason carries one.
+  job->trace.request_id = mint_request_id();
+  job->trace.set_tenant(job->spec.tenant.c_str());
+  job->submit_us = obs::Tracer::global().now_us();
+  WallTimer admission_timer;
   {
     std::lock_guard slock(stats_mutex_);
     ++stats_.submitted;
+    ++tenant_counts_locked(job->spec.tenant).submitted;
   }
   const auto ds = datasets_.find(job->spec.dataset);
   if (ds == datasets_.end()) {
     JobResult r;
     r.reject_reason = "unknown dataset '" + job->spec.dataset + "'";
+    job->admission_seconds = admission_timer.seconds();
     record_terminal(*job, rs, JobState::kRejected, std::move(r));
     return;
   }
@@ -194,6 +240,7 @@ void ClusterService::submit_locked(PendingPtr job, ReplayState& rs) {
         r.reject_reason =
             "queue depth limit (" +
             std::to_string(options_.queue_depth_limit) + ") reached";
+        job->admission_seconds = admission_timer.seconds();
         record_terminal(*job, rs, JobState::kRejected, std::move(r));
         return;
       }
@@ -207,6 +254,7 @@ void ClusterService::submit_locked(PendingPtr job, ReplayState& rs) {
             std::to_string(options_.queue_bytes_budget) +
             " B) would be exceeded by priced " + std::to_string(bytes) +
             " B";
+        job->admission_seconds = admission_timer.seconds();
         record_terminal(*job, rs, JobState::kRejected, std::move(r));
         return;
       }
@@ -219,6 +267,7 @@ void ClusterService::submit_locked(PendingPtr job, ReplayState& rs) {
   obs::Registry::global()
       .counter("service_requests", "outcome=admitted")
       .add(1);
+  job->admission_seconds = admission_timer.seconds();
   enqueue_locked(std::move(job));
   work_available_.notify_one();
 }
@@ -252,6 +301,8 @@ ClusterService::PendingPtr ClusterService::pop_group(
     if (leader != nullptr) break;
   }
   if (leader == nullptr) return nullptr;  // unreachable; defensive
+  const double pickup_us = obs::Tracer::global().now_us();
+  leader->pickup_us = pickup_us;
 
   if (options_.coalesce) {
     // Same-(dataset, eps) jobs ride along with the leader's build —
@@ -262,6 +313,13 @@ ClusterService::PendingPtr ClusterService::pop_group(
           if ((*it)->spec.dataset == leader->spec.dataset &&
               eps_bits((*it)->spec.eps) == eps_bits(leader->spec.eps)) {
             remove_queued_locked(**it);
+            // The member's work happens under the leader's request id;
+            // the link instant lets the analyzer chase a member's latency
+            // into the leader's build spans.
+            (*it)->pickup_us = pickup_us;
+            (*it)->trace.link_id = leader->trace.request_id;
+            obs::link("coalesced", (*it)->trace.request_id,
+                      (*it)->trace.tenant, leader->trace.request_id);
             members.push_back(std::move(*it));
             it = q.erase(it);
           } else {
@@ -307,10 +365,71 @@ int ClusterService::pick_device() {
   return fallback;
 }
 
+ClusterService::TenantCounts& ClusterService::tenant_counts_locked(
+    const std::string& tenant) {
+  TenantCounts& tc = tenant_stats_[tenant];
+  if (tc.latency == nullptr) {
+    tc.latency = &obs::Registry::global().histogram(
+        "service_latency_seconds", "tenant=" + tenant);
+  }
+  return tc;
+}
+
 void ClusterService::record_terminal(const Pending& job, ReplayState& rs,
                                      JobState state, JobResult&& partial) {
   partial.state = state;
   partial.retries = job.retries;
+  partial.request_id = job.trace.request_id;
+  partial.linked_request_id = job.trace.link_id;
+
+  // Close the latency ledger: every wall microsecond between submit and
+  // now lands in exactly one stage. Admission and queue-wait come from
+  // the Pending's stamps; build/cache/stream were added by the caller;
+  // whatever is left is finalize (result assembly + this bookkeeping).
+  const double now_us = obs::Tracer::global().now_us();
+  double latency_seconds = 0.0;
+  if (job.submit_us > 0.0) {
+    latency_seconds = std::max(0.0, (now_us - job.submit_us) * 1e-6);
+    partial.stages.add(Stage::kAdmission, job.admission_seconds);
+    const double queue_wait =
+        job.pickup_us > 0.0
+            ? std::max(0.0, (job.pickup_us - job.submit_us) * 1e-6 -
+                                job.admission_seconds)
+            : std::max(0.0, latency_seconds - job.admission_seconds);
+    partial.stages.add(Stage::kQueueWait, queue_wait);
+    const double finalize =
+        latency_seconds - partial.stages.total_wall_seconds();
+    partial.stages.add(Stage::kFinalize, std::max(0.0, finalize));
+    emit_stage_spans(job.trace, job.submit_us, partial.stages);
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  {
+    const std::string tenant_label = "tenant=" + job.spec.tenant;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      const double wall = partial.stages.wall_seconds[s];
+      if (wall <= 0.0) continue;
+      reg.histogram("service_stage_seconds",
+                    "stage=" + std::string(stage_name(static_cast<Stage>(s))) +
+                        "," + tenant_label)
+          .observe(wall);
+    }
+    reg.counter("service_tenant_requests",
+                tenant_label + ",outcome=" + job_state_name(state))
+        .add(1);
+  }
+
+  if (state == JobState::kFailed) {
+    obs::FlightRecorder& fr = obs::FlightRecorder::global();
+    fr.note("job", job.trace.request_id,
+            "request %llu (tenant %s, dataset %s) failed: %s after %u "
+            "retries",
+            static_cast<unsigned long long>(job.trace.request_id),
+            job.spec.tenant.c_str(), job.spec.dataset.c_str(),
+            failure_reason_name(partial.failure), partial.retries);
+    fr.dump("job_failed");
+  }
+
   {
     std::lock_guard lock(rs.results_mutex);
     // Preserve admission pricing stamped at submit.
@@ -320,6 +439,11 @@ void ClusterService::record_terminal(const Pending& job, ReplayState& rs,
   }
   publish_outcome(state);
   std::lock_guard slock(stats_mutex_);
+  TenantCounts& tc = tenant_counts_locked(job.spec.tenant);
+  const auto terminal_idx = static_cast<std::size_t>(state) -
+                            static_cast<std::size_t>(JobState::kCompleted);
+  if (terminal_idx < tc.terminal.size()) ++tc.terminal[terminal_idx];
+  if (job.submit_us > 0.0) tc.latency->observe(latency_seconds);
   switch (state) {
     case JobState::kCompleted:
       ++stats_.completed;
@@ -412,12 +536,21 @@ void ClusterService::process_group(PendingPtr leader,
     stats_.coalesced_jobs += runnable.size() - 1;
   }
 
+  // Shared work (index build, device build, calibration retries) runs
+  // under the leader's request; per-job sections re-scope below, so every
+  // span this worker records carries some request id.
+  RequestScope group_scope(runnable.front()->trace);
+
   // Completes one job from a table (cache hit or freshly built+shared):
   // host DBSCAN over the table, measured wall time advancing the modeled
-  // clock (host work is real work on this machine).
+  // clock (host work is real work on this machine). `build_wall` is the
+  // wall time this request spent waiting on the group's table build (0
+  // for cache hits).
   auto finish_from_table = [&](Pending& job, const CachedTable& entry,
                                bool cache_hit, double device_share,
-                               int device_id, bool host_fb) {
+                               int device_id, bool host_fb,
+                               double build_wall) {
+    RequestScope scope(job.trace);
     const double start = std::max(clock, job.spec.arrival_seconds);
     WallTimer t;
     const ClusterResult labels =
@@ -433,6 +566,10 @@ void ClusterService::process_group(PendingPtr leader,
     r.modeled_device_seconds = device_share;
     r.num_clusters = labels.num_clusters;
     r.noise_count = labels.noise_count();
+    if (build_wall > 0.0 || device_share > 0.0) {
+      r.stages.add(Stage::kBuild, build_wall, device_share);
+    }
+    r.stages.add(Stage::kCache, t.seconds());
     if (options_.keep_labels) {
       r.labels = unmap(labels.labels, entry.original_ids);
     }
@@ -442,9 +579,18 @@ void ClusterService::process_group(PendingPtr leader,
   // --- Cache hit: no device at all. ---
   if (TableCache::Handle hit = cache_.find(key)) {
     for (auto& job : runnable) {
+      // Link each hit back to the request whose build populated the
+      // entry, so `explain` can chase a suspiciously fast request into
+      // the build it reused.
+      if (hit->built_by_request != 0 &&
+          hit->built_by_request != job->trace.request_id) {
+        job->trace.link_id = hit->built_by_request;
+        obs::link("cache_hit", job->trace.request_id, job->trace.tenant,
+                  hit->built_by_request);
+      }
       finish_from_table(*job, *hit.get(), /*cache_hit=*/true,
                         /*device_share=*/0.0, /*device_id=*/-1,
-                        /*host_fb=*/false);
+                        /*host_fb=*/false, /*build_wall=*/0.0);
     }
     return;
   }
@@ -468,6 +614,7 @@ void ClusterService::process_group(PendingPtr leader,
     entry.table.canonicalize();
     entry.original_ids = std::move(index.original_ids);
     entry.bytes = CachedTable::payload_bytes(entry.table);
+    entry.built_by_request = runnable.front()->trace.request_id;
     const double host_build = t.seconds();
     {
       std::lock_guard slock(stats_mutex_);
@@ -477,7 +624,7 @@ void ClusterService::process_group(PendingPtr leader,
     for (auto& job : runnable) {
       finish_from_table(*job, entry, /*cache_hit=*/false,
                         first ? host_build : 0.0, /*device_id=*/-1,
-                        /*host_fb=*/true);
+                        /*host_fb=*/true, host_build);
       first = false;
     }
     if (cache_.enabled()) cache_.insert(key, std::move(entry));
@@ -487,6 +634,10 @@ void ClusterService::process_group(PendingPtr leader,
   cudasim::Device& device = *devices_[static_cast<std::size_t>(dev)];
   BatchPolicy bp = options_.policy;
   bp.metrics_labels = "service=1";
+  // Belt and braces: the builder re-installs this context on its pump
+  // thread even if a future caller launches builds from an unscoped
+  // thread.
+  bp.trace = runnable.front()->trace;
   CancelToken* token = nullptr;
   if (runnable.size() == 1) {
     // Singleton builds propagate the job's own token into the ladder; a
@@ -500,9 +651,9 @@ void ClusterService::process_group(PendingPtr leader,
   }
 
   try {
-    WallTimer index_timer;
+    WallTimer build_wall_timer;
     GridIndex index = build_grid_index(ds.points, lead.eps);
-    const double index_wall = index_timer.seconds();
+    const double index_wall = build_wall_timer.seconds();
     NeighborTableBuilder builder(device, bp);
     BuildReport report;
 
@@ -515,6 +666,8 @@ void ClusterService::process_group(PendingPtr leader,
       entry.table.canonicalize();
       entry.original_ids = std::move(index.original_ids);
       entry.bytes = CachedTable::payload_bytes(entry.table);
+      entry.built_by_request = runnable.front()->trace.request_id;
+      const double build_wall = build_wall_timer.seconds();
       TableCache::Handle pinned = cache_.insert(key, std::move(entry));
       breaker_.record_success(static_cast<std::size_t>(dev));
       const double build_model = index_wall + report.modeled_table_seconds;
@@ -522,7 +675,7 @@ void ClusterService::process_group(PendingPtr leader,
       for (auto& job : runnable) {
         finish_from_table(*job, *pinned.get(), /*cache_hit=*/false,
                           first ? build_model : 0.0, dev,
-                          report.used_host_fallback);
+                          report.used_host_fallback, build_wall);
         first = false;
       }
       return;
@@ -541,9 +694,11 @@ void ClusterService::process_group(PendingPtr leader,
     builder.build(index, lead.eps, &report, &fanout,
                   /*materialize_table=*/false);
     breaker_.record_success(static_cast<std::size_t>(dev));
+    const double build_wall = build_wall_timer.seconds();
     const double build_model = index_wall + report.modeled_table_seconds;
     for (std::size_t j = 0; j < runnable.size(); ++j) {
       Pending& job = *runnable[j];
+      RequestScope scope(job.trace);
       const double start = std::max(clock, job.spec.arrival_seconds);
       WallTimer t;
       const ClusterResult labels =
@@ -558,6 +713,9 @@ void ClusterService::process_group(PendingPtr leader,
       r.modeled_device_seconds = j == 0 ? build_model : 0.0;
       r.num_clusters = labels.num_clusters;
       r.noise_count = labels.noise_count();
+      r.stages.add(Stage::kBuild, build_wall,
+                   j == 0 ? build_model : 0.0);
+      r.stages.add(Stage::kStreamUnion, t.seconds());
       if (options_.keep_labels) {
         r.labels = unmap(labels.labels, index.original_ids);
       }
@@ -583,7 +741,15 @@ void ClusterService::process_group(PendingPtr leader,
                       std::move(r));
       return;
     }
-    breaker_.record_failure(static_cast<std::size_t>(dev));
+    obs::FlightRecorder& frec = obs::FlightRecorder::global();
+    frec.note("build", runnable.front()->trace.request_id,
+              "build failed on device %d: %s (group of %zu)", dev,
+              failure_reason_name(fr), runnable.size());
+    if (breaker_.record_failure(static_cast<std::size_t>(dev))) {
+      frec.note("breaker", runnable.front()->trace.request_id,
+                "breaker opened on device %d", dev);
+      frec.dump("breaker_open");
+    }
     bool retry = false;
     {
       std::lock_guard lock(mutex_);
@@ -670,6 +836,32 @@ std::vector<JobResult> ClusterService::replay(
 ServiceStats ClusterService::stats() const {
   std::lock_guard lock(stats_mutex_);
   return stats_;
+}
+
+std::vector<TenantSlo> ClusterService::slo_report() const {
+  std::vector<TenantSlo> report;
+  std::lock_guard lock(stats_mutex_);
+  for (const auto& [tenant, tc] : tenant_stats_) {
+    TenantSlo row;
+    row.tenant = tenant;
+    row.submitted = tc.submitted;
+    row.completed = tc.terminal[0];
+    row.rejected = tc.terminal[1];
+    row.shed = tc.terminal[2];
+    row.cancelled = tc.terminal[3];
+    row.deadline_exceeded = tc.terminal[4];
+    row.failed = tc.terminal[5];
+    if (tc.latency != nullptr) {
+      const obs::Histogram::Snapshot snap = tc.latency->snapshot();
+      row.p50_seconds = snap.quantile(0.5);
+      row.p99_seconds = snap.quantile(0.99);
+    }
+    row.target_p99_seconds = options_.slo_p99_target_seconds;
+    row.target_met = row.target_p99_seconds <= 0.0 ||
+                     row.p99_seconds <= row.target_p99_seconds;
+    report.push_back(std::move(row));
+  }
+  return report;
 }
 
 }  // namespace hdbscan::service

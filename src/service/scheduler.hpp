@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/request_context.hpp"
 #include "common/types.hpp"
 #include "core/batch_planner.hpp"
 #include "cudasim/device.hpp"
+#include "obs/registry.hpp"
 #include "service/circuit_breaker.hpp"
 #include "service/request.hpp"
 #include "service/table_cache.hpp"
@@ -60,6 +62,43 @@ struct ServiceOptions {
   bool keep_labels = false;
   /// Threads for the host-side DBSCAN over (cached) tables; 0 = one.
   unsigned dbscan_threads = 0;
+  /// Per-tenant p99 wall-latency target for slo_report() (seconds; 0 = no
+  /// target — the report still lists quantiles, target_met stays true).
+  double slo_p99_target_seconds = 0.0;
+};
+
+/// One tenant's row of the SLO report (DESIGN.md §14): terminal counts,
+/// wall-latency quantiles from the tenant's registry histogram, and
+/// whether the p99 target held.
+struct TenantSlo {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double target_p99_seconds = 0.0;  ///< 0 = no target configured
+  bool target_met = true;
+
+  [[nodiscard]] std::uint64_t terminal_total() const noexcept {
+    return completed + rejected + shed + cancelled + deadline_exceeded +
+           failed;
+  }
+  /// Fraction of terminal requests that failed outright.
+  [[nodiscard]] double error_fraction() const noexcept {
+    const std::uint64_t t = terminal_total();
+    return t == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(t);
+  }
+  /// Fraction of submitted requests turned away by overload control.
+  [[nodiscard]] double shed_fraction() const noexcept {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(rejected + shed) /
+                                static_cast<double>(submitted);
+  }
 };
 
 struct ServiceStats {
@@ -111,6 +150,11 @@ class ClusterService {
   [[nodiscard]] TableCache& cache() noexcept { return cache_; }
   [[nodiscard]] CircuitBreaker& breaker() noexcept { return breaker_; }
 
+  /// Per-tenant SLO report over everything served so far, sorted by
+  /// tenant name. Quantiles come from the per-tenant
+  /// service_latency_seconds histograms in the global obs registry.
+  [[nodiscard]] std::vector<TenantSlo> slo_report() const;
+
   /// Admission price of (dataset, eps) in pairs/bytes (test hook).
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> price(
       const std::string& dataset, float eps) const;
@@ -129,6 +173,15 @@ class ClusterService {
     std::uint64_t priced_bytes = 0;
     unsigned retries = 0;
     std::shared_ptr<CancelToken> token;
+    /// Request identity minted at submit; installed on every thread that
+    /// works for this job so its trace spans carry the request id.
+    /// link_id points at the request whose build served this one
+    /// (coalesce leader / cache populator).
+    RequestContext trace;
+    /// Wall stamps (tracer clock, microseconds) for stage attribution.
+    double submit_us = 0.0;
+    double pickup_us = 0.0;           ///< 0 until a worker popped it
+    double admission_seconds = 0.0;   ///< wall spent inside submit_locked
   };
   using PendingPtr = std::shared_ptr<Pending>;
   static constexpr std::size_t kNumClasses = 3;
@@ -157,6 +210,15 @@ class ClusterService {
   void record_terminal(const Pending& job, ReplayState& rs, JobState state,
                        JobResult&& partial);
 
+  /// Per-tenant aggregates behind slo_report() (stats_mutex_ held).
+  struct TenantCounts {
+    std::uint64_t submitted = 0;
+    std::array<std::uint64_t, 6> terminal{};  ///< indexed by JobState -
+                                              ///< kCompleted
+    obs::Histogram* latency = nullptr;  ///< registry-owned, stable address
+  };
+  TenantCounts& tenant_counts_locked(const std::string& tenant);
+
   std::vector<cudasim::Device*> devices_;
   ServiceOptions options_;
   TableCache cache_;
@@ -179,6 +241,7 @@ class ClusterService {
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+  std::map<std::string, TenantCounts> tenant_stats_;
 };
 
 }  // namespace hdbscan::service

@@ -30,6 +30,9 @@ struct CachedTable {
   NeighborTable table;
   std::vector<PointId> original_ids;
   std::size_t bytes = 0;  ///< resident estimate used for the byte budget
+  /// Request whose build populated this entry — later cache hits record a
+  /// span link back to it (0 = built outside a request, e.g. tests).
+  std::uint64_t built_by_request = 0;
 
   [[nodiscard]] static std::size_t payload_bytes(const NeighborTable& t) {
     return t.total_pairs() * sizeof(PointId) +

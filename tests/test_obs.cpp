@@ -162,6 +162,74 @@ TEST(Registry, ExpositionFormats) {
   EXPECT_NE(json.find("\"test_expo_counter\""), std::string::npos);
 }
 
+TEST(Histogram, QuantileEmptyAndClamped) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram reports 0
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);
+  // q outside [0, 1] clamps rather than misbehaving.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  // Mass in the +inf bucket clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  // All mass sits in [0, 10]: the estimate is linear in q across it.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 1e-9);
+}
+
+TEST(Histogram, QuantileCrossesBuckets) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  // rank 1 lands exactly on bucket [0,1]'s cumulative edge -> 1.0.
+  EXPECT_NEAR(h.quantile(0.25), 1.0, 1e-9);
+  // rank 3 is 2/3 of the way through bucket (1,2].
+  EXPECT_NEAR(h.quantile(0.75), 1.0 + 2.0 / 3.0, 1e-9);
+}
+
+TEST(Registry, HistogramExpositionAndResetBetweenRuns) {
+  Registry& r = Registry::global();
+  Histogram& h = r.histogram("test_expo_hist", "stage=build", {0.5, 1.5});
+  h.observe(0.1);
+  h.observe(1.0);
+  h.observe(9.0);
+  const std::string text = r.text();
+  EXPECT_NE(text.find("test_expo_hist{stage=build}_count 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist{stage=build}_sum 10.1"),
+            std::string::npos);
+  const std::string json = r.json();
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 0.5, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 1.5, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"inf\", \"count\": 1}"), std::string::npos);
+
+  // reset_values between serve runs: registrations (and the addresses
+  // call sites cached) survive, every value zeroes.
+  r.reset_values();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_NE(r.json().find("{\"le\": 0.5, \"count\": 0}"), std::string::npos);
+  EXPECT_EQ(&h, &r.histogram("test_expo_hist", "stage=build"));
+  h.observe(0.2);
+  EXPECT_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Registry, JsonEscapesLabelText) {
+  Registry& r = Registry::global();
+  r.counter("test_escape", "tenant=\"a\\b\"").add(1);
+  const std::string json = r.json();
+  EXPECT_NE(json.find("tenant=\\\"a\\\\b\\\""), std::string::npos);
+}
+
 TEST(Export, WriteValidateRoundTrip) {
   Tracer& t = Tracer::global();
   t.enable();

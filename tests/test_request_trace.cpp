@@ -1,0 +1,343 @@
+// Request-scoped tracing (DESIGN.md §14): RequestContext/RequestScope
+// semantics, propagation across thread hops (ThreadPool, cudasim
+// streams), tracer stamping + span links, the StageBreakdown ledger, the
+// critical-path analyzer, and end-to-end attribution through a traced
+// service replay.
+#include "common/request_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "cudasim/buffer.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/stream.hpp"
+#include "data/generators.hpp"
+#include "obs/analyzer.hpp"
+#include "obs/trace.hpp"
+#include "service/request.hpp"
+#include "service/scheduler.hpp"
+#include "service/workload.hpp"
+
+namespace hdbscan {
+namespace {
+
+using service::Stage;
+using service::StageBreakdown;
+
+RequestContext make_ctx(std::uint64_t id, const char* tenant) {
+  RequestContext ctx;
+  ctx.request_id = id;
+  ctx.set_tenant(tenant);
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// RequestContext / RequestScope
+// ---------------------------------------------------------------------------
+
+TEST(RequestContext, DefaultIsUnattributed) {
+  EXPECT_FALSE(current_request_context().valid());
+  EXPECT_EQ(current_request_context().request_id, 0u);
+}
+
+TEST(RequestContext, MintedIdsAreUniqueAndNonZero) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = mint_request_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST(RequestContext, TenantTruncatesSafely) {
+  RequestContext ctx;
+  ctx.set_tenant("a-tenant-name-much-longer-than-the-fixed-buffer");
+  EXPECT_EQ(std::strlen(ctx.tenant), sizeof(ctx.tenant) - 1);
+  ctx.set_tenant(nullptr);
+  EXPECT_STREQ(ctx.tenant, "");
+}
+
+TEST(RequestScope, NestedScopesUnwind) {
+  const RequestContext a = make_ctx(11, "alice");
+  const RequestContext b = make_ctx(22, "bob");
+  {
+    RequestScope outer(a);
+    EXPECT_EQ(current_request_context().request_id, 11u);
+    {
+      RequestScope inner(b);
+      EXPECT_EQ(current_request_context().request_id, 22u);
+      EXPECT_STREQ(current_request_context().tenant, "bob");
+    }
+    EXPECT_EQ(current_request_context().request_id, 11u);
+    EXPECT_STREQ(current_request_context().tenant, "alice");
+  }
+  EXPECT_FALSE(current_request_context().valid());
+}
+
+TEST(RequestScope, ThreadPoolTasksInheritSubmitterContext) {
+  ThreadPool pool(2);
+  const RequestContext ctx = make_ctx(33, "carol");
+  std::uint64_t seen = 0;
+  {
+    RequestScope scope(ctx);
+    seen = pool.submit([] { return current_request_context().request_id; })
+               .get();
+  }
+  EXPECT_EQ(seen, 33u);
+  // A task submitted outside any scope runs unattributed.
+  EXPECT_EQ(pool.submit([] { return current_request_context().request_id; })
+                .get(),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer stamping + links
+// ---------------------------------------------------------------------------
+
+#if !defined(HDBSCAN_TRACE_DISABLED)
+
+TEST(RequestTrace, SpansCarryTheInstalledContext) {
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+  obs::set_thread_track(obs::kHostPid, "test");
+  {
+    RequestContext ctx = make_ctx(44, "dora");
+    ctx.link_id = 40;
+    RequestScope scope(ctx);
+    TRACE_SPAN("test", "attributed");
+  }
+  {
+    TRACE_SPAN("test", "anonymous");
+  }
+  t.disable();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].request_id, 44u);
+  EXPECT_EQ(events[0].link_id, 40u);
+  EXPECT_STREQ(events[0].tenant, "dora");
+  EXPECT_EQ(events[1].request_id, 0u);
+}
+
+TEST(RequestTrace, DeviceStreamWorkInheritsEnqueuerContext) {
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  cudasim::Device device{cudasim::DeviceConfig{}, opt};
+
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+  {
+    RequestContext ctx = make_ctx(55, "eve");
+    RequestScope scope(ctx);
+    cudasim::Stream stream(device);
+    std::vector<float> host(1024, 1.0f);
+    cudasim::DeviceBuffer<float> buf(device, host.size());
+    stream.memcpy_to_device(buf, host.data(), host.size());
+    stream.synchronize();
+  }
+  t.disable();
+  std::size_t attributed_device_spans = 0;
+  for (const auto& e : t.snapshot()) {
+    if (e.type == obs::EventType::kSpan && e.pid >= obs::kDevicePidBase &&
+        e.request_id == 55u) {
+      ++attributed_device_spans;
+    }
+  }
+  EXPECT_GT(attributed_device_spans, 0u)
+      << "device-side spans must carry the enqueuing request's id";
+}
+
+TEST(RequestTrace, LinkInstantRecordsBothEnds) {
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+  obs::link("cache_hit", 70, "frank", 60);
+  t.disable();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, obs::EventType::kInstant);
+  EXPECT_STREQ(events[0].category, "link");
+  EXPECT_EQ(events[0].request_id, 70u);
+  EXPECT_EQ(events[0].link_id, 60u);
+  EXPECT_STREQ(events[0].tenant, "frank");
+}
+
+#endif  // !HDBSCAN_TRACE_DISABLED
+
+// ---------------------------------------------------------------------------
+// StageBreakdown
+// ---------------------------------------------------------------------------
+
+TEST(StageBreakdown, SumsAndDominant) {
+  StageBreakdown b;
+  b.add(Stage::kQueueWait, 0.010);
+  b.add(Stage::kBuild, 0.050, 0.040);
+  b.add(Stage::kBuild, 0.025, 0.010);  // accumulates
+  b.add(Stage::kFinalize, 0.001);
+  EXPECT_DOUBLE_EQ(b.wall(Stage::kBuild), 0.075);
+  EXPECT_DOUBLE_EQ(b.total_wall_seconds(), 0.086);
+  EXPECT_EQ(b.dominant(), Stage::kBuild);
+  EXPECT_STREQ(service::stage_name(b.dominant()), "build");
+}
+
+TEST(StageBreakdown, StageNamesAreStable) {
+  EXPECT_STREQ(service::stage_name(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(service::stage_name(Stage::kAdmission), "admission");
+  EXPECT_STREQ(service::stage_name(Stage::kCache), "cache");
+  EXPECT_STREQ(service::stage_name(Stage::kBuild), "build");
+  EXPECT_STREQ(service::stage_name(Stage::kStreamUnion), "stream_union");
+  EXPECT_STREQ(service::stage_name(Stage::kFinalize), "finalize");
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+#if !defined(HDBSCAN_TRACE_DISABLED)
+
+TEST(Analyzer, AttributesStagesAndRanksBySlowness) {
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+  obs::set_thread_track(obs::kHostPid, "test");
+  {
+    RequestScope scope(make_ctx(101, "slow"));
+    obs::Tracer::global().record(obs::EventType::kSpan, "stage",
+                                 "queue_wait", 0.0, 3000.0, -1.0, -1.0, 0.0);
+    obs::Tracer::global().record(obs::EventType::kSpan, "stage", "build",
+                                 3000.0, 7000.0, 0.0, 5000.0, 0.0);
+    obs::Tracer::global().record(obs::EventType::kSpan, "build", "kernel",
+                                 3500.0, 2000.0, -1.0, -1.0, 0.0);
+  }
+  {
+    RequestScope scope(make_ctx(102, "fast"));
+    obs::Tracer::global().record(obs::EventType::kSpan, "stage", "build",
+                                 0.0, 1000.0, -1.0, -1.0, 0.0);
+  }
+  t.disable();
+
+  const obs::RequestAnalysis a = obs::analyze_request_trace(t.snapshot());
+  ASSERT_EQ(a.requests.size(), 2u);
+  // Slowest first.
+  EXPECT_EQ(a.requests[0].request_id, 101u);
+  EXPECT_EQ(a.requests[1].request_id, 102u);
+
+  const obs::RequestProfile& slow = a.requests[0];
+  EXPECT_EQ(slow.tenant, "slow");
+  EXPECT_NEAR(slow.latency_seconds, 0.010, 1e-9);  // stage spans sum
+  EXPECT_EQ(slow.dominant_stage, "build");
+  EXPECT_NEAR(slow.dominant_seconds, 0.007, 1e-9);
+  EXPECT_NEAR(slow.modeled_seconds, 0.005, 1e-9);
+  ASSERT_FALSE(slow.categories.empty());
+  EXPECT_EQ(slow.categories[0].name, "build");
+  EXPECT_NEAR(slow.categories[0].wall_seconds, 0.002, 1e-9);
+  EXPECT_EQ(a.p99_dominant_stage, "build");
+  EXPECT_EQ(a.unattributed_spans, 0u);
+}
+
+TEST(Analyzer, LinkInstantsPopulateLinkedTo) {
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+  obs::set_thread_track(obs::kHostPid, "test");
+  {
+    RequestScope scope(make_ctx(201, "member"));
+    obs::Tracer::global().record(obs::EventType::kSpan, "stage", "build",
+                                 0.0, 500.0, -1.0, -1.0, 0.0);
+  }
+  obs::link("coalesced", 201, "member", 200);
+  t.disable();
+  const obs::RequestAnalysis a = obs::analyze_request_trace(t.snapshot());
+  ASSERT_EQ(a.requests.size(), 1u);
+  ASSERT_EQ(a.requests[0].linked_to.size(), 1u);
+  EXPECT_EQ(a.requests[0].linked_to[0], 200u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced service replay
+// ---------------------------------------------------------------------------
+
+TEST(RequestTrace, ReplayAttributesEverySpanAndResult) {
+  const std::vector<Point2> points = data::generate_uniform(1500, 3, 20.0f,
+                                                            20.0f);
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  cudasim::Device device{cudasim::DeviceConfig{}, opt};
+  std::vector<cudasim::Device*> devices{&device};
+
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable();
+
+  service::ServiceOptions sopt;
+  sopt.num_workers = 2;
+  sopt.cache_bytes_budget = 32ull << 20;
+  service::ClusterService svc(devices, sopt);
+  svc.register_dataset("uni", points, 0.8f);
+
+  std::vector<service::JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    service::JobSpec j;
+    j.tenant = i % 2 == 0 ? "alice" : "bob";
+    j.dataset = "uni";
+    j.eps = i < 3 ? 0.6f : 0.9f;  // repeats exercise cache/coalescing
+    j.minpts = 4;
+    jobs.push_back(j);
+  }
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  t.disable();
+
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].state, service::JobState::kCompleted);
+    EXPECT_NE(results[i].request_id, 0u) << "job " << i;
+    EXPECT_TRUE(ids.insert(results[i].request_id).second)
+        << "request ids must be unique";
+    EXPECT_GT(results[i].stages.total_wall_seconds(), 0.0) << "job " << i;
+  }
+
+  // Every span recorded during the replay carries a request id: the
+  // service installs a scope on each worker and every thread hop
+  // (builder pump, stream executor, pool tasks) re-installs it.
+  std::size_t spans = 0;
+  for (const auto& e : t.snapshot()) {
+    if (e.type != obs::EventType::kSpan) continue;
+    ++spans;
+    EXPECT_NE(e.request_id, 0u)
+        << "unattributed span '" << e.name << "' in category '" << e.category
+        << "'";
+  }
+  EXPECT_GT(spans, 0u);
+
+  // The analyzer sees one profile per request (register_dataset's system
+  // request included) and reconstructs each job's stage ledger.
+  const obs::RequestAnalysis a = obs::analyze_request_trace(t.snapshot());
+  EXPECT_GE(a.requests.size(), results.size());
+  EXPECT_EQ(a.unattributed_spans, 0u);
+  for (const auto& r : a.requests) {
+    EXPECT_FALSE(r.stages.empty() && r.categories.empty());
+  }
+
+  // The SLO report aggregates the same runs per tenant.
+  const auto slo = svc.slo_report();
+  ASSERT_EQ(slo.size(), 2u);
+  EXPECT_EQ(slo[0].tenant, "alice");
+  EXPECT_EQ(slo[1].tenant, "bob");
+  for (const auto& row : slo) {
+    EXPECT_EQ(row.submitted, 3u);
+    EXPECT_EQ(row.completed, 3u);
+    EXPECT_TRUE(row.target_met);  // no target configured
+    EXPECT_GT(row.p99_seconds, 0.0);
+    EXPECT_GE(row.p99_seconds, row.p50_seconds);
+    EXPECT_DOUBLE_EQ(row.error_fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(row.shed_fraction(), 0.0);
+  }
+}
+
+#endif  // !HDBSCAN_TRACE_DISABLED
+
+}  // namespace
+}  // namespace hdbscan

@@ -37,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,7 +64,9 @@
 #include "dbscan/streaming_dbscan.hpp"
 #include "dbscan/table_io.hpp"
 #include "index/grid_index.hpp"
+#include "obs/analyzer.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "service/scheduler.hpp"
@@ -140,9 +143,18 @@ int usage() {
       " [--eps-ref=E] [serve flags]\n"
       "  hdbscan_cli serve-smoke [n]\n"
       "  hdbscan_cli overload-smoke [n]\n"
+      "  hdbscan_cli explain <trace.json> [--top=K]\n"
+      "  hdbscan_cli explain-smoke [n]\n"
+      "serve/replay flags:\n"
+      "  --slo-p99=SECONDS    per-tenant p99 latency target for the SLO"
+      " report\n"
       "global flags (any subcommand):\n"
       "  --trace-out=FILE     enable tracing, write Perfetto trace JSON\n"
-      "  --metrics-out=FILE   write the metrics registry as JSON\n");
+      "  --metrics-out=FILE   write the metrics registry as JSON\n"
+      "  --postmortem-dir=DIR arm the flight recorder: job failures,"
+      " breaker\n"
+      "                       opens and device losses dump post-mortem"
+      " JSON there\n");
   return 2;
 }
 
@@ -150,6 +162,7 @@ int usage() {
 struct ObsOptions {
   std::string trace_out;
   std::string metrics_out;
+  std::string postmortem_dir;
 };
 
 int cmd_gen(int argc, char** argv) {
@@ -936,6 +949,9 @@ struct ServeFlags {
         f.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
       } else if (arg.rfind("--eps-ref=", 0) == 0) {
         f.eps_ref = std::strtof(arg.c_str() + 10, nullptr);
+      } else if (arg.rfind("--slo-p99=", 0) == 0) {
+        f.options.slo_p99_target_seconds =
+            std::strtod(arg.c_str() + 10, nullptr);
       } else {
         argv[w++] = argv[i];
         continue;
@@ -988,6 +1004,30 @@ void print_service_summary(const service::ClusterService& svc,
         s.modeled_makespan_seconds > 0.0
             ? static_cast<double>(s.completed) / s.modeled_makespan_seconds
             : 0.0);
+  }
+
+  // Per-tenant SLO report: wall-latency quantiles from the registry
+  // histograms plus the outcome mix, one row per tenant.
+  const std::vector<service::TenantSlo> slo = svc.slo_report();
+  if (!slo.empty()) {
+    std::printf("%-12s %6s %6s %5s %5s %6s %8s %8s %6s %6s %s\n", "tenant",
+                "submit", "done", "rej", "shed", "fail", "p50(s)", "p99(s)",
+                "err%", "shed%", "slo");
+    for (const service::TenantSlo& row : slo) {
+      std::printf(
+          "%-12s %6llu %6llu %5llu %5llu %6llu %8.4f %8.4f %5.1f%% %5.1f%%"
+          " %s\n",
+          row.tenant.c_str(), static_cast<unsigned long long>(row.submitted),
+          static_cast<unsigned long long>(row.completed),
+          static_cast<unsigned long long>(row.rejected),
+          static_cast<unsigned long long>(row.shed),
+          static_cast<unsigned long long>(row.failed), row.p50_seconds,
+          row.p99_seconds, 100.0 * row.error_fraction(),
+          100.0 * row.shed_fraction(),
+          row.target_p99_seconds <= 0.0 ? "-"
+          : row.target_met              ? "met"
+                                        : "MISSED");
+    }
   }
 }
 
@@ -1313,6 +1353,236 @@ int cmd_overload_smoke(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Latency attribution: explain / explain-smoke
+// ---------------------------------------------------------------------------
+
+void print_request_analysis(const obs::RequestAnalysis& analysis,
+                            std::size_t top_k) {
+  std::printf(
+      "%zu requests attributed (%zu spans without a request id), wall p50"
+      " %.4fs p99 %.4fs",
+      analysis.requests.size(), analysis.unattributed_spans,
+      analysis.p50_seconds, analysis.p99_seconds);
+  if (!analysis.p99_dominant_stage.empty()) {
+    std::printf(" — the tail is dominated by the '%s' stage",
+                analysis.p99_dominant_stage.c_str());
+  }
+  std::printf("\n");
+  const std::size_t shown = std::min(top_k, analysis.requests.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const obs::RequestProfile& r = analysis.requests[i];
+    std::printf("#%zu request %llu [%s]: %.4fs wall, %.4fs modeled, %zu"
+                " spans",
+                i + 1, static_cast<unsigned long long>(r.request_id),
+                r.tenant.empty() ? "?" : r.tenant.c_str(), r.latency_seconds,
+                r.modeled_seconds, r.span_count);
+    if (!r.linked_to.empty()) {
+      std::printf(", served by request");
+      for (const std::uint64_t l : r.linked_to) {
+        std::printf(" %llu", static_cast<unsigned long long>(l));
+      }
+    }
+    std::printf("\n");
+    for (const obs::StageAttribution& st : r.stages) {
+      std::printf("    stage %-12s %9.4fs wall", st.name.c_str(),
+                  st.wall_seconds);
+      if (st.modeled_seconds > 0.0) {
+        std::printf("  %9.4fs modeled", st.modeled_seconds);
+      }
+      std::printf("\n");
+    }
+    for (std::size_t c = 0; c < r.categories.size() && c < 4; ++c) {
+      const obs::StageAttribution& cat = r.categories[c];
+      std::printf("    in %-15s %9.4fs wall across %zu spans\n",
+                  cat.name.c_str(), cat.wall_seconds, cat.spans);
+    }
+  }
+}
+
+/// `explain <trace.json> [--top=K]`: re-loads a request-attributed trace
+/// file and prints the top-k slowest requests with per-stage latency
+/// attribution — "why was this request slow".
+int cmd_explain(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::size_t top_k = 5;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top_k = static_cast<std::size_t>(std::max(1, std::atoi(arg.c_str() + 6)));
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+  std::vector<obs::TraceEvent> events;
+  std::string err;
+  if (!obs::read_trace_file(path, &events, &err)) {
+    std::fprintf(stderr, "explain: cannot load %s: %s\n", path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  const obs::RequestAnalysis analysis = obs::analyze_request_trace(events);
+  if (analysis.requests.empty()) {
+    std::fprintf(stderr,
+                 "explain: %s holds no request-attributed spans (was the"
+                 " trace taken from a serve/replay run?)\n",
+                 path.c_str());
+    return 1;
+  }
+  print_request_analysis(analysis, top_k);
+  return 0;
+}
+
+/// explain_smoke CTest target: a traced multi-tenant replay with one
+/// device scripted to die mid-serve, post-mortem dumping armed. Exits
+/// nonzero unless (1) every span in the written trace carries a request
+/// id, (2) reuse produced span links, (3) the analyzer attributes every
+/// completed request's latency to stages, and (4) the device death left a
+/// post-mortem file on disk.
+int cmd_explain_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4000;
+  const std::vector<Point2> points =
+      data::generate_uniform(n, 7, 35.0f, 35.0f);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) tracer.enable();
+  obs::set_thread_track(obs::kHostPid, "explain_smoke");
+
+  const std::string pm_dir = "explain_smoke_postmortem";
+  std::error_code ec;
+  std::filesystem::create_directories(pm_dir, ec);
+  obs::FlightRecorder& frec = obs::FlightRecorder::global();
+  frec.reset();
+  frec.arm(pm_dir);
+
+  cudasim::SimulationOptions sim;
+  sim.throttle_transfers = false;
+  sim.throttle_pinned_alloc = false;
+  std::vector<std::unique_ptr<cudasim::Device>> devices;
+  devices.push_back(
+      std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, sim));
+  {
+    // The second device dies mid-serve — the flight recorder must catch
+    // it and dump a post-mortem.
+    cudasim::FaultPlan plan;
+    plan.lost_at_op = 25;
+    cudasim::SimulationOptions faulty = sim;
+    faulty.fault = std::make_shared<cudasim::FaultInjector>(plan);
+    devices.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, faulty));
+  }
+  std::vector<cudasim::Device*> device_ptrs;
+  for (auto& d : devices) device_ptrs.push_back(d.get());
+
+  service::ServiceOptions opt;
+  opt.num_workers = 3;
+  opt.cache_bytes_budget = 64ull << 20;
+  opt.slo_p99_target_seconds = 60.0;
+  service::WorkloadSpec wl;
+  wl.num_jobs = 24;
+  wl.seed = 99;
+  const std::vector<service::JobSpec> jobs = service::make_zipf_workload(wl);
+
+  service::ClusterService svc(device_ptrs, opt);
+  svc.register_dataset("default", points, 0.9f);
+  const std::vector<service::JobResult> results = svc.replay(jobs);
+  print_service_summary(svc, jobs, results);
+
+  const std::string trace_path = "explain_smoke_trace.json";
+  std::string err;
+  if (!obs::write_chrome_trace(trace_path, &err)) {
+    std::fprintf(stderr, "explain-smoke FAILED: trace export: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  int violations = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "explain-smoke FAILED: %s\n", what);
+      ++violations;
+    }
+  };
+
+  // (1) Full request attribution in the written trace.
+  const obs::TraceValidation v = obs::validate_trace_file(trace_path);
+  check(v.ok, v.ok ? "" : v.error.c_str());
+  check(v.spans_with_request > 0, "no request-attributed spans");
+  check(v.spans_without_request == 0,
+        "spans without a request id (attribution gap)");
+  check(v.link_events > 0,
+        "no span links (coalesced jobs / cache hits should link)");
+  const service::ServiceStats s = svc.stats();
+  check(v.distinct_request_ids >= s.submitted,
+        "fewer distinct request ids than submitted jobs");
+
+  // (2) Every terminal job carries its request id and a stage breakdown
+  // whose wall sum is its latency ledger.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].request_id == 0) {
+      std::fprintf(stderr,
+                   "explain-smoke FAILED: job %zu has no request id\n", i);
+      ++violations;
+      break;
+    }
+    if (results[i].state == service::JobState::kCompleted &&
+        !(results[i].stages.total_wall_seconds() > 0.0)) {
+      std::fprintf(stderr,
+                   "explain-smoke FAILED: completed job %zu has an empty"
+                   " stage breakdown\n",
+                   i);
+      ++violations;
+      break;
+    }
+  }
+
+  // (3) The analyzer round-trips the file into per-stage attribution.
+  std::vector<obs::TraceEvent> events;
+  check(obs::read_trace_file(trace_path, &events, &err),
+        "re-reading the trace file failed");
+  const obs::RequestAnalysis analysis = obs::analyze_request_trace(events);
+  check(!analysis.requests.empty(), "analyzer found no requests");
+  check(analysis.unattributed_spans == 0,
+        "analyzer saw unattributed spans");
+  if (!analysis.requests.empty()) {
+    const obs::RequestProfile& slowest = analysis.requests.front();
+    check(!slowest.stages.empty(),
+          "slowest request has no stage attribution");
+    check(!slowest.dominant_stage.empty(),
+          "slowest request has no dominant stage");
+    check(analysis.p99_seconds >= analysis.p50_seconds, "p99 < p50");
+    print_request_analysis(analysis, 3);
+  }
+
+  // (4) The scripted device death produced a post-mortem file.
+  check(frec.triggers() > 0, "no flight-recorder triggers fired");
+  check(frec.dumps() > 0, "no post-mortem was dumped");
+  bool postmortem_on_disk = false;
+  for (const std::string& p : frec.dump_paths()) {
+    if (std::filesystem::exists(p)) postmortem_on_disk = true;
+  }
+  check(postmortem_on_disk, "post-mortem file missing on disk");
+
+  // (5) The SLO report covers every tenant that submitted.
+  const std::vector<service::TenantSlo> slo = svc.slo_report();
+  check(!slo.empty(), "empty SLO report");
+  std::uint64_t slo_submitted = 0;
+  for (const service::TenantSlo& row : slo) slo_submitted += row.submitted;
+  check(slo_submitted == s.submitted,
+        "SLO report does not cover every submitted job");
+
+  if (violations != 0) return 1;
+  std::printf(
+      "explain-smoke: all invariants held (%zu jobs, %zu spans attributed,"
+      " %zu links, %llu post-mortem files)\n",
+      jobs.size(), v.spans_with_request, v.link_events,
+      static_cast<unsigned long long>(frec.dumps()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1327,6 +1597,8 @@ int main(int argc, char** argv) {
       obs_opts.trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       obs_opts.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+      obs_opts.postmortem_dir = arg.substr(17);
     } else {
       args.push_back(argv[i]);
     }
@@ -1337,6 +1609,13 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
 
   if (!obs_opts.trace_out.empty()) hdbscan::obs::Tracer::global().enable();
+  if (!obs_opts.postmortem_dir.empty()) {
+    // Arm the always-on flight recorder: any job-failed / breaker-open /
+    // device-lost trigger during this run dumps a post-mortem JSON here.
+    std::error_code ec;
+    std::filesystem::create_directories(obs_opts.postmortem_dir, ec);
+    hdbscan::obs::FlightRecorder::global().arm(obs_opts.postmortem_dir);
+  }
 
   int rc = -1;
   try {
@@ -1354,6 +1633,8 @@ int main(int argc, char** argv) {
     else if (cmd == "replay") rc = cmd_replay(argc, argv);
     else if (cmd == "serve-smoke") rc = cmd_serve_smoke(argc, argv);
     else if (cmd == "overload-smoke") rc = cmd_overload_smoke(argc, argv);
+    else if (cmd == "explain") rc = cmd_explain(argc, argv);
+    else if (cmd == "explain-smoke") rc = cmd_explain_smoke(argc, argv);
     else if (cmd == "profile") return cmd_profile(argc, argv, obs_opts);
     else return usage();
   } catch (const std::exception& e) {
