@@ -19,13 +19,20 @@
 // edge count; the bench fails unless k=4 reaches >= 3.2x modeled speedup
 // on at least one workload.
 //
-// Emits BENCH_table_build.json (schema_version 6) alongside the
+// Emits BENCH_table_build.json (schema_version 7) alongside the
 // human-readable table. The JSON is self-describing: a `scenario` block
 // records the scale factor, trial count, and the exact generator seed and
 // size of every dataset, so a stored result can be reproduced bit-for-bit.
 // The service section (schema 5) serves a Zipf workload naive /
 // cache-only / cache+coalesce, plus (schema 6) the same reuse config with
 // request tracing fully enabled.
+//
+// The fused-clustering matrix (schema 7) runs batch / streaming / fused
+// end-to-end DBSCAN across the grid and BVH index backends on a skewed
+// and a uniform scenario. Its gate is the fused path's reason to exist:
+// on the skewed workload, fused-BVH must beat streaming-grid on modeled
+// response time while materializing zero table bytes and producing labels
+// bit-identical to batch DBSCAN.
 //
 // The run ends with the disabled-tracing overhead guard: it counts the
 // TRACE sites one build executes, microbenchmarks the disabled fast path
@@ -37,12 +44,15 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/request_context.hpp"
+#include "core/hybrid_dbscan.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "core/sharded_build.hpp"
+#include "data/generators.hpp"
 #include "dbscan/dbscan.hpp"
 #include "dbscan/streaming_dbscan.hpp"
 #include "index/grid_index.hpp"
@@ -283,6 +293,129 @@ int main() {
                     static_cast<double>(
                         std::max<std::uint64_t>(1,
                                                 scomp.consumer_peak_bytes)));
+  }
+
+  // --- fused no-table clustering: backends x modes (schema 7) --------
+  // End-to-end DBSCAN (index + neighbor search + labels) four ways on one
+  // device: the batch table build (the paper's pipeline), streaming over
+  // grid CSR batches, and the fused traversal on both index backends. The
+  // skewed scenario is where the BVH earns its keep — overflowing hot
+  // grid cells make the eps-cell stencil scan far more candidates than
+  // the leaf-pruned tree descent — while the uniform scenario shows the
+  // regime where the grid's O(1) cell lookup stays competitive.
+  struct FusedCell {
+    const char* config = "";
+    double wall_seconds = 1e30;
+    double modeled_seconds = 1e30;
+    std::uint64_t d2h_bytes = 0;
+    std::uint64_t peak_bytes = 0;  ///< resident table, or consumer peak
+    bool table_materialized = true;
+    bool labels_identical = true;  ///< vs the batch cell of the same row
+  };
+  struct FusedRow {
+    std::string scenario;
+    float eps = 0.0f;
+    int minpts = 4;
+    std::size_t n = 0;
+    std::vector<FusedCell> cells;
+  };
+  std::vector<FusedRow> fused_rows;
+  bool fused_ok = true;  // the skewed-workload gate, see below
+  {
+    const auto skewed_points = bench::load("SW1");
+    const std::vector<Point2> uniform_points =
+        data::generate_uniform(skewed_points.size(), 97, 10.0f, 10.0f);
+    const int repeats = std::max(3, env_trials());
+    const int minpts = 4;
+    for (const auto& [scenario, pts] :
+         std::vector<std::pair<std::string, const std::vector<Point2>*>>{
+             {"skewed", &skewed_points}, {"uniform", &uniform_points}}) {
+      const float eps = 0.3f;
+      FusedRow row{scenario, eps, minpts, pts->size(), {}};
+
+      struct Config {
+        const char* name;
+        ClusterMode mode;
+        IndexBackend backend;
+      };
+      std::vector<std::int32_t> batch_labels;
+      for (const Config cfg :
+           {Config{"batch-grid", ClusterMode::kBatchTable, IndexBackend::kGrid},
+            Config{"stream-grid", ClusterMode::kStreaming, IndexBackend::kGrid},
+            Config{"fused-grid", ClusterMode::kFused, IndexBackend::kGrid},
+            Config{"fused-bvh", ClusterMode::kFused, IndexBackend::kBvh}}) {
+        FusedCell cell;
+        cell.config = cfg.name;
+        BatchPolicy policy;
+        policy.index_backend = cfg.backend;
+        cudasim::Device device = bench::make_device();
+        for (int t = 0; t < repeats; ++t) {
+          HybridTimings timings;
+          WallTimer timer;
+          const ClusterResult result = hybrid_dbscan(
+              device, *pts, eps, minpts, &timings, policy, cfg.mode);
+          cell.wall_seconds = std::min(cell.wall_seconds, timer.seconds());
+          if (timings.modeled_total_seconds < cell.modeled_seconds) {
+            cell.modeled_seconds = timings.modeled_total_seconds;
+            cell.d2h_bytes = timings.build_report.d2h_bytes;
+            cell.table_materialized =
+                timings.build_report.table_materialized;
+            cell.peak_bytes =
+                cfg.mode == ClusterMode::kBatchTable
+                    ? timings.build_report.total_pairs * sizeof(PointId) +
+                          pts->size() * 2 * sizeof(std::uint32_t)
+                    : timings.peak_consumer_bytes;
+          }
+          if (t == 0) {
+            if (batch_labels.empty()) {
+              batch_labels = result.labels;  // the batch cell runs first
+            } else {
+              cell.labels_identical = result.labels == batch_labels;
+            }
+          }
+        }
+        row.cells.push_back(cell);
+      }
+
+      std::printf("\n  fused matrix [%s, n=%zu, eps=%.2f, minpts=%d]:\n",
+                  row.scenario.c_str(), row.n, eps, minpts);
+      std::printf("  %-12s %9s %10s %12s %12s %6s %6s\n", "config",
+                  "wall (s)", "model (s)", "D2H bytes", "peak bytes",
+                  "table", "exact");
+      for (const FusedCell& c : row.cells) {
+        std::printf("  %-12s %9.3f %10.4f %12llu %12llu %6s %6s\n",
+                    c.config, c.wall_seconds, c.modeled_seconds,
+                    static_cast<unsigned long long>(c.d2h_bytes),
+                    static_cast<unsigned long long>(c.peak_bytes),
+                    c.table_materialized ? "yes" : "no",
+                    c.labels_identical ? "yes" : "NO");
+      }
+      fused_rows.push_back(std::move(row));
+    }
+
+    // The gate: on the skewed workload the fused-BVH run must (a) beat
+    // streaming-grid on modeled response time, (b) materialize no table,
+    // and (c) label every point exactly like batch DBSCAN — on both
+    // scenarios and both fused backends.
+    const FusedRow& skewed = fused_rows.front();
+    const FusedCell& stream_grid = skewed.cells[1];
+    const FusedCell& fused_bvh = skewed.cells[3];
+    for (const FusedRow& row : fused_rows) {
+      for (const FusedCell& c : row.cells) {
+        fused_ok = fused_ok && c.labels_identical;
+        if (std::string_view(c.config).starts_with("fused")) {
+          fused_ok = fused_ok && !c.table_materialized;
+        }
+      }
+    }
+    fused_ok =
+        fused_ok && fused_bvh.modeled_seconds < stream_grid.modeled_seconds;
+    std::printf(
+        "  fused-BVH beats streaming-grid on the skewed workload with no"
+        " table and exact labels: %s (%.4fs vs %.4fs, %.2fx)\n",
+        fused_ok ? "PASS" : "FAIL", fused_bvh.modeled_seconds,
+        stream_grid.modeled_seconds,
+        stream_grid.modeled_seconds / fused_bvh.modeled_seconds);
   }
 
   // --- multi-device sharded scaling (k = 1..4) -----------------------
@@ -587,7 +720,7 @@ int main() {
   }
   std::fprintf(out,
                "{\n  \"benchmark\": \"table_build\",\n"
-               "  \"schema_version\": 6,\n"
+               "  \"schema_version\": 7,\n"
                "  \"scenario\": {\n"
                "    \"scale\": %.4f,\n"
                "    \"trials\": %d,\n"
@@ -655,6 +788,36 @@ int main() {
       scomp.stream_modeled, scomp.overlap_fraction, scomp.streamed_fraction,
       static_cast<unsigned long long>(scomp.table_bytes),
       static_cast<unsigned long long>(scomp.consumer_peak_bytes));
+  std::fprintf(out, "  \"fused_clustering\": {\n    \"rows\": [\n");
+  for (std::size_t i = 0; i < fused_rows.size(); ++i) {
+    const FusedRow& row = fused_rows[i];
+    std::fprintf(out,
+                 "      {\"scenario\": \"%s\", \"eps\": %.3f, "
+                 "\"minpts\": %d, \"n\": %zu, \"configs\": [\n",
+                 row.scenario.c_str(), row.eps, row.minpts, row.n);
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      const FusedCell& cell = row.cells[c];
+      std::fprintf(
+          out,
+          "        {\"config\": \"%s\", \"wall_seconds\": %.6f, "
+          "\"modeled_seconds\": %.6f, \"d2h_bytes\": %llu, "
+          "\"peak_bytes\": %llu, \"table_materialized\": %s, "
+          "\"labels_identical_to_batch\": %s}%s\n",
+          cell.config, cell.wall_seconds, cell.modeled_seconds,
+          static_cast<unsigned long long>(cell.d2h_bytes),
+          static_cast<unsigned long long>(cell.peak_bytes),
+          cell.table_materialized ? "true" : "false",
+          cell.labels_identical ? "true" : "false",
+          c + 1 < row.cells.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]}%s\n", i + 1 < fused_rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n    \"fused_bvh_gate\": {\"scenario\": \"skewed\", "
+               "\"beats\": \"stream-grid\", \"metric\": "
+               "\"modeled_seconds\", \"requires_no_table\": true, "
+               "\"requires_identical_labels\": true, \"pass\": %s}},\n",
+               fused_ok ? "true" : "false");
   std::fprintf(out, "  \"sharded_scaling\": [\n");
   for (std::size_t i = 0; i < shard_rows.size(); ++i) {
     const ShardScalingRow& row = shard_rows[i];
@@ -719,5 +882,5 @@ int main() {
                guard_overhead_pct, guard_ok ? "true" : "false");
   std::fclose(out);
   std::printf("\nwrote BENCH_table_build.json\n");
-  return guard_ok && shard_ok && serve_ok ? 0 : 1;
+  return guard_ok && shard_ok && serve_ok && fused_ok ? 0 : 1;
 }

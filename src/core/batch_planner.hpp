@@ -25,6 +25,7 @@
 #include "common/cancel.hpp"
 #include "common/request_context.hpp"
 #include "common/types.hpp"
+#include "index/index_backend.hpp"
 
 namespace hdbscan {
 
@@ -79,6 +80,12 @@ struct BatchPolicy {
   std::uint64_t estimated_total_override = 0;
   /// Neighbor-table materialization strategy (see TableBuildMode).
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
+  /// Which spatial index the traversal kernels run against. kBvh requires
+  /// the CSR pipeline (build_mode kCsrTwoPass, no shared kernel) and
+  /// whole-index builds — sharded slabs keep the grid. The estimation
+  /// kernel always samples through the grid: the estimate is a property of
+  /// the data, not of the traversal structure.
+  IndexBackend index_backend = IndexBackend::kGrid;
   /// Candidate-pair traversal (see ScanMode in common/types.hpp). kHalf
   /// tests each pair once — roughly half the distance FLOPs and candidate
   /// reads of kFull — and the builder restores symmetry afterwards

@@ -3,9 +3,51 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "core/fused_clustering.hpp"
 #include "obs/trace.hpp"
 
 namespace hdbscan {
+
+namespace {
+
+/// Shared fused-mode tail of both hybrid_dbscan overloads: run the
+/// traversal, finalize the consumer, fill the streaming/fused timing
+/// fields. `local.index_seconds` must already be set.
+ClusterResult run_fused_mode(const std::vector<cudasim::Device*>& devices,
+                             const GridIndex& index, float eps, int minpts,
+                             const BatchPolicy& policy, HybridTimings& local,
+                             WallTimer& total_timer) {
+  WallTimer phase_timer;
+  StreamingDbscan consumer(index.size(), minpts);
+  consumer.set_cancel_token(policy.cancel);
+  local.build_report = fused_cluster(devices, index, eps, consumer, policy);
+  local.gpu_table_seconds = phase_timer.seconds();
+
+  phase_timer.reset();
+  const ClusterResult indexed = consumer.finalize();
+  local.dbscan_seconds = phase_timer.seconds();
+
+  const StreamingDbscan::Stats& st = consumer.stats();
+  local.fused = true;
+  local.streamed = true;
+  local.consume_seconds = st.consume_seconds;
+  local.finalize_seconds = st.finalize_seconds;
+  local.overlap_fraction = st.overlap_fraction();
+  local.streamed_edge_fraction = st.streamed_fraction();
+  local.peak_consumer_bytes = consumer.peak_memory_bytes();
+  local.total_seconds = total_timer.seconds();
+  local.modeled_gpu_table_seconds = local.build_report.modeled_table_seconds;
+  // As in streaming mode, the in-flight union work runs on the consumer's
+  // own cores; the post-build tail is the only serial clustering share.
+  local.modeled_total_seconds =
+      local.index_seconds +
+      std::max(local.modeled_gpu_table_seconds,
+               st.max_thread_consume_seconds) +
+      st.finalize_seconds;
+  return unmap_labels(indexed, index.original_ids);
+}
+
+}  // namespace
 
 ClusterResult unmap_labels(const ClusterResult& indexed,
                            std::span<const PointId> original_ids) {
@@ -32,6 +74,13 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
     return build_grid_index(points, eps);
   }();
   local.index_seconds = phase_timer.seconds();
+
+  if (mode == ClusterMode::kFused) {
+    const ClusterResult out = run_fused_mode({&device}, index, eps, minpts,
+                                             policy, local, total_timer);
+    if (timings != nullptr) *timings = local;
+    return out;
+  }
 
   if (mode == ClusterMode::kStreaming &&
       policy.build_mode == TableBuildMode::kCsrTwoPass) {
@@ -106,6 +155,17 @@ ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
     return build_grid_index(points, eps);
   }();
   local.index_seconds = phase_timer.seconds();
+
+  if (mode == ClusterMode::kFused) {
+    // Fused mode replicates the (whole) index across the devices and
+    // interleaves the strided batches — no slab sharding applies, since
+    // the kernels union global ids directly.
+    const ClusterResult out = run_fused_mode(devices, index, eps, minpts,
+                                             options.policy, local,
+                                             total_timer);
+    if (timings != nullptr) *timings = local;
+    return out;
+  }
 
   if (mode == ClusterMode::kStreaming &&
       options.policy.build_mode == TableBuildMode::kCsrTwoPass) {

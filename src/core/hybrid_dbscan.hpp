@@ -34,7 +34,8 @@ struct HybridTimings {
   double modeled_total_seconds = 0.0;
   BuildReport build_report;
 
-  // --- streaming mode (ClusterMode::kStreaming) ---
+  // --- streaming mode (ClusterMode::kStreaming / kFused) ---
+  bool fused = false;  ///< the fused no-table traversal produced the labels
   bool streamed = false;
   double consume_seconds = 0.0;   ///< union work hidden under the build
   double finalize_seconds = 0.0;  ///< post-build resolution tail
@@ -48,7 +49,11 @@ struct HybridTimings {
 /// unmapped before returning). ClusterMode::kStreaming clusters the CSR
 /// batches as the GPU produces them and never materializes T (it falls
 /// back to the batch path under TableBuildMode::kPairSort, which has no
-/// streaming delivery).
+/// streaming delivery). ClusterMode::kFused goes further: the traversal
+/// kernel itself counts degrees and unions both-core edges
+/// (core/fused_clustering), so even the CSR passes and value transfers
+/// disappear — combine with policy.index_backend = IndexBackend::kBvh for
+/// the tree-traversal variant.
 ClusterResult hybrid_dbscan(cudasim::Device& device,
                             std::span<const Point2> points, float eps,
                             int minpts, HybridTimings* timings = nullptr,

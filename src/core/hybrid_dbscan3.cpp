@@ -125,4 +125,54 @@ ClusterResult hybrid_dbscan3(cudasim::Device& device,
   return out;
 }
 
+ClusterResult fused_dbscan3(cudasim::Device& device,
+                            std::span<const Point3> points, float eps,
+                            int minpts, Build3Report* report, ScanMode mode) {
+  WallTimer total_timer;
+  Build3Report local;
+  const GridIndex3 index = build_grid_index3(points, eps);
+
+  // Upload D, G, A — the only device-resident state the fused kernel
+  // needs; no counts buffer, no CSR values, no staging.
+  cudasim::Stream stream(device);
+  cudasim::DeviceBuffer<Point3> d_points(device, index.points.size());
+  cudasim::DeviceBuffer<CellRange> d_cells(device, index.cells.size());
+  cudasim::DeviceBuffer<PointId> d_lookup(device, index.lookup.size());
+  stream.memcpy_to_device(d_points, index.points.data(), index.points.size());
+  stream.memcpy_to_device(d_cells, index.cells.data(), index.cells.size());
+  stream.memcpy_to_device(d_lookup, index.lookup.data(), index.lookup.size());
+  stream.synchronize();
+  const GridView3 view{index.params, d_points.device_data(),
+                       static_cast<std::uint32_t>(index.points.size()),
+                       d_cells.device_data(), d_lookup.device_data()};
+  local.modeled_table_seconds += cudasim::modeled_transfer_seconds(
+      device.config(),
+      d_points.bytes() + d_cells.bytes() + d_lookup.bytes(), false);
+
+  StreamingDbscan consumer(index.size(), minpts);
+  const cudasim::KernelStats stats =
+      gpu::run_fused_batch3(device, view, eps, {}, consumer, mode);
+  local.modeled_table_seconds += stats.modeled_seconds;
+  local.kernel_flops += stats.work.flops;
+
+  const ClusterResult indexed = consumer.finalize();
+  const StreamingDbscan::Stats& st = consumer.stats();
+  // Parked edges are the only result traffic; charge their D2H at the
+  // pinned rate, as the 2-D orchestrator does.
+  local.modeled_table_seconds += cudasim::modeled_transfer_seconds(
+      device.config(), st.fused_parked * sizeof(NeighborPair), true);
+  local.total_pairs = st.edges_seen;
+  local.table_seconds = total_timer.seconds();
+  if (report != nullptr) *report = local;
+
+  ClusterResult out;
+  out.num_clusters = indexed.num_clusters;
+  out.labels.resize(indexed.labels.size());
+  for (std::size_t i = 0; i < indexed.labels.size(); ++i) {
+    out.labels[index.original_ids[i]] = indexed.labels[i];
+  }
+  out.finalize_noise_count();
+  return out;
+}
+
 }  // namespace hdbscan

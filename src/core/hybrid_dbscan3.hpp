@@ -37,6 +37,20 @@ ClusterResult hybrid_dbscan3(cudasim::Device& device,
                              int minpts, Build3Report* report = nullptr,
                              ScanMode mode = ScanMode::kHalf);
 
+/// Fused no-table 3-D clustering (see core/fused_clustering for the 2-D
+/// orchestrated version): one traversal kernel counts degrees and unions
+/// both-core edges straight into the union-find, so neither the CSR
+/// passes nor the value transfer run and T is never materialized. 3-D has
+/// no streaming/ladder infrastructure, so this is a one-shot synchronous
+/// launch; labels are bit-identical to hybrid_dbscan3. `report` fields:
+/// total_pairs counts tested cross pairs (edges seen), kernel_flops the
+/// traversal's distance tests; expand_seconds stays 0 (nothing to
+/// transpose).
+ClusterResult fused_dbscan3(cudasim::Device& device,
+                            std::span<const Point3> points, float eps,
+                            int minpts, Build3Report* report = nullptr,
+                            ScanMode mode = ScanMode::kHalf);
+
 /// Host oracle (tests): T built by direct 3-D grid queries.
 NeighborTable build_neighbor_table_host3(const GridIndex3& index, float eps);
 

@@ -65,6 +65,11 @@ struct BuildReport {
   // --- streaming delivery (BatchSink) ---
   bool streamed = false;           ///< a sink consumed batches in-flight
   bool table_materialized = true;  ///< false: labels-only build, T skipped
+  /// True when the report came from the fused no-table path
+  /// (core/fused_clustering): degrees and both-core unions happened inside
+  /// the traversal kernel, so there are no CSR passes, no value transfers
+  /// and no sink hop — d2h_bytes counts only the parked-edge traffic.
+  bool fused = false;
   std::uint64_t sink_batches = 0;        ///< exactly-once CSR row deliveries
   std::uint64_t sink_count_batches = 0;  ///< pass-1 degree deliveries
   /// Host CPU spent inside sink callbacks across all stream threads — the
@@ -76,6 +81,10 @@ struct BuildReport {
   bool used_shared_kernel = false;
   TableBuildMode build_mode = TableBuildMode::kCsrTwoPass;
   ScanMode scan_mode = ScanMode::kHalf;  ///< pair-evaluation mode that ran
+  /// Spatial index the traversal kernels ran against (grid stencil vs
+  /// packed-BVH stack traversal). Affects the kHalf pair-ownership rule;
+  /// see IndexBackend.
+  IndexBackend index_backend = IndexBackend::kGrid;
 
   /// Modeled wall time of the whole T construction on the reference
   /// hardware (K20c + PCIe 2.0): index upload, estimation kernel, pinned

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "core/fused_clustering.hpp"
 #include "core/hybrid_dbscan.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "dbscan/dbscan.hpp"
@@ -198,6 +199,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
   const bool streaming =
       options.cluster_mode == ClusterMode::kStreaming &&
       options.policy.build_mode == TableBuildMode::kCsrTwoPass;
+  const bool fused = options.cluster_mode == ClusterMode::kFused;
 
   std::thread producer([&] {
     obs::set_thread_track(obs::kHostPid, "producer");
@@ -218,6 +220,18 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           item.table =
               build_neighbor_table_host_parallel(index, variants[i].eps);
           item.payload_bytes = table_payload_bytes(item.table);
+        } else if (fused) {
+          // Fused variants never touch the table builder: the traversal
+          // kernel ingests straight into the clusterer, and the pipeline
+          // consumers — like streaming mode — only run the tail.
+          auto clusterer = std::make_unique<StreamingDbscan>(
+              index.size(), variants[i].minpts);
+          clusterer->set_cancel_token(options.policy.cancel);
+          const BuildReport build_report = fused_cluster(
+              device, index, variants[i].eps, *clusterer, options.policy);
+          modeled_s = index_s + build_report.modeled_table_seconds;
+          item.payload_bytes = clusterer->memory_bytes();
+          item.streaming = std::move(clusterer);
         } else if (streaming) {
           // This variant's core-core unions run on the builder's stream
           // threads *during* this build — intra-variant overlap on top of
@@ -325,6 +339,7 @@ PipelineReport run_multi_clustering(
   const bool streaming =
       options.cluster_mode == ClusterMode::kStreaming &&
       options.policy.build_mode == TableBuildMode::kCsrTwoPass;
+  const bool fused = options.cluster_mode == ClusterMode::kFused;
   const auto any_live = [&fleet] {
     for (const cudasim::Device* d : fleet) {
       if (!d->lost()) return true;
@@ -351,6 +366,22 @@ PipelineReport run_multi_clustering(
     if (host) {
       item.table = build_neighbor_table_host_parallel(index, variants[i].eps);
       item.payload_bytes = table_payload_bytes(item.table);
+    } else if (fused) {
+      // Fused fleet variants replicate the whole index (no slab sharding;
+      // the kernels union global ids) and interleave the strided batches
+      // across every live device's streams.
+      std::vector<cudasim::Device*> live;
+      for (cudasim::Device* d : fleet) {
+        if (!d->lost()) live.push_back(d);
+      }
+      auto clusterer = std::make_unique<StreamingDbscan>(index.size(),
+                                                         variants[i].minpts);
+      clusterer->set_cancel_token(options.policy.cancel);
+      const BuildReport build_report = fused_cluster(
+          live, index, variants[i].eps, *clusterer, options.policy);
+      modeled_s = index_s + build_report.modeled_table_seconds;
+      item.payload_bytes = clusterer->memory_bytes();
+      item.streaming = std::move(clusterer);
     } else if (streaming) {
       auto clusterer = std::make_unique<StreamingDbscan>(index.size(),
                                                          variants[i].minpts);

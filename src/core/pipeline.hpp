@@ -72,6 +72,9 @@ struct PipelineOptions {
   /// kStreaming: each variant's core-core unions run on the builder's
   /// stream threads during its own build and T is never materialized —
   /// intra-variant overlap on top of the paper's inter-variant pipeline.
+  /// kFused: the traversal kernel itself counts degrees and unions
+  /// both-core edges (core/fused_clustering) — not even the CSR passes
+  /// run; honors policy.index_backend for grid-vs-BVH traversal.
   ClusterMode cluster_mode = ClusterMode::kBatchTable;
   /// Fleet overload only: shards per variant's table build (0 = one shard
   /// per live device, the sharded orchestrator's default). The

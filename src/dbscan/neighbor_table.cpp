@@ -385,6 +385,44 @@ NeighborTable build_neighbor_table_host_strided(const GridIndex& index,
   return shard;
 }
 
+NeighborTable build_neighbor_table_host_strided_idrule(const GridIndex& index,
+                                                       const RTree& rtree,
+                                                       float eps,
+                                                       std::uint32_t first_key,
+                                                       std::uint32_t key_stride,
+                                                       ScanMode mode) {
+  if (key_stride == 0) {
+    throw std::invalid_argument(
+        "build_neighbor_table_host_strided_idrule: stride 0");
+  }
+  if (rtree.size() != index.size()) {
+    throw std::invalid_argument(
+        "build_neighbor_table_host_strided_idrule: R-tree/index size mismatch");
+  }
+  NeighborTable shard(index.size());
+  const std::size_t n = index.query_count();
+  std::vector<PointId> neighbors;
+  std::vector<NeighborPair> pairs;
+  for (std::uint64_t key = first_key; key < n; key += key_stride) {
+    neighbors.clear();
+    rtree.query_circle(index.points[key], eps, neighbors);
+    pairs.clear();
+    pairs.reserve(neighbors.size());
+    for (const PointId v : neighbors) {
+      // The tree backends' kHalf cover: row `key` owns the pairs whose
+      // partner id is not below it (self included).
+      if (mode == ScanMode::kHalf && v < key) continue;
+      pairs.push_back({static_cast<PointId>(key), v});
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const NeighborPair& a, const NeighborPair& b) {
+                return a.value < b.value;
+              });
+    shard.append_sorted_batch(pairs);
+  }
+  return shard;
+}
+
 NeighborTable build_neighbor_table_host_parallel(const GridIndex& index,
                                                  float eps,
                                                  unsigned num_threads) {

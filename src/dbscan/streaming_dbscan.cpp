@@ -152,6 +152,23 @@ void StreamingDbscan::consume(const BatchDelivery& d) {
   add_thread_seconds_locked(seconds);
 }
 
+void StreamingDbscan::ingest_fused(std::span<const NeighborPair> undecided,
+                                   std::uint64_t edges_seen,
+                                   std::uint64_t edges_streamed) {
+  check_cancel(cancel_);
+  std::lock_guard lock(deferred_mutex_);
+  deferred_.insert(deferred_.end(), undecided.begin(), undecided.end());
+  if (deferred_.size() >= compact_threshold_) compact_deferred_locked();
+  stats_.deferred_peak =
+      std::max<std::uint64_t>(stats_.deferred_peak, deferred_.size());
+  peak_memory_bytes_ = std::max(
+      peak_memory_bytes_, 2 * sizeof(std::uint32_t) * n_ +
+                              deferred_.capacity() * sizeof(NeighborPair));
+  stats_.edges_seen += edges_seen;
+  stats_.edges_streamed += edges_streamed;
+  stats_.fused_parked += undecided.size();
+}
+
 void StreamingDbscan::compact_deferred_locked() {
   // Points keep resolving as core while batches land; edges parked early
   // often become decidable later in the stream. Settling them here keeps

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -49,6 +50,12 @@ enum class ClusterMode {
   /// only — single-variant wall time approaches max(GPU build, host
   /// union) plus a short resolution tail.
   kStreaming,
+  /// No table, no sink: the traversal kernel itself counts degrees and
+  /// unions both-core edges straight into the consumer's union-find
+  /// (core/fused_clustering). The CSR count/fill passes, the value
+  /// transfers, and the delivery hop all disappear; only undecided edges
+  /// cross the kernel boundary. Labels only; zero table bytes.
+  kFused,
 };
 
 class StreamingDbscan final : public BatchSink {
@@ -74,6 +81,10 @@ class StreamingDbscan final : public BatchSink {
     std::uint64_t edges_streamed = 0; ///< unioned during the build
     std::uint64_t edges_deferred = 0; ///< parked for finalize
     std::uint64_t deferred_peak = 0;  ///< high-water of parked edges
+    /// Edges ever parked by fused kernels (including ones a later
+    /// compaction settled) — the fused path's total kernel-to-host edge
+    /// traffic, which its modeled time charges at PCIe rate.
+    std::uint64_t fused_parked = 0;
     double consume_seconds = 0.0;     ///< host CPU inside consume*(), summed
                                       ///< across all delivering threads
     /// Largest per-thread share of consume_seconds. Deliveries run
@@ -108,6 +119,30 @@ class StreamingDbscan final : public BatchSink {
   void set_cancel_token(const CancelToken* token) noexcept {
     cancel_ = token;
   }
+
+  /// Direct-ingestion surface for the fused traversal kernel
+  /// (ClusterMode::kFused): the kernel mutates the same degree array and
+  /// union-find the consume() path uses, so finalize() — and therefore the
+  /// labels — is shared verbatim with the streaming mode. Both-core
+  /// decisions are safe in-kernel for the same reason they are safe
+  /// in-stream: core status is monotone, and union-find accepts edges in
+  /// any order from any thread.
+  struct FusedView {
+    std::atomic<std::uint32_t>* degree = nullptr;
+    AtomicUnionFind* uf = nullptr;
+    std::uint32_t required = 0;  ///< minpts as the kernel's core threshold
+  };
+  [[nodiscard]] FusedView fused_view() noexcept {
+    return FusedView{degree_.get(), &uf_, required_};
+  }
+
+  /// Thread-safe landing zone for a fused kernel's per-thread residue:
+  /// parks the edges it could not settle (an endpoint still below minpts
+  /// at test time) and folds its edge tallies into the stats. Parked
+  /// edges are compacted against the live core mask exactly like the
+  /// streaming path's deferred buffer.
+  void ingest_fused(std::span<const NeighborPair> undecided,
+                    std::uint64_t edges_seen, std::uint64_t edges_streamed);
 
   /// Final degree of point i (self included; full degree, both directions
   /// under kHalf). Exact once the build has returned — the exactly-once

@@ -1,0 +1,70 @@
+// Device-resident copy of the packed BVH (IndexBackend::kBvh): the node
+// array, the leaf-packed candidate ids/points, and the id-ordered point
+// array all live in global memory; traversal kernels receive a BvhView of
+// the device pointers. Mirrors GridDeviceIndex for the grid backend.
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/buffer.hpp"
+#include "cudasim/stream.hpp"
+#include "index/bvh.hpp"
+
+namespace hdbscan::gpu {
+
+class BvhDeviceIndex {
+ public:
+  /// Allocates device buffers and enqueues the H2D uploads on `stream`
+  /// (pageable host memory — the tree is uploaded once per epsilon, like
+  /// the grid index).
+  BvhDeviceIndex(cudasim::Device& device, cudasim::Stream& stream,
+                 const BvhIndex& host_index)
+      : root_(host_index.root),
+        num_nodes_(static_cast<std::uint32_t>(host_index.nodes.size())),
+        num_points_(static_cast<std::uint32_t>(host_index.points.size())),
+        num_query_(host_index.num_query),
+        nodes_(device, host_index.nodes.size()),
+        points_(device, host_index.points.size()),
+        leaf_ids_(device, host_index.leaf_ids.size()),
+        leaf_points_(device, host_index.leaf_points.size()) {
+    stream.memcpy_to_device(nodes_, host_index.nodes.data(),
+                            host_index.nodes.size());
+    stream.memcpy_to_device(points_, host_index.points.data(),
+                            host_index.points.size());
+    stream.memcpy_to_device(leaf_ids_, host_index.leaf_ids.data(),
+                            host_index.leaf_ids.size());
+    stream.memcpy_to_device(leaf_points_, host_index.leaf_points.data(),
+                            host_index.leaf_points.size());
+  }
+
+  [[nodiscard]] BvhView view() const noexcept {
+    return BvhView{nodes_.device_data(),   num_nodes_,
+                   root_,                  points_.device_data(),
+                   leaf_ids_.device_data(), leaf_points_.device_data(),
+                   num_points_,            num_query_};
+  }
+
+  [[nodiscard]] std::uint32_t num_points() const noexcept {
+    return num_points_;
+  }
+
+  /// Bytes shipped over PCIe by the constructor's uploads (the fixed
+  /// modeled cost the planner attributes to the index).
+  [[nodiscard]] std::size_t upload_bytes() const noexcept {
+    return nodes_.size() * sizeof(BvhNode) + points_.size() * sizeof(Point2) +
+           leaf_ids_.size() * sizeof(PointId) +
+           leaf_points_.size() * sizeof(Point2);
+  }
+
+ private:
+  std::uint32_t root_;
+  std::uint32_t num_nodes_;
+  std::uint32_t num_points_;
+  std::uint32_t num_query_;
+  cudasim::DeviceBuffer<BvhNode> nodes_;
+  cudasim::DeviceBuffer<Point2> points_;
+  cudasim::DeviceBuffer<PointId> leaf_ids_;
+  cudasim::DeviceBuffer<Point2> leaf_points_;
+};
+
+}  // namespace hdbscan::gpu

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <span>
+#include <type_traits>
 
 namespace hdbscan::gpu {
 
@@ -62,6 +64,49 @@ void for_each_neighbor(const GridView& view, ScanMode mode, PointId pid,
     ctx.count_global_bytes(sizeof(CellRange));
     scan_range(range.begin, range.end);
   }
+}
+
+/// BVH counterpart of for_each_neighbor: explicit-stack traversal over the
+/// packed node array. Every visited node costs one node read and the
+/// min_dist2 prune (~8 ops); accepted leaves charge like a shared-kernel
+/// tile — candidate ids are read for the whole leaf (the kHalf id filter
+/// needs them), points and the 6-op distance test only for tested ones.
+/// Under kHalf subtrees whose max_id < pid hold nothing row pid owns and
+/// are pruned before their MBR is even tested.
+template <typename Emit>
+void for_each_neighbor_bvh(const BvhView& view, ScanMode mode, PointId pid,
+                           const Point2& point, float eps2,
+                           cudasim::ThreadCtx& ctx, Emit&& emit) {
+  const bool half = mode == ScanMode::kHalf;
+  std::uint32_t stack[160];
+  unsigned depth = 0;
+  stack[depth++] = view.root;
+  std::uint64_t nodes_read = 0;
+  while (depth > 0) {
+    const BvhNode& node = view.nodes[stack[--depth]];
+    ++nodes_read;
+    if (half && node.max_id < pid) continue;
+    if (node.mbr.min_dist2(point) > eps2) continue;
+    if (node.leaf != 0) {
+      std::uint64_t tested = 0;
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        const PointId cand = view.leaf_ids[i];
+        if (half && cand < pid) continue;  // id-ownership rule
+        ++tested;
+        if (dist2(point, view.leaf_points[i]) <= eps2) emit(cand);
+      }
+      ctx.count_global_bytes(
+          static_cast<std::uint64_t>(node.count) * sizeof(PointId) +
+          tested * sizeof(Point2));
+      ctx.count_flops(tested * 6);
+    } else {
+      for (std::uint32_t c = node.first; c < node.first + node.count; ++c) {
+        stack[depth++] = c;
+      }
+    }
+  }
+  ctx.count_global_bytes(nodes_read * sizeof(BvhNode));
+  ctx.count_flops(nodes_read * 8);
 }
 
 /// Per-thread body of GPUCalcGlobal (paper Alg. 2, with the batching
@@ -308,6 +353,156 @@ struct FillCsrKernelBody {
   }
 };
 
+/// BVH pass 1: like CountBatchKernelBody but over the tree traversal. No
+/// emission map — BVH-backed builds are whole-index only (sharded slabs
+/// keep the grid backend), so resident ids are already global.
+struct BvhCountBatchKernelBody {
+  BvhView view;
+  float eps2;
+  BatchSpec batch;
+  std::uint32_t* counts;
+  ScanMode mode;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.query_count()) return;
+    const auto pid = static_cast<PointId>(i);
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2));
+    std::uint32_t neighbors = 0;
+    for_each_neighbor_bvh(view, mode, pid, point, eps2, ctx,
+                          [&](PointId) { ++neighbors; });
+    counts[gid] = neighbors;
+    ctx.count_global_bytes(sizeof(std::uint32_t));
+  }
+};
+
+/// BVH pass 2: fills the pre-sized CSR slots, mirroring FillCsrKernelBody.
+struct BvhFillCsrKernelBody {
+  BvhView view;
+  float eps2;
+  BatchSpec batch;
+  const std::uint32_t* offsets;
+  PointId* values;
+  ScanMode mode;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.query_count()) return;
+    const auto pid = static_cast<PointId>(i);
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2) + sizeof(std::uint32_t));
+    PointId* out = values + offsets[gid];
+    for_each_neighbor_bvh(view, mode, pid, point, eps2, ctx,
+                          [&](PointId candidate) {
+                            *out++ = candidate;
+                            ctx.count_global_bytes(sizeof(PointId));
+                          });
+  }
+};
+
+/// Thread-local parking buffer size of the fused kernels (spilled to
+/// StreamingDbscan::ingest_fused when full and at thread end).
+constexpr unsigned kFusedSpill = 256;
+
+/// Per-thread body of the fused no-table clustering kernel, shared by both
+/// backends (`traverse` dispatches to the grid stencil or the BVH stack).
+///
+/// Degree handling: the thread's own contributions (self pair + every
+/// candidate it tests) accumulate in a register and land as ONE fetch_add
+/// at thread end; under kHalf the back contribution to each cross
+/// partner's degree is a per-pair fetch_add (the streaming equivalent of
+/// expand_half_table's counting pass, done in-kernel). Core checks use the
+/// partner add's return value and the own-degree register as monotone
+/// lower bounds — a pair that looks undecidable now is parked and settled
+/// by compaction or finalize, never dropped.
+///
+/// Exactly-once: launches fault before any block runs (cudasim contract),
+/// so a failed batch contributed nothing and is safe to requeue whole.
+template <typename View>
+struct FusedKernelBody {
+  View view;
+  float eps2;
+  BatchSpec batch;
+  ScanMode mode;
+  StreamingDbscan::FusedView fu;
+  StreamingDbscan* sink;
+
+  void traverse(PointId pid, const Point2& point, cudasim::ThreadCtx& ctx,
+                auto&& emit) const {
+    if constexpr (std::is_same_v<View, GridView>) {
+      for_each_neighbor(view, mode, pid, point, eps2, ctx, emit);
+    } else {
+      for_each_neighbor_bvh(view, mode, pid, point, eps2, ctx, emit);
+    }
+  }
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.query_count()) return;
+    const auto pid = static_cast<PointId>(i);
+    const Point2 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point2));
+
+    NeighborPair local[kFusedSpill];
+    unsigned nlocal = 0;
+    std::uint32_t own_degree = 0;
+    std::uint64_t seen = 0;
+    std::uint64_t streamed = 0;
+
+    traverse(pid, point, ctx, [&](PointId cand) {
+      ++own_degree;  // self pair included: degree counts the point itself
+      if (cand == pid) return;
+      std::uint32_t deg_v;
+      if (mode == ScanMode::kHalf) {
+        // Forward traversals see each cross pair once; the partner's
+        // degree gains the back contribution here. The returned value is
+        // a monotone lower bound on the partner's final degree.
+        deg_v = fu.degree[cand].fetch_add(1, std::memory_order_relaxed) + 1;
+        ctx.count_atomic();
+      } else {
+        // Full traversals see each pair twice; the smaller-id side owns
+        // the edge work and partners count their own rows.
+        if (pid > cand) return;
+        deg_v = fu.degree[cand].load(std::memory_order_relaxed);
+        ctx.count_global_bytes(sizeof(std::uint32_t));
+      }
+      ++seen;
+      const std::uint32_t deg_p =
+          fu.degree[pid].load(std::memory_order_relaxed) + own_degree;
+      ctx.count_global_bytes(sizeof(std::uint32_t));
+      if (deg_p >= fu.required && deg_v >= fu.required) {
+        // Both endpoints already core: union on the spot (monotonicity
+        // makes this final). One CAS plus the find chain's reads.
+        fu.uf->unite(pid, cand);
+        ctx.count_atomic();
+        ctx.count_global_bytes(2 * sizeof(std::uint32_t));
+        ++streamed;
+      } else {
+        local[nlocal++] = NeighborPair{pid, cand};
+        ctx.count_global_bytes(sizeof(NeighborPair));  // parked-edge write
+        if (nlocal == kFusedSpill) {
+          sink->ingest_fused(std::span<const NeighborPair>(local, nlocal), 0,
+                             0);
+          nlocal = 0;
+        }
+      }
+    });
+
+    if (own_degree != 0) {
+      fu.degree[pid].fetch_add(own_degree, std::memory_order_relaxed);
+      ctx.count_atomic();
+    }
+    if (nlocal != 0 || seen != 0) {
+      sink->ingest_fused(std::span<const NeighborPair>(local, nlocal), seen,
+                         streamed);
+    }
+  }
+};
+
 /// Per-thread body of the estimation kernel: thread t counts the neighbors
 /// of sample point t * stride and contributes one atomic add.
 struct CountKernelBody {
@@ -388,6 +583,52 @@ cudasim::KernelStats run_fill_csr(cudasim::Device& device,
   const std::uint32_t points = batch.points_in_batch(view.query_count());
   const unsigned grid = grid_dim_for(points, block_size);
   FillCsrKernelBody body{view, eps * eps, batch, offsets, values, mode};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+cudasim::KernelStats run_count_batch(cudasim::Device& device,
+                                     const BvhView& view, float eps,
+                                     BatchSpec batch, std::uint32_t* counts,
+                                     ScanMode mode, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
+  const unsigned grid = grid_dim_for(points, block_size);
+  BvhCountBatchKernelBody body{view, eps * eps, batch, counts, mode};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+cudasim::KernelStats run_fill_csr(cudasim::Device& device,
+                                  const BvhView& view, float eps,
+                                  BatchSpec batch,
+                                  const std::uint32_t* offsets,
+                                  PointId* values, ScanMode mode,
+                                  unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
+  const unsigned grid = grid_dim_for(points, block_size);
+  BvhFillCsrKernelBody body{view, eps * eps, batch, offsets, values, mode};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+cudasim::KernelStats run_fused_batch(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, StreamingDbscan& sink,
+                                     ScanMode mode, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
+  const unsigned grid = grid_dim_for(points, block_size);
+  FusedKernelBody<GridView> body{view,        eps * eps,
+                                 batch,       mode,
+                                 sink.fused_view(), &sink};
+  return cudasim::run_flat_kernel(device, grid, block_size, body);
+}
+
+cudasim::KernelStats run_fused_batch(cudasim::Device& device,
+                                     const BvhView& view, float eps,
+                                     BatchSpec batch, StreamingDbscan& sink,
+                                     ScanMode mode, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.query_count());
+  const unsigned grid = grid_dim_for(points, block_size);
+  FusedKernelBody<BvhView> body{view,        eps * eps,
+                                batch,       mode,
+                                sink.fused_view(), &sink};
   return cudasim::run_flat_kernel(device, grid, block_size, body);
 }
 

@@ -21,7 +21,9 @@
 #include "cudasim/device.hpp"
 #include "cudasim/kernel.hpp"
 #include "cudasim/stream.hpp"
+#include "dbscan/streaming_dbscan.hpp"
 #include "gpu/result_sink.hpp"
+#include "index/bvh.hpp"
 #include "index/grid_index.hpp"
 
 namespace hdbscan::gpu {
@@ -103,6 +105,61 @@ cudasim::KernelStats run_fill_csr(cudasim::Device& device,
                                   PointId* values,
                                   ScanMode mode = ScanMode::kFull,
                                   unsigned block_size = kDefaultBlockSize);
+
+// --- IndexBackend::kBvh traversal variants -------------------------------
+//
+// Same per-point batching contract as the grid kernels, but candidates
+// come from a packed-BVH stack traversal (min_dist2 pruning against node
+// MBRs) instead of the 9-cell stencil. Under ScanMode::kHalf the tree has
+// no forward stencil, so the half rule is id-based: row i owns exactly the
+// candidates with id >= i (self included) and subtrees whose max_id < i
+// are pruned outright. Every cross pair lands in exactly one row — the
+// same cover expand_half_table and the streaming consumer require — so
+// the merged/expanded table is identical to the grid backend's.
+
+/// Two-pass CSR pass 1 over the BVH: counts[g] = |forward row of batch
+/// point g| (full row under kFull). No atomics.
+cudasim::KernelStats run_count_batch(cudasim::Device& device,
+                                     const BvhView& view, float eps,
+                                     BatchSpec batch, std::uint32_t* counts,
+                                     ScanMode mode = ScanMode::kFull,
+                                     unsigned block_size = kDefaultBlockSize);
+
+/// Two-pass CSR pass 2 over the BVH; `mode` must match the count pass.
+cudasim::KernelStats run_fill_csr(cudasim::Device& device,
+                                  const BvhView& view, float eps,
+                                  BatchSpec batch,
+                                  const std::uint32_t* offsets,
+                                  PointId* values,
+                                  ScanMode mode = ScanMode::kFull,
+                                  unsigned block_size = kDefaultBlockSize);
+
+// --- Fused no-table clustering traversal (ClusterMode::kFused) -----------
+//
+// One launch does everything the count pass, scan, fill pass, transfers
+// and sink hop did: thread i traverses its neighborhood once, accumulates
+// its own degree locally (one fetch_add at thread end), adds the back
+// contribution to degree[j] per cross pair (kHalf), and — because core
+// status is monotone — unions both-core pairs into the consumer's
+// AtomicUnionFind on the spot. Pairs that cannot be decided yet are
+// buffered thread-locally and parked through StreamingDbscan::ingest_fused
+// for the compaction/finalize machinery to settle. The neighbor table is
+// never materialized: the only per-pair bytes are the parked-edge writes.
+
+/// Fused traversal over the grid backend. Returns the launch's stats;
+/// degrees/unions/parked edges land in `sink`.
+cudasim::KernelStats run_fused_batch(cudasim::Device& device,
+                                     const GridView& view, float eps,
+                                     BatchSpec batch, StreamingDbscan& sink,
+                                     ScanMode mode = ScanMode::kHalf,
+                                     unsigned block_size = kDefaultBlockSize);
+
+/// Fused traversal over the BVH backend.
+cudasim::KernelStats run_fused_batch(cudasim::Device& device,
+                                     const BvhView& view, float eps,
+                                     BatchSpec batch, StreamingDbscan& sink,
+                                     ScanMode mode = ScanMode::kHalf,
+                                     unsigned block_size = kDefaultBlockSize);
 
 /// Shared-memory bytes GPUCalcShared needs for a given block size (origin
 /// and comparison tiles plus the neighbor-cell-id scratch).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <span>
 
 namespace hdbscan::gpu {
 
@@ -124,6 +125,83 @@ struct FillCsr3Body {
   }
 };
 
+/// Local parked-pair buffer length of the fused kernel; mirrors the 2-D
+/// kernel's spill size (kernels.cpp keeps its own copy file-locally).
+constexpr unsigned kFusedSpill3 = 256;
+
+/// 3-D fused no-table body — same degree/union semantics as the 2-D
+/// FusedKernelBody, traversing via for_each_neighbor3. Own contributions
+/// accumulate in a register (one fetch_add at thread end); under kHalf
+/// each cross pair's back contribution to the partner's degree is a
+/// per-pair fetch_add whose return value is a monotone lower bound used
+/// for the both-core check. Pairs not yet provably core-core are parked.
+struct FusedKernel3Body {
+  GridView3 view;
+  float eps2;
+  BatchSpec batch;
+  ScanMode mode;
+  StreamingDbscan::FusedView fu;
+  StreamingDbscan* sink;
+
+  void operator()(cudasim::ThreadCtx& ctx) const {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t i = gid * batch.num_batches + batch.batch;
+    if (i >= view.num_points) return;
+    const auto pid = static_cast<PointId>(i);
+    const Point3 point = view.points[i];
+    ctx.count_global_bytes(sizeof(Point3));
+
+    NeighborPair local[kFusedSpill3];
+    unsigned nlocal = 0;
+    std::uint32_t own_degree = 0;
+    std::uint64_t seen = 0;
+    std::uint64_t streamed = 0;
+
+    for_each_neighbor3(view, mode, pid, point, eps2, ctx, [&](PointId cand) {
+      ++own_degree;  // self pair included: degree counts the point itself
+      if (cand == pid) return;
+      std::uint32_t deg_v;
+      if (mode == ScanMode::kHalf) {
+        deg_v = fu.degree[cand].fetch_add(1, std::memory_order_relaxed) + 1;
+        ctx.count_atomic();
+      } else {
+        // Full traversals see each pair twice; the smaller-id side owns
+        // the edge work and partners count their own rows.
+        if (pid > cand) return;
+        deg_v = fu.degree[cand].load(std::memory_order_relaxed);
+        ctx.count_global_bytes(sizeof(std::uint32_t));
+      }
+      ++seen;
+      const std::uint32_t deg_p =
+          fu.degree[pid].load(std::memory_order_relaxed) + own_degree;
+      ctx.count_global_bytes(sizeof(std::uint32_t));
+      if (deg_p >= fu.required && deg_v >= fu.required) {
+        fu.uf->unite(pid, cand);
+        ctx.count_atomic();
+        ctx.count_global_bytes(2 * sizeof(std::uint32_t));
+        ++streamed;
+      } else {
+        local[nlocal++] = NeighborPair{pid, cand};
+        ctx.count_global_bytes(sizeof(NeighborPair));  // parked-edge write
+        if (nlocal == kFusedSpill3) {
+          sink->ingest_fused(std::span<const NeighborPair>(local, nlocal), 0,
+                             0);
+          nlocal = 0;
+        }
+      }
+    });
+
+    if (own_degree != 0) {
+      fu.degree[pid].fetch_add(own_degree, std::memory_order_relaxed);
+      ctx.count_atomic();
+    }
+    if (nlocal != 0 || seen != 0) {
+      sink->ingest_fused(std::span<const NeighborPair>(local, nlocal), seen,
+                         streamed);
+    }
+  }
+};
+
 struct CountKernel3Body {
   GridView3 view;
   float eps2;
@@ -190,6 +268,18 @@ cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
   return cudasim::run_flat_kernel(
       device, grid, block_size,
       FillCsr3Body{view, eps * eps, batch, offsets, values, mode});
+}
+
+cudasim::KernelStats run_fused_batch3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, StreamingDbscan& sink,
+                                      ScanMode mode, unsigned block_size) {
+  const std::uint32_t points = batch.points_in_batch(view.num_points);
+  const unsigned grid = (points + block_size - 1) / block_size;
+  return cudasim::run_flat_kernel(
+      device, grid, block_size,
+      FusedKernel3Body{view, eps * eps, batch, mode, sink.fused_view(),
+                       &sink});
 }
 
 std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,

@@ -39,6 +39,18 @@ cudasim::KernelStats run_fill_csr3(cudasim::Device& device,
                                    ScanMode mode = ScanMode::kFull,
                                    unsigned block_size = kDefaultBlockSize);
 
+/// 3-D fused no-table clustering kernel (see the 2-D run_fused_batch):
+/// counts degrees and unions both-core edges directly into `sink`'s
+/// union-find during the traversal — no counts buffer, no CSR values, no
+/// D2H result transfer. Undecidable pairs are parked in the sink and
+/// settled by finalize(). Labels after sink.finalize() are bit-identical
+/// to the batch-table path.
+cudasim::KernelStats run_fused_batch3(cudasim::Device& device,
+                                      const GridView3& view, float eps,
+                                      BatchSpec batch, StreamingDbscan& sink,
+                                      ScanMode mode = ScanMode::kHalf,
+                                      unsigned block_size = kDefaultBlockSize);
+
 /// 3-D neighbor-count kernel (estimator / exact census with stride 1).
 std::uint64_t run_count_kernel3(cudasim::Device& device, const GridView3& view,
                                 float eps, std::uint32_t sample_stride,

@@ -1,0 +1,163 @@
+#include "index/bvh.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdbscan {
+
+namespace {
+
+/// Spreads the low 16 bits of v so a bit lands at every even position.
+[[nodiscard]] std::uint32_t part1by1(std::uint32_t v) noexcept {
+  v &= 0x0000ffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+/// 32-bit Morton code from 16-bit quantized coordinates.
+[[nodiscard]] std::uint32_t morton2(std::uint32_t x, std::uint32_t y) noexcept {
+  return part1by1(x) | (part1by1(y) << 1);
+}
+
+[[nodiscard]] std::uint32_t quantize(float v, float lo, float inv_extent) {
+  float t = (v - lo) * inv_extent;
+  if (t < 0.0f) t = 0.0f;
+  if (t > 1.0f) t = 1.0f;
+  return static_cast<std::uint32_t>(t * 65535.0f);
+}
+
+}  // namespace
+
+BvhIndex build_bvh_index(std::span<const Point2> points,
+                         unsigned leaf_capacity, unsigned fanout) {
+  if (points.empty()) throw std::invalid_argument("BVH: empty database");
+  if (leaf_capacity < 2 || fanout < 2) {
+    throw std::invalid_argument("BVH: leaf capacity and fanout must be >= 2");
+  }
+  const std::size_t n = points.size();
+
+  Rect2 bounds;
+  for (const Point2& p : points) bounds.expand(p);
+  const float ext_x = bounds.max_x - bounds.min_x;
+  const float ext_y = bounds.max_y - bounds.min_y;
+  const float inv_x = ext_x > 0.0f ? 1.0f / ext_x : 0.0f;
+  const float inv_y = ext_y > 0.0f ? 1.0f / ext_y : 0.0f;
+
+  // Morton sort; ties (duplicate coordinates) break by id so the build is
+  // fully deterministic.
+  std::vector<std::uint32_t> code(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    code[i] = morton2(quantize(points[i].x, bounds.min_x, inv_x),
+                      quantize(points[i].y, bounds.min_y, inv_y));
+  }
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return code[a] != code[b] ? code[a] < code[b] : a < b;
+  });
+
+  BvhIndex out;
+  out.leaf_capacity = leaf_capacity;
+  out.fanout = fanout;
+  out.points.assign(points.begin(), points.end());
+  out.leaf_ids.reserve(n);
+  out.leaf_points.reserve(n);
+  for (PointId id : order) {
+    out.leaf_ids.push_back(id);
+    out.leaf_points.push_back(points[id]);
+  }
+
+  // Pack leaves over the Morton order.
+  std::vector<std::uint32_t> level;
+  for (std::size_t begin = 0; begin < n; begin += leaf_capacity) {
+    const std::size_t end = std::min(n, begin + leaf_capacity);
+    BvhNode leaf;
+    leaf.leaf = 1;
+    leaf.first = static_cast<std::uint32_t>(begin);
+    leaf.count = static_cast<std::uint32_t>(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      leaf.mbr.expand(out.leaf_points[i]);
+      leaf.max_id = std::max(leaf.max_id, out.leaf_ids[i]);
+    }
+    level.push_back(static_cast<std::uint32_t>(out.nodes.size()));
+    out.nodes.push_back(leaf);
+  }
+  out.height = 1;
+
+  // Pack upper levels: `fanout` consecutive children per parent. Children
+  // are contiguous by construction, so a parent stores only [first, count).
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> parents;
+    for (std::size_t begin = 0; begin < level.size(); begin += fanout) {
+      const std::size_t end = std::min(level.size(), begin + fanout);
+      BvhNode parent;
+      parent.leaf = 0;
+      parent.first = level[begin];
+      parent.count = static_cast<std::uint32_t>(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        const BvhNode& child = out.nodes[level[i]];
+        parent.mbr.expand(child.mbr);
+        parent.max_id = std::max(parent.max_id, child.max_id);
+      }
+      parents.push_back(static_cast<std::uint32_t>(out.nodes.size()));
+      out.nodes.push_back(parent);
+    }
+    level = std::move(parents);
+    ++out.height;
+  }
+  out.root = level.front();
+  return out;
+}
+
+void bvh_query(const BvhIndex& index, const Point2& q, float eps,
+               std::vector<PointId>& out) {
+  const float eps2 = eps * eps;
+  std::vector<std::uint32_t> stack;
+  stack.push_back(index.root);
+  while (!stack.empty()) {
+    const BvhNode& node = index.nodes[stack.back()];
+    stack.pop_back();
+    if (node.leaf != 0) {
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (dist2(q, index.leaf_points[i]) <= eps2) {
+          out.push_back(index.leaf_ids[i]);
+        }
+      }
+    } else {
+      for (std::uint32_t c = node.first; c < node.first + node.count; ++c) {
+        if (index.nodes[c].mbr.min_dist2(q) <= eps2) stack.push_back(c);
+      }
+    }
+  }
+}
+
+void bvh_query_forward(const BvhIndex& index, PointId query, float eps,
+                       std::vector<PointId>& out) {
+  const Point2 q = index.points[query];
+  const float eps2 = eps * eps;
+  std::vector<std::uint32_t> stack;
+  stack.push_back(index.root);
+  while (!stack.empty()) {
+    const BvhNode& node = index.nodes[stack.back()];
+    stack.pop_back();
+    if (node.max_id < query) continue;  // subtree holds only smaller ids
+    if (node.leaf != 0) {
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        const PointId cand = index.leaf_ids[i];
+        if (cand < query) continue;  // id-ownership rule: row q owns id >= q
+        if (dist2(q, index.leaf_points[i]) <= eps2) out.push_back(cand);
+      }
+    } else {
+      for (std::uint32_t c = node.first; c < node.first + node.count; ++c) {
+        if (index.nodes[c].mbr.min_dist2(q) <= eps2) stack.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace hdbscan

@@ -1,0 +1,38 @@
+// The spatial-index backend seam.
+//
+// The paper's pipeline is built around the eps-width grid (§IV); related
+// work (Prokopenko et al., "Fast tree-based algorithms for DBSCAN for
+// low-dimensional data on GPUs") shows a bounding-volume hierarchy wins on
+// skewed densities where eps-cells overflow. Every layer that launches a
+// neighborhood traversal — the batched table builder, the fused
+// no-table clustering path, the service front-end — selects the backend
+// through this enum rather than hard-coding the grid.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace hdbscan {
+
+enum class IndexBackend {
+  kGrid,  ///< eps-cell grid index (paper §IV): D, G, A, S arrays
+  kBvh,   ///< packed Morton-built BVH (LBVH-style), leaf-pruned traversal
+};
+
+[[nodiscard]] constexpr std::string_view to_string(IndexBackend b) noexcept {
+  switch (b) {
+    case IndexBackend::kGrid: return "grid";
+    case IndexBackend::kBvh: return "bvh";
+  }
+  return "?";
+}
+
+/// Parses "grid" / "bvh" (CLI flag values); nullopt on anything else.
+[[nodiscard]] inline std::optional<IndexBackend> parse_index_backend(
+    std::string_view s) noexcept {
+  if (s == "grid") return IndexBackend::kGrid;
+  if (s == "bvh") return IndexBackend::kBvh;
+  return std::nullopt;
+}
+
+}  // namespace hdbscan

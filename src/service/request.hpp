@@ -48,6 +48,14 @@ struct JobSpec {
   /// Client hung up before serving began: the job's token is cancelled at
   /// submit, so dispatch terminates it without device work.
   bool abandoned = false;
+  /// Serve via the fused no-table fast path (core/fused_clustering): the
+  /// traversal kernel counts degrees and unions both-core edges in place,
+  /// so no neighbor table is built, transferred, or cached. Fused jobs
+  /// bypass the TableCache (there is nothing to reuse) but still coalesce
+  /// — with other fused jobs of the same (dataset, eps, minpts), since
+  /// the union-find threshold is baked into the traversal. The index
+  /// backend comes from the service's BatchPolicy (--index=).
+  bool fused = false;
 };
 
 /// Terminal (and transient) states of a request. Every job ends in one of
@@ -121,6 +129,7 @@ struct JobResult {
   FailureReason failure = FailureReason::kNone;  ///< cause for kFailed &c.
 
   bool cache_hit = false;   ///< served from the eps-keyed table cache
+  bool fused = false;       ///< served by the fused no-table traversal
   bool coalesced = false;   ///< shared another job's build (FanoutSink or
                             ///< shared materialized table)
   bool host_fallback = false;  ///< clustered host-side (no live device)

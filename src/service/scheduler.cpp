@@ -9,6 +9,7 @@
 
 #include "common/timer.hpp"
 #include "core/estimator.hpp"
+#include "core/fused_clustering.hpp"
 #include "core/neighbor_table_builder.hpp"
 #include "dbscan/batch_sink.hpp"
 #include "dbscan/dbscan.hpp"
@@ -307,11 +308,17 @@ ClusterService::PendingPtr ClusterService::pop_group(
   if (options_.coalesce) {
     // Same-(dataset, eps) jobs ride along with the leader's build —
     // whatever their tenant or class, they cost no extra device time.
+    // Fused jobs only coalesce with fused jobs of the same minpts: the
+    // union-find threshold is baked into the fused traversal, and a
+    // table job cannot share a build that produces no table.
     for (auto& per_class : queues_) {
       for (auto& [tenant, q] : per_class) {
         for (auto it = q.begin(); it != q.end();) {
           if ((*it)->spec.dataset == leader->spec.dataset &&
-              eps_bits((*it)->spec.eps) == eps_bits(leader->spec.eps)) {
+              eps_bits((*it)->spec.eps) == eps_bits(leader->spec.eps) &&
+              (*it)->spec.fused == leader->spec.fused &&
+              (!leader->spec.fused ||
+               (*it)->spec.minpts == leader->spec.minpts)) {
             remove_queued_locked(**it);
             // The member's work happens under the leader's request id;
             // the link instant lets the analyzer chase a member's latency
@@ -528,7 +535,9 @@ void ClusterService::process_group(PendingPtr leader,
 
   const JobSpec& lead = runnable.front()->spec;
   const Dataset& ds = datasets_.at(lead.dataset);
-  const TableCache::Key key{lead.dataset, eps_bits(lead.eps)};
+  const TableCache::Key key{lead.dataset, eps_bits(lead.eps),
+                            options_.policy.index_backend,
+                            options_.policy.scan_mode};
   const bool coalesced_build = runnable.size() > 1;
   if (coalesced_build) {
     std::lock_guard slock(stats_mutex_);
@@ -576,8 +585,11 @@ void ClusterService::process_group(PendingPtr leader,
     record_terminal(job, rs, JobState::kCompleted, std::move(r));
   };
 
-  // --- Cache hit: no device at all. ---
-  if (TableCache::Handle hit = cache_.find(key)) {
+  // --- Cache hit: no device at all. Fused jobs never probe: the cache
+  // holds materialized tables, and serving a fused request from one would
+  // silently undo its no-table contract (and skew A/B measurements). ---
+  if (TableCache::Handle hit = lead.fused ? TableCache::Handle{}
+                                          : cache_.find(key)) {
     for (auto& job : runnable) {
       // Link each hit back to the request whose build populated the
       // entry, so `explain` can chase a suspiciously fast request into
@@ -627,7 +639,9 @@ void ClusterService::process_group(PendingPtr leader,
                         /*host_fb=*/true, host_build);
       first = false;
     }
-    if (cache_.enabled()) cache_.insert(key, std::move(entry));
+    // Fused jobs bypass the cache in both directions: the emergency host
+    // table above is a fallback artifact, not a reusable build product.
+    if (cache_.enabled() && !lead.fused) cache_.insert(key, std::move(entry));
     return;
   }
 
@@ -654,6 +668,52 @@ void ClusterService::process_group(PendingPtr leader,
     WallTimer build_wall_timer;
     GridIndex index = build_grid_index(ds.points, lead.eps);
     const double index_wall = build_wall_timer.seconds();
+
+    if (lead.fused) {
+      // Fused no-table path: one traversal kernel counts degrees and
+      // unions both-core edges for the whole group (coalescing guaranteed
+      // equal minpts), nothing is materialized or cached. Hard failures
+      // fall through to the breaker + retry ladder like any build.
+      StreamingDbscan consumer(index.size(), lead.minpts);
+      if (token != nullptr) consumer.set_cancel_token(token);
+      const BuildReport report =
+          fused_cluster(device, index, lead.eps, consumer, bp);
+      breaker_.record_success(static_cast<std::size_t>(dev));
+      const double build_wall = build_wall_timer.seconds();
+      const double build_model = index_wall + report.modeled_table_seconds;
+      WallTimer fin;
+      const ClusterResult labels = consumer.finalize(options_.dbscan_threads);
+      const double finalize_wall = fin.seconds();
+      {
+        std::lock_guard slock(stats_mutex_);
+        stats_.fused_jobs += runnable.size();
+      }
+      bool first = true;
+      for (auto& job : runnable) {
+        RequestScope scope(job->trace);
+        const double start = std::max(clock, job->spec.arrival_seconds);
+        clock = start + (first ? build_model + finalize_wall : 0.0);
+        JobResult r;
+        r.fused = true;
+        r.coalesced = coalesced_build;
+        r.host_fallback = report.used_host_fallback;
+        r.device_id = dev;
+        r.modeled_start_seconds = start;
+        r.modeled_finish_seconds = clock;
+        r.modeled_device_seconds = first ? build_model : 0.0;
+        r.num_clusters = labels.num_clusters;
+        r.noise_count = labels.noise_count();
+        r.stages.add(Stage::kBuild, build_wall, first ? build_model : 0.0);
+        r.stages.add(Stage::kStreamUnion, finalize_wall);
+        if (options_.keep_labels) {
+          r.labels = unmap(labels.labels, index.original_ids);
+        }
+        record_terminal(*job, rs, JobState::kCompleted, std::move(r));
+        first = false;
+      }
+      return;
+    }
+
     NeighborTableBuilder builder(device, bp);
     BuildReport report;
 

@@ -1,0 +1,361 @@
+// Fused no-table clustering (ClusterMode::kFused): label bit-identity
+// against batch and streaming DBSCAN across backends, scan modes,
+// degenerate inputs and dimensions, the zero-table contract, and the
+// degradation ladder — scripted device loss fails over to survivors and
+// randomized fault plans (including total fleet loss with host fallback)
+// never change a single label.
+#include "core/fused_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hybrid_dbscan.hpp"
+#include "core/hybrid_dbscan3.hpp"
+#include "cudasim/buffer_pool.hpp"
+#include "cudasim/fault.hpp"
+#include "data/generators.hpp"
+#include "dbscan/dbscan.hpp"
+#include "dbscan/neighbor_table.hpp"
+#include "dbscan/streaming_dbscan.hpp"
+#include "index/grid_index.hpp"
+#include "index/index_backend.hpp"
+
+namespace hdbscan {
+namespace {
+
+cudasim::SimulationOptions fast_options() {
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+  opt.executor_threads = 2;
+  return opt;
+}
+
+cudasim::SimulationOptions faulted_options(cudasim::FaultPlan plan) {
+  cudasim::SimulationOptions opt = fast_options();
+  opt.fault = std::make_shared<cudasim::FaultInjector>(std::move(plan));
+  return opt;
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<cudasim::Device>> owned;
+  std::vector<cudasim::Device*> ptrs;
+
+  void add(cudasim::SimulationOptions opt) {
+    owned.push_back(std::make_unique<cudasim::Device>(cudasim::DeviceConfig{},
+                                                      std::move(opt)));
+    ptrs.push_back(owned.back().get());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 2-D equivalence: fused == streaming == batch, both backends
+// ---------------------------------------------------------------------------
+
+class FusedEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<int, float, int, IndexBackend>> {};
+
+TEST_P(FusedEquivalence, LabelsBitIdenticalToBatchAndStreaming) {
+  const auto [family, eps, minpts, backend] = GetParam();
+  const std::size_t n = 2500;
+  const std::vector<Point2> points =
+      family == 0 ? data::generate_uniform(n, 71, 10.0f, 10.0f)
+                  : data::generate_space_weather(
+                        n, 72, {.width = 10.0f, .height = 10.0f});
+
+  cudasim::Device batch_dev({}, fast_options());
+  const ClusterResult batch = hybrid_dbscan(batch_dev, points, eps, minpts);
+
+  cudasim::Device stream_dev({}, fast_options());
+  const ClusterResult streamed =
+      hybrid_dbscan(stream_dev, points, eps, minpts, nullptr, {},
+                    ClusterMode::kStreaming);
+  EXPECT_EQ(streamed.labels, batch.labels);
+
+  BatchPolicy policy;
+  policy.index_backend = backend;
+  HybridTimings timings;
+  cudasim::Device fused_dev({}, fast_options());
+  const ClusterResult fused =
+      hybrid_dbscan(fused_dev, points, eps, minpts, &timings, policy,
+                    ClusterMode::kFused);
+  EXPECT_EQ(fused.labels, batch.labels);
+  EXPECT_EQ(fused.num_clusters, batch.num_clusters);
+
+  // The no-table contract: nothing materialized, only parked edges
+  // crossed the bus, and the report owns up to the backend that ran.
+  EXPECT_TRUE(timings.fused);
+  EXPECT_TRUE(timings.build_report.fused);
+  EXPECT_FALSE(timings.build_report.table_materialized);
+  EXPECT_EQ(timings.build_report.index_backend, backend);
+  EXPECT_GT(timings.build_report.total_pairs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusedEquivalence,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.2f, 0.5f),
+                       ::testing::Values(4, 16),
+                       ::testing::Values(IndexBackend::kGrid,
+                                         IndexBackend::kBvh)));
+
+TEST(FusedDbscan, FullScanModeMatchesBatch) {
+  const auto points = data::generate_space_weather(
+      2000, 73, {.width = 10.0f, .height = 10.0f});
+  cudasim::Device batch_dev({}, fast_options());
+  const ClusterResult batch = hybrid_dbscan(batch_dev, points, 0.4f, 4);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    SCOPED_TRACE(to_string(backend));
+    BatchPolicy policy;
+    policy.index_backend = backend;
+    policy.scan_mode = ScanMode::kFull;
+    cudasim::Device dev({}, fast_options());
+    const ClusterResult fused = hybrid_dbscan(
+        dev, points, 0.4f, 4, nullptr, policy, ClusterMode::kFused);
+    EXPECT_EQ(fused.labels, batch.labels);
+  }
+}
+
+TEST(FusedDbscan, DuplicatePointsCluster) {
+  // 300 coincident points plus a sparse ring of strays: the duplicate pile
+  // exercises degree saturation and self-pair handling in one cell/leaf.
+  std::vector<Point2> points(300, Point2{3.0f, 3.0f});
+  Xoshiro256 rng(74);
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0f, 10.0f), rng.uniform(0.0f, 10.0f)});
+  }
+  cudasim::Device batch_dev({}, fast_options());
+  const ClusterResult batch = hybrid_dbscan(batch_dev, points, 0.3f, 8);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    SCOPED_TRACE(to_string(backend));
+    BatchPolicy policy;
+    policy.index_backend = backend;
+    cudasim::Device dev({}, fast_options());
+    const ClusterResult fused = hybrid_dbscan(
+        dev, points, 0.3f, 8, nullptr, policy, ClusterMode::kFused);
+    EXPECT_EQ(fused.labels, batch.labels);
+  }
+  EXPECT_GE(batch.num_clusters, 1);
+}
+
+TEST(FusedDbscan, ExactEpsBoundaryPairsAreNeighbors) {
+  // Chains of points spaced exactly eps apart: the closed-ball (<=)
+  // semantic must hold identically in the fused traversal, on both
+  // backends, or the chain fragments.
+  const float eps = 0.25f;
+  std::vector<Point2> points;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({static_cast<float>(i) * eps,
+                        2.0f * static_cast<float>(c)});
+    }
+  }
+  cudasim::Device batch_dev({}, fast_options());
+  const ClusterResult batch = hybrid_dbscan(batch_dev, points, eps, 2);
+  EXPECT_EQ(batch.num_clusters, 4);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    SCOPED_TRACE(to_string(backend));
+    BatchPolicy policy;
+    policy.index_backend = backend;
+    cudasim::Device dev({}, fast_options());
+    const ClusterResult fused = hybrid_dbscan(
+        dev, points, eps, 2, nullptr, policy, ClusterMode::kFused);
+    EXPECT_EQ(fused.labels, batch.labels);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3-D: fused_dbscan3 == hybrid_dbscan3
+// ---------------------------------------------------------------------------
+
+std::vector<Point3> random_points3(std::size_t n, std::uint64_t seed,
+                                   float extent) {
+  Xoshiro256 rng(seed);
+  std::vector<Point3> points(n);
+  for (Point3& p : points) {
+    p = {rng.uniform(0.0f, extent), rng.uniform(0.0f, extent),
+         rng.uniform(0.0f, extent)};
+  }
+  return points;
+}
+
+TEST(FusedDbscan3, MatchesBatchAcrossScanModes) {
+  const auto points = random_points3(2000, 75, 5.0f);
+  cudasim::Device batch_dev({}, fast_options());
+  const ClusterResult batch = hybrid_dbscan3(batch_dev, points, 0.4f, 4);
+  for (const ScanMode scan : {ScanMode::kHalf, ScanMode::kFull}) {
+    SCOPED_TRACE(scan == ScanMode::kHalf ? "kHalf" : "kFull");
+    cudasim::Device dev({}, fast_options());
+    Build3Report report;
+    const ClusterResult fused =
+        fused_dbscan3(dev, points, 0.4f, 4, &report, scan);
+    EXPECT_EQ(fused.labels, batch.labels);
+    EXPECT_EQ(fused.num_clusters, batch.num_clusters);
+    EXPECT_GT(report.total_pairs, 0u);
+    EXPECT_GT(report.kernel_flops, 0u);
+    // Nothing to transpose: no forward rows ever became a table.
+    EXPECT_EQ(report.expand_seconds, 0.0);
+  }
+}
+
+TEST(FusedDbscan3, DenseClumpsAndMinptsSweep) {
+  // Two tight clumps plus noise; sweep minpts so the core threshold moves
+  // through the clump sizes.
+  Xoshiro256 rng(76);
+  std::vector<Point3> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({1.0f + rng.uniform(0.0f, 0.2f),
+                      1.0f + rng.uniform(0.0f, 0.2f),
+                      1.0f + rng.uniform(0.0f, 0.2f)});
+    points.push_back({4.0f + rng.uniform(0.0f, 0.2f),
+                      4.0f + rng.uniform(0.0f, 0.2f),
+                      4.0f + rng.uniform(0.0f, 0.2f)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0f, 5.0f), rng.uniform(0.0f, 5.0f),
+                      rng.uniform(0.0f, 5.0f)});
+  }
+  for (const int minpts : {2, 8, 64}) {
+    SCOPED_TRACE("minpts " + std::to_string(minpts));
+    cudasim::Device batch_dev({}, fast_options());
+    const ClusterResult batch =
+        hybrid_dbscan3(batch_dev, points, 0.3f, minpts);
+    cudasim::Device dev({}, fast_options());
+    const ClusterResult fused = fused_dbscan3(dev, points, 0.3f, minpts);
+    EXPECT_EQ(fused.labels, batch.labels);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder: failover, host fallback, randomized chaos
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+  std::vector<Point2> points;
+  GridIndex index;
+  NeighborTable oracle;  ///< full table, index point order
+  std::vector<std::int32_t> want;  ///< batch labels, index point order
+  float eps = 0.0f;
+  int minpts = 4;
+};
+
+Scenario make_scenario(std::size_t n, float eps, int minpts,
+                       std::uint64_t seed) {
+  Scenario s;
+  s.eps = eps;
+  s.minpts = minpts;
+  s.points = data::generate_space_weather(
+      n, seed, {.width = 10.0f, .height = 10.0f});
+  s.index = build_grid_index(s.points, eps);
+  s.oracle = build_neighbor_table_host(s.index, eps);
+  s.want = dbscan_neighbor_table(s.oracle, minpts).labels;
+  return s;
+}
+
+/// Buffer/estimation policy fields are ignored by the fused path (nothing
+/// to size); only the backend, scan mode and resilience ladder matter.
+BatchPolicy chaos_policy(IndexBackend backend) {
+  BatchPolicy policy;
+  policy.index_backend = backend;
+  return policy;
+}
+
+void expect_exact(const Scenario& s, StreamingDbscan& consumer) {
+  for (PointId i = 0; i < s.index.size(); ++i) {
+    ASSERT_EQ(consumer.degree(i), s.oracle.neighbor_count(i))
+        << "degree mismatch at point " << i;
+  }
+  EXPECT_EQ(consumer.finalize().labels, s.want);
+}
+
+TEST(FusedChaos, DeviceLossFailsOverToSurvivorExactly) {
+  const Scenario s = make_scenario(2500, 0.35f, 4, 77);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    SCOPED_TRACE(to_string(backend));
+    cudasim::FaultPlan lost;
+    // The index upload is 4 allocations + 4 transfers = 8 ops; each fused
+    // batch is one launch after that. Op 11 is that device's third batch:
+    // a loss mid-traversal with work left to orphan.
+    lost.lost_at_op = 11;
+    Fleet fleet;
+    fleet.add(fast_options());
+    fleet.add(faulted_options(lost));
+
+    StreamingDbscan consumer(s.index.size(), s.minpts);
+    const BuildReport report = fused_cluster(fleet.ptrs, s.index, s.eps,
+                                             consumer, chaos_policy(backend));
+
+    EXPECT_EQ(report.devices_lost, 1u);
+    EXPECT_GT(report.failover_batches, 0u);
+    EXPECT_FALSE(report.used_host_fallback);
+    EXPECT_FALSE(report.table_materialized);
+    expect_exact(s, consumer);
+
+    // The survivor returned every pooled buffer.
+    for (const auto& dev : fleet.owned) {
+      if (dev->lost()) continue;
+      dev->pool().trim();
+      EXPECT_EQ(dev->used_global_bytes(), 0u);
+    }
+  }
+}
+
+TEST(FusedChaos, TotalFleetLossCompletesOnHostExactly) {
+  // Both backends must fall back under their own pair-ownership rule —
+  // the BVH id rule via the R-tree, the grid's forward stencil — or the
+  // degree parity check below catches the double-counted cross pairs.
+  const Scenario s = make_scenario(1500, 0.35f, 4, 78);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    SCOPED_TRACE(to_string(backend));
+    cudasim::FaultPlan lost;
+    lost.lost_at_op = 10;  // second batch launch of the only device
+    Fleet fleet;
+    fleet.add(faulted_options(lost));
+
+    StreamingDbscan consumer(s.index.size(), s.minpts);
+    BatchPolicy policy = chaos_policy(backend);
+    policy.resilience.host_fallback = true;
+    const BuildReport report =
+        fused_cluster(fleet.ptrs, s.index, s.eps, consumer, policy);
+
+    EXPECT_TRUE(report.used_host_fallback);
+    EXPECT_GT(report.host_fallback_batches, 0u);
+    EXPECT_EQ(report.devices_lost, 1u);
+    expect_exact(s, consumer);
+  }
+}
+
+TEST(FusedChaos, RandomizedFaultPlansKeepLabelsExact) {
+  const Scenario s = make_scenario(1500, 0.35f, 4, 79);
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kBvh}) {
+    for (const std::uint64_t seed : {5ull, 17ull, 42ull}) {
+      SCOPED_TRACE(std::string(to_string(backend)) + " fault seed " +
+                   std::to_string(seed));
+      Fleet fleet;
+      for (int d = 0; d < 3; ++d) {
+        fleet.add(faulted_options(
+            cudasim::FaultPlan::randomized(seed + 100ull * d)));
+      }
+      StreamingDbscan consumer(s.index.size(), s.minpts);
+      BatchPolicy policy = chaos_policy(backend);
+      policy.resilience.host_fallback = true;  // survive total loss
+      (void)fused_cluster(fleet.ptrs, s.index, s.eps, consumer, policy);
+      expect_exact(s, consumer);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdbscan

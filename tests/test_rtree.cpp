@@ -119,5 +119,92 @@ TEST(RTree, EmptyResultOutsideExtent) {
   EXPECT_TRUE(out.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Build variants: parallel STR bit-identity, incremental query equivalence
+// ---------------------------------------------------------------------------
+
+/// The parallel STR build only distributes the slice sorts and the leaf
+/// packing; the packed layout must come out bit-identical to the serial
+/// build — node MBRs, entry order, everything structurally_equal checks.
+TEST(RTreeBuilds, ParallelStrIsBitIdenticalToSerial) {
+  // Sizes straddling slice boundaries (exact multiples, one-off remainders,
+  // fewer points than one leaf) and both dataset shapes.
+  for (const std::size_t n : {5u, 16u, 17u, 255u, 1024u, 3000u}) {
+    for (const unsigned capacity : {2u, 8u, 16u}) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " capacity=" + std::to_string(capacity));
+      const auto points = data::generate_space_weather(
+          n, 93, {.width = 9.0f, .height = 9.0f});
+      const RTree serial(points, capacity, RTreeBuild::kStrSerial);
+      const RTree parallel(points, capacity, RTreeBuild::kStrParallel);
+      EXPECT_TRUE(serial.structurally_equal(parallel));
+      EXPECT_EQ(serial.node_count(), parallel.node_count());
+      EXPECT_EQ(serial.height(), parallel.height());
+    }
+  }
+}
+
+/// Guttman's incremental build packs a generally different — and worse —
+/// tree, but every circle query must return exactly the same id set.
+TEST(RTreeBuilds, IncrementalBuildAnswersIdentically) {
+  const std::size_t n = 1500;
+  for (const int family : {0, 1}) {
+    SCOPED_TRACE("family " + std::to_string(family));
+    const std::vector<Point2> points =
+        family == 0 ? data::generate_uniform(n, 94, 8.0f, 8.0f)
+                    : data::generate_space_weather(
+                          n, 95, {.width = 8.0f, .height = 8.0f});
+    const RTree str(points, 8, RTreeBuild::kStrSerial);
+    const RTree incremental(points, 8, RTreeBuild::kIncremental);
+    EXPECT_EQ(incremental.size(), n);
+    std::vector<PointId> got, want;
+    for (PointId q = 0; q < n; q += 37) {
+      for (const float eps : {0.2f, 0.9f}) {
+        got.clear();
+        want.clear();
+        incremental.query_circle(points[q], eps, got);
+        str.query_circle(points[q], eps, want);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "q=" << q << " eps=" << eps;
+        EXPECT_EQ(got, brute_circle(points, points[q], eps));
+      }
+    }
+  }
+}
+
+TEST(RTreeBuilds, IncrementalHandlesDuplicatesAndSinglePoint) {
+  const std::vector<Point2> one{{1.0f, 1.0f}};
+  const RTree single(one, 4, RTreeBuild::kIncremental);
+  std::vector<PointId> out;
+  single.query_circle({1.0f, 1.0f}, 0.1f, out);
+  EXPECT_EQ(out.size(), 1u);
+
+  // Coincident points force repeated linear splits of zero-area nodes.
+  const std::vector<Point2> dupes(300, Point2{2.0f, 2.0f});
+  const RTree tree(dupes, 4, RTreeBuild::kIncremental);
+  out.clear();
+  tree.query_circle({2.0f, 2.0f}, 0.01f, out);
+  EXPECT_EQ(out.size(), 300u);
+}
+
+TEST(RTreeBuilds, RectQueriesAgreeAcrossBuilds) {
+  const auto points = data::generate_uniform(2000, 96, 10.0f, 10.0f);
+  const Rect2 rect{1.5f, 2.5f, 6.0f, 7.0f};
+  std::vector<std::vector<PointId>> results;
+  for (const RTreeBuild build :
+       {RTreeBuild::kStrSerial, RTreeBuild::kStrParallel,
+        RTreeBuild::kIncremental}) {
+    const RTree tree(points, 16, build);
+    std::vector<PointId> out;
+    tree.query_rect(rect, out);
+    std::sort(out.begin(), out.end());
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_FALSE(results[0].empty());
+}
+
 }  // namespace
 }  // namespace hdbscan

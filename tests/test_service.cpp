@@ -182,6 +182,32 @@ TEST(TableCacheTest, PinnedEntryIsNeverEvictedWhileInFlight) {
   EXPECT_LE(cache.resident_bytes(), 150u);
 }
 
+/// Regression: the cache key must include the index backend and the scan
+/// mode. A backend A/B (grid vs BVH) or a kHalf/kFull sweep over the same
+/// (dataset, eps) would otherwise serve one variant's table as the
+/// other's measurement.
+TEST(TableCacheTest, KeyIncludesBackendAndScanMode) {
+  TableCache cache(1000);
+  const TableCache::Key grid_half{"d", 1, IndexBackend::kGrid,
+                                  ScanMode::kHalf};
+  { auto h = cache.insert(grid_half, make_entry(4, 100)); }
+  EXPECT_TRUE(cache.contains(grid_half));
+  EXPECT_FALSE(
+      cache.find({"d", 1, IndexBackend::kBvh, ScanMode::kHalf}));
+  EXPECT_FALSE(
+      cache.find({"d", 1, IndexBackend::kGrid, ScanMode::kFull}));
+  EXPECT_FALSE(
+      cache.find({"d", 1, IndexBackend::kBvh, ScanMode::kFull}));
+  // All four variants coexist as distinct entries.
+  { auto h = cache.insert({"d", 1, IndexBackend::kBvh, ScanMode::kHalf},
+                          make_entry(4, 100)); }
+  { auto h = cache.insert({"d", 1, IndexBackend::kGrid, ScanMode::kFull},
+                          make_entry(4, 100)); }
+  { auto h = cache.insert({"d", 1, IndexBackend::kBvh, ScanMode::kFull},
+                          make_entry(4, 100)); }
+  EXPECT_EQ(cache.size(), 4u);
+}
+
 TEST(TableCacheTest, RacingInsertAdoptsThePinnedIncumbent) {
   TableCache cache(1000);
   TableCache::Handle first = cache.insert({"d", 1}, make_entry(4, 100));
@@ -475,6 +501,67 @@ TEST(ClusterServiceTest, CoalescedGroupSharesOneBuild) {
   }
   // Same minpts across the fanout: identical labels from one build.
   EXPECT_EQ(results[0].labels, results[2].labels);
+}
+
+/// Fused jobs coalesce only with fused jobs of the same (eps, minpts) —
+/// the union-find threshold is baked into the traversal — and a plain job
+/// with the same eps never rides the fused build.
+TEST(ClusterServiceTest, FusedJobsCoalesceByMinptsAndSkipTableJobs) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.cache_bytes_budget = 256ull << 20;
+  opt.keep_labels = true;
+  auto svc = f.make(opt);
+  JobSpec f1 = job(0.5f, 4);
+  JobSpec f2 = job(0.5f, 4, Priority::kNormal, "t1");
+  JobSpec f3 = job(0.5f, 8, Priority::kNormal, "t2");  // different minpts
+  f1.fused = f2.fused = f3.fused = true;
+  const auto results = svc->replay({f1, f2, f3, job(0.5f, 4)});
+  ASSERT_EQ(results.size(), 4u);
+  for (const JobResult& r : results) {
+    ASSERT_EQ(r.state, JobState::kCompleted);
+  }
+  EXPECT_TRUE(results[0].fused);
+  EXPECT_TRUE(results[1].fused);
+  EXPECT_TRUE(results[2].fused);
+  EXPECT_FALSE(results[3].fused);
+  const service::ServiceStats s = svc->stats();
+  EXPECT_EQ(s.fused_jobs, 3u);
+  // Only the matched (eps, minpts) fused pair shared a build.
+  EXPECT_EQ(s.coalesced_builds, 1u);
+  EXPECT_EQ(s.coalesced_jobs, 1u);
+  // Fused builds never populate the cache; the plain job's build did.
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(svc->cache().size(), 1u);
+  // The fused labels are bit-identical to the table path's for the same
+  // (eps, minpts) — the service-level echo of the kernel equivalence.
+  EXPECT_EQ(results[0].labels, results[3].labels);
+  EXPECT_EQ(results[0].labels, results[1].labels);
+}
+
+/// A fused job must bypass the cache even when a matching-key table is
+/// already resident: serving a no-table request from a table would skew
+/// every measurement the fused path exists to make.
+TEST(ClusterServiceTest, FusedJobsBypassAResidentCacheEntry) {
+  ServiceFixture f;
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.cache_bytes_budget = 256ull << 20;
+  opt.coalesce = false;
+  opt.keep_labels = true;
+  auto svc = f.make(opt);
+  JobSpec fused_job = job(0.5f, 4, Priority::kNormal, "t1");
+  fused_job.fused = true;
+  const auto results =
+      svc->replay({job(0.5f, 4), job(0.5f, 4), fused_job});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].cache_hit);  // fresh build, inserts
+  EXPECT_TRUE(results[1].cache_hit);   // same key, plain job: hit
+  EXPECT_FALSE(results[2].cache_hit);  // fused: bypassed the entry
+  EXPECT_TRUE(results[2].fused);
+  EXPECT_EQ(svc->stats().cache_hits, 1u);
+  EXPECT_EQ(results[2].labels, results[0].labels);
 }
 
 TEST(ClusterServiceTest, PublishesRequestOutcomeCounters) {

@@ -124,7 +124,7 @@ int usage() {
       "usage:\n"
       "  hdbscan_cli gen <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <out>\n"
       "  hdbscan_cli cluster <in> <eps> <minpts> [labels_out] [--map]"
-      " [--streaming] [--shards k]\n"
+      " [--streaming] [--fused] [--index=grid|bvh] [--shards k]\n"
       "  hdbscan_cli sweep <in> <eps_lo> <eps_hi> <step> <minpts>\n"
       "  hdbscan_cli reuse <in> <eps> <minpts,minpts,...> [threads]\n"
       "  hdbscan_cli table <in> <eps> <table_out.bin>\n"
@@ -132,6 +132,7 @@ int usage() {
       "  hdbscan_cli chaos <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n> <seed>"
       " [devices]\n"
       "  hdbscan_cli perf-smoke [n]\n"
+      "  hdbscan_cli fused-smoke [n]\n"
       "  hdbscan_cli stream-smoke [n]\n"
       "  hdbscan_cli shard-smoke [n]\n"
       "  hdbscan_cli profile <SW1|SW4|SDSS1|SDSS2|SDSS3|uniform> <n>"
@@ -181,14 +182,28 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_cluster(int argc, char** argv) {
-  // Strip --streaming and --shards wherever they appear so the positional
-  // args keep their places.
+  // Strip --streaming/--fused/--index/--shards wherever they appear so the
+  // positional args keep their places.
   bool streaming = false;
+  bool fused = false;
+  IndexBackend backend = IndexBackend::kGrid;
   unsigned shards = 0;
   for (int i = 2; i < argc;) {
     int consumed = 0;
     if (std::strcmp(argv[i], "--streaming") == 0) {
       streaming = true;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--fused") == 0) {
+      fused = true;
+      consumed = 1;
+    } else if (std::strncmp(argv[i], "--index=", 8) == 0) {
+      const auto parsed = parse_index_backend(argv[i] + 8);
+      if (!parsed) {
+        std::fprintf(stderr, "cluster: unknown index backend '%s'"
+                     " (grid|bvh)\n", argv[i] + 8);
+        return 2;
+      }
+      backend = *parsed;
       consumed = 1;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
@@ -209,8 +224,11 @@ int cmd_cluster(int argc, char** argv) {
   const float eps = std::strtof(argv[3], nullptr);
   const int minpts = std::atoi(argv[4]);
   const bool want_map = argc > 5 && std::string(argv[argc - 1]) == "--map";
-  const ClusterMode mode =
-      streaming ? ClusterMode::kStreaming : ClusterMode::kBatchTable;
+  const ClusterMode mode = fused       ? ClusterMode::kFused
+                           : streaming ? ClusterMode::kStreaming
+                                       : ClusterMode::kBatchTable;
+  BatchPolicy policy;
+  policy.index_backend = backend;
 
   HybridTimings timings;
   ClusterResult result;
@@ -224,6 +242,7 @@ int cmd_cluster(int argc, char** argv) {
     }
     ShardedBuildOptions options;
     options.num_shards = shards;
+    options.policy = policy;
     result = hybrid_dbscan(fleet_ptrs, points, eps, minpts, &timings,
                            options, mode);
     const BuildReport& br = timings.build_report;
@@ -237,7 +256,8 @@ int cmd_cluster(int argc, char** argv) {
                 static_cast<unsigned long long>(br.cross_shard_pairs));
   } else {
     cudasim::Device device;
-    result = hybrid_dbscan(device, points, eps, minpts, &timings, {}, mode);
+    result = hybrid_dbscan(device, points, eps, minpts, &timings, policy,
+                           mode);
   }
   std::printf("%zu points, eps=%g minpts=%d -> %d clusters, %zu noise"
               " (%.3f s, modeled %.3f s)\n",
@@ -245,10 +265,22 @@ int cmd_cluster(int argc, char** argv) {
               result.noise_count(), timings.total_seconds,
               timings.modeled_total_seconds);
   if (timings.streamed) {
-    std::printf("streaming: %.0f%% of the union work overlapped the build"
+    std::printf("%s: %.0f%% of the union work overlapped the build"
                 " (%.3f s hidden, %.3f s tail), consumer peak %zu bytes\n",
+                timings.fused ? "fused" : "streaming",
                 100.0 * timings.overlap_fraction, timings.consume_seconds,
                 timings.finalize_seconds, timings.peak_consumer_bytes);
+  }
+  if (timings.fused) {
+    std::printf("fused [%s index]: no table materialized, %llu pairs"
+                " traversed, %llu parked-edge bytes D2H\n",
+                std::string(to_string(
+                                timings.build_report.index_backend))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    timings.build_report.total_pairs),
+                static_cast<unsigned long long>(
+                    timings.build_report.d2h_bytes));
   }
 
   const auto stats = analysis::compute_cluster_stats(points, result);
@@ -773,6 +805,151 @@ int cmd_perf_smoke(int argc, char** argv) {
     std::fprintf(stderr,
                  "perf_smoke FAILED: half scan did not reduce D2H traffic\n");
     ++violations;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+// Fused no-table gate (the fused_smoke CTest target): clusters a skewed
+// dataset four ways — batch table (the oracle), streaming-grid, fused on
+// the grid backend, and fused on the BVH backend (the latter across two
+// devices, so the fused pump threads and the shared union-find run
+// concurrently — the thread-sanitizer surface). Exits nonzero unless both
+// fused label vectors are bit-identical to batch DBSCAN, no table was
+// materialized, fused D2H traffic (parked edges only) undercuts the batch
+// build's, fused-BVH beats streaming-grid on modeled time, and no device
+// leaks.
+int cmd_fused_smoke(int argc, char** argv) {
+  const std::size_t n =
+      argc >= 3 ? static_cast<std::size_t>(std::atoll(argv[2])) : 6000;
+  const float eps = 0.35f;
+  const int minpts = 4;
+  // Skewed density: the workload where leaf-pruned BVH traversal beats
+  // eps-cell stenciling (overflowing hot cells).
+  const auto points = data::generate_space_weather(
+      n, 21, {.width = 10.0f, .height = 10.0f});
+
+  cudasim::SimulationOptions opt;
+  opt.throttle_transfers = false;
+  opt.throttle_pinned_alloc = false;
+
+  // Batch-table oracle.
+  HybridTimings batch_t;
+  cudasim::Device batch_dev({}, opt);
+  const ClusterResult batch =
+      hybrid_dbscan(batch_dev, points, eps, minpts, &batch_t);
+
+  // Streaming-grid: the fastest pre-existing mode, the bar to beat.
+  HybridTimings stream_t;
+  cudasim::Device stream_dev({}, opt);
+  const ClusterResult streamed =
+      hybrid_dbscan(stream_dev, points, eps, minpts, &stream_t, {},
+                    ClusterMode::kStreaming);
+
+  // Fused on the grid backend, single device.
+  BatchPolicy grid_policy;
+  HybridTimings fg_t;
+  cudasim::Device fused_grid_dev({}, opt);
+  const ClusterResult fused_grid =
+      hybrid_dbscan(fused_grid_dev, points, eps, minpts, &fg_t, grid_policy,
+                    ClusterMode::kFused);
+
+  // Fused on the BVH backend, single device (the modeled-time contender).
+  BatchPolicy bvh_policy;
+  bvh_policy.index_backend = IndexBackend::kBvh;
+  HybridTimings fb_t;
+  cudasim::Device fused_bvh_dev({}, opt);
+  const ClusterResult fused_bvh =
+      hybrid_dbscan(fused_bvh_dev, points, eps, minpts, &fb_t, bvh_policy,
+                    ClusterMode::kFused);
+
+  // Fused BVH across two devices: interleaved batches union into one
+  // shared AtomicUnionFind from concurrent pump threads.
+  std::vector<std::unique_ptr<cudasim::Device>> fleet;
+  std::vector<cudasim::Device*> fleet_ptrs;
+  for (unsigned d = 0; d < 2; ++d) {
+    fleet.push_back(
+        std::make_unique<cudasim::Device>(cudasim::DeviceConfig{}, opt));
+    fleet_ptrs.push_back(fleet.back().get());
+  }
+  ShardedBuildOptions fleet_opt;
+  fleet_opt.policy = bvh_policy;
+  HybridTimings fleet_t;
+  const ClusterResult fused_fleet = hybrid_dbscan(
+      fleet_ptrs, points, eps, minpts, &fleet_t, fleet_opt,
+      ClusterMode::kFused);
+
+  std::printf(
+      "fused_smoke: n=%zu modeled batch=%.6fs stream-grid=%.6fs"
+      " fused-grid=%.6fs fused-bvh=%.6fs fused-bvh-x2=%.6fs\n",
+      points.size(), batch_t.modeled_total_seconds,
+      stream_t.modeled_total_seconds, fg_t.modeled_total_seconds,
+      fb_t.modeled_total_seconds, fleet_t.modeled_total_seconds);
+  std::printf(
+      "fused_smoke: d2h batch=%llu fused-bvh=%llu (parked edges only),"
+      " pairs traversed=%llu\n",
+      static_cast<unsigned long long>(batch_t.build_report.d2h_bytes),
+      static_cast<unsigned long long>(fb_t.build_report.d2h_bytes),
+      static_cast<unsigned long long>(fb_t.build_report.total_pairs));
+
+  int violations = 0;
+  auto expect_identical = [&](const ClusterResult& got, const char* what) {
+    if (got.labels != batch.labels) {
+      std::fprintf(stderr,
+                   "fused_smoke FAILED: %s labels are not bit-identical to"
+                   " batch DBSCAN (%d vs %d clusters, %zu vs %zu noise)\n",
+                   what, got.num_clusters, batch.num_clusters,
+                   got.noise_count(), batch.noise_count());
+      ++violations;
+    }
+  };
+  expect_identical(streamed, "streaming-grid");
+  expect_identical(fused_grid, "fused-grid");
+  expect_identical(fused_bvh, "fused-bvh");
+  expect_identical(fused_fleet, "fused-bvh two-device");
+
+  for (const HybridTimings* t : {&fg_t, &fb_t, &fleet_t}) {
+    if (!t->fused || t->build_report.table_materialized) {
+      std::fprintf(stderr,
+                   "fused_smoke FAILED: a fused run materialized the"
+                   " table\n");
+      ++violations;
+    }
+  }
+  if (fb_t.build_report.d2h_bytes >= batch_t.build_report.d2h_bytes) {
+    std::fprintf(stderr,
+                 "fused_smoke FAILED: fused D2H (%llu B) does not undercut"
+                 " the batch build (%llu B)\n",
+                 static_cast<unsigned long long>(
+                     fb_t.build_report.d2h_bytes),
+                 static_cast<unsigned long long>(
+                     batch_t.build_report.d2h_bytes));
+    ++violations;
+  }
+  if (!(fb_t.modeled_total_seconds < stream_t.modeled_total_seconds)) {
+    std::fprintf(stderr,
+                 "fused_smoke FAILED: fused-BVH modeled %.6fs does not beat"
+                 " streaming-grid %.6fs on the skewed workload\n",
+                 fb_t.modeled_total_seconds, stream_t.modeled_total_seconds);
+    ++violations;
+  }
+  auto expect_leak_free = [&](cudasim::Device& d, const char* what) {
+    d.pool().trim();
+    if (d.used_global_bytes() != 0) {
+      std::fprintf(stderr, "fused_smoke FAILED: %s leaks %zu bytes\n", what,
+                   d.used_global_bytes());
+      ++violations;
+    }
+  };
+  expect_leak_free(fused_grid_dev, "fused-grid device");
+  expect_leak_free(fused_bvh_dev, "fused-bvh device");
+  for (auto& d : fleet) expect_leak_free(*d, "fleet device");
+
+  if (violations == 0) {
+    std::printf("fused_smoke: all invariants held (labels bit-identical,"
+                " no table, fused-BVH %.2fx faster than streaming-grid"
+                " modeled)\n",
+                stream_t.modeled_total_seconds /
+                    std::max(1e-12, fb_t.modeled_total_seconds));
   }
   return violations == 0 ? 0 : 1;
 }
@@ -1627,6 +1804,7 @@ int main(int argc, char** argv) {
     else if (cmd == "optics") rc = cmd_optics(argc, argv);
     else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
     else if (cmd == "perf-smoke") rc = cmd_perf_smoke(argc, argv);
+    else if (cmd == "fused-smoke") rc = cmd_fused_smoke(argc, argv);
     else if (cmd == "stream-smoke") rc = cmd_stream_smoke(argc, argv);
     else if (cmd == "shard-smoke") rc = cmd_shard_smoke(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
