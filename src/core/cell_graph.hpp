@@ -1,0 +1,58 @@
+// Cell-graph DBSCAN (ClusterQuality::kCellGraph): re-bin the data into
+// cells of side eps/sqrt(d) — small enough that any two points sharing a
+// cell are within eps of each other — and exploit two consequences:
+//
+//   * a cell holding >= minpts points makes every resident a core point
+//     for free (its same-cell degree alone clears the threshold), and one
+//     union chains the whole cell into a single component: O(1) unions
+//     per dense cell instead of O(pairs);
+//   * only points in *sparse* cells (and the boundaries between cells)
+//     ever need distance tests, so the distance work collapses from
+//     O(neighbor pairs) to O(cells + boundary pairs) on clustered data.
+//
+// Dense-dense cell adjacency resolves with an early-exit bichromatic
+// "any pair within eps?" probe; sparse points compute exact degrees
+// against the 5^d-cell stencil (cells farther than eps are pruned by
+// min-distance before any point is read). Core status and core-core
+// connectivity are therefore *exact*; only border assignment — which is
+// visit-order dependent in DBSCAN's own definition — uses a deterministic
+// smallest-core-id rule, so labels are stable across runs.
+//
+// The report carries a modeled execution time on the reference device
+// (the same DeviceConfig cost model the traversal kernels use: global
+// bytes vs FLOPs roofline + serialized atomics per union), which is what
+// the quality-frontier bench compares against the exact pipelines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cudasim/config.hpp"
+#include "dbscan/cluster_result.hpp"
+
+namespace hdbscan {
+
+struct CellGraphReport {
+  std::uint64_t num_cells = 0;        ///< occupied eps/sqrt(d) cells
+  std::uint64_t dense_cells = 0;      ///< cells with >= minpts residents
+  std::uint64_t dense_points = 0;     ///< points made core wholesale
+  std::uint64_t distance_tests = 0;   ///< boundary + sparse-degree tests
+  std::uint64_t unions = 0;           ///< union-find unites performed
+  double modeled_seconds = 0.0;       ///< reference-device execution model
+  double cpu_seconds = 0.0;           ///< measured host wall time
+};
+
+/// 2-D cell-graph DBSCAN. Labels are in input order (no index reordering
+/// applies — the binning is internal). `config` prices the modeled time.
+ClusterResult cell_graph_dbscan(std::span<const Point2> points, float eps,
+                                int minpts,
+                                const cudasim::DeviceConfig& config,
+                                CellGraphReport* report = nullptr);
+
+/// 3-D variant: side eps/sqrt(3), 5x5x5 stencil; otherwise identical.
+ClusterResult cell_graph_dbscan3(std::span<const Point3> points, float eps,
+                                 int minpts,
+                                 const cudasim::DeviceConfig& config,
+                                 CellGraphReport* report = nullptr);
+
+}  // namespace hdbscan

@@ -1,14 +1,44 @@
 #include "core/hybrid_dbscan.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/timer.hpp"
+#include "core/cell_graph.hpp"
 #include "core/fused_clustering.hpp"
 #include "obs/trace.hpp"
 
 namespace hdbscan {
 
 namespace {
+
+/// Cell-graph mode bypasses the device pipelines entirely: no grid index,
+/// no batches, no table — the eps/sqrt(d) re-binning happens inside
+/// cell_graph_dbscan and the labels come back in input order. The fused
+/// traversal has nothing to fuse with here, so the combination is
+/// rejected rather than silently served by a different algorithm.
+ClusterResult run_cell_graph_mode(const cudasim::DeviceConfig& config,
+                                  std::span<const Point2> points, float eps,
+                                  int minpts, ClusterMode mode,
+                                  HybridTimings& local,
+                                  WallTimer& total_timer) {
+  if (mode == ClusterMode::kFused) {
+    throw std::invalid_argument(
+        "hybrid_dbscan: ClusterQuality::kCellGraph is incompatible with "
+        "ClusterMode::kFused — the cell graph replaces the traversal "
+        "kernels the fused path would fuse into");
+  }
+  WallTimer phase_timer;
+  CellGraphReport cg;
+  ClusterResult out = cell_graph_dbscan(points, eps, minpts, config, &cg);
+  local.dbscan_seconds = phase_timer.seconds();
+  local.total_seconds = total_timer.seconds();
+  local.modeled_gpu_table_seconds = cg.modeled_seconds;
+  local.modeled_total_seconds = cg.modeled_seconds;
+  local.build_report.total_pairs = cg.distance_tests;
+  local.build_report.table_materialized = false;
+  return out;
+}
 
 /// Shared fused-mode tail of both hybrid_dbscan overloads: run the
 /// traversal, finalize the consumer, fill the streaming/fused timing
@@ -68,6 +98,17 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
   HybridTimings local;
   WallTimer total_timer;
 
+  if (policy.quality.mode == ClusterQuality::kCellGraph) {
+    const ClusterResult out = run_cell_graph_mode(
+        device.config(), points, eps, minpts, mode, local, total_timer);
+    if (timings != nullptr) *timings = local;
+    return out;
+  }
+  // Under kSubsampled every kernel keeps an expected `sample_rate`
+  // fraction of each neighborhood, so the density threshold rescales to
+  // minpts * s (the SNG estimator) wherever degrees are thresholded.
+  const int run_minpts = policy.quality.scaled_minpts(minpts);
+
   WallTimer phase_timer;
   const GridIndex index = [&] {
     TRACE_SPAN("index", "grid_index n=%zu", points.size());
@@ -76,8 +117,9 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
   local.index_seconds = phase_timer.seconds();
 
   if (mode == ClusterMode::kFused) {
-    const ClusterResult out = run_fused_mode({&device}, index, eps, minpts,
-                                             policy, local, total_timer);
+    const ClusterResult out = run_fused_mode({&device}, index, eps,
+                                             run_minpts, policy, local,
+                                             total_timer);
     if (timings != nullptr) *timings = local;
     return out;
   }
@@ -90,7 +132,7 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
     // materialized (no shard merge, no half-table expansion, no table
     // memory).
     phase_timer.reset();
-    StreamingDbscan consumer(index.size(), minpts);
+    StreamingDbscan consumer(index.size(), run_minpts);
     NeighborTableBuilder builder(device, policy);
     builder.build(index, eps, &local.build_report, &consumer,
                   /*materialize_table=*/false);
@@ -129,7 +171,7 @@ ClusterResult hybrid_dbscan(cudasim::Device& device,
   local.gpu_table_seconds = phase_timer.seconds();
 
   phase_timer.reset();
-  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+  const ClusterResult indexed = dbscan_neighbor_table(table, run_minpts);
   local.dbscan_seconds = phase_timer.seconds();
 
   local.total_seconds = total_timer.seconds();
@@ -149,6 +191,18 @@ ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
   HybridTimings local;
   WallTimer total_timer;
 
+  if (options.policy.quality.mode == ClusterQuality::kCellGraph) {
+    if (devices.empty() || devices.front() == nullptr) {
+      throw std::invalid_argument("hybrid_dbscan: no devices");
+    }
+    const ClusterResult out = run_cell_graph_mode(
+        devices.front()->config(), points, eps, minpts, mode, local,
+        total_timer);
+    if (timings != nullptr) *timings = local;
+    return out;
+  }
+  const int run_minpts = options.policy.quality.scaled_minpts(minpts);
+
   WallTimer phase_timer;
   const GridIndex index = [&] {
     TRACE_SPAN("index", "grid_index n=%zu", points.size());
@@ -160,7 +214,7 @@ ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
     // Fused mode replicates the (whole) index across the devices and
     // interleaves the strided batches — no slab sharding applies, since
     // the kernels union global ids directly.
-    const ClusterResult out = run_fused_mode(devices, index, eps, minpts,
+    const ClusterResult out = run_fused_mode(devices, index, eps, run_minpts,
                                              options.policy, local,
                                              total_timer);
     if (timings != nullptr) *timings = local;
@@ -170,7 +224,7 @@ ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
   if (mode == ClusterMode::kStreaming &&
       options.policy.build_mode == TableBuildMode::kCsrTwoPass) {
     phase_timer.reset();
-    StreamingDbscan consumer(index.size(), minpts);
+    StreamingDbscan consumer(index.size(), run_minpts);
     build_sharded_neighbor_table(devices, index, eps, options,
                                  &local.build_report, &consumer,
                                  /*materialize_table=*/false);
@@ -205,7 +259,7 @@ ClusterResult hybrid_dbscan(const std::vector<cudasim::Device*>& devices,
   local.gpu_table_seconds = phase_timer.seconds();
 
   phase_timer.reset();
-  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+  const ClusterResult indexed = dbscan_neighbor_table(table, run_minpts);
   local.dbscan_seconds = phase_timer.seconds();
 
   local.total_seconds = total_timer.seconds();

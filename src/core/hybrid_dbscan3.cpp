@@ -1,6 +1,9 @@
 #include "core/hybrid_dbscan3.hpp"
 
+#include <stdexcept>
+
 #include "common/timer.hpp"
+#include "core/cell_graph.hpp"
 #include "cudasim/buffer.hpp"
 #include "cudasim/buffer_pool.hpp"
 #include "cudasim/sort.hpp"
@@ -27,7 +30,8 @@ NeighborTable build_neighbor_table_host3(const GridIndex3& index, float eps) {
 NeighborTable build_neighbor_table_device3(cudasim::Device& device,
                                            const GridIndex3& index, float eps,
                                            Build3Report* report,
-                                           ScanMode mode) {
+                                           ScanMode mode,
+                                           QualitySpec quality) {
   WallTimer total_timer;
   Build3Report local;
 
@@ -56,7 +60,8 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
   cudasim::PooledDeviceBuffer<std::uint32_t> d_counts(
       device, std::max<std::uint32_t>(1, npts));
   cudasim::KernelStats stats = gpu::run_count_batch3(
-      device, view, eps, {}, d_counts.device_data(), mode);
+      device, view, eps, {}, d_counts.device_data(), mode,
+      gpu::kDefaultBlockSize, quality);
   local.modeled_table_seconds += stats.modeled_seconds;
   local.kernel_flops += stats.work.flops;
 
@@ -67,7 +72,8 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
   cudasim::PooledDeviceBuffer<PointId> d_values(
       device, std::max<std::uint64_t>(1, pairs));
   stats = gpu::run_fill_csr3(device, view, eps, {}, d_counts.device_data(),
-                             d_values.device_data(), mode);
+                             d_values.device_data(), mode,
+                             gpu::kDefaultBlockSize, quality);
   local.modeled_table_seconds += stats.modeled_seconds;
   local.kernel_flops += stats.work.flops;
 
@@ -110,11 +116,27 @@ NeighborTable build_neighbor_table_device3(cudasim::Device& device,
 
 ClusterResult hybrid_dbscan3(cudasim::Device& device,
                              std::span<const Point3> points, float eps,
-                             int minpts, Build3Report* report, ScanMode mode) {
+                             int minpts, Build3Report* report, ScanMode mode,
+                             QualitySpec quality) {
+  if (quality.mode == ClusterQuality::kCellGraph) {
+    WallTimer total_timer;
+    CellGraphReport cg;
+    ClusterResult out =
+        cell_graph_dbscan3(points, eps, minpts, device.config(), &cg);
+    if (report != nullptr) {
+      Build3Report local;
+      local.total_pairs = cg.distance_tests;
+      local.table_seconds = total_timer.seconds();
+      local.modeled_table_seconds = cg.modeled_seconds;
+      *report = local;
+    }
+    return out;
+  }
   const GridIndex3 index = build_grid_index3(points, eps);
   const NeighborTable table =
-      build_neighbor_table_device3(device, index, eps, report, mode);
-  const ClusterResult indexed = dbscan_neighbor_table(table, minpts);
+      build_neighbor_table_device3(device, index, eps, report, mode, quality);
+  const ClusterResult indexed =
+      dbscan_neighbor_table(table, quality.scaled_minpts(minpts));
   ClusterResult out;
   out.num_clusters = indexed.num_clusters;
   out.labels.resize(indexed.labels.size());
@@ -127,7 +149,13 @@ ClusterResult hybrid_dbscan3(cudasim::Device& device,
 
 ClusterResult fused_dbscan3(cudasim::Device& device,
                             std::span<const Point3> points, float eps,
-                            int minpts, Build3Report* report, ScanMode mode) {
+                            int minpts, Build3Report* report, ScanMode mode,
+                            QualitySpec quality) {
+  if (quality.mode == ClusterQuality::kCellGraph) {
+    throw std::invalid_argument(
+        "fused_dbscan3: ClusterQuality::kCellGraph replaces the traversal "
+        "kernel — use hybrid_dbscan3");
+  }
   WallTimer total_timer;
   Build3Report local;
   const GridIndex3 index = build_grid_index3(points, eps);
@@ -149,9 +177,10 @@ ClusterResult fused_dbscan3(cudasim::Device& device,
       device.config(),
       d_points.bytes() + d_cells.bytes() + d_lookup.bytes(), false);
 
-  StreamingDbscan consumer(index.size(), minpts);
+  StreamingDbscan consumer(index.size(), quality.scaled_minpts(minpts));
   const cudasim::KernelStats stats =
-      gpu::run_fused_batch3(device, view, eps, {}, consumer, mode);
+      gpu::run_fused_batch3(device, view, eps, {}, consumer, mode,
+                            gpu::kDefaultBlockSize, quality);
   local.modeled_table_seconds += stats.modeled_seconds;
   local.kernel_flops += stats.work.flops;
 

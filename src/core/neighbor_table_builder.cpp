@@ -76,6 +76,10 @@ struct StreamContext {
   /// arithmetic (query_count) and the estimation kernel.
   IndexBackend backend = IndexBackend::kGrid;
   BvhView bvh_view{};
+  /// Per-pair Bernoulli filter the traversal kernels apply (exact builds
+  /// carry the default no-op spec). Copied from the policy when the
+  /// context is created so retries and failover re-run the same sample.
+  QualitySpec quality{};
   unsigned timeline_id;  ///< index into the per-context model timelines
   cudasim::Stream stream;
 
@@ -273,7 +277,8 @@ void process_batch_pairs(StreamContext& sc, ScanMode scan, float eps,
 
   sc.sink->reset();
   const cudasim::KernelStats stats = gpu::run_calc_global(
-      sc.device, sc.view, eps, spec, sc.sink->view(), scan, block_size);
+      sc.device, sc.view, eps, spec, sc.sink->view(), scan, block_size,
+      sc.quality);
   ++sc.batches_run;
   sc.kernel_modeled += stats.modeled_seconds;
   sc.device_model += stats.modeled_seconds;
@@ -340,9 +345,11 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
   const cudasim::KernelStats count_stats =
       sc.backend == IndexBackend::kBvh
           ? gpu::run_count_batch(sc.device, sc.bvh_view, eps, spec,
-                                 sc.counts->device_data(), scan, block_size)
+                                 sc.counts->device_data(), scan, block_size,
+                                 sc.quality)
           : gpu::run_count_batch(sc.device, sc.view, eps, spec,
-                                 sc.counts->device_data(), scan, block_size);
+                                 sc.counts->device_data(), scan, block_size,
+                                 sc.quality);
   ++sc.batches_run;
   sc.kernel_modeled += count_stats.modeled_seconds;
   sc.device_model += count_stats.modeled_seconds;
@@ -405,10 +412,12 @@ void process_batch_csr(StreamContext& sc, ScanMode scan, float eps,
       sc.backend == IndexBackend::kBvh
           ? gpu::run_fill_csr(sc.device, sc.bvh_view, eps, spec,
                               sc.counts->device_data(),
-                              sc.values->device_data(), scan, block_size)
+                              sc.values->device_data(), scan, block_size,
+                              sc.quality)
           : gpu::run_fill_csr(sc.device, sc.view, eps, spec,
                               sc.counts->device_data(),
-                              sc.values->device_data(), scan, block_size);
+                              sc.values->device_data(), scan, block_size,
+                              sc.quality);
   sc.kernel_modeled += fill_stats.modeled_seconds;
   sc.device_model += fill_stats.modeled_seconds;
   sc.atomic_ops += fill_stats.work.atomic_ops;
@@ -631,7 +640,8 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
     // The parallel host builder queries full neighborhoods directly, so
     // no half-table expansion applies on this rung.
     local_report.scan_mode = ScanMode::kFull;
-    NeighborTable t = build_neighbor_table_host_parallel(index, eps);
+    NeighborTable t = build_neighbor_table_host_parallel(
+        index, eps, /*num_threads=*/0, policy_.quality);
     local_report.total_pairs = t.total_pairs();
     if (sink != nullptr) {
       // This rung only fires before any batch ran, so the sink has seen
@@ -754,6 +764,17 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
     local_report.atomic_ops +=
         local_report.estimate.kernel_stats.work.atomic_ops;
   }
+  // The estimation kernel always counts the exact neighborhood — e_b is a
+  // property of the data, not of the quality mode — so a subsampled build
+  // plans its buffers for the expected kept fraction instead. The planner's
+  // alpha slack absorbs the Bernoulli variance on top.
+  if (policy_.quality.sampled()) {
+    const double r = std::clamp(policy_.quality.sample_rate, 0.0f, 1.0f);
+    local_report.estimate.estimated_total = std::max<std::uint64_t>(
+        index.size(),
+        static_cast<std::uint64_t>(
+            static_cast<double>(local_report.estimate.estimated_total) * r));
+  }
 
   // Drop slots whose device died since the last check, tallying each loss
   // exactly once (later phases only ever see surviving slots).
@@ -849,7 +870,7 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
     const cudasim::KernelStats stats = gpu::run_calc_shared(
         first_device, first_view, dev_index.schedule(),
         dev_index.num_nonempty_cells(), eps, result_sink.view(), policy_.scan_mode,
-        policy_.block_size);
+        policy_.block_size, policy_.quality);
     local_report.batches_run = 1;
     local_report.kernel_modeled_seconds = stats.modeled_seconds;
     local_report.atomic_ops += stats.work.atomic_ops;
@@ -920,6 +941,7 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
                 local_report.plan.buffer_pairs, std::max(1u, max_batch_points),
                 id));
             contexts.back()->backend = policy_.index_backend;
+            contexts.back()->quality = policy_.quality;
             if (slot.bvh_index) {
               contexts.back()->bvh_view = slot.bvh_index->view();
             }
@@ -1040,11 +1062,11 @@ NeighborTable NeighborTableBuilder::build_impl(const GridIndex& index,
           }
           host_shards.push_back(build_neighbor_table_host_strided_idrule(
               index, *fallback_rtree, eps, item.spec.batch,
-              item.spec.num_batches, policy_.scan_mode));
+              item.spec.num_batches, policy_.scan_mode, policy_.quality));
         } else {
           host_shards.push_back(build_neighbor_table_host_strided(
               index, eps, item.spec.batch, item.spec.num_batches,
-              policy_.scan_mode));
+              policy_.scan_mode, policy_.quality));
         }
         ++local_report.host_fallback_batches;
         local_report.total_pairs += host_shards.back().total_pairs();

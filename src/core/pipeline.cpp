@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "core/cell_graph.hpp"
 #include "core/fused_clustering.hpp"
 #include "core/hybrid_dbscan.hpp"
 #include "core/neighbor_table_builder.hpp"
@@ -103,12 +104,70 @@ std::string describe_current_exception() {
   }
 }
 
+/// Cell-graph variants never enter the producer/consumer machinery: each
+/// variant is one fused host pass (bin, degree, union, label), so there is
+/// no table to hand off and nothing for a consumer to overlap with. Both
+/// run_multi_clustering overloads branch here when the policy selects
+/// ClusterQuality::kCellGraph.
+PipelineReport run_cell_graph_variants(const cudasim::DeviceConfig& config,
+                                       std::span<const Point2> points,
+                                       std::span<const Variant> variants,
+                                       const PipelineOptions& options) {
+  if (options.cluster_mode == ClusterMode::kFused) {
+    throw std::invalid_argument(
+        "run_multi_clustering: ClusterQuality::kCellGraph is incompatible "
+        "with ClusterMode::kFused");
+  }
+  PipelineReport report;
+  report.variants.resize(variants.size());
+  if (options.keep_results) report.results.resize(variants.size());
+  WallTimer total_timer;
+  std::exception_ptr first_error;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    report.variants[i].variant = variants[i];
+    try {
+      TRACE_SPAN("pipeline", "cellgraph v%zu eps=%.3f", i,
+                 static_cast<double>(variants[i].eps));
+      WallTimer t;
+      CellGraphReport cg;
+      ClusterResult r = cell_graph_dbscan(points, variants[i].eps,
+                                          variants[i].minpts, config, &cg);
+      report.variants[i].dbscan_seconds = t.seconds();
+      report.variants[i].modeled_table_seconds = cg.modeled_seconds;
+      report.variants[i].num_clusters = r.num_clusters;
+      report.variants[i].noise_count = r.noise_count();
+      if (options.keep_results) report.results[i] = std::move(r);
+    } catch (...) {
+      report.variants[i].outcome.ok = false;
+      report.variants[i].outcome.error = describe_current_exception();
+      report.variants[i].outcome.failure = classify_current_exception();
+      ++failed;
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (!variants.empty() && failed == variants.size()) {
+    std::rethrow_exception(first_error);
+  }
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
 }  // namespace
 
 PipelineReport run_multi_clustering(cudasim::Device& device,
                                     std::span<const Point2> points,
                                     std::span<const Variant> variants,
                                     const PipelineOptions& options) {
+  if (options.policy.quality.mode == ClusterQuality::kCellGraph) {
+    return run_cell_graph_variants(device.config(), points, variants,
+                                   options);
+  }
+  // Subsampled variants threshold their degrees at minpts * s (the
+  // kernels keep that expected fraction of each neighborhood).
+  const auto run_minpts = [&](std::size_t i) {
+    return options.policy.quality.scaled_minpts(variants[i].minpts);
+  };
   PipelineReport report;
   report.variants.resize(variants.size());
   if (options.keep_results) report.results.resize(variants.size());
@@ -129,12 +188,12 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           // host-side rather than failing every remaining variant.
           WallTimer t;
           GridIndex index = build_grid_index(points, variants[i].eps);
-          NeighborTable table =
-              build_neighbor_table_host_parallel(index, variants[i].eps);
+          NeighborTable table = build_neighbor_table_host_parallel(
+              index, variants[i].eps, /*num_threads=*/0,
+              options.policy.quality);
           const double table_s = t.seconds();
           WallTimer dbscan_timer;
-          ClusterResult indexed =
-              dbscan_neighbor_table(table, variants[i].minpts);
+          ClusterResult indexed = dbscan_neighbor_table(table, run_minpts(i));
           ClusterResult r = unmap_labels(indexed, index.original_ids);
           report.variants[i].table_seconds = table_s;
           report.variants[i].modeled_table_seconds = table_s;
@@ -217,15 +276,16 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
         const bool host = device.lost();
         double modeled_s = 0.0;
         if (host) {
-          item.table =
-              build_neighbor_table_host_parallel(index, variants[i].eps);
+          item.table = build_neighbor_table_host_parallel(
+              index, variants[i].eps, /*num_threads=*/0,
+              options.policy.quality);
           item.payload_bytes = table_payload_bytes(item.table);
         } else if (fused) {
           // Fused variants never touch the table builder: the traversal
           // kernel ingests straight into the clusterer, and the pipeline
           // consumers — like streaming mode — only run the tail.
           auto clusterer = std::make_unique<StreamingDbscan>(
-              index.size(), variants[i].minpts);
+              index.size(), run_minpts(i));
           clusterer->set_cancel_token(options.policy.cancel);
           const BuildReport build_report = fused_cluster(
               device, index, variants[i].eps, *clusterer, options.policy);
@@ -238,7 +298,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           // the inter-variant producer/consumer overlap. The consumers
           // only run the resolution tail.
           auto clusterer = std::make_unique<StreamingDbscan>(
-              index.size(), variants[i].minpts);
+              index.size(), run_minpts(i));
           clusterer->set_cancel_token(options.policy.cancel);
           BuildReport build_report;
           builder.build(index, variants[i].eps, &build_report,
@@ -282,7 +342,7 @@ PipelineReport run_multi_clustering(cudasim::Device& device,
           ClusterResult indexed =
               item->streaming
                   ? item->streaming->finalize()
-                  : dbscan_neighbor_table(item->table, variants[i].minpts);
+                  : dbscan_neighbor_table(item->table, run_minpts(i));
           const double dbscan_s = t.seconds();
           ClusterResult result = options.keep_results
                                      ? unmap_labels(indexed, item->original_ids)
@@ -324,9 +384,16 @@ PipelineReport run_multi_clustering(
   if (fleet.empty()) {
     throw std::invalid_argument("run_multi_clustering: no devices");
   }
+  if (options.policy.quality.mode == ClusterQuality::kCellGraph) {
+    return run_cell_graph_variants(fleet.front()->config(), points, variants,
+                                   options);
+  }
   if (fleet.size() == 1 && options.num_shards <= 1) {
     return run_multi_clustering(*fleet.front(), points, variants, options);
   }
+  const auto run_minpts = [&options, variants](std::size_t i) {
+    return options.policy.quality.scaled_minpts(variants[i].minpts);
+  };
 
   PipelineReport report;
   report.variants.resize(variants.size());
@@ -364,7 +431,8 @@ PipelineReport run_multi_clustering(
     host = !any_live();
     modeled_s = 0.0;
     if (host) {
-      item.table = build_neighbor_table_host_parallel(index, variants[i].eps);
+      item.table = build_neighbor_table_host_parallel(
+          index, variants[i].eps, /*num_threads=*/0, options.policy.quality);
       item.payload_bytes = table_payload_bytes(item.table);
     } else if (fused) {
       // Fused fleet variants replicate the whole index (no slab sharding;
@@ -375,7 +443,7 @@ PipelineReport run_multi_clustering(
         if (!d->lost()) live.push_back(d);
       }
       auto clusterer = std::make_unique<StreamingDbscan>(index.size(),
-                                                         variants[i].minpts);
+                                                         run_minpts(i));
       clusterer->set_cancel_token(options.policy.cancel);
       const BuildReport build_report = fused_cluster(
           live, index, variants[i].eps, *clusterer, options.policy);
@@ -384,7 +452,7 @@ PipelineReport run_multi_clustering(
       item.streaming = std::move(clusterer);
     } else if (streaming) {
       auto clusterer = std::make_unique<StreamingDbscan>(index.size(),
-                                                         variants[i].minpts);
+                                                         run_minpts(i));
       clusterer->set_cancel_token(options.policy.cancel);
       BuildReport build_report;
       build_sharded_neighbor_table(fleet, index, variants[i].eps, sopts,
@@ -421,7 +489,7 @@ PipelineReport run_multi_clustering(
         ClusterResult indexed =
             item.streaming
                 ? item.streaming->finalize()
-                : dbscan_neighbor_table(item.table, variants[i].minpts);
+                : dbscan_neighbor_table(item.table, run_minpts(i));
         ClusterResult result = unmap_labels(indexed, item.original_ids);
         report.variants[i].table_seconds = wall_s;
         report.variants[i].modeled_table_seconds = modeled_s;
@@ -503,7 +571,7 @@ PipelineReport run_multi_clustering(
           ClusterResult indexed =
               item->streaming
                   ? item->streaming->finalize()
-                  : dbscan_neighbor_table(item->table, variants[i].minpts);
+                  : dbscan_neighbor_table(item->table, run_minpts(i));
           const double dbscan_s = t.seconds();
           ClusterResult result = options.keep_results
                                      ? unmap_labels(indexed, item->original_ids)

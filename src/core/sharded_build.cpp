@@ -511,7 +511,8 @@ NeighborTable build_sharded_impl(
     for (GridShard& shard : pending) {
       check_cancel(options.policy.cancel);
       NeighborTable local = build_neighbor_table_host_strided(
-          shard.index, eps, 0, 1, options.policy.scan_mode);
+          shard.index, eps, 0, 1, options.policy.scan_mode,
+          options.policy.quality);
       ++agg.host_fallback_batches;
       agg.halo_ghost_points += shard.num_ghosts();
       if (sink != nullptr) {

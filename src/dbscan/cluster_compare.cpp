@@ -1,5 +1,6 @@
 #include "dbscan/cluster_compare.hpp"
 
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -135,6 +136,47 @@ CompareOutcome compare_clusterings(const ClusterResult& a,
     }
   }
   return {};
+}
+
+double rand_index(std::span<const std::int32_t> a,
+                  std::span<const std::int32_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rand_index: label vector size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n <= 1) return 1.0;
+  // Noise points are singletons: they pair "apart" with everything, so
+  // they contribute nothing to any together-count. Pair counting over the
+  // contingency cells therefore only needs the non-noise labels.
+  const auto together = [](std::span<const std::int32_t> labels) {
+    std::unordered_map<std::int32_t, std::uint64_t> sizes;
+    for (const std::int32_t l : labels) {
+      if (l >= 0) ++sizes[l];
+    }
+    double t = 0.0;
+    for (const auto& [l, c] : sizes) {
+      t += 0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+    }
+    return t;
+  };
+  const double pa = together(a);
+  const double pb = together(b);
+  std::unordered_map<std::uint64_t, std::uint64_t> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a[i])) << 32) |
+        static_cast<std::uint32_t>(b[i]);
+    ++cells[key];
+  }
+  double pab = 0.0;
+  for (const auto& [key, c] : cells) {
+    pab += 0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+  }
+  const double total =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  // Disagreeing pairs: together in exactly one of the two clusterings.
+  return 1.0 - (pa + pb - 2.0 * pab) / total;
 }
 
 }  // namespace hdbscan

@@ -29,6 +29,18 @@ CompareOutcome compare_clusterings(const ClusterResult& a,
                                    const ClusterResult& b,
                                    const NeighborTable& table, int minpts);
 
+/// Rand index of two label vectors over the same points: the fraction of
+/// point pairs on which the clusterings agree (both together or both
+/// apart). Noise points (label < 0) count as singletons — two noise
+/// points are "apart" even though they share the sentinel label, matching
+/// DBSCAN semantics where noise is unclustered rather than one cluster.
+/// Invariant under label permutation. Returns 1.0 for n <= 1 (no pairs to
+/// disagree on). Throws std::invalid_argument on size mismatch.
+/// This is how the approximate quality modes (ClusterQuality::kSubsampled
+/// / kCellGraph) report their agreement with the exact labels.
+double rand_index(std::span<const std::int32_t> a,
+                  std::span<const std::int32_t> b);
+
 /// Validates a single clustering against DBSCAN's definition:
 ///  * every core point is clustered, and all cores within eps of each
 ///    other share a cluster;

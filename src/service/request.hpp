@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
 #include "core/failure.hpp"
 
 namespace hdbscan::service {
@@ -56,6 +57,15 @@ struct JobSpec {
   /// the union-find threshold is baked into the traversal. The index
   /// backend comes from the service's BatchPolicy (--index=).
   bool fused = false;
+  /// Quality knob for this request (DESIGN.md §16). kExact (the default)
+  /// inherits the service policy's quality; a non-exact spec overrides it
+  /// for this job only. Quality is part of the coalescing identity and of
+  /// the TableCache key, so an exact job can never adopt a subsampled
+  /// table (and vice versa), and two subsampled jobs share a build only
+  /// when mode, rate, and seed all match. kCellGraph is incompatible with
+  /// `fused` (the cell graph replaces the traversal the fused path would
+  /// fuse into) and such jobs are rejected at admission with a reason.
+  QualitySpec quality{};
 };
 
 /// Terminal (and transient) states of a request. Every job ends in one of

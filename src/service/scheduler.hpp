@@ -116,6 +116,7 @@ struct ServiceStats {
   std::uint64_t coalesced_jobs = 0;    ///< jobs that shared another's build
   std::uint64_t coalesced_builds = 0;  ///< builds serving > 1 job
   std::uint64_t fused_jobs = 0;        ///< jobs served by the fused path
+  std::uint64_t cell_graph_jobs = 0;   ///< jobs served by the cell graph
   std::uint64_t retries = 0;
   std::uint64_t breaker_opens = 0;
   std::uint64_t host_fallback_jobs = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "data/generators.hpp"
@@ -172,6 +173,63 @@ TEST(CompareClusterings, RealRunsAcrossSearchOrdersAgree) {
   }
   const auto outcome = compare_clusterings(a, ref_indexed, table, minpts);
   EXPECT_TRUE(outcome.equivalent) << outcome.diagnostic;
+}
+
+// ---------------------------------------------------------------------------
+// rand_index — the quality metric of the approximate clustering modes
+// ---------------------------------------------------------------------------
+
+TEST(RandIndex, EmptyAndSingletonInputsArePerfectAgreement) {
+  EXPECT_DOUBLE_EQ(rand_index(std::vector<std::int32_t>{},
+                              std::vector<std::int32_t>{}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(rand_index(std::vector<std::int32_t>{0},
+                              std::vector<std::int32_t>{kNoise}),
+                   1.0);  // no pairs to disagree on
+}
+
+TEST(RandIndex, SizeMismatchThrows) {
+  const std::vector<std::int32_t> a{0, 0};
+  const std::vector<std::int32_t> b{0};
+  EXPECT_THROW(rand_index(a, b), std::invalid_argument);
+}
+
+TEST(RandIndex, AllNoiseAgreesWithAllNoise) {
+  // Noise points are singletons: every pair is "apart" in both inputs
+  // even though they share the sentinel label.
+  const std::vector<std::int32_t> noise(6, kNoise);
+  EXPECT_DOUBLE_EQ(rand_index(noise, noise), 1.0);
+}
+
+TEST(RandIndex, AllNoiseVersusOneClusterIsTotalDisagreement) {
+  const std::vector<std::int32_t> noise(4, kNoise);
+  const std::vector<std::int32_t> together(4, 0);
+  EXPECT_DOUBLE_EQ(rand_index(noise, together), 0.0);
+  EXPECT_DOUBLE_EQ(rand_index(together, noise), 0.0);
+}
+
+TEST(RandIndex, SingleClusterMatchesUnderAnyLabelValue) {
+  const std::vector<std::int32_t> a(5, 0);
+  const std::vector<std::int32_t> b(5, 1234);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 1.0);
+}
+
+TEST(RandIndex, InvariantUnderLabelPermutation) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2, kNoise};
+  const std::vector<std::int32_t> b{2, 2, 0, 0, 1, 1, kNoise};
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+}
+
+TEST(RandIndex, PartialDisagreementLandsStrictlyBetween) {
+  // Split one 4-cluster into two 2-clusters: the 4 cross pairs flip from
+  // together to apart; 2 same-half pairs agree. With n = 4 (6 pairs):
+  // RI = 1 - (6 + 2 - 2*2) / 6 = 1 - 4/6.
+  const std::vector<std::int32_t> a{0, 0, 0, 0};
+  const std::vector<std::int32_t> b{0, 0, 1, 1};
+  const double ri = rand_index(a, b);
+  EXPECT_NEAR(ri, 1.0 - 4.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), rand_index(b, a));
 }
 
 }  // namespace
